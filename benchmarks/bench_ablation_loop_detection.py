@@ -1,0 +1,32 @@
+"""Ablation: loop-detection strategies on the §VI-scale market.
+
+Compares exhaustive enumeration over all parallel pools vs the
+best-pool-per-pair restriction, and the Moore–Bellman–Ford negative-
+cycle detector that finds a single loop fast.
+"""
+
+from __future__ import annotations
+
+from repro.graph import find_arbitrage_loops, find_negative_cycle
+
+
+def test_enumerate_all_parallel_pools(benchmark, market):
+    graph = market.graph()
+    loops = benchmark(find_arbitrage_loops, graph, 3)
+    assert len(loops) >= 100
+
+
+def test_enumerate_best_pool_only(benchmark, market):
+    graph = market.graph()
+    loops = benchmark(find_arbitrage_loops, graph, 3, max_parallel=1)
+    all_loops = find_arbitrage_loops(graph, 3)
+    # restricting to one pool per pair can only lose loops
+    assert len(loops) <= len(all_loops)
+    assert len(loops) > 0
+
+
+def test_bellman_ford_single_loop(benchmark, market):
+    graph = market.graph()
+    cycle = benchmark(find_negative_cycle, graph)
+    # the market has arbitrage, so MBF must find a cycle
+    assert cycle is not None

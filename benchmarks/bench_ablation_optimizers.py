@@ -1,0 +1,25 @@
+"""Ablation: closed-form vs bisection vs golden-section rotation optima.
+
+DESIGN.md lists the 1-D optimizer choice as a design decision; this
+bench quantifies it.  All three must agree on the optimum; closed form
+should be the fastest (it is O(1) after composition).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import section5_loop
+from repro.strategies import optimize_rotation_by
+
+
+@pytest.fixture(scope="module")
+def rotation():
+    return section5_loop().rotations()[0]
+
+
+@pytest.mark.parametrize("method", ["closed_form", "bisection", "golden"])
+def test_optimizer_method(benchmark, rotation, method):
+    result = benchmark(optimize_rotation_by, rotation, method)
+    assert result.x == pytest.approx(26.96, abs=0.05)
+    assert result.value == pytest.approx(16.87, abs=0.01)

@@ -1,0 +1,40 @@
+"""Ablation: barrier vs SLSQP backends, eq. (7) vs eq. (8) linking.
+
+The two backends must agree on the §V example's optimum (206.1$); the
+equality-linked program (eq. 7) must fall back to the fixed-start
+optimum (205.6$ via the MaxMax floor) — the paper's reduction claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import section5_loop, section5_prices
+from repro.strategies import ConvexOptimizationStrategy
+
+
+@pytest.fixture(scope="module")
+def prices():
+    return section5_prices()
+
+
+@pytest.mark.parametrize("backend", ["barrier", "slsqp"])
+def test_backend(benchmark, prices, backend):
+    strategy = ConvexOptimizationStrategy(backend=backend)
+
+    def solve():
+        return strategy.evaluate(section5_loop(), prices)
+
+    result = benchmark(solve)
+    assert result.monetized_profit == pytest.approx(206.1, abs=0.1)
+
+
+def test_equality_linking_reduces_to_fixed_start(benchmark, prices):
+    strategy = ConvexOptimizationStrategy(linking="equality")
+
+    def solve():
+        return strategy.evaluate(section5_loop(), prices)
+
+    result = benchmark(solve)
+    # eq. (7) (plus the MaxMax floor) lands on the fixed-start optimum
+    assert result.monetized_profit == pytest.approx(205.6, abs=0.1)

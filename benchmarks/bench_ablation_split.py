@@ -1,0 +1,39 @@
+"""Ablation: optimal split across parallel pools vs best-single-pool.
+
+The detection pipeline routes each hop through one pool; the exact
+KKT splitter shows what a router would gain by splitting.  The gain
+grows with trade size (slippage makes the second-best pool worth
+recruiting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import amount_out
+from repro.optimize import optimal_split
+
+PARALLEL_POOLS = [
+    (100_000.0, 201_000.0, 0.003),
+    (80_000.0, 159_000.0, 0.003),
+    (50_000.0, 100_500.0, 0.01),
+]
+
+
+def test_split_kernel_speed(benchmark):
+    result = benchmark(optimal_split, PARALLEL_POOLS, 10_000.0)
+    assert result.total_out > 0
+
+
+@pytest.mark.parametrize("total", [100.0, 10_000.0, 50_000.0])
+def test_split_gain_over_single_pool(benchmark, total):
+    def run():
+        split = optimal_split(PARALLEL_POOLS, total)
+        single = max(amount_out(x, y, total, fee) for x, y, fee in PARALLEL_POOLS)
+        return split.total_out, single
+
+    split_out, single_out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert split_out >= single_out * (1.0 - 1e-12)
+    if total >= 10_000.0:
+        # at size, splitting wins by a real margin
+        assert split_out > single_out * 1.001

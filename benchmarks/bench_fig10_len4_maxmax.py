@@ -1,0 +1,18 @@
+"""Bench + check Fig. 10 (appendix): length-4 loops, MaxMax vs Convex.
+
+Expected shape: points nearly on the 45-degree line, none above.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig10_len4_maxmax
+
+
+def test_fig10_scatter(benchmark, market):
+    result = benchmark.pedantic(
+        fig10_len4_maxmax, args=(market,), rounds=1, iterations=1
+    )
+    assert result.stats.n >= 100
+    assert result.stats.frac_below_or_on == 1.0
+    assert result.stats.mean_rel_gap < 0.02
+    assert result.stats.pearson_r > 0.999

@@ -1,0 +1,24 @@
+"""Bench + check Fig. 1: the concave profit curve and its optimum.
+
+Expected shape: concave curve with an interior maximum at input ~27.0
+where the composed marginal rate crosses 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig1_profit_curve
+
+
+def test_fig1_profit_curve(benchmark):
+    result = benchmark.pedantic(fig1_profit_curve, rounds=1, iterations=1)
+    assert result.optimal_input == pytest.approx(27.0, abs=0.1)
+    assert result.derivative_at_optimum == pytest.approx(1.0, rel=1e-9)
+    # concavity and interior maximum
+    peak = int(np.argmax(result.profits))
+    assert 0 < peak < result.profits.size - 1
+    assert np.all(np.diff(result.profits, 2) < 1e-9)
+    # profit at the analytic optimum tops the sampled curve
+    assert result.optimal_profit >= result.profits.max() - 1e-9

@@ -1,0 +1,34 @@
+"""Bench + check Fig. 2: rotation profits + MaxMax envelope vs Px.
+
+Expected shape: MaxMax is the pointwise upper envelope of the three
+rotation curves; the MaxPrice rotation is NOT the envelope everywhere
+(the X rotation overtakes it at high Px).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import fig2_rotation_sweep
+
+
+def test_fig2_rotation_sweep(benchmark):
+    series = benchmark.pedantic(fig2_rotation_sweep, rounds=1, iterations=1)
+    mm = series.series("maxmax")
+    rotations = {label: series.series(label) for label in ("start_X", "start_Y", "start_Z")}
+
+    # envelope property at every grid point
+    for values in rotations.values():
+        assert np.all(mm >= values - 1e-9)
+    # the envelope is tight: at every point MaxMax equals some rotation
+    best = np.maximum.reduce(list(rotations.values()))
+    assert np.allclose(mm, best, rtol=1e-9)
+
+    # MaxPrice (= start_Z while Px < 20) is overtaken by start_X at high Px
+    prices = series.prices()
+    high = prices >= 15.0
+    assert np.any(rotations["start_X"][high] > series.series("maxprice")[high] + 1.0)
+
+    # Y and Z rotations do not depend on Px (their profit is in Y / Z)
+    assert np.ptp(rotations["start_Y"]) < 1e-9
+    assert np.ptp(rotations["start_Z"]) < 1e-9

@@ -1,0 +1,22 @@
+"""Bench + check Fig. 3: Convex >= MaxMax across the Px sweep.
+
+Expected shape: the convex curve sits on or above the MaxMax curve at
+every grid point, with a small but strictly positive gap somewhere
+(206.1$ vs 205.6$ at Px = 2$).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import fig3_convex_vs_maxmax_sweep
+
+
+def test_fig3_convex_vs_maxmax(benchmark):
+    series = benchmark.pedantic(fig3_convex_vs_maxmax_sweep, rounds=1, iterations=1)
+    mm = series.series("maxmax")
+    cv = series.series("convex")
+    assert np.all(cv >= mm - 1e-6)
+    gap = cv - mm
+    assert gap.max() > 0.1          # a real gap exists somewhere
+    assert gap.max() < 0.05 * mm.max()  # ... but it is small (Fig. 7's story)

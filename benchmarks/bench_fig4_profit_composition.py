@@ -1,0 +1,29 @@
+"""Bench + check Fig. 4: convex profit decomposed into token amounts.
+
+Expected shape: the optimum's (X, Y, Z) profit composition moves in
+discrete clusters as Px sweeps (the paper observes ~6 positions), the
+amounts are non-negative, and monetizing each row with its sweep price
+recovers the objective value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig4_profit_composition
+
+
+def test_fig4_profit_composition(benchmark):
+    grid, rows, monetized = benchmark.pedantic(
+        fig4_profit_composition, rounds=1, iterations=1
+    )
+    assert rows.shape == (grid.size, 3)
+    assert np.all(rows >= -1e-8)
+    for px, row, total in zip(grid, rows, monetized):
+        assert total == pytest.approx(
+            row[0] * px + row[1] * 10.2 + row[2] * 20.0, rel=1e-6, abs=1e-6
+        )
+    # optima cluster into few distinct positions (paper: ~6)
+    distinct = {tuple(np.round(row, 1)) for row in rows}
+    assert len(distinct) <= 12

@@ -1,0 +1,20 @@
+"""Bench + check Fig. 5: MaxMax vs traditional scatter (3-loops).
+
+Expected shape: every point on/below the 45-degree line (MaxMax is an
+upper bound by construction); three points per loop; a substantial
+fraction strictly below (rotation choice matters).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig5_maxmax_vs_traditional
+
+
+def test_fig5_scatter(benchmark, market):
+    result = benchmark.pedantic(
+        fig5_maxmax_vs_traditional, args=(market,), rounds=1, iterations=1
+    )
+    assert result.stats.n % 3 == 0 and result.stats.n >= 300
+    assert result.stats.frac_below_or_on == 1.0
+    assert result.stats.max_rel_excess <= 1e-9
+    assert result.stats.frac_strictly_below > 0.3

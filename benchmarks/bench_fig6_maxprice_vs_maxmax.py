@@ -1,0 +1,19 @@
+"""Bench + check Fig. 6: MaxPrice vs MaxMax scatter.
+
+Expected shape: no point above the line, and at least some strictly
+below — the paper's evidence that MaxPrice is unreliable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig6_maxprice_vs_maxmax
+
+
+def test_fig6_scatter(benchmark, market):
+    result = benchmark.pedantic(
+        fig6_maxprice_vs_maxmax, args=(market,), rounds=1, iterations=1
+    )
+    assert result.stats.n >= 100  # one point per profitable loop
+    assert result.stats.frac_below_or_on == 1.0
+    assert result.stats.frac_strictly_below > 0.0
+    assert result.stats.max_rel_gap > 0.001

@@ -1,0 +1,22 @@
+"""Bench + check Fig. 7: Convex vs MaxMax scatter (3-loops).
+
+Expected shape: points essentially ON the 45-degree line — Convex is
+provably >= MaxMax, and empirically the two coincide to within a tiny
+relative gap (the paper's central empirical finding).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig7_convex_vs_maxmax
+
+
+def test_fig7_scatter(benchmark, market):
+    result = benchmark.pedantic(
+        fig7_convex_vs_maxmax, args=(market,), rounds=1, iterations=1
+    )
+    assert result.stats.n >= 100
+    # x = convex, y = maxmax: maxmax never exceeds convex...
+    assert result.stats.frac_below_or_on == 1.0
+    # ...and the clouds coincide almost exactly
+    assert result.stats.mean_rel_gap < 0.01
+    assert result.stats.pearson_r > 0.999

@@ -1,0 +1,19 @@
+"""Bench + check Fig. 8: per-token profit vectors, Convex vs MaxMax.
+
+Expected shape: the two strategies' profit vectors overlap loop by
+loop — the largest per-token difference stays small relative to each
+loop's own profit scale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig8_token_profit_overlap
+
+
+def test_fig8_overlap(benchmark, market):
+    result = benchmark.pedantic(
+        fig8_token_profit_overlap, args=(market,), rounds=1, iterations=1
+    )
+    assert len(result.loops) >= 100
+    assert len(result.maxmax_profits) == len(result.convex_profits)
+    assert result.max_component_gap < 0.2

@@ -1,0 +1,17 @@
+"""Bench + check Fig. 9 (appendix): length-4 loops, traditional vs Convex.
+
+Expected shape: four points per loop, all on/below the 45-degree line.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig9_len4_traditional
+
+
+def test_fig9_scatter(benchmark, market):
+    result = benchmark.pedantic(
+        fig9_len4_traditional, args=(market,), rounds=1, iterations=1
+    )
+    assert result.stats.n % 4 == 0 and result.stats.n >= 400
+    assert result.stats.frac_below_or_on == 1.0
+    assert result.stats.max_rel_excess <= 1e-6

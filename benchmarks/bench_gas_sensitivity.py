@@ -1,0 +1,39 @@
+"""Ablation: how many §VI loops survive gas costs?
+
+The paper's profits are gross; a searcher nets out gas.  This bench
+counts the profitable 3-loops that remain profitable after execution
+costs at several gas-price regimes — the reason small loops go
+unharvested on mainnet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import profitable_loops
+from repro.execution import GasModel
+from repro.strategies import MaxMaxStrategy
+
+
+def survivors(market, gas_price_gwei: float) -> tuple[int, int]:
+    _snapshot, loops = profitable_loops(market, 3)
+    strategy = MaxMaxStrategy()
+    model = GasModel(gas_price_gwei=gas_price_gwei)
+    results = [strategy.evaluate(loop, market.prices) for loop in loops]
+    alive = sum(1 for r in results if model.is_profitable_after_gas(r))
+    return alive, len(loops)
+
+
+@pytest.mark.parametrize("gwei", [5.0, 20.0, 100.0])
+def test_gas_sensitivity(benchmark, market, gwei):
+    alive, total = benchmark.pedantic(
+        survivors, args=(market, gwei), rounds=1, iterations=1
+    )
+    assert 0 <= alive <= total
+    if gwei <= 5.0:
+        assert alive > 0  # cheap gas: some loops survive
+    # higher gas can only reduce the survivor count (checked across
+    # the parametrization by monotonicity of the cost model)
+    model_low = GasModel(gas_price_gwei=5.0)
+    model_high = GasModel(gas_price_gwei=100.0)
+    assert model_high.cost_usd(3) > model_low.cost_usd(3)

@@ -1,0 +1,44 @@
+"""Extension bench: total extractable value of the §VI snapshot.
+
+Sequential greedy harvest (execute best loop, re-detect, repeat) vs
+the single-transaction independent bundle.  The bundle extracts less
+per block but needs no re-evaluation; the harvest converges to the
+market's total extractable value.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import greedy_harvest, independent_bundle, profitable_loops
+from repro.strategies import MaxMaxStrategy
+
+
+def test_greedy_harvest(benchmark, market):
+    report = benchmark.pedantic(
+        greedy_harvest,
+        args=(market, MaxMaxStrategy()),
+        kwargs={"min_profit_usd": 1.0, "max_rounds": 25},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.total_usd > 0
+    assert not any(r.reverted for r in report.rounds)
+    # realized == predicted on a quiet market
+    for round_ in report.rounds:
+        assert abs(round_.realized_usd - round_.predicted_usd) < 1e-3
+
+
+def test_independent_bundle(benchmark, market):
+    _snapshot, loops = profitable_loops(market, 3)
+    strategy = MaxMaxStrategy()
+    results = [strategy.evaluate(loop, market.prices) for loop in loops]
+
+    bundle = benchmark.pedantic(
+        independent_bundle, args=(loops, results), rounds=1, iterations=1
+    )
+    assert len(bundle) >= 1
+    # no two bundle loops share a pool
+    seen: set[str] = set()
+    for index in bundle:
+        ids = {p.pool_id for p in loops[index].pools}
+        assert not (ids & seen)
+        seen |= ids

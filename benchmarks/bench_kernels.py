@@ -1,0 +1,50 @@
+"""Microbenchmarks of the hot kernels.
+
+These are the operations a latency-sensitive searcher runs thousands
+of times per block: single swap quotes, loop composition, the
+closed-form optimum, and one full MaxMax evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import amount_out, compose_hops
+from repro.data import section5_loop, section5_prices, synthetic_loop, synthetic_loop_prices
+from repro.strategies import MaxMaxStrategy
+
+S5_HOPS = [(100.0, 200.0, 0.003), (300.0, 200.0, 0.003), (200.0, 400.0, 0.003)]
+
+
+def test_amount_out(benchmark):
+    result = benchmark(amount_out, 100.0, 200.0, 10.0, 0.003)
+    assert result > 0
+
+
+def test_compose_three_hops(benchmark):
+    comp = benchmark(compose_hops, S5_HOPS)
+    assert comp.is_profitable
+
+
+def test_closed_form_optimum(benchmark):
+    comp = compose_hops(S5_HOPS)
+    result = benchmark(comp.optimal_input)
+    assert result == pytest.approx(26.96, abs=0.05)
+
+
+def test_maxmax_single_loop(benchmark):
+    loop = section5_loop()
+    prices = section5_prices()
+    strategy = MaxMaxStrategy()
+    result = benchmark(strategy.evaluate, loop, prices)
+    assert result.monetized_profit == pytest.approx(205.59, abs=0.05)
+
+
+def test_maxmax_length10_loop(benchmark):
+    """The paper's §VII claim: length-10 MaxMax is milliseconds."""
+    loop = synthetic_loop(10)
+    prices = synthetic_loop_prices(loop)
+    strategy = MaxMaxStrategy()
+    result = benchmark(strategy.evaluate, loop, prices)
+    assert result.monetized_profit > 0
+    assert benchmark.stats["mean"] < 0.05

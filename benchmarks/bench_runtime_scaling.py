@@ -1,0 +1,29 @@
+"""Bench + check §VII: runtime of MaxMax vs Convex as loops lengthen.
+
+Expected shape: MaxMax stays at millisecond level through length 10;
+the convex solve is consistently slower and its disadvantage does not
+shrink with length.  (The paper reports *seconds* for cvxpy at length
+10; our purpose-built solver is faster in absolute terms, but the
+ordering and the growth trend are the claims under test.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis import runtime_scaling
+
+
+def test_runtime_scaling(benchmark):
+    result = benchmark.pedantic(
+        runtime_scaling,
+        kwargs={"lengths": (3, 4, 6, 8, 10), "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    # paper: "for an arbitrage loop with a length of 10, the time
+    # required is in milliseconds level" (MaxMax)
+    assert result.maxmax_seconds[-1] < 0.05
+    # convex is slower at every length
+    for mm, cv in zip(result.maxmax_seconds, result.convex_seconds):
+        assert cv > mm
+    # and slower by a meaningful factor at length 10
+    assert result.speedup()[-1] > 1.3

@@ -1,0 +1,27 @@
+"""Bench + check: the §V worked example's in-text numbers.
+
+Paper values: 33.7$/201.1$/205.6$ per rotation, MaxMax 205.6$,
+Convex 206.1$ keeping ~5 Y and ~7.7 Z.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import section5_numbers
+from repro.data import SECTION5_PAPER_NUMBERS
+
+
+def test_section5_numbers(benchmark):
+    ours = benchmark.pedantic(section5_numbers, rounds=1, iterations=1)
+    paper = SECTION5_PAPER_NUMBERS
+    assert ours["monetized_from_X"] == pytest.approx(paper["monetized_from_X"], abs=0.1)
+    assert ours["monetized_from_Y"] == pytest.approx(paper["monetized_from_Y"], abs=0.1)
+    assert ours["monetized_from_Z"] == pytest.approx(paper["monetized_from_Z"], abs=0.1)
+    assert ours["maxmax"] == pytest.approx(paper["maxmax"], abs=0.1)
+    assert ours["convex"] == pytest.approx(paper["convex"], abs=0.1)
+    assert ours["convex_profit_Y"] == pytest.approx(paper["convex_profit_Y"], abs=0.1)
+    assert ours["convex_profit_Z"] == pytest.approx(paper["convex_profit_Z"], abs=0.1)
+    assert ours["input_X"] == pytest.approx(paper["input_X"], abs=0.1)
+    assert ours["input_Y"] == pytest.approx(paper["input_Y"], abs=0.1)
+    assert ours["input_Z"] == pytest.approx(paper["input_Z"], abs=0.1)

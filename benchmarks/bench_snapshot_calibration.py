@@ -1,0 +1,19 @@
+"""Bench + check §VI calibration: the synthetic market matches the
+paper's snapshot scale.
+
+Paper (2023-09-01, post-filter): 51 tokens, 208 pools, 123 profitable
+length-3 loops.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import snapshot_calibration
+
+
+def test_snapshot_calibration(benchmark):
+    result = benchmark.pedantic(
+        snapshot_calibration, kwargs={"include_len4": False}, rounds=1, iterations=1
+    )
+    assert result.tokens == result.paper_tokens == 51
+    assert result.pools == result.paper_pools == 208
+    assert abs(result.profitable_loops_len3 - result.paper_loops_len3) <= 15

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy experiment benchmarks run via ``benchmark.pedantic(rounds=1)``:
+they reproduce a whole paper figure per call, so statistical repeats
+are wasteful; the interesting output is the figure's *shape*, which
+each bench asserts after timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import paper_market, section5_loop, section5_prices
+
+
+@pytest.fixture(scope="session")
+def market():
+    """The default §VI-scale snapshot (51 tokens / 208 pools)."""
+    return paper_market()
+
+
+@pytest.fixture
+def s5_loop():
+    return section5_loop()
+
+
+@pytest.fixture
+def s5_prices():
+    return section5_prices()

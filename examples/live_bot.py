@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""A simulated arbitrage bot running over a sequence of blocks.
+
+Each block:
+
+1. CEX prices drift (geometric random walk — :class:`RandomWalkOracle`);
+2. retail traders fire random swaps into random pools, re-creating
+   mispricings (the paper's source of recurring arbitrage);
+3. the bot detects the best loop with Moore–Bellman–Ford, sizes the
+   trade with its configured strategy, and executes atomically with a
+   flash loan.
+
+Two bots run side by side on identical market copies — one using
+MaxMax, one using MaxPrice — demonstrating the paper's point that
+MaxPrice systematically leaves money on the table.
+
+Run:  python examples/live_bot.py [--blocks 50] [--seed 7]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    ExecutionSimulator,
+    MarketSnapshot,
+    RandomWalkOracle,
+    paper_market,
+    plan_from_result,
+)
+from repro.analysis import format_table
+from repro.graph import build_token_graph, find_negative_cycle, negative_cycle_to_loop
+from repro.strategies import Strategy, make_strategy
+
+
+class ArbitrageBot:
+    """Detect-and-harvest bot bound to one market copy."""
+
+    def __init__(self, name: str, strategy: Strategy, market: MarketSnapshot):
+        self.name = name
+        self.strategy = strategy
+        self.market = market
+        self.simulator = ExecutionSimulator(registry=market.registry)
+        self.cumulative_usd = 0.0
+        self.trades = 0
+        self.reverts = 0
+
+    def on_block(self, prices) -> float:
+        graph = build_token_graph(self.market.registry)
+        cycle = find_negative_cycle(graph)
+        if cycle is None:
+            return 0.0
+        loop = negative_cycle_to_loop(cycle)
+        result = self.strategy.evaluate(loop, prices)
+        if result.monetized_profit <= 0 or not result.hop_amounts:
+            return 0.0
+        receipt = self.simulator.execute(
+            plan_from_result(result, slippage_tolerance=0.05)
+        )
+        if receipt.reverted:
+            self.reverts += 1
+            return 0.0
+        realized = receipt.monetized(prices)
+        self.cumulative_usd += realized
+        self.trades += 1
+        return realized
+
+
+def retail_flow(market: MarketSnapshot, rng: np.random.Generator, n_trades: int) -> None:
+    """Random swaps that re-introduce mispricings."""
+    pools = sorted(market.registry, key=lambda p: p.pool_id)
+    for _ in range(n_trades):
+        pool = pools[int(rng.integers(0, len(pools)))]
+        token = pool.tokens[int(rng.integers(0, 2))]
+        size = pool.reserve_of(token) * float(rng.uniform(0.001, 0.01))
+        pool.swap(token, size)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    base = paper_market()
+    oracle = RandomWalkOracle(base.prices, seed=args.seed, volatility=0.002)
+    rng_a = np.random.default_rng(args.seed)
+    rng_b = np.random.default_rng(args.seed)  # identical retail flow
+
+    bots = [
+        ArbitrageBot("maxmax-bot", make_strategy("maxmax"), base.copy()),
+        ArbitrageBot("maxprice-bot", make_strategy("maxprice"), base.copy()),
+    ]
+    rngs = [rng_a, rng_b]
+
+    for block in range(args.blocks):
+        prices = oracle.step()
+        for bot, rng in zip(bots, rngs):
+            retail_flow(bot.market, rng, n_trades=5)
+            bot.on_block(prices)
+
+    print(f"after {args.blocks} blocks:")
+    rows = [
+        (bot.name, bot.trades, bot.reverts, f"${bot.cumulative_usd:,.2f}")
+        for bot in bots
+    ]
+    print(format_table(["bot", "trades", "reverts", "cumulative profit"], rows))
+    lead = bots[0].cumulative_usd - bots[1].cumulative_usd
+    print(f"\nmaxmax-bot leads maxprice-bot by ${lead:,.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""A searcher's playbook: from raw opportunities to an executable block.
+
+Walks the extension layers on top of the paper's strategies:
+
+1. detect every profitable 3-loop in a §VI-scale snapshot;
+2. net out gas: which opportunities survive at the current gas price?
+3. pack a single-block *bundle*: a maximum-weight set of loops that
+   share no pool, so every prediction holds simultaneously;
+4. execute the bundle atomically and reconcile realized vs predicted;
+5. compare with exhaustive sequential harvesting (total extractable
+   value of the snapshot).
+
+Run:  python examples/searcher_playbook.py [--gwei 20]
+"""
+
+import argparse
+
+from repro import paper_market
+from repro.analysis import (
+    format_table,
+    greedy_harvest,
+    independent_bundle,
+    profitable_loops,
+)
+from repro.execution import ExecutionSimulator, GasModel, plan_from_result
+from repro.strategies import MaxMaxStrategy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gwei", type=float, default=20.0)
+    args = parser.parse_args()
+
+    market = paper_market()
+    strategy = MaxMaxStrategy()
+    gas = GasModel(gas_price_gwei=args.gwei)
+
+    # 1. detect ---------------------------------------------------------
+    _snapshot, loops = profitable_loops(market, 3)
+    results = [strategy.evaluate(loop, market.prices) for loop in loops]
+    print(f"opportunities: {len(loops)} profitable 3-loops")
+
+    # 2. gas filter ------------------------------------------------------
+    breakeven = gas.breakeven_gross_usd(3)
+    survivors = [i for i, r in enumerate(results) if gas.is_profitable_after_gas(r)]
+    print(
+        f"gas: {args.gwei:g} gwei -> breakeven {breakeven:.2f}$ per loop; "
+        f"{len(survivors)}/{len(loops)} loops survive"
+    )
+
+    # 3. bundle ----------------------------------------------------------
+    bundle = [i for i in independent_bundle(loops, results) if i in set(survivors)]
+    bundle_predicted = sum(results[i].monetized_profit for i in bundle)
+    bundle_gas = sum(gas.cost_for_loop(loops[i]) for i in bundle)
+    print(
+        f"bundle: {len(bundle)} non-conflicting loops, "
+        f"gross {bundle_predicted:,.2f}$, gas {bundle_gas:,.2f}$"
+    )
+
+    # 4. execute ----------------------------------------------------------
+    simulator = ExecutionSimulator(registry=market.registry.copy())
+    rows = []
+    realized_total = 0.0
+    for index in bundle[:10]:
+        receipt = simulator.execute(
+            plan_from_result(results[index], slippage_tolerance=1e-9)
+        )
+        realized = receipt.monetized(market.prices)
+        realized_total += realized
+        rows.append(
+            (
+                f"loop{index}",
+                " -> ".join(t.symbol for t in loops[index].tokens),
+                f"{results[index].monetized_profit:,.2f}$",
+                f"{realized:,.2f}$",
+                "revert" if receipt.reverted else "ok",
+            )
+        )
+    print(format_table(["id", "loop", "predicted", "realized", "status"], rows))
+    print(f"bundle realized (top 10 shown): {realized_total:,.2f}$")
+
+    # 5. total extractable value -----------------------------------------
+    report = greedy_harvest(
+        market, strategy, min_profit_usd=breakeven, max_rounds=50
+    )
+    print(
+        f"\nsequential harvest (floor = gas breakeven): {report} "
+        f"(net of gas: {report.total_usd - gas.cost_usd(3) * len(report.rounds):,.2f}$)"
+    )
+
+
+if __name__ == "__main__":
+    main()

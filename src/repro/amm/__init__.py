@@ -1,0 +1,55 @@
+"""Uniswap-V2-style constant-product AMM substrate (DESIGN.md S2/S3).
+
+Public surface:
+
+* pure swap math — :mod:`repro.amm.swap`;
+* stateful pools — :class:`~repro.amm.pool.Pool`;
+* pool collections — :class:`~repro.amm.registry.PoolRegistry`;
+* the linear-fractional composition algebra that makes single-rotation
+  optimization closed-form — :class:`~repro.amm.composition.SwapComposition`.
+"""
+
+from .composition import IDENTITY, SwapComposition, compose_hops
+from .events import SwapEvent
+from .integer import (
+    FEE_DENOMINATOR,
+    FEE_NUMERATOR,
+    IntegerPool,
+    get_amount_in,
+    get_amount_out,
+)
+from .pool import DEFAULT_FEE, Pool, PoolSnapshot
+from .registry import PoolRegistry, RegistrySnapshot
+from .weighted import WeightedPool
+from .swap import (
+    amount_in,
+    amount_out,
+    effective_price,
+    marginal_rate,
+    max_amount_out,
+    spot_price,
+)
+
+__all__ = [
+    "DEFAULT_FEE",
+    "FEE_DENOMINATOR",
+    "FEE_NUMERATOR",
+    "IDENTITY",
+    "IntegerPool",
+    "Pool",
+    "PoolRegistry",
+    "PoolSnapshot",
+    "RegistrySnapshot",
+    "SwapComposition",
+    "SwapEvent",
+    "WeightedPool",
+    "amount_in",
+    "amount_out",
+    "compose_hops",
+    "effective_price",
+    "get_amount_in",
+    "get_amount_out",
+    "marginal_rate",
+    "max_amount_out",
+    "spot_price",
+]

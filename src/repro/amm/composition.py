@@ -1,0 +1,166 @@
+"""Linear-fractional algebra of composed constant-product swaps.
+
+The exact-in swap function of one CPMM hop,
+
+    F(t) = y * gamma * t / (x + gamma * t),
+
+is a *linear-fractional* (Moebius-like) map of the special form
+``a*t / (b + c*t)`` with ``a = y*gamma``, ``b = x``, ``c = gamma``.
+That form is closed under composition:
+
+    F2(F1(t)) = a2*a1*t / (b2*b1 + (b2*c1 + c2*a1) * t),
+
+so an entire arbitrage rotation ``X -> Y -> ... -> X`` collapses to a
+single :class:`SwapComposition` with three coefficients.  This gives:
+
+* O(1) evaluation of the composed output for any input;
+* a *closed-form* optimal input.  Profit ``f(t) = a*t/(b+c*t) - t`` has
+  ``f'(t) = a*b/(b+c*t)^2 - 1``, so ``f'(t*) = 0`` at
+
+      t* = (sqrt(a*b) - b) / c,
+
+  positive iff ``a > b`` (equivalently: the product of fee-adjusted
+  spot prices around the loop exceeds 1 — the paper's arbitrage-loop
+  condition).
+
+The closed form is used by the fast strategies and cross-validated in
+tests against bisection, golden-section search and hop-by-hop pool
+simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["SwapComposition", "compose_hops", "IDENTITY"]
+
+
+@dataclass(frozen=True)
+class SwapComposition:
+    """The map ``t -> a*t / (b + c*t)`` with ``a, b > 0`` and ``c >= 0``.
+
+    ``c == 0`` degenerates to a linear map ``(a/b) * t`` (it arises only
+    from the identity or zero-fee algebra edge cases, never from a real
+    hop where ``c = gamma > 0``).
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.a) and math.isfinite(self.b) and math.isfinite(self.c)):
+            raise ValueError(f"coefficients must be finite, got {self}")
+        if self.a <= 0 or self.b <= 0 or self.c < 0:
+            raise ValueError(
+                f"need a > 0, b > 0, c >= 0, got a={self.a}, b={self.b}, c={self.c}"
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_hop(cls, x: float, y: float, fee: float) -> "SwapComposition":
+        """Composition representing a single pool hop with reserves (x, y)."""
+        if x <= 0 or y <= 0:
+            raise ValueError(f"reserves must be positive, got x={x}, y={y}")
+        if not 0.0 <= fee < 1.0:
+            raise ValueError(f"fee must satisfy 0 <= fee < 1, got {fee}")
+        gamma = 1.0 - fee
+        return cls(a=y * gamma, b=x, c=gamma)
+
+    def then(self, nxt: "SwapComposition") -> "SwapComposition":
+        """Composition ``nxt(self(t))`` — feed this map's output into ``nxt``."""
+        return SwapComposition(
+            a=self.a * nxt.a,
+            b=self.b * nxt.b,
+            c=nxt.b * self.c + nxt.c * self.a,
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def __call__(self, t: float) -> float:
+        """Composed output for input ``t >= 0``."""
+        if t < 0:
+            raise ValueError(f"input must be >= 0, got {t}")
+        if t == 0.0:
+            return 0.0
+        return self.a * t / (self.b + self.c * t)
+
+    def derivative(self, t: float) -> float:
+        """``d(output)/d(input)`` at ``t`` — equals ``a*b/(b+c*t)^2``."""
+        if t < 0:
+            raise ValueError(f"input must be >= 0, got {t}")
+        denom = self.b + self.c * t
+        return self.a * self.b / (denom * denom)
+
+    def profit(self, t: float) -> float:
+        """Round-trip profit ``self(t) - t``."""
+        return self(t) - t
+
+    # ------------------------------------------------------------------
+    # arbitrage analytics
+    # ------------------------------------------------------------------
+
+    @property
+    def rate_at_zero(self) -> float:
+        """Marginal round-trip rate at zero input, ``a / b``.
+
+        This is the product of fee-adjusted spot prices around the loop;
+        the loop is an arbitrage loop iff it exceeds 1 (paper §III).
+        """
+        return self.a / self.b
+
+    @property
+    def is_profitable(self) -> bool:
+        """True iff a strictly positive-profit input exists (``a > b``)."""
+        return self.a > self.b
+
+    @property
+    def asymptote(self) -> float:
+        """Supremum of achievable output, ``a / c`` (infinite input)."""
+        if self.c == 0.0:
+            return math.inf
+        return self.a / self.c
+
+    def optimal_input(self) -> float:
+        """Closed-form profit-maximizing input ``t* = (sqrt(a*b) - b)/c``.
+
+        Returns 0.0 when the loop is not profitable (the optimum of
+        ``max(f, 0)`` is the boundary).  For ``c == 0`` (no slippage)
+        profit grows without bound when profitable; that cannot arise
+        from real hops, so we raise.
+        """
+        if not self.is_profitable:
+            return 0.0
+        if self.c == 0.0:
+            raise ValueError("profitable slippage-free composition is unbounded")
+        return (math.sqrt(self.a * self.b) - self.b) / self.c
+
+    def optimal_profit(self) -> float:
+        """Profit at the closed-form optimum: ``(sqrt(a) - sqrt(b))^2 / c``."""
+        if not self.is_profitable:
+            return 0.0
+        root = math.sqrt(self.a) - math.sqrt(self.b)
+        return root * root / self.c
+
+
+#: The identity composition (output == input); unit of :func:`compose_hops`.
+IDENTITY = SwapComposition(a=1.0, b=1.0, c=0.0)
+
+
+def compose_hops(hops: Iterable[tuple[float, float, float]] | Sequence[tuple[float, float, float]]) -> SwapComposition:
+    """Compose a sequence of hops given as ``(x, y, fee)`` triples.
+
+    The first triple is the first pool entered.  An empty sequence
+    yields :data:`IDENTITY`.
+    """
+    composed = IDENTITY
+    for x, y, fee in hops:
+        composed = composed.then(SwapComposition.from_hop(x, y, fee))
+    return composed

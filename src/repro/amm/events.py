@@ -1,0 +1,34 @@
+"""Swap event records.
+
+Mirrors the trade event log that McLaughlin et al. (paper ref [7]) mine
+for historic arbitrages: every state-changing swap on a
+:class:`~repro.amm.pool.Pool` appends one :class:`SwapEvent`.  The
+execution simulator uses these to reconcile predicted vs realized
+profits, and tests use them to assert exactly which swaps ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import Token
+
+__all__ = ["SwapEvent"]
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """One executed swap: ``amount_in`` of ``token_in`` entered
+    ``pool_id`` and ``amount_out`` of ``token_out`` left it."""
+
+    pool_id: str
+    token_in: Token
+    token_out: Token
+    amount_in: float
+    amount_out: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.amount_in:g} {self.token_in.symbol} -> "
+            f"{self.amount_out:g} {self.token_out.symbol} @ {self.pool_id}"
+        )

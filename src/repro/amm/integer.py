@@ -1,0 +1,122 @@
+"""Exact integer Uniswap-V2 swap math (the contract's arithmetic).
+
+The analysis layer works in real arithmetic, like the paper.  The
+actual UniswapV2Library works in unsigned integers with floor
+division and a hard-coded 0.3 % fee expressed as 997/1000:
+
+    amountOut = amountIn * 997 * reserveOut
+              / (reserveIn * 1000 + amountIn * 997)        (floor)
+
+    amountIn  = reserveIn * amountOut * 1000
+              / ((reserveOut - amountOut) * 997) + 1       (floor, +1)
+
+This module reproduces that arithmetic exactly (arbitrary-precision
+Python ints stand in for uint112/uint256) so the float layer can be
+validated against it: floor rounding only ever *reduces* the output,
+by less than one base unit.  With 18-decimal tokens one unit is 1e-18
+of a token — negligible for profit estimates, but the property tests
+pin the direction and magnitude of the discrepancy.
+
+:class:`IntegerPool` is a minimal stateful pair contract on this
+arithmetic, mirroring :class:`~repro.amm.pool.Pool` closely enough for
+the differential tests in ``tests/unit/test_integer_amm.py``.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InsufficientLiquidityError, InvalidReserveError
+
+__all__ = [
+    "FEE_NUMERATOR",
+    "FEE_DENOMINATOR",
+    "get_amount_out",
+    "get_amount_in",
+    "IntegerPool",
+]
+
+#: The V2 fee as the contract encodes it: input is scaled by 997/1000.
+FEE_NUMERATOR = 997
+FEE_DENOMINATOR = 1000
+
+
+def _validate_reserves(reserve_in: int, reserve_out: int) -> None:
+    if reserve_in <= 0 or reserve_out <= 0:
+        raise InvalidReserveError(
+            f"INSUFFICIENT_LIQUIDITY: reserves ({reserve_in}, {reserve_out})"
+        )
+
+
+def get_amount_out(amount_in: int, reserve_in: int, reserve_out: int) -> int:
+    """``UniswapV2Library.getAmountOut`` — exact integer semantics."""
+    if amount_in <= 0:
+        raise ValueError(f"INSUFFICIENT_INPUT_AMOUNT: {amount_in}")
+    _validate_reserves(reserve_in, reserve_out)
+    amount_in_with_fee = amount_in * FEE_NUMERATOR
+    numerator = amount_in_with_fee * reserve_out
+    denominator = reserve_in * FEE_DENOMINATOR + amount_in_with_fee
+    return numerator // denominator
+
+
+def get_amount_in(amount_out: int, reserve_in: int, reserve_out: int) -> int:
+    """``UniswapV2Library.getAmountIn`` — exact integer semantics.
+
+    The ``+ 1`` makes the quote conservative: paying the returned
+    amount always yields at least ``amount_out``.
+    """
+    if amount_out <= 0:
+        raise ValueError(f"INSUFFICIENT_OUTPUT_AMOUNT: {amount_out}")
+    _validate_reserves(reserve_in, reserve_out)
+    if amount_out >= reserve_out:
+        raise InsufficientLiquidityError(
+            f"cannot withdraw {amount_out} from a reserve of {reserve_out}"
+        )
+    numerator = reserve_in * amount_out * FEE_DENOMINATOR
+    denominator = (reserve_out - amount_out) * FEE_NUMERATOR
+    return numerator // denominator + 1
+
+
+class IntegerPool:
+    """A stateful pair on exact contract arithmetic.
+
+    Reserves are plain ints (base units, e.g. wei for 18-decimal
+    tokens).  Only the swap path is modeled — no LP shares, no oracle
+    accumulators — because that is all the arbitrage analysis touches.
+    """
+
+    __slots__ = ("_reserve0", "_reserve1")
+
+    def __init__(self, reserve0: int, reserve1: int):
+        if reserve0 <= 0 or reserve1 <= 0:
+            raise InvalidReserveError(
+                f"reserves must be positive ints, got ({reserve0}, {reserve1})"
+            )
+        self._reserve0 = int(reserve0)
+        self._reserve1 = int(reserve1)
+
+    @property
+    def reserves(self) -> tuple[int, int]:
+        return (self._reserve0, self._reserve1)
+
+    @property
+    def k(self) -> int:
+        return self._reserve0 * self._reserve1
+
+    def quote_out(self, amount_in: int, zero_for_one: bool = True) -> int:
+        """Exact-in quote; ``zero_for_one`` selects the direction."""
+        if zero_for_one:
+            return get_amount_out(amount_in, self._reserve0, self._reserve1)
+        return get_amount_out(amount_in, self._reserve1, self._reserve0)
+
+    def swap(self, amount_in: int, zero_for_one: bool = True) -> int:
+        """Execute an exact-in swap and mutate reserves."""
+        amount_out = self.quote_out(amount_in, zero_for_one)
+        if zero_for_one:
+            self._reserve0 += amount_in
+            self._reserve1 -= amount_out
+        else:
+            self._reserve1 += amount_in
+            self._reserve0 -= amount_out
+        return amount_out
+
+    def __repr__(self) -> str:
+        return f"IntegerPool({self._reserve0}, {self._reserve1})"

@@ -1,0 +1,136 @@
+"""Pure constant-product (Uniswap V2) swap math.
+
+These are stateless functions over ``(x, y, fee)`` triples; the stateful
+:class:`~repro.amm.pool.Pool` delegates to them.  Notation follows the
+paper's Section III:
+
+* ``x``, ``y`` — reserves of the input and output token;
+* ``lam`` (λ) — the transaction tax (fee) rate, 0.003 on Uniswap V2;
+* ``gamma`` (γ) = ``1 - lam``;
+* exact-in swap:  ``dy = y - x*y / (x + gamma*dx)  =  y*gamma*dx / (x + gamma*dx)``;
+* the invariant after an exact-in swap satisfies
+  ``(x + gamma*dx) * (y - dy) = x*y`` exactly (up to float rounding).
+
+All functions validate their arguments and raise subclasses of
+:class:`~repro.core.errors.AmmError` on misuse.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import (
+    InsufficientLiquidityError,
+    InvalidFeeError,
+    InvalidReserveError,
+)
+
+__all__ = [
+    "validate_reserves",
+    "validate_fee",
+    "amount_out",
+    "amount_in",
+    "spot_price",
+    "effective_price",
+    "marginal_rate",
+    "max_amount_out",
+]
+
+
+def validate_reserves(x: float, y: float) -> None:
+    """Raise :class:`InvalidReserveError` unless both reserves are positive finite."""
+    for name, value in (("x", x), ("y", y)):
+        if not math.isfinite(value) or value <= 0:
+            raise InvalidReserveError(
+                f"reserve {name} must be positive and finite, got {value}"
+            )
+
+
+def validate_fee(fee: float) -> None:
+    """Raise :class:`InvalidFeeError` unless ``0 <= fee < 1``."""
+    if not math.isfinite(fee) or not 0.0 <= fee < 1.0:
+        raise InvalidFeeError(f"fee must satisfy 0 <= fee < 1, got {fee}")
+
+
+def amount_out(x: float, y: float, dx: float, fee: float) -> float:
+    """Output amount for an exact-in swap (paper eq. ``F(dx | theta)``).
+
+    ``dy = y * gamma * dx / (x + gamma * dx)``.
+
+    ``dx = 0`` returns 0; negative ``dx`` is rejected.
+    """
+    validate_reserves(x, y)
+    validate_fee(fee)
+    if not math.isfinite(dx) or dx < 0:
+        raise ValueError(f"input amount must be >= 0 and finite, got {dx}")
+    if dx == 0.0:
+        return 0.0
+    gamma = 1.0 - fee
+    effective_in = gamma * dx
+    return y * effective_in / (x + effective_in)
+
+
+def amount_in(x: float, y: float, dy: float, fee: float) -> float:
+    """Input amount needed for an exact-out swap (inverse of :func:`amount_out`).
+
+    Solves ``dy = y*gamma*dx / (x + gamma*dx)`` for ``dx``:
+    ``dx = x*dy / (gamma * (y - dy))``.
+
+    Raises :class:`InsufficientLiquidityError` if ``dy >= y`` — a CPMM
+    pool can never emit its entire reserve.
+    """
+    validate_reserves(x, y)
+    validate_fee(fee)
+    if not math.isfinite(dy) or dy < 0:
+        raise ValueError(f"output amount must be >= 0 and finite, got {dy}")
+    if dy == 0.0:
+        return 0.0
+    if dy >= y:
+        raise InsufficientLiquidityError(
+            f"cannot withdraw {dy} from a reserve of {y}"
+        )
+    gamma = 1.0 - fee
+    return x * dy / (gamma * (y - dy))
+
+
+def spot_price(x: float, y: float, fee: float) -> float:
+    """Fee-adjusted relative price of the input token in output units.
+
+    Paper §III: ``p_ij = (1 - lam) * r_j / r_i``.  This is the marginal
+    exchange rate at zero trade size: ``d(amount_out)/d(dx)`` at
+    ``dx = 0``.
+    """
+    validate_reserves(x, y)
+    validate_fee(fee)
+    return (1.0 - fee) * y / x
+
+
+def effective_price(x: float, y: float, dx: float, fee: float) -> float:
+    """Average execution price ``dy/dx`` for a trade of size ``dx``.
+
+    Always below :func:`spot_price` for ``dx > 0`` (price slippage).
+    """
+    if dx <= 0:
+        raise ValueError(f"trade size must be positive, got {dx}")
+    return amount_out(x, y, dx, fee) / dx
+
+
+def marginal_rate(x: float, y: float, dx: float, fee: float) -> float:
+    """Derivative ``d(amount_out)/d(dx)`` at trade size ``dx``.
+
+    ``F'(dx) = x*y*gamma / (x + gamma*dx)^2``.  Used by the bisection
+    optimizer: a rotation's optimum is where the *composed* marginal
+    rate equals 1 (paper Fig. 1).
+    """
+    validate_reserves(x, y)
+    validate_fee(fee)
+    if not math.isfinite(dx) or dx < 0:
+        raise ValueError(f"input amount must be >= 0 and finite, got {dx}")
+    gamma = 1.0 - fee
+    denom = x + gamma * dx
+    return x * y * gamma / (denom * denom)
+
+
+def max_amount_out(y: float) -> float:
+    """Supremum of extractable output: the full reserve ``y`` (never reached)."""
+    return y

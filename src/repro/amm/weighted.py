@@ -1,0 +1,305 @@
+"""Weighted constant-mean pools (Balancer-style G3M) — an extension.
+
+The paper treats Uniswap V2's constant-product rule.  Its strategies,
+however, only rely on each hop's swap function being concave and
+increasing — which holds for the wider *geometric-mean* family used by
+Balancer:
+
+    invariant:  x^(w_x) * y^(w_y) = const
+    exact-in:   dy = y * (1 - (x / (x + gamma*dx))^(w_x / w_y))
+    spot price: gamma * (y / w_y) / (x / w_x)
+
+With ``w_x == w_y`` this reduces exactly to the V2 formula (the test
+suite pins that).  A :class:`WeightedPool` implements the same duck
+interface as :class:`~repro.amm.pool.Pool` (``quote_out``,
+``spot_price``, ``marginal_rate``, ``reserves_oriented``, ``swap``,
+...), so :class:`~repro.core.loop.ArbitrageLoop` and the strategies
+work on mixed loops — *except* the linear-fractional composition
+algebra, which is constant-product-specific; the generic chain-rule
+optimizer (:mod:`repro.optimize.chain`) covers weighted hops.
+
+``is_constant_product`` distinguishes the families so the composition
+path can refuse weighted pools instead of silently mis-pricing them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from ..core.errors import InvalidReserveError, UnknownTokenError
+from ..core.types import Token
+from .events import SwapEvent
+from .swap import validate_fee, validate_reserves
+
+__all__ = ["WeightedPool", "WeightedPoolSnapshot"]
+
+_weighted_counter = itertools.count()
+
+
+class WeightedPoolSnapshot:
+    """Frozen reserves of a weighted pool (atomic revert support)."""
+
+    __slots__ = ("pool_id", "reserve0", "reserve1", "weight0", "weight1", "fee")
+
+    def __init__(self, pool_id, reserve0, reserve1, weight0, weight1, fee):
+        self.pool_id = pool_id
+        self.reserve0 = reserve0
+        self.reserve1 = reserve1
+        self.weight0 = weight0
+        self.weight1 = weight1
+        self.fee = fee
+
+
+class WeightedPool:
+    """A two-token weighted constant-mean pool.
+
+    Parameters
+    ----------
+    token0, token1:
+        The pooled tokens (normalized so token0.symbol < token1.symbol).
+    reserve0, reserve1:
+        Reserves matching the argument order before normalization.
+    weight0, weight1:
+        Positive weights; only their ratio matters (Balancer uses
+        fractions summing to 1, e.g. an 80/20 pool).
+    fee:
+        Swap fee, default 0.003.
+    """
+
+    is_constant_product = False
+
+    __slots__ = (
+        "_token0", "_token1", "_reserve0", "_reserve1",
+        "_weight0", "_weight1", "_fee", "_pool_id", "_events",
+    )
+
+    def __init__(
+        self,
+        token0: Token,
+        token1: Token,
+        reserve0: float,
+        reserve1: float,
+        weight0: float = 0.5,
+        weight1: float = 0.5,
+        fee: float = 0.003,
+        pool_id: str | None = None,
+    ):
+        if token0 == token1:
+            raise InvalidReserveError(
+                f"a pool needs two distinct tokens, got {token0} twice"
+            )
+        validate_reserves(reserve0, reserve1)
+        validate_fee(fee)
+        if weight0 <= 0 or weight1 <= 0:
+            raise InvalidReserveError(
+                f"weights must be positive, got ({weight0}, {weight1})"
+            )
+        if token1.symbol < token0.symbol:
+            token0, token1 = token1, token0
+            reserve0, reserve1 = reserve1, reserve0
+            weight0, weight1 = weight1, weight0
+        self._token0 = token0
+        self._token1 = token1
+        self._reserve0 = float(reserve0)
+        self._reserve1 = float(reserve1)
+        self._weight0 = float(weight0)
+        self._weight1 = float(weight1)
+        self._fee = float(fee)
+        self._pool_id = (
+            pool_id if pool_id is not None else f"wpool-{next(_weighted_counter)}"
+        )
+        self._events: list[SwapEvent] = []
+
+    # ------------------------------------------------------------------
+    # identity & orientation
+    # ------------------------------------------------------------------
+
+    @property
+    def pool_id(self) -> str:
+        return self._pool_id
+
+    @property
+    def token0(self) -> Token:
+        return self._token0
+
+    @property
+    def token1(self) -> Token:
+        return self._token1
+
+    @property
+    def tokens(self) -> tuple[Token, Token]:
+        return (self._token0, self._token1)
+
+    @property
+    def fee(self) -> float:
+        return self._fee
+
+    @property
+    def events(self) -> tuple[SwapEvent, ...]:
+        return tuple(self._events)
+
+    def __contains__(self, token: Token) -> bool:
+        return token == self._token0 or token == self._token1
+
+    def other(self, token: Token) -> Token:
+        if token == self._token0:
+            return self._token1
+        if token == self._token1:
+            return self._token0
+        raise UnknownTokenError(f"{token} is not in {self!r}")
+
+    def reserve_of(self, token: Token) -> float:
+        if token == self._token0:
+            return self._reserve0
+        if token == self._token1:
+            return self._reserve1
+        raise UnknownTokenError(f"{token} is not in {self!r}")
+
+    def weight_of(self, token: Token) -> float:
+        if token == self._token0:
+            return self._weight0
+        if token == self._token1:
+            return self._weight1
+        raise UnknownTokenError(f"{token} is not in {self!r}")
+
+    def reserves_oriented(self, token_in: Token) -> tuple[float, float]:
+        return (self.reserve_of(token_in), self.reserve_of(self.other(token_in)))
+
+    def weight_ratio(self, token_in: Token) -> float:
+        """``w_in / w_out`` — the exponent in the swap formula."""
+        return self.weight_of(token_in) / self.weight_of(self.other(token_in))
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedPool({self._pool_id}: {self._reserve0:g} {self._token0.symbol}"
+            f"@{self._weight0:g} / {self._reserve1:g} {self._token1.symbol}"
+            f"@{self._weight1:g}, fee={self._fee})"
+        )
+
+    # ------------------------------------------------------------------
+    # quotes
+    # ------------------------------------------------------------------
+
+    def quote_out(self, token_in: Token, amount_in: float) -> float:
+        """Exact-in: ``dy = y * (1 - (x/(x + gamma*dx))^(w_x/w_y))``."""
+        if not math.isfinite(amount_in) or amount_in < 0:
+            raise ValueError(f"input amount must be >= 0 and finite, got {amount_in}")
+        if amount_in == 0.0:
+            return 0.0
+        x, y = self.reserves_oriented(token_in)
+        gamma = 1.0 - self._fee
+        ratio = self.weight_ratio(token_in)
+        base = x / (x + gamma * amount_in)
+        return y * (1.0 - base ** ratio)
+
+    def spot_price(self, token_in: Token) -> float:
+        """Fee-adjusted marginal price at zero size:
+        ``gamma * (y / w_y) / (x / w_x)``."""
+        x, y = self.reserves_oriented(token_in)
+        w_in = self.weight_of(token_in)
+        w_out = self.weight_of(self.other(token_in))
+        return (1.0 - self._fee) * (y / w_out) / (x / w_in)
+
+    def marginal_rate(self, token_in: Token, amount_in: float) -> float:
+        """``d(amount_out)/d(amount_in)`` at trade size ``amount_in``:
+        ``y * r * gamma * x^r / (x + gamma*t)^(r+1)`` with
+        ``r = w_in/w_out``."""
+        if not math.isfinite(amount_in) or amount_in < 0:
+            raise ValueError(f"input amount must be >= 0 and finite, got {amount_in}")
+        x, y = self.reserves_oriented(token_in)
+        gamma = 1.0 - self._fee
+        r = self.weight_ratio(token_in)
+        return y * r * gamma * (x ** r) / ((x + gamma * amount_in) ** (r + 1.0))
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+
+    def swap(self, token_in: Token, amount_in: float) -> float:
+        """Execute an exact-in swap; mutates reserves, logs an event."""
+        token_out = self.other(token_in)
+        amount_out = self.quote_out(token_in, amount_in)
+        if token_in == self._token0:
+            self._reserve0 += amount_in
+            self._reserve1 -= amount_out
+        else:
+            self._reserve1 += amount_in
+            self._reserve0 -= amount_out
+        self._events.append(
+            SwapEvent(
+                pool_id=self._pool_id,
+                token_in=token_in,
+                token_out=token_out,
+                amount_in=amount_in,
+                amount_out=amount_out,
+            )
+        )
+        return amount_out
+
+    def copy(self) -> "WeightedPool":
+        return WeightedPool(
+            self._token0,
+            self._token1,
+            self._reserve0,
+            self._reserve1,
+            weight0=self._weight0,
+            weight1=self._weight1,
+            fee=self._fee,
+            pool_id=self._pool_id,
+        )
+
+    def add_liquidity(self, amount0: float, amount1: float) -> None:
+        """Proportional deposit (ratio-matched, like Pool.add_liquidity)."""
+        if amount0 <= 0 or amount1 <= 0:
+            raise InvalidReserveError(
+                f"liquidity amounts must be positive, got ({amount0}, {amount1})"
+            )
+        ratio_pool = self._reserve0 / self._reserve1
+        ratio_in = amount0 / amount1
+        if abs(ratio_in - ratio_pool) > 1e-3 * ratio_pool:
+            raise InvalidReserveError(
+                f"deposit ratio {ratio_in:g} does not match pool ratio "
+                f"{ratio_pool:g} in {self._pool_id}"
+            )
+        self._reserve0 += amount0
+        self._reserve1 += amount1
+
+    def remove_liquidity(self, fraction: float) -> tuple[float, float]:
+        """Withdraw a fraction of both reserves."""
+        if not 0.0 < fraction < 1.0:
+            raise InvalidReserveError(f"fraction must be in (0, 1), got {fraction}")
+        out0 = self._reserve0 * fraction
+        out1 = self._reserve1 * fraction
+        self._reserve0 -= out0
+        self._reserve1 -= out1
+        return (out0, out1)
+
+    def tvl(self, prices) -> float:
+        """Total value locked under a price map."""
+        return (
+            prices[self._token0] * self._reserve0
+            + prices[self._token1] * self._reserve1
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (atomicity protocol shared with Pool)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> WeightedPoolSnapshot:
+        return WeightedPoolSnapshot(
+            pool_id=self._pool_id,
+            reserve0=self._reserve0,
+            reserve1=self._reserve1,
+            weight0=self._weight0,
+            weight1=self._weight1,
+            fee=self._fee,
+        )
+
+    def restore(self, snap: WeightedPoolSnapshot) -> None:
+        if snap.pool_id != self._pool_id:
+            raise ValueError(
+                f"snapshot of {snap.pool_id} cannot restore {self._pool_id}"
+            )
+        self._reserve0 = snap.reserve0
+        self._reserve1 = snap.reserve1

@@ -1,0 +1,164 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are matplotlib scatter/line plots; offline and in
+CI we render the same series as ASCII tables and simple unicode spark
+plots, and export CSV so anyone with a plotting stack can regenerate
+the visuals verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .experiments import RuntimeResult, ScatterResult
+from .stats import ScatterStats
+from .sweep import SweepSeries
+
+__all__ = [
+    "format_table",
+    "sparkline",
+    "render_scatter",
+    "render_sweep",
+    "render_runtime",
+    "scatter_to_csv",
+    "sweep_to_csv",
+]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width ASCII table (no external deps)."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e6 or abs(cell) < 1e-4:
+            return f"{cell:.3e}"
+        return f"{cell:,.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode mini-chart of a series (constant series render flat)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(np.min(arr)), float(np.max(arr))
+    if hi - lo < 1e-15:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(s))] for s in scaled)
+
+
+def _stats_lines(stats: ScatterStats) -> list[str]:
+    return [
+        f"points                 : {stats.n}",
+        f"on/below 45-deg line   : {stats.frac_below_or_on:.1%}",
+        f"strictly below line    : {stats.frac_strictly_below:.1%}",
+        f"max relative gap       : {stats.max_rel_gap:.3%}",
+        f"mean relative gap      : {stats.mean_rel_gap:.3%}",
+        f"max relative excess    : {stats.max_rel_excess:.3e}",
+        f"pearson r              : {stats.pearson_r:.6f}",
+    ]
+
+
+def render_scatter(result: ScatterResult, title: str = "") -> str:
+    """Human-readable summary of a scatter comparison."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"x = {result.x_label}, y = {result.y_label}")
+    lines.extend(_stats_lines(result.stats))
+    order = np.argsort(result.x)[::-1][:10]
+    rows = [
+        (result.loop_ids[i], result.point_labels[i], result.x[i], result.y[i])
+        for i in order
+    ]
+    lines.append("")
+    lines.append("top points by x:")
+    lines.append(
+        format_table(["loop", "label", result.x_label, result.y_label], rows)
+    )
+    return "\n".join(lines)
+
+
+def render_sweep(series: SweepSeries, title: str = "") -> str:
+    """Sparkline view of every strategy across a price sweep."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    prices = series.prices()
+    lines.append(
+        f"sweeping {series.token.symbol} price over "
+        f"[{prices[0]:g}, {prices[-1]:g}] ({prices.size} points)"
+    )
+    for label in series.strategies():
+        values = series.series(label)
+        lines.append(
+            f"{label:>12}: {sparkline(values)}  "
+            f"min={values.min():,.2f} max={values.max():,.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_runtime(result: RuntimeResult, title: str = "§VII runtime") -> str:
+    rows = [
+        (length, mm * 1e3, cv * 1e3, cv / mm if mm > 0 else float("inf"))
+        for length, mm, cv in zip(
+            result.lengths, result.maxmax_seconds, result.convex_seconds
+        )
+    ]
+    table = format_table(
+        ["loop length", "maxmax (ms)", "convex (ms)", "convex/maxmax"], rows
+    )
+    return f"{title}\n{'=' * len(title)}\n{table}"
+
+
+def scatter_to_csv(result: ScatterResult, path: str | Path | None = None) -> str:
+    """CSV of a scatter result; writes to ``path`` when given."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["loop_id", "label", result.x_label, result.y_label])
+    for i in range(result.x.size):
+        writer.writerow(
+            [result.loop_ids[i], result.point_labels[i], result.x[i], result.y[i]]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def sweep_to_csv(series: SweepSeries, path: str | Path | None = None) -> str:
+    """CSV of a sweep (price column + one column per strategy)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    labels = list(series.strategies())
+    writer.writerow([f"price_{series.token.symbol}"] + labels)
+    columns = {label: series.series(label) for label in labels}
+    for i, price in enumerate(series.prices()):
+        writer.writerow([price] + [columns[label][i] for label in labels])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

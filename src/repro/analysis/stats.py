@@ -1,0 +1,90 @@
+"""Statistics for the paper's scatter-plot comparisons.
+
+Figures 5–7, 9, 10 are scatter plots of one strategy's monetized
+profit against another's; their *message* is a geometric property of
+the point cloud (all points on/below the 45-degree line; points nearly
+on the line).  :class:`ScatterStats` quantifies those properties so
+the benchmarks can assert them numerically instead of eyeballing
+pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ScatterStats", "scatter_stats"]
+
+
+@dataclass(frozen=True)
+class ScatterStats:
+    """Summary of points ``(x_i, y_i)`` vs the 45-degree line.
+
+    Attributes
+    ----------
+    n:
+        Number of points.
+    frac_below_or_on:
+        Fraction with ``y <= x`` (up to ``tol`` relative slack).
+    frac_strictly_below:
+        Fraction with ``y < x`` beyond tolerance — for Fig. 6 this is
+        the share of loops where MaxPrice leaves money on the table.
+    max_rel_gap:
+        ``max((x - y)/max(x, eps))`` — the worst shortfall of y vs x.
+    mean_rel_gap:
+        Mean relative shortfall.
+    max_rel_excess:
+        ``max((y - x)/max(x, eps))`` — how far any point rises *above*
+        the line (should be ~0 where theory says y <= x).
+    pearson_r:
+        Correlation of x and y (1.0 when the clouds coincide).
+    """
+
+    n: int
+    frac_below_or_on: float
+    frac_strictly_below: float
+    max_rel_gap: float
+    mean_rel_gap: float
+    max_rel_excess: float
+    pearson_r: float
+
+
+def scatter_stats(
+    x: Sequence[float],
+    y: Sequence[float],
+    tol: float = 1e-9,
+) -> ScatterStats:
+    """Compute :class:`ScatterStats` for paired samples.
+
+    ``tol`` is the relative slack for "on the line" judgments, scaled
+    by each point's ``max(|x|, 1)``.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError(
+            f"x and y must be equal-length 1-D sequences, got {xa.shape} and {ya.shape}"
+        )
+    if xa.size == 0:
+        raise ValueError("scatter statistics need at least one point")
+    scale = np.maximum(np.abs(xa), 1.0)
+    below_or_on = ya <= xa + tol * scale
+    strictly_below = ya < xa - tol * scale
+    denom = np.maximum(xa, 1e-12)
+    gap = np.maximum(xa - ya, 0.0) / denom
+    excess = np.maximum(ya - xa, 0.0) / denom
+    if xa.size >= 2 and np.std(xa) > 0 and np.std(ya) > 0:
+        r = float(np.corrcoef(xa, ya)[0, 1])
+    else:
+        r = 1.0 if np.allclose(xa, ya) else 0.0
+    return ScatterStats(
+        n=int(xa.size),
+        frac_below_or_on=float(np.mean(below_or_on)),
+        frac_strictly_below=float(np.mean(strictly_below)),
+        max_rel_gap=float(np.max(gap)),
+        mean_rel_gap=float(np.mean(gap)),
+        max_rel_excess=float(np.max(excess)),
+        pearson_r=r,
+    )

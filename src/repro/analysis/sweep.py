@@ -1,0 +1,86 @@
+"""Parameter-sweep utilities.
+
+Figures 2–4 sweep token X's CEX price from 0$ to 20$ and re-evaluate
+every strategy at each point.  :func:`price_sweep` generalizes that:
+sweep any one token's price over a grid and collect per-strategy
+monetized profits (and optionally full results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.loop import ArbitrageLoop
+from ..core.types import PriceMap, Token
+from ..strategies.base import Strategy, StrategyResult
+
+__all__ = ["SweepPoint", "SweepSeries", "price_sweep", "paper_px_grid"]
+
+
+def paper_px_grid() -> np.ndarray:
+    """The paper's grid: 0$ to 20$ with an interval of 0.2$ (Fig. 4).
+
+    The first point is nudged off exact zero (1e-9) because a token
+    with price exactly 0 never contributes monetized profit but keeps
+    the optimization well-posed either way; the paper's plots start at
+    0 too.
+    """
+    grid = np.arange(0.0, 20.0 + 1e-9, 0.2)
+    grid[0] = 1e-9
+    return grid
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All strategy results at one swept price."""
+
+    price: float
+    results: dict[str, StrategyResult]
+
+    def monetized(self, strategy: str) -> float:
+        return self.results[strategy].monetized_profit
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """A full sweep: one :class:`SweepPoint` per grid value."""
+
+    token: Token
+    points: tuple[SweepPoint, ...]
+
+    def prices(self) -> np.ndarray:
+        return np.array([p.price for p in self.points])
+
+    def series(self, strategy: str) -> np.ndarray:
+        """Monetized profits of one strategy across the sweep."""
+        return np.array([p.monetized(strategy) for p in self.points])
+
+    def strategies(self) -> tuple[str, ...]:
+        return tuple(self.points[0].results) if self.points else ()
+
+
+def price_sweep(
+    loop: ArbitrageLoop,
+    base_prices: PriceMap,
+    token: Token,
+    grid,
+    strategies: dict[str, Strategy],
+) -> SweepSeries:
+    """Evaluate ``strategies`` on ``loop`` as ``token``'s price sweeps.
+
+    ``strategies`` maps a label (used in figures) to a strategy
+    instance; labels are free-form so the same strategy class can
+    appear multiple times (e.g. three differently-anchored
+    ``TraditionalStrategy`` instances for Fig. 2).
+    """
+    points = []
+    for price in grid:
+        prices = base_prices.with_price(token, float(price))
+        results = {
+            label: strategy.evaluate(loop, prices)
+            for label, strategy in strategies.items()
+        }
+        points.append(SweepPoint(price=float(price), results=results))
+    return SweepSeries(token=token, points=tuple(points))

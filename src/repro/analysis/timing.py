@@ -1,0 +1,36 @@
+"""Micro-timing helpers shared by the runtime experiment and benches."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["best_of", "Timer"]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Best (minimum) wall-clock seconds over ``repeats`` calls.
+
+    Minimum is the standard estimator for CPU-bound micro-timings: it
+    filters scheduler noise, which only ever adds time.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        self.seconds = float("nan")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._t0

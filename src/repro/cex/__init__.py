@@ -1,0 +1,14 @@
+"""CEX price oracles (DESIGN.md S9) — the offline stand-in for the
+paper's CoinGecko/Binance price feed."""
+
+from .oracle import PriceOracle
+from .static import REFERENCE_PRICES_2023_09, StaticPriceOracle
+from .synthetic import RandomWalkOracle, lognormal_prices
+
+__all__ = [
+    "PriceOracle",
+    "REFERENCE_PRICES_2023_09",
+    "RandomWalkOracle",
+    "StaticPriceOracle",
+    "lognormal_prices",
+]

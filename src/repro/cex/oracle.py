@@ -1,0 +1,34 @@
+"""CEX price-oracle interface.
+
+The paper monetizes profits with Binance prices fetched from the
+CoinGecko API.  Offline, the library abstracts the source behind
+:class:`PriceOracle`: anything that can produce a
+:class:`~repro.core.types.PriceMap` snapshot.  Strategies only ever see
+the snapshot, so swapping a live API client for the synthetic feeds in
+:mod:`repro.cex.synthetic` changes nothing downstream.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.types import PriceMap, Token
+
+__all__ = ["PriceOracle"]
+
+
+class PriceOracle(abc.ABC):
+    """Source of CEX (fiat-denominated) token prices."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> PriceMap:
+        """Current prices for every quoted token."""
+
+    def price(self, token: Token) -> float:
+        """Convenience single-token lookup from the current snapshot."""
+        return self.snapshot()[token]
+
+    def quotes(self, tokens) -> dict[Token, float]:
+        """Prices for a subset of tokens (raises on missing quotes)."""
+        snap = self.snapshot()
+        return {token: snap[token] for token in tokens}

@@ -1,0 +1,69 @@
+"""Static price oracle: a frozen CEX snapshot.
+
+Includes :data:`REFERENCE_PRICES_2023_09`, a static table of round
+September-2023 price magnitudes for well-known symbols.  These are
+*calibration magnitudes*, not market data — they give synthetic
+markets a realistic spread of price scales (1e-3 stablecoin-satellite
+tokens up to 1e4+ BTC), which is what exercises the MaxPrice
+strategy's failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.types import PriceMap, Token
+from .oracle import PriceOracle
+
+__all__ = ["StaticPriceOracle", "REFERENCE_PRICES_2023_09"]
+
+#: Rough September-2023 USD price magnitudes for common tokens.
+REFERENCE_PRICES_2023_09: Mapping[str, float] = {
+    "WBTC": 26_000.0,
+    "WETH": 1_650.0,
+    "BNB": 215.0,
+    "SOL": 20.0,
+    "LINK": 6.0,
+    "UNI": 4.3,
+    "MATIC": 0.53,
+    "ARB": 0.8,
+    "LDO": 1.5,
+    "AAVE": 52.0,
+    "MKR": 1_080.0,
+    "SNX": 2.0,
+    "CRV": 0.4,
+    "COMP": 38.0,
+    "SUSHI": 0.6,
+    "YFI": 5_300.0,
+    "USDC": 1.0,
+    "USDT": 1.0,
+    "DAI": 1.0,
+    "FRAX": 1.0,
+    "SHIB": 0.0000073,
+    "PEPE": 0.0000007,
+}
+
+
+class StaticPriceOracle(PriceOracle):
+    """An oracle that always returns the same frozen snapshot."""
+
+    def __init__(self, prices: PriceMap | Mapping[str, float]):
+        if isinstance(prices, PriceMap):
+            self._prices = prices
+        else:
+            self._prices = PriceMap.from_symbols(dict(prices))
+
+    @classmethod
+    def reference_2023_09(cls) -> "StaticPriceOracle":
+        """Oracle over :data:`REFERENCE_PRICES_2023_09`."""
+        return cls(REFERENCE_PRICES_2023_09)
+
+    def snapshot(self) -> PriceMap:
+        return self._prices
+
+    def with_price(self, token: Token, price: float) -> "StaticPriceOracle":
+        """Copy with one price overridden (used by Px sweeps)."""
+        return StaticPriceOracle(self._prices.with_price(token, price))
+
+    def __repr__(self) -> str:
+        return f"StaticPriceOracle({len(self._prices)} tokens)"

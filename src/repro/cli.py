@@ -1,0 +1,300 @@
+"""Command-line interface: run any paper experiment from a shell.
+
+Examples::
+
+    repro-arb section5                 # the §V worked example numbers
+    repro-arb fig2 --csv fig2.csv      # Px sweep behind Fig. 2
+    repro-arb fig7 --length 3          # Convex vs MaxMax scatter
+    repro-arb runtime --lengths 3,5,10
+    repro-arb calibrate --seed 42      # synthetic snapshot §VI counts
+    repro-arb detect --length 3        # list profitable loops
+
+(Equivalently ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import analysis
+from .analysis import report
+from .data.synthetic import paper_market
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-arb",
+        description="Reproduce experiments from 'Profit Maximization In Arbitrage Loops'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("section5", help="the §V worked-example numbers")
+
+    p = sub.add_parser("fig1", help="profit curve of the §V example")
+    p.add_argument("--points", type=int, default=200)
+
+    for name, help_text in (
+        ("fig2", "Px sweep: rotations + MaxMax envelope"),
+        ("fig3", "Px sweep: Convex vs MaxMax"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--csv", help="write the series to a CSV file")
+
+    p = sub.add_parser("fig4", help="Px sweep: convex profit composition")
+
+    for name, help_text, has_length in (
+        ("fig5", "scatter: MaxMax vs traditional", True),
+        ("fig6", "scatter: MaxPrice vs MaxMax", True),
+        ("fig7", "scatter: Convex vs MaxMax", True),
+        ("fig9", "scatter: length-4 traditional vs Convex", False),
+        ("fig10", "scatter: length-4 MaxMax vs Convex", False),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=20230901)
+        p.add_argument("--csv", help="write the scatter points to a CSV file")
+        if has_length:
+            p.add_argument("--length", type=int, default=3, choices=(3, 4))
+
+    p = sub.add_parser("fig8", help="per-token profit overlap, Convex vs MaxMax")
+    p.add_argument("--seed", type=int, default=20230901)
+
+    p = sub.add_parser("runtime", help="§VII runtime scaling")
+    p.add_argument("--lengths", default="3,4,5,6,8,10")
+    p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser("calibrate", help="§VI snapshot calibration counts")
+    p.add_argument("--seed", type=int, default=20230901)
+
+    p = sub.add_parser("detect", help="list profitable loops in a snapshot")
+    p.add_argument("--seed", type=int, default=20230901)
+    p.add_argument("--length", type=int, default=3)
+    p.add_argument("--top", type=int, default=10)
+
+    p = sub.add_parser("harvest", help="sequential greedy harvest of a snapshot")
+    p.add_argument("--seed", type=int, default=20230901)
+    p.add_argument("--rounds", type=int, default=25)
+    p.add_argument("--floor", type=float, default=1.0, help="min profit per round ($)")
+    p.add_argument("--gwei", type=float, default=None, help="gas price; overrides --floor with the gas breakeven")
+
+    p = sub.add_parser(
+        "discrepancy", help="Convex-vs-MaxMax gap vs mispricing level"
+    )
+    p.add_argument("--levels", default="0.01,0.15,0.4")
+
+    p = sub.add_parser(
+        "efficiency", help="market efficiency with vs without arbitrage"
+    )
+    p.add_argument("--blocks", type=int, default=8)
+    p.add_argument("--seed", type=int, default=11)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = _HANDLERS[args.command]
+    handler(args)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# per-command handlers
+# ----------------------------------------------------------------------
+
+
+def _cmd_section5(args) -> None:
+    numbers = analysis.section5_numbers()
+    rows = sorted(numbers.items())
+    print(report.format_table(["quantity", "value"], rows))
+
+
+def _cmd_fig1(args) -> None:
+    result = analysis.fig1_profit_curve(n_points=args.points)
+    print("Fig. 1: profit vs input (X -> Y -> Z -> X)")
+    print(report.sparkline(result.profits))
+    print(
+        f"optimal input = {result.optimal_input:.4f}, "
+        f"optimal profit = {result.optimal_profit:.4f}, "
+        f"d out/d in at optimum = {result.derivative_at_optimum:.6f}"
+    )
+
+
+def _cmd_fig2(args) -> None:
+    series = analysis.fig2_rotation_sweep()
+    print(report.render_sweep(series, title="Fig. 2: rotations + MaxMax vs Px"))
+    if args.csv:
+        report.sweep_to_csv(series, args.csv)
+        print(f"wrote {args.csv}")
+
+
+def _cmd_fig3(args) -> None:
+    series = analysis.fig3_convex_vs_maxmax_sweep()
+    print(report.render_sweep(series, title="Fig. 3: Convex vs MaxMax vs Px"))
+    if args.csv:
+        report.sweep_to_csv(series, args.csv)
+        print(f"wrote {args.csv}")
+
+
+def _cmd_fig4(args) -> None:
+    grid, rows, monetized = analysis.fig4_profit_composition()
+    print("Fig. 4: convex profit composition (X, Y, Z amounts) across Px")
+    table_rows = [
+        (f"{px:.1f}", *(f"{a:.4f}" for a in row), f"{m:.2f}")
+        for px, row, m in zip(grid[::10], rows[::10], monetized[::10])
+    ]
+    print(report.format_table(["Px", "X", "Y", "Z", "monetized $"], table_rows))
+
+
+def _scatter_command(fn):
+    def handler(args):
+        snapshot = paper_market(seed=args.seed)
+        kwargs = {}
+        if hasattr(args, "length"):
+            kwargs["length"] = args.length
+        result = fn(snapshot, **kwargs)
+        print(report.render_scatter(result, title=fn.__name__))
+        if getattr(args, "csv", None):
+            report.scatter_to_csv(result, args.csv)
+            print(f"wrote {args.csv}")
+
+    return handler
+
+
+def _cmd_fig8(args) -> None:
+    snapshot = paper_market(seed=args.seed)
+    result = analysis.fig8_token_profit_overlap(snapshot)
+    print(
+        f"Fig. 8: {len(result.loops)} loops; max per-token relative gap "
+        f"between Convex and MaxMax profit vectors = {result.max_component_gap:.3e}"
+    )
+
+
+def _cmd_runtime(args) -> None:
+    lengths = tuple(int(piece) for piece in args.lengths.split(","))
+    result = analysis.runtime_scaling(lengths=lengths, repeats=args.repeats)
+    print(report.render_runtime(result))
+
+
+def _cmd_calibrate(args) -> None:
+    result = analysis.snapshot_calibration(seed=args.seed)
+    rows = [
+        ("tokens", result.tokens, result.paper_tokens),
+        ("pools", result.pools, result.paper_pools),
+        ("profitable 3-loops", result.profitable_loops_len3, result.paper_loops_len3),
+        ("profitable 4-loops", result.profitable_loops_len4, "n/a"),
+    ]
+    print(report.format_table(["quantity", "generated", "paper"], rows))
+
+
+def _cmd_detect(args) -> None:
+    snapshot = paper_market(seed=args.seed)
+    from .strategies.maxmax import MaxMaxStrategy
+
+    _snapshot, loops = analysis.profitable_loops(snapshot, args.length)
+    strategy = MaxMaxStrategy()
+    scored = sorted(
+        (
+            (strategy.evaluate(loop, snapshot.prices).monetized_profit, loop)
+            for loop in loops
+        ),
+        key=lambda pair: -pair[0],
+    )
+    print(f"{len(loops)} profitable length-{args.length} loops; top {args.top}:")
+    rows = [
+        (f"${profit:,.2f}", repr(loop))
+        for profit, loop in scored[: args.top]
+    ]
+    print(report.format_table(["maxmax profit", "loop"], rows))
+
+
+def _cmd_harvest(args) -> None:
+    from .analysis import greedy_harvest
+    from .strategies.maxmax import MaxMaxStrategy
+
+    snapshot = paper_market(seed=args.seed)
+    floor = args.floor
+    if args.gwei is not None:
+        from .execution import GasModel
+
+        floor = GasModel(gas_price_gwei=args.gwei).breakeven_gross_usd(3)
+        print(f"gas breakeven at {args.gwei:g} gwei: {floor:.2f}$ per 3-loop")
+    harvest = greedy_harvest(
+        snapshot, MaxMaxStrategy(), min_profit_usd=floor, max_rounds=args.rounds
+    )
+    rows = [
+        (i, f"${r.predicted_usd:,.2f}", f"${r.realized_usd:,.2f}",
+         " -> ".join(t.symbol for t in r.loop.tokens))
+        for i, r in enumerate(harvest.rounds)
+    ]
+    print(report.format_table(["round", "predicted", "realized", "loop"], rows))
+    print(harvest)
+
+
+def _cmd_discrepancy(args) -> None:
+    from .analysis import discrepancy_vs_noise
+
+    levels = tuple(float(piece) for piece in args.levels.split(","))
+    points = discrepancy_vs_noise(noise_levels=levels)
+    rows = [
+        (
+            p.price_noise,
+            p.n_loops,
+            f"{p.mean_rel_gap:.5%}",
+            f"{p.max_rel_gap:.5%}",
+            f"{p.frac_loops_with_gap:.1%}",
+            f"{p.mean_log_rate:.4f}",
+        )
+        for p in points
+    ]
+    print("Convex - MaxMax gap vs market mispricing:")
+    print(
+        report.format_table(
+            ["noise", "loops", "mean gap", "max gap", "loops w/ gap", "mean log-rate"],
+            rows,
+        )
+    )
+
+
+def _cmd_efficiency(args) -> None:
+    from .data.synthetic import SyntheticMarketGenerator
+    from .simulation import efficiency_experiment
+
+    market = SyntheticMarketGenerator(
+        n_tokens=15, n_pools=40, seed=args.seed, price_noise=0.015
+    ).generate()
+    without, with_arb = efficiency_experiment(market, n_blocks=args.blocks, seed=args.seed)
+    print(f"mean mispricing index over {args.blocks} blocks:")
+    print(f"  without arbitrage: {without.mean_mispricing():.5f}")
+    print(f"  with arbitrage:    {with_arb.mean_mispricing():.5f}")
+    print(f"profitable loops at final block: "
+          f"{without.loop_series()[-1]} vs {with_arb.loop_series()[-1]}")
+    arb = with_arb.agents[1]
+    print(f"arbitrageur: {arb.trades} trades, ${arb.cumulative_usd:,.2f} profit")
+
+
+_HANDLERS = {
+    "section5": _cmd_section5,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _scatter_command(analysis.fig5_maxmax_vs_traditional),
+    "fig6": _scatter_command(analysis.fig6_maxprice_vs_maxmax),
+    "fig7": _scatter_command(analysis.fig7_convex_vs_maxmax),
+    "fig9": _scatter_command(analysis.fig9_len4_traditional),
+    "fig10": _scatter_command(analysis.fig10_len4_maxmax),
+    "fig8": _cmd_fig8,
+    "runtime": _cmd_runtime,
+    "calibrate": _cmd_calibrate,
+    "detect": _cmd_detect,
+    "harvest": _cmd_harvest,
+    "discrepancy": _cmd_discrepancy,
+    "efficiency": _cmd_efficiency,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Market data substrate (DESIGN.md S10): snapshots, the synthetic
+§VI-scale market generator, and the paper's Section-V example."""
+
+from .example import (
+    SECTION5_PAPER_NUMBERS,
+    TOKEN_X,
+    TOKEN_Y,
+    TOKEN_Z,
+    section5_loop,
+    section5_prices,
+    section5_snapshot,
+)
+from .loops import synthetic_loop, synthetic_loop_prices
+from .snapshot import MarketSnapshot
+from .synthetic import SyntheticMarketGenerator, paper_market
+from .uniswap import load_pairs, load_pairs_file
+
+__all__ = [
+    "MarketSnapshot",
+    "SECTION5_PAPER_NUMBERS",
+    "SyntheticMarketGenerator",
+    "TOKEN_X",
+    "TOKEN_Y",
+    "TOKEN_Z",
+    "load_pairs",
+    "load_pairs_file",
+    "paper_market",
+    "synthetic_loop",
+    "synthetic_loop_prices",
+    "section5_loop",
+    "section5_prices",
+    "section5_snapshot",
+]

@@ -1,0 +1,73 @@
+"""The paper's Section V worked example, as a reusable fixture.
+
+Pools: ``(x, y) = (100, 200)``, ``(y, z) = (300, 200)``,
+``(z, x) = (200, 400)``; CEX prices ``Px = 2$``, ``Py = 10.2$``,
+``Pz = 20$``; Uniswap-V2 fee λ = 0.003 (the paper's quoted results —
+33.7$/201.1$/205.6$ per rotation, MaxMax 205.6$, Convex 206.1$ with a
+surplus of ~5 Y and ~7.7 Z — are reproduced exactly with this fee).
+"""
+
+from __future__ import annotations
+
+from ..amm.pool import DEFAULT_FEE, Pool
+from ..amm.registry import PoolRegistry
+from ..core.loop import ArbitrageLoop
+from ..core.types import PriceMap, Token
+from .snapshot import MarketSnapshot
+
+__all__ = [
+    "TOKEN_X",
+    "TOKEN_Y",
+    "TOKEN_Z",
+    "section5_prices",
+    "section5_loop",
+    "section5_snapshot",
+    "SECTION5_PAPER_NUMBERS",
+]
+
+TOKEN_X = Token("X")
+TOKEN_Y = Token("Y")
+TOKEN_Z = Token("Z")
+
+#: The paper's quoted results for the example (for tests and docs).
+SECTION5_PAPER_NUMBERS = {
+    "monetized_from_X": 33.7,
+    "monetized_from_Y": 201.1,
+    "monetized_from_Z": 205.6,
+    "maxmax": 205.6,
+    "convex": 206.1,
+    "input_X": 27.0,
+    "profit_X": 16.8,
+    "input_Y": 31.5,
+    "profit_Y": 19.7,
+    "input_Z": 16.4,
+    "profit_Z": 10.3,
+    "convex_profit_Y": 5.0,
+    "convex_profit_Z": 7.7,
+    "spot_product": 8.0 / 3.0,
+}
+
+
+def section5_prices(px: float = 2.0) -> PriceMap:
+    """CEX prices of the example; ``px`` is swept in Figs. 2–4."""
+    return PriceMap({TOKEN_X: px, TOKEN_Y: 10.2, TOKEN_Z: 20.0})
+
+
+def section5_loop(fee: float = DEFAULT_FEE) -> ArbitrageLoop:
+    """The loop ``X -> Y -> Z -> X`` with fresh pools at paper reserves."""
+    pool_xy = Pool(TOKEN_X, TOKEN_Y, 100.0, 200.0, fee=fee, pool_id="s5-xy")
+    pool_yz = Pool(TOKEN_Y, TOKEN_Z, 300.0, 200.0, fee=fee, pool_id="s5-yz")
+    pool_zx = Pool(TOKEN_Z, TOKEN_X, 200.0, 400.0, fee=fee, pool_id="s5-zx")
+    return ArbitrageLoop([TOKEN_X, TOKEN_Y, TOKEN_Z], [pool_xy, pool_yz, pool_zx])
+
+
+def section5_snapshot(fee: float = DEFAULT_FEE, px: float = 2.0) -> MarketSnapshot:
+    """The example as a full market snapshot (three pools, three prices)."""
+    loop = section5_loop(fee=fee)
+    registry = PoolRegistry(loop.pools)
+    return MarketSnapshot(
+        registry=registry,
+        prices=section5_prices(px),
+        label="section5-example",
+        metadata={"source": "paper §V", "fee": fee},
+    )

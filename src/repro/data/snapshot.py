@@ -1,0 +1,186 @@
+"""Market snapshots: pools + CEX prices at one instant.
+
+A :class:`MarketSnapshot` bundles everything the §VI pipeline needs —
+a :class:`~repro.amm.registry.PoolRegistry` and a
+:class:`~repro.core.types.PriceMap` — plus a label and free-form
+metadata, with JSON (de)serialization so generated markets can be
+checked in, diffed, and reloaded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..amm.pool import Pool
+from ..amm.registry import PoolRegistry
+from ..core.errors import SnapshotFormatError
+from ..core.types import PriceMap, Token
+from ..graph.build import TokenGraph, build_token_graph
+from ..graph.filters import paper_filters
+
+__all__ = ["MarketSnapshot"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class MarketSnapshot:
+    """Pools and prices frozen at one moment."""
+
+    registry: PoolRegistry
+    prices: PriceMap
+    label: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # pipeline helpers
+    # ------------------------------------------------------------------
+
+    def graph(self, apply_paper_filters: bool = True) -> TokenGraph:
+        """Token graph over the snapshot, §VI filters applied by default."""
+        filters = paper_filters(self.prices) if apply_paper_filters else ()
+        return build_token_graph(self.registry, filters)
+
+    def copy(self) -> "MarketSnapshot":
+        """Deep copy with independent pool states (prices are immutable)."""
+        return MarketSnapshot(
+            registry=self.registry.copy(),
+            prices=self.prices,
+            label=self.label,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": _FORMAT_VERSION,
+            "label": self.label,
+            "metadata": self.metadata,
+            "tokens": [
+                {
+                    "symbol": token.symbol,
+                    "decimals": token.decimals,
+                    "address": token.address,
+                }
+                # union: pooled tokens plus priced-but-unpooled tokens
+                for token in sorted(
+                    self.registry.tokens | set(self.prices),
+                    key=lambda t: t.symbol,
+                )
+            ],
+            "prices": {
+                token.symbol: price
+                for token, price in sorted(
+                    self.prices.items(), key=lambda kv: kv[0].symbol
+                )
+            },
+            "pools": [self._pool_to_dict(pool)
+                      for pool in sorted(self.registry, key=lambda p: p.pool_id)],
+        }
+
+    @staticmethod
+    def _pool_to_dict(pool) -> dict:
+        spec = {
+            "pool_id": pool.pool_id,
+            "token0": pool.token0.symbol,
+            "token1": pool.token1.symbol,
+            "reserve0": pool.reserve_of(pool.token0),
+            "reserve1": pool.reserve_of(pool.token1),
+            "fee": pool.fee,
+        }
+        if not getattr(pool, "is_constant_product", True):
+            spec["type"] = "weighted"
+            spec["weight0"] = pool.weight_of(pool.token0)
+            spec["weight1"] = pool.weight_of(pool.token1)
+        return spec
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MarketSnapshot":
+        try:
+            version = data["version"]
+            if version != _FORMAT_VERSION:
+                raise SnapshotFormatError(
+                    f"unsupported snapshot version {version} "
+                    f"(this library reads version {_FORMAT_VERSION})"
+                )
+            tokens = {
+                spec["symbol"]: Token(
+                    symbol=spec["symbol"],
+                    decimals=spec.get("decimals", 18),
+                    address=spec.get("address", ""),
+                )
+                for spec in data["tokens"]
+            }
+            prices = PriceMap(
+                {tokens[symbol]: float(price) for symbol, price in data["prices"].items()}
+            )
+            registry = PoolRegistry()
+            for spec in data["pools"]:
+                if spec.get("type") == "weighted":
+                    from ..amm.weighted import WeightedPool
+
+                    registry.add(
+                        WeightedPool(
+                            tokens[spec["token0"]],
+                            tokens[spec["token1"]],
+                            float(spec["reserve0"]),
+                            float(spec["reserve1"]),
+                            weight0=float(spec["weight0"]),
+                            weight1=float(spec["weight1"]),
+                            fee=float(spec["fee"]),
+                            pool_id=spec["pool_id"],
+                        )
+                    )
+                else:
+                    registry.add(
+                        Pool(
+                            tokens[spec["token0"]],
+                            tokens[spec["token1"]],
+                            float(spec["reserve0"]),
+                            float(spec["reserve1"]),
+                            fee=float(spec["fee"]),
+                            pool_id=spec["pool_id"],
+                        )
+                    )
+            return cls(
+                registry=registry,
+                prices=prices,
+                label=data.get("label", ""),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except SnapshotFormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotFormatError(f"malformed snapshot: {exc}") from exc
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MarketSnapshot":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SnapshotFormatError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MarketSnapshot":
+        return cls.from_json(Path(path).read_text())
+
+    def __repr__(self) -> str:
+        return (
+            f"MarketSnapshot({self.label or 'unlabeled'}: "
+            f"{len(self.registry.tokens)} tokens, {len(self.registry)} pools)"
+        )

@@ -1,0 +1,110 @@
+"""Loader for Uniswap-V2-subgraph-style pair data.
+
+Users with real data (the paper pulled the 2023-09-01 on-chain state)
+typically hold it in the shape The Graph's ``uniswap-v2`` subgraph
+returns for the ``pairs`` entity:
+
+.. code-block:: json
+
+    [
+      {
+        "id": "0x0d4a11d5eeaac28ec3f61d100daf4d40471f1852",
+        "token0": {"symbol": "WETH", "decimals": "18"},
+        "token1": {"symbol": "USDT", "decimals": "6"},
+        "reserve0": "31522.123",
+        "reserve1": "51234567.1"
+      }
+    ]
+
+:func:`load_pairs` converts such a list (plus a price table) into a
+:class:`~repro.data.snapshot.MarketSnapshot`, after which the whole
+§VI pipeline applies unchanged.  Numeric fields may be strings (the
+subgraph serializes decimals as strings) or numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..amm.pool import DEFAULT_FEE, Pool
+from ..amm.registry import PoolRegistry
+from ..core.errors import SnapshotFormatError
+from ..core.types import PriceMap, Token
+from .snapshot import MarketSnapshot
+
+__all__ = ["load_pairs", "load_pairs_file"]
+
+
+def _token_from_spec(spec: Mapping) -> Token:
+    try:
+        symbol = spec["symbol"]
+    except (KeyError, TypeError) as exc:
+        raise SnapshotFormatError(f"pair token missing 'symbol': {spec!r}") from exc
+    decimals = int(spec.get("decimals", 18))
+    return Token(symbol=symbol, decimals=decimals, address=str(spec.get("id", "")))
+
+
+def load_pairs(
+    pairs: Iterable[Mapping],
+    prices: PriceMap | Mapping[str, float],
+    fee: float = DEFAULT_FEE,
+    label: str = "uniswap-pairs",
+) -> MarketSnapshot:
+    """Build a snapshot from subgraph-style pair records.
+
+    Pairs with non-positive reserves are skipped (empty pairs are
+    common in subgraph dumps); malformed records raise
+    :class:`~repro.core.errors.SnapshotFormatError`.
+    """
+    if not isinstance(prices, PriceMap):
+        prices = PriceMap.from_symbols(dict(prices))
+    registry = PoolRegistry()
+    skipped = 0
+    for record in pairs:
+        try:
+            token0 = _token_from_spec(record["token0"])
+            token1 = _token_from_spec(record["token1"])
+            reserve0 = float(record["reserve0"])
+            reserve1 = float(record["reserve1"])
+            pair_id = str(record.get("id", f"pair-{len(registry)}"))
+        except SnapshotFormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotFormatError(f"malformed pair record: {record!r}") from exc
+        if reserve0 <= 0 or reserve1 <= 0:
+            skipped += 1
+            continue
+        if token0 == token1:
+            skipped += 1
+            continue
+        registry.add(
+            Pool(token0, token1, reserve0, reserve1, fee=fee, pool_id=pair_id)
+        )
+    return MarketSnapshot(
+        registry=registry,
+        prices=prices,
+        label=label,
+        metadata={"source": "uniswap-pairs", "skipped_pairs": skipped},
+    )
+
+
+def load_pairs_file(
+    path: str | Path,
+    prices: PriceMap | Mapping[str, float],
+    fee: float = DEFAULT_FEE,
+) -> MarketSnapshot:
+    """Load pair records from a JSON file (a list, or ``{"pairs": [...]}``)."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SnapshotFormatError(f"invalid JSON in {path}: {exc}") from exc
+    if isinstance(data, Mapping):
+        data = data.get("pairs")
+    if not isinstance(data, list):
+        raise SnapshotFormatError(
+            f"{path} must hold a list of pairs or an object with a 'pairs' list"
+        )
+    return load_pairs(data, prices, fee=fee, label=path.stem)

@@ -1,0 +1,18 @@
+"""Atomic execution simulator (DESIGN.md S11)."""
+
+from .gas import DEFAULT_GAS_MODEL, GasModel
+from .flashloan import FlashLoan, FlashLoanProvider
+from .plan import ExecutionPlan, PlannedSwap, plan_from_result
+from .simulator import ExecutionReceipt, ExecutionSimulator
+
+__all__ = [
+    "ExecutionPlan",
+    "ExecutionReceipt",
+    "ExecutionSimulator",
+    "DEFAULT_GAS_MODEL",
+    "FlashLoan",
+    "GasModel",
+    "FlashLoanProvider",
+    "PlannedSwap",
+    "plan_from_result",
+]

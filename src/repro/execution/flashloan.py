@@ -1,0 +1,101 @@
+"""Flash-loan provider model.
+
+The paper recommends executing a loop's swaps "in the same transaction
+by applying flash loan".  :class:`FlashLoanProvider` models the lender
+side explicitly: bounded liquidity per token, a proportional fee, and
+loan/repay bookkeeping with the invariant that within one atomic
+context every loan is repaid in full or the context reverts.
+
+:class:`~repro.execution.simulator.ExecutionSimulator` embeds a
+zero-fee unlimited lender for convenience; this class backs the more
+realistic scenarios in the examples and failure-injection tests
+(bounded liquidity, non-zero fee eating a thin arbitrage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ExecutionRevertedError
+from ..core.types import Token
+
+__all__ = ["FlashLoan", "FlashLoanProvider"]
+
+
+@dataclass(frozen=True)
+class FlashLoan:
+    """An outstanding loan: ``amount`` of ``token``, owing ``repayment``."""
+
+    token: Token
+    amount: float
+    repayment: float
+
+
+@dataclass
+class FlashLoanProvider:
+    """A lender with per-token liquidity and a proportional fee.
+
+    Parameters
+    ----------
+    liquidity:
+        Maximum lendable amount per token.  Tokens absent from the
+        mapping cannot be borrowed.
+    fee:
+        Proportional fee on the principal (Aave V2: 0.0009).
+    """
+
+    liquidity: dict[Token, float] = field(default_factory=dict)
+    fee: float = 0.0009
+
+    def __post_init__(self) -> None:
+        if self.fee < 0:
+            raise ValueError(f"fee must be >= 0, got {self.fee}")
+        for token, amount in self.liquidity.items():
+            if amount < 0:
+                raise ValueError(
+                    f"liquidity of {token.symbol} must be >= 0, got {amount}"
+                )
+        self._outstanding: list[FlashLoan] = []
+
+    @property
+    def outstanding(self) -> tuple[FlashLoan, ...]:
+        return tuple(self._outstanding)
+
+    def available(self, token: Token) -> float:
+        return self.liquidity.get(token, 0.0)
+
+    def borrow(self, token: Token, amount: float) -> FlashLoan:
+        """Take a loan; raises when the pool lacks liquidity."""
+        if amount <= 0:
+            raise ValueError(f"loan amount must be positive, got {amount}")
+        if amount > self.available(token):
+            raise ExecutionRevertedError(
+                f"flash-loan pool holds {self.available(token)} "
+                f"{token.symbol}, cannot lend {amount}"
+            )
+        loan = FlashLoan(
+            token=token, amount=amount, repayment=amount * (1.0 + self.fee)
+        )
+        self.liquidity[token] = self.available(token) - amount
+        self._outstanding.append(loan)
+        return loan
+
+    def repay(self, loan: FlashLoan, amount: float) -> None:
+        """Repay a loan in full; partial repayment reverts."""
+        if loan not in self._outstanding:
+            raise ExecutionRevertedError("repaying a loan that is not outstanding")
+        if amount + 1e-12 < loan.repayment:
+            raise ExecutionRevertedError(
+                f"flash loan of {loan.amount} {loan.token.symbol} needs "
+                f"repayment {loan.repayment}, got {amount}"
+            )
+        self.liquidity[loan.token] = self.available(loan.token) + loan.repayment
+        self._outstanding.remove(loan)
+
+    def assert_settled(self) -> None:
+        """Raise unless every loan has been repaid (end-of-transaction check)."""
+        if self._outstanding:
+            owed = ", ".join(
+                f"{loan.repayment:g} {loan.token.symbol}" for loan in self._outstanding
+            )
+            raise ExecutionRevertedError(f"unsettled flash loans: {owed}")

@@ -1,0 +1,96 @@
+"""Gas-cost model for arbitrage profitability.
+
+The paper's profits are gross of transaction costs; a real searcher
+nets out gas.  :class:`GasModel` prices a plan's execution the way an
+Ethereum searcher would:
+
+    cost_usd = (base_gas + n_swaps * gas_per_swap [+ flash-loan gas])
+               * gas_price_gwei * 1e-9 * eth_price_usd
+
+and :func:`net_profit` / :func:`is_profitable_after_gas` apply it to
+strategy results.  Defaults approximate mainnet magnitudes: a V2 swap
+costs ~100k gas, transaction overhead 21k, a flash loan ~90k.
+
+This model also yields a natural ablation (see
+``benchmarks/bench_gas_sensitivity.py``): how many of the §VI loops
+survive at a given gas price — the reason small arbitrage loops go
+unharvested in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.loop import ArbitrageLoop
+from ..strategies.base import StrategyResult
+
+__all__ = ["GasModel", "DEFAULT_GAS_MODEL"]
+
+
+@dataclass(frozen=True)
+class GasModel:
+    """USD execution cost as a function of plan size.
+
+    Parameters
+    ----------
+    gas_per_swap:
+        Gas units per V2 swap hop (~100k on mainnet).
+    base_gas:
+        Fixed transaction overhead (21k) plus router dispatch.
+    flash_loan_gas:
+        Extra gas when the plan is funded by a flash loan.
+    gas_price_gwei:
+        Gas price in gwei.
+    eth_price_usd:
+        ETH price used to convert gas to dollars.
+    """
+
+    gas_per_swap: float = 100_000.0
+    base_gas: float = 30_000.0
+    flash_loan_gas: float = 90_000.0
+    gas_price_gwei: float = 20.0
+    eth_price_usd: float = 1_650.0
+
+    def __post_init__(self) -> None:
+        for name in ("gas_per_swap", "base_gas", "flash_loan_gas",
+                     "gas_price_gwei", "eth_price_usd"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def gas_units(self, n_swaps: int, flash_loan: bool = True) -> float:
+        """Total gas units for a plan with ``n_swaps`` hops."""
+        if n_swaps < 1:
+            raise ValueError(f"a plan has at least one swap, got {n_swaps}")
+        units = self.base_gas + n_swaps * self.gas_per_swap
+        if flash_loan:
+            units += self.flash_loan_gas
+        return units
+
+    def cost_usd(self, n_swaps: int, flash_loan: bool = True) -> float:
+        """USD cost of executing ``n_swaps`` hops."""
+        return (
+            self.gas_units(n_swaps, flash_loan)
+            * self.gas_price_gwei
+            * 1e-9
+            * self.eth_price_usd
+        )
+
+    def cost_for_loop(self, loop: ArbitrageLoop, flash_loan: bool = True) -> float:
+        return self.cost_usd(len(loop), flash_loan)
+
+    def net_profit(self, result: StrategyResult, flash_loan: bool = True) -> float:
+        """Monetized profit minus execution cost (can be negative)."""
+        return result.monetized_profit - self.cost_for_loop(result.loop, flash_loan)
+
+    def is_profitable_after_gas(
+        self, result: StrategyResult, flash_loan: bool = True
+    ) -> bool:
+        return self.net_profit(result, flash_loan) > 0.0
+
+    def breakeven_gross_usd(self, loop_length: int, flash_loan: bool = True) -> float:
+        """Smallest gross profit that survives gas for a given length."""
+        return self.cost_usd(loop_length, flash_loan)
+
+
+#: Mainnet-flavoured defaults (20 gwei, 1650 $ ETH).
+DEFAULT_GAS_MODEL = GasModel()

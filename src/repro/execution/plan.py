@@ -1,0 +1,185 @@
+"""Execution plans: the bridge from strategy results to swaps.
+
+An :class:`ExecutionPlan` is an ordered list of :class:`PlannedSwap`
+steps.  Strategy results carry per-hop amounts; :func:`plan_from_result`
+turns them into a validated plan.  Validation catches the errors that
+would burn gas on-chain: hops that do not chain, inputs exceeding the
+previous hop's output (spending tokens you do not have), and
+non-positive amounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..amm.pool import Pool
+from ..core.errors import PlanValidationError
+from ..core.loop import Rotation
+from ..core.types import Token
+from ..strategies.base import StrategyResult
+
+__all__ = ["PlannedSwap", "ExecutionPlan", "plan_from_result"]
+
+
+@dataclass(frozen=True)
+class PlannedSwap:
+    """One intended swap: put ``amount_in`` of ``token_in`` into ``pool``.
+
+    ``min_amount_out`` is the slippage guard: execution reverts if the
+    realized output falls below it (like a router's ``amountOutMin``).
+    """
+
+    pool: Pool
+    token_in: Token
+    amount_in: float
+    min_amount_out: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.token_in not in self.pool:
+            raise PlanValidationError(
+                f"{self.token_in} is not in pool {self.pool.pool_id}"
+            )
+        if self.amount_in <= 0:
+            raise PlanValidationError(
+                f"swap input must be positive, got {self.amount_in}"
+            )
+        if self.min_amount_out < 0:
+            raise PlanValidationError(
+                f"min_amount_out must be >= 0, got {self.min_amount_out}"
+            )
+
+    @property
+    def token_out(self) -> Token:
+        return self.pool.other(self.token_in)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.amount_in:g} {self.token_in.symbol} -> "
+            f">={self.min_amount_out:g} {self.token_out.symbol} "
+            f"@ {self.pool.pool_id}"
+        )
+
+
+class ExecutionPlan:
+    """A validated ordered sequence of swaps forming a path or loop.
+
+    Parameters
+    ----------
+    swaps:
+        The swaps in execution order; consecutive hops must chain
+        (each hop consumes the token the previous one emitted).
+    budgets:
+        Optional mapping token -> externally available amount.  A
+        convex-strategy plan deliberately feeds *less* than a hop's
+        output into the next hop (the difference is profit kept);
+        fixed-start plans feed outputs forward exactly.  Either way
+        the amounts are data, not re-derived here — the simulator
+        checks them against reality at execution time.
+    """
+
+    def __init__(self, swaps: list[PlannedSwap] | tuple[PlannedSwap, ...]):
+        swaps = tuple(swaps)
+        if not swaps:
+            raise PlanValidationError("a plan needs at least one swap")
+        for prev, nxt in zip(swaps, swaps[1:]):
+            if prev.token_out != nxt.token_in:
+                raise PlanValidationError(
+                    f"plan does not chain: hop emits {prev.token_out} but the "
+                    f"next hop consumes {nxt.token_in}"
+                )
+        self._swaps = swaps
+
+    @property
+    def swaps(self) -> tuple[PlannedSwap, ...]:
+        return self._swaps
+
+    def __len__(self) -> int:
+        return len(self._swaps)
+
+    def __iter__(self):
+        return iter(self._swaps)
+
+    @property
+    def start_token(self) -> Token:
+        return self._swaps[0].token_in
+
+    @property
+    def end_token(self) -> Token:
+        return self._swaps[-1].token_out
+
+    @property
+    def is_cyclic(self) -> bool:
+        """True when the plan returns to its start token."""
+        return self.start_token == self.end_token
+
+    @property
+    def total_input(self) -> float:
+        return self._swaps[0].amount_in
+
+    def tokens_touched(self) -> frozenset[Token]:
+        touched = set()
+        for swap in self._swaps:
+            touched.add(swap.token_in)
+            touched.add(swap.token_out)
+        return frozenset(touched)
+
+    def __repr__(self) -> str:
+        path = " -> ".join(
+            [self._swaps[0].token_in.symbol]
+            + [swap.token_out.symbol for swap in self._swaps]
+        )
+        return f"ExecutionPlan({path}, in={self.total_input:g})"
+
+
+def plan_from_result(
+    result: StrategyResult,
+    slippage_tolerance: float = 0.0,
+) -> ExecutionPlan:
+    """Build a plan from a strategy result's hop amounts.
+
+    ``slippage_tolerance`` sets each hop's ``min_amount_out`` to
+    ``(1 - tolerance) * predicted_out`` — tolerance 0 demands at least
+    the predicted outputs exactly.
+
+    Fixed-start results execute their rotation's hop order; convex
+    results execute in loop order starting from the first hop with a
+    positive input (the paper notes the convex plan "can be
+    implemented in any order").
+
+    Raises :class:`PlanValidationError` for zero-profit results (there
+    is nothing to execute).
+    """
+    if not result.hop_amounts:
+        raise PlanValidationError(
+            f"strategy result for {result.loop!r} has no trades to execute"
+        )
+    if not 0.0 <= slippage_tolerance < 1.0:
+        raise PlanValidationError(
+            f"slippage tolerance must be in [0, 1), got {slippage_tolerance}"
+        )
+    loop = result.loop
+    if result.start_token is not None:
+        hop_seq = list(loop.rotation_from(result.start_token).hops())
+        amounts = list(result.hop_amounts)
+    else:
+        hop_seq = list(Rotation(loop, 0).hops())
+        amounts = list(result.hop_amounts)
+    if len(amounts) != len(hop_seq):
+        raise PlanValidationError(
+            f"{len(amounts)} hop amounts for {len(hop_seq)} hops"
+        )
+    swaps = []
+    for (token_in, _token_out, pool), (a_in, a_out) in zip(hop_seq, amounts):
+        if a_in <= 0:
+            raise PlanValidationError(
+                f"hop through {pool.pool_id} has non-positive input {a_in}"
+            )
+        swaps.append(
+            PlannedSwap(
+                pool=pool,
+                token_in=token_in,
+                amount_in=a_in,
+                min_amount_out=a_out * (1.0 - slippage_tolerance),
+            )
+        )
+    return ExecutionPlan(swaps)

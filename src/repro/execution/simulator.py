@@ -1,0 +1,170 @@
+"""Atomic plan execution against live pool state.
+
+:class:`ExecutionSimulator` plays the role of the flash-loan-wrapped
+arbitrage transaction the paper recommends ("it is better to implement
+these three exchanges in the same transaction by applying flash loan"):
+either every swap in the plan executes and the profit is banked, or
+the whole thing reverts and pool reserves are exactly as before.
+
+Execution semantics per swap:
+
+* the trader's balance of the swap's input token must cover
+  ``amount_in`` (the first hop may be funded by a flash loan, see
+  :mod:`repro.execution.flashloan`);
+* the realized output must reach ``min_amount_out``, otherwise the
+  transaction reverts (slippage guard).
+
+The simulator reports realized per-token profit, which integration
+tests reconcile against the strategy's *predicted* profit — on a quiet
+market they must agree to float precision; after interfering trades
+the guard triggers instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..amm.registry import PoolRegistry
+from ..core.errors import ExecutionRevertedError
+from ..core.types import PriceMap, ProfitVector, Token
+from .plan import ExecutionPlan
+
+__all__ = ["ExecutionReceipt", "ExecutionSimulator"]
+
+
+@dataclass(frozen=True)
+class ExecutionReceipt:
+    """Outcome of one atomic execution.
+
+    ``profit`` is net of the flash-loan repayment: what the trader
+    keeps per token after returning all borrowed principal.
+    """
+
+    plan: ExecutionPlan
+    profit: ProfitVector
+    realized_outputs: tuple[float, ...]
+    reverted: bool = False
+    revert_reason: str = ""
+
+    def monetized(self, prices: PriceMap) -> float:
+        return self.profit.monetize(prices)
+
+
+@dataclass
+class ExecutionSimulator:
+    """Executes plans atomically against a :class:`PoolRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The pools to trade against.  Must contain every pool a plan
+        touches (enforced at execution time by pool-id lookup).
+    balances:
+        The trader's starting token balances.  With
+        ``allow_flash_loans=True`` (default) any shortfall of the
+        *start* token is borrowed at ``flash_fee`` and repaid from the
+        final output, matching the paper's same-transaction pattern.
+    flash_fee:
+        Proportional flash-loan fee (e.g. 0.0009 for Aave V2); zero by
+        default, as the paper's analysis ignores loan fees.
+    """
+
+    registry: PoolRegistry
+    balances: dict[Token, float] = field(default_factory=dict)
+    allow_flash_loans: bool = True
+    flash_fee: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flash_fee < 0:
+            raise ValueError(f"flash_fee must be >= 0, got {self.flash_fee}")
+
+    # ------------------------------------------------------------------
+
+    def balance_of(self, token: Token) -> float:
+        return self.balances.get(token, 0.0)
+
+    def execute(self, plan: ExecutionPlan) -> ExecutionReceipt:
+        """Run ``plan`` atomically; revert everything on any failure."""
+        snapshot = self.registry.snapshot()
+        balances_before = dict(self.balances)
+        try:
+            return self._run(plan, balances_before)
+        except ExecutionRevertedError as exc:
+            self.registry.restore(snapshot)
+            self.balances.clear()
+            self.balances.update(balances_before)
+            return ExecutionReceipt(
+                plan=plan,
+                profit=ProfitVector.zero(),
+                realized_outputs=(),
+                reverted=True,
+                revert_reason=str(exc),
+            )
+
+    # ------------------------------------------------------------------
+
+    def _run(self, plan: ExecutionPlan, balances_before: dict[Token, float]) -> ExecutionReceipt:
+        start_token = plan.start_token
+        borrowed = 0.0
+        shortfall = plan.total_input - self.balance_of(start_token)
+        if shortfall > 0:
+            if not self.allow_flash_loans:
+                raise ExecutionRevertedError(
+                    f"insufficient {start_token.symbol}: need {plan.total_input}, "
+                    f"hold {self.balance_of(start_token)} and flash loans are off"
+                )
+            borrowed = shortfall
+            self._credit(start_token, borrowed)
+
+        realized: list[float] = []
+        for index, swap in enumerate(plan.swaps):
+            pool = self.registry[swap.pool.pool_id]
+            balance = self.balance_of(swap.token_in)
+            # Router semantics: after the first hop, forward what the
+            # previous hop actually produced (never more than planned)
+            # — realized outputs can fall short of predictions when
+            # other trades interfere; the min_amount_out guard decides
+            # whether that shortfall is acceptable.
+            amount_in = swap.amount_in if index == 0 else min(swap.amount_in, balance)
+            if balance + 1e-12 < amount_in or amount_in <= 0:
+                raise ExecutionRevertedError(
+                    f"insufficient {swap.token_in.symbol} for hop through "
+                    f"{pool.pool_id}: need {swap.amount_in}, hold {balance}"
+                )
+            amount_out = pool.swap(swap.token_in, amount_in)
+            if amount_out + 1e-12 < swap.min_amount_out:
+                raise ExecutionRevertedError(
+                    f"slippage guard: hop through {pool.pool_id} returned "
+                    f"{amount_out}, below minimum {swap.min_amount_out}"
+                )
+            self._debit(swap.token_in, amount_in)
+            self._credit(swap.token_out, amount_out)
+            realized.append(amount_out)
+
+        if borrowed > 0:
+            repayment = borrowed * (1.0 + self.flash_fee)
+            if self.balance_of(start_token) + 1e-12 < repayment:
+                raise ExecutionRevertedError(
+                    f"cannot repay flash loan of {repayment} {start_token.symbol}; "
+                    f"final balance {self.balance_of(start_token)}"
+                )
+            self._debit(start_token, repayment)
+
+        # Profit is the trader's balance diff — the flash-loan credit
+        # and repayment cancel, leaving trading gains minus loan fee.
+        net: dict[Token, float] = {}
+        for token in set(balances_before) | set(self.balances):
+            delta = self.balance_of(token) - balances_before.get(token, 0.0)
+            if abs(delta) > 1e-12:
+                net[token] = delta
+        return ExecutionReceipt(
+            plan=plan,
+            profit=ProfitVector.from_mapping(net),
+            realized_outputs=tuple(realized),
+        )
+
+    def _credit(self, token: Token, amount: float) -> None:
+        self.balances[token] = self.balance_of(token) + amount
+
+    def _debit(self, token: Token, amount: float) -> None:
+        self.balances[token] = self.balance_of(token) - amount

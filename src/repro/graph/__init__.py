@@ -1,0 +1,37 @@
+"""Token exchange graph and loop detection (DESIGN.md S4/S5)."""
+
+from .bellman_ford import directed_log_edges, find_negative_cycle, negative_cycle_to_loop
+from .build import TokenGraph, build_token_graph, graph_summary
+from .cycles import (
+    count_cycles,
+    enumerate_token_cycles,
+    expand_cycle_to_loops,
+    find_arbitrage_loops,
+)
+from .filters import (
+    PAPER_MIN_RESERVE,
+    PAPER_MIN_TVL_USD,
+    apply_filters,
+    min_reserve_filter,
+    min_tvl_filter,
+    paper_filters,
+)
+
+__all__ = [
+    "PAPER_MIN_RESERVE",
+    "PAPER_MIN_TVL_USD",
+    "TokenGraph",
+    "apply_filters",
+    "build_token_graph",
+    "count_cycles",
+    "directed_log_edges",
+    "enumerate_token_cycles",
+    "expand_cycle_to_loops",
+    "find_arbitrage_loops",
+    "find_negative_cycle",
+    "graph_summary",
+    "min_reserve_filter",
+    "min_tvl_filter",
+    "negative_cycle_to_loop",
+    "paper_filters",
+]

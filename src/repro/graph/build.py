@@ -1,0 +1,87 @@
+"""Token exchange graph construction (paper §VI).
+
+The token graph has tokens as nodes and liquidity pools as edges; it is
+a networkx ``MultiGraph`` because several pools can serve the same
+token pair, and each is a distinct arbitrage venue.  Edge data carries
+the :class:`~repro.amm.pool.Pool` object itself under key ``"pool"``
+(the graph is a *view* over live pool state — reserve changes are
+immediately visible to later analyses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from ..amm.pool import Pool
+from ..amm.registry import PoolRegistry
+from ..core.types import PriceMap
+from .filters import PoolFilter, apply_filters
+
+__all__ = ["TokenGraph", "build_token_graph", "graph_summary"]
+
+
+class TokenGraph(nx.MultiGraph):
+    """A networkx MultiGraph whose edges are liquidity pools.
+
+    Thin subclass adding pool-centric conveniences; all networkx
+    algorithms work on it unchanged.
+    """
+
+    def pools_between(self, token_a, token_b) -> tuple[Pool, ...]:
+        """All pools on the (a, b) edge, deterministic order."""
+        if not self.has_edge(token_a, token_b):
+            return ()
+        data = self.get_edge_data(token_a, token_b)
+        return tuple(
+            attrs["pool"]
+            for _key, attrs in sorted(data.items(), key=lambda kv: kv[1]["pool"].pool_id)
+        )
+
+    def all_pools(self) -> tuple[Pool, ...]:
+        """Every pool in the graph, ordered by pool id."""
+        return tuple(
+            sorted(
+                (attrs["pool"] for _u, _v, attrs in self.edges(data=True)),
+                key=lambda p: p.pool_id,
+            )
+        )
+
+
+def build_token_graph(
+    pools: Iterable[Pool] | PoolRegistry,
+    filters: Iterable[PoolFilter] = (),
+) -> TokenGraph:
+    """Build the token graph from pools, applying optional filters.
+
+    Nodes are :class:`~repro.core.types.Token`; each surviving pool
+    adds one edge keyed by its pool id.
+    """
+    graph = TokenGraph()
+    for pool in apply_filters(pools, filters):
+        token0, token1 = pool.tokens
+        graph.add_node(token0)
+        graph.add_node(token1)
+        graph.add_edge(token0, token1, key=pool.pool_id, pool=pool)
+    return graph
+
+
+def graph_summary(graph: TokenGraph, prices: PriceMap | None = None) -> dict:
+    """Headline statistics mirroring the paper's §VI description.
+
+    Returns node/edge counts, connectivity, and (when prices are
+    given) total and median pool TVL.
+    """
+    summary: dict = {
+        "tokens": graph.number_of_nodes(),
+        "pools": graph.number_of_edges(),
+        "connected_components": nx.number_connected_components(graph)
+        if graph.number_of_nodes()
+        else 0,
+    }
+    if prices is not None and graph.number_of_edges():
+        tvls = sorted(pool.tvl(prices) for pool in graph.all_pools())
+        summary["total_tvl_usd"] = sum(tvls)
+        summary["median_pool_tvl_usd"] = tvls[len(tvls) // 2]
+    return summary

@@ -1,0 +1,73 @@
+"""Pool-quality filters (paper §VI).
+
+The paper's empirical pipeline keeps only liquidity pools with
+
+* TVL above thirty thousand dollars, and
+* more than one hundred units of each token in reserve.
+
+These predicates are composable callables over
+:class:`~repro.amm.pool.Pool` so the snapshot pipeline (and tests) can
+mix and match them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..amm.pool import Pool
+from ..core.types import PriceMap
+
+__all__ = [
+    "PoolFilter",
+    "min_tvl_filter",
+    "min_reserve_filter",
+    "paper_filters",
+    "apply_filters",
+    "PAPER_MIN_TVL_USD",
+    "PAPER_MIN_RESERVE",
+]
+
+PoolFilter = Callable[[Pool], bool]
+
+#: Paper §VI: "more than thirty thousand dollars TVL".
+PAPER_MIN_TVL_USD = 30_000.0
+#: Paper §VI: "the number of each token is larger than one hundred".
+PAPER_MIN_RESERVE = 100.0
+
+
+def min_tvl_filter(prices: PriceMap, min_tvl: float = PAPER_MIN_TVL_USD) -> PoolFilter:
+    """Keep pools whose USD TVL is at least ``min_tvl``.
+
+    Pools holding a token the price map does not quote are dropped
+    (their TVL is unknowable, and the strategies could not monetize
+    them anyway).
+    """
+
+    def accept(pool: Pool) -> bool:
+        if any(token not in prices for token in pool.tokens):
+            return False
+        return pool.tvl(prices) >= min_tvl
+
+    return accept
+
+
+def min_reserve_filter(min_reserve: float = PAPER_MIN_RESERVE) -> PoolFilter:
+    """Keep pools where both reserves exceed ``min_reserve`` units."""
+
+    def accept(pool: Pool) -> bool:
+        return all(pool.reserve_of(token) > min_reserve for token in pool.tokens)
+
+    return accept
+
+
+def paper_filters(prices: PriceMap) -> tuple[PoolFilter, ...]:
+    """The exact filter pair of the paper's §VI pipeline."""
+    return (min_tvl_filter(prices), min_reserve_filter())
+
+
+def apply_filters(pools: Iterable[Pool], filters: Iterable[PoolFilter]) -> Iterator[Pool]:
+    """Pools passing *every* filter, preserving input order."""
+    filters = tuple(filters)
+    for pool in pools:
+        if all(f(pool) for f in filters):
+            yield pool

@@ -1,0 +1,48 @@
+"""Optimization substrate (DESIGN.md S6/S7).
+
+1-D optimizers for the fixed-start problem (closed form, bisection on
+the derivative, golden section) and a small convex-programming stack
+(program IR + from-scratch log-barrier interior point + scipy SLSQP)
+that stands in for the paper's off-the-shelf convex solver.
+"""
+
+from .barrier import BarrierSolver, solve_barrier
+from .bisection import bisect_root, maximize_by_derivative
+from .closed_form import optimize_composition, optimize_rotation
+from .golden import golden_section_maximize
+from .loop_program import LoopProgram, build_loop_program
+from .program import (
+    AffineConstraint,
+    ConvexProgram,
+    HopConstraint,
+    LinearEquality,
+    WeightedHopConstraint,
+)
+from .result import ScalarOptResult, SolveResult
+from .slsqp import solve_slsqp
+from .split import SplitResult, optimal_split
+from .chain import chain_rate, optimize_rotation_chain
+
+__all__ = [
+    "AffineConstraint",
+    "BarrierSolver",
+    "ConvexProgram",
+    "HopConstraint",
+    "LinearEquality",
+    "LoopProgram",
+    "ScalarOptResult",
+    "SolveResult",
+    "SplitResult",
+    "WeightedHopConstraint",
+    "bisect_root",
+    "chain_rate",
+    "build_loop_program",
+    "golden_section_maximize",
+    "maximize_by_derivative",
+    "optimal_split",
+    "optimize_rotation_chain",
+    "optimize_composition",
+    "optimize_rotation",
+    "solve_barrier",
+    "solve_slsqp",
+]

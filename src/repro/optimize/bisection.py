@@ -1,0 +1,114 @@
+"""Bisection maximizer for smooth concave 1-D profit functions.
+
+The paper (§III, Fig. 1) optimizes a rotation by finding the input at
+which the composed marginal rate equals 1, i.e. the root of
+``f'(t) = d(delta_out)/d(delta_in) - 1``.  For a concave profit
+function this root is the arg-max, and ``f'`` is monotone decreasing,
+so plain bisection on the derivative is robust and fast — the paper's
+stated method ("it is easy to use the bisection method").
+
+Two entry points:
+
+* :func:`bisect_root` — generic root finder for a monotone-decreasing
+  function on a bracket;
+* :func:`maximize_by_derivative` — profit maximization given the
+  derivative of the *output* function (rate), handling the
+  no-arbitrage (rate(0) <= 1) and bracket-expansion details.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.errors import SolverConvergenceError
+from .result import ScalarOptResult
+
+__all__ = ["bisect_root", "maximize_by_derivative", "DEFAULT_TOL", "DEFAULT_MAX_ITER"]
+
+DEFAULT_TOL = 1e-12
+DEFAULT_MAX_ITER = 200
+
+
+def bisect_root(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> tuple[float, int]:
+    """Root of a decreasing function ``fn`` on ``[lo, hi]``.
+
+    Requires ``fn(lo) >= 0 >= fn(hi)``.  Returns ``(root, iterations)``.
+    Tolerance is *relative* to the bracket midpoint (absolute below 1),
+    so it behaves sensibly for both tiny and huge reserve scales.
+    """
+    f_lo = fn(lo)
+    f_hi = fn(hi)
+    if f_lo < 0 or f_hi > 0:
+        raise ValueError(
+            f"bracket does not straddle the root: fn({lo})={f_lo}, fn({hi})={f_hi}"
+        )
+    iterations = 0
+    while iterations < max_iter:
+        mid = 0.5 * (lo + hi)
+        width = hi - lo
+        scale = max(1.0, abs(mid))
+        if width <= tol * scale:
+            return mid, iterations
+        if fn(mid) >= 0:
+            lo = mid
+        else:
+            hi = mid
+        iterations += 1
+    raise SolverConvergenceError(
+        f"bisection did not converge in {max_iter} iterations "
+        f"(bracket [{lo}, {hi}])"
+    )
+
+
+def maximize_by_derivative(
+    profit: Callable[[float], float],
+    rate: Callable[[float], float],
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+    initial_hi: float = 1.0,
+) -> ScalarOptResult:
+    """Maximize ``profit`` over ``t >= 0`` given the output rate.
+
+    Parameters
+    ----------
+    profit:
+        Concave profit function with ``profit(0) == 0``.
+    rate:
+        Derivative of the *output* wrt the input, monotone decreasing;
+        the profit derivative is ``rate(t) - 1``.
+    initial_hi:
+        Starting guess for the upper bracket; expanded geometrically
+        until ``rate(hi) < 1``.
+
+    Returns the boundary optimum ``t = 0`` immediately when
+    ``rate(0) <= 1`` (no arbitrage).
+    """
+    if rate(0.0) <= 1.0:
+        return ScalarOptResult(x=0.0, value=0.0, iterations=0, converged=True)
+
+    hi = initial_hi
+    expansions = 0
+    while rate(hi) >= 1.0:
+        hi *= 2.0
+        expansions += 1
+        if expansions > 200:
+            raise SolverConvergenceError(
+                "could not bracket the optimum: rate stays >= 1 "
+                f"even at input {hi}"
+            )
+
+    root, iterations = bisect_root(
+        lambda t: rate(t) - 1.0, 0.0, hi, tol=tol, max_iter=max_iter
+    )
+    return ScalarOptResult(
+        x=root,
+        value=profit(root),
+        iterations=iterations + expansions,
+        converged=True,
+    )

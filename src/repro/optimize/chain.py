@@ -1,0 +1,55 @@
+"""Generic rotation optimizer via the chain rule.
+
+The composition algebra gives closed-form optima for constant-product
+loops; loops containing weighted (or any other concave-swap) pools
+need a numeric path.  By the chain rule, the derivative of the
+composed output at input ``t`` is the product of per-hop marginal
+rates evaluated along the simulated path:
+
+    rate(t) = prod_i  F_i'(s_i),   s_0 = t, s_{i+1} = F_i(s_i).
+
+Each ``F_i`` is concave increasing, so ``rate`` is decreasing and the
+profit optimum is the unique root of ``rate(t) = 1`` — found by the
+same bracket-and-bisect routine the paper describes, needing only the
+``quote_out`` / ``marginal_rate`` duck interface every pool type
+implements.
+"""
+
+from __future__ import annotations
+
+from ..core.loop import Rotation
+from .bisection import maximize_by_derivative
+from .result import ScalarOptResult
+
+__all__ = ["chain_rate", "optimize_rotation_chain"]
+
+
+def chain_rate(rotation: Rotation, amount_in: float) -> float:
+    """Composed marginal rate ``d out/d in`` at ``amount_in``."""
+    rate = 1.0
+    current = amount_in
+    for token_in, _token_out, pool in rotation.hops():
+        rate *= pool.marginal_rate(token_in, current)
+        current = pool.quote_out(token_in, current)
+    return rate
+
+
+def optimize_rotation_chain(
+    rotation: Rotation,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> ScalarOptResult:
+    """Optimal input for any concave-swap rotation (chain-rule bisection)."""
+
+    def profit(t: float) -> float:
+        return rotation.simulate(t)[-1] - t
+
+    first_pool = rotation.pools[0]
+    hint = max(first_pool.reserve_of(rotation.start_token) * 1e-3, 1e-9)
+    return maximize_by_derivative(
+        profit=profit,
+        rate=lambda t: chain_rate(rotation, t),
+        tol=tol,
+        max_iter=max_iter,
+        initial_hi=hint,
+    )

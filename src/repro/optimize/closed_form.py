@@ -1,0 +1,45 @@
+"""Closed-form single-rotation optimizer.
+
+The composition algebra (:mod:`repro.amm.composition`) collapses a
+rotation into ``out(t) = a*t/(b+c*t)``; the profit-maximizing input is
+``t* = (sqrt(a*b)-b)/c`` (zero when ``a <= b``).  This module wraps
+that in the same :class:`~repro.optimize.result.ScalarOptResult`
+interface as the iterative optimizers so strategies can switch between
+them (and the ablation benchmark can compare them).
+"""
+
+from __future__ import annotations
+
+from ..amm.composition import SwapComposition
+from ..core.loop import Rotation
+from .result import ScalarOptResult
+
+__all__ = ["optimize_composition", "optimize_rotation"]
+
+
+def optimize_composition(comp: SwapComposition) -> ScalarOptResult:
+    """Exact optimum of the round-trip profit of ``comp``."""
+    t_star = comp.optimal_input()
+    return ScalarOptResult(
+        x=t_star,
+        value=comp.profit(t_star) if t_star > 0 else 0.0,
+        iterations=0,
+        converged=True,
+    )
+
+
+def optimize_rotation(rotation: Rotation) -> ScalarOptResult:
+    """Optimal input/profit for a rotation at current reserves.
+
+    Constant-product rotations use the exact closed form; rotations
+    containing weighted (G3M) hops fall back to the generic chain-rule
+    bisection (:mod:`repro.optimize.chain`), which needs only the pool
+    duck interface.
+    """
+    try:
+        comp = rotation.composition()
+    except TypeError:
+        from .chain import optimize_rotation_chain
+
+        return optimize_rotation_chain(rotation)
+    return optimize_composition(comp)

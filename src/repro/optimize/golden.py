@@ -1,0 +1,65 @@
+"""Golden-section search: derivative-free 1-D maximizer.
+
+Used as an independent cross-check of the bisection-on-derivative and
+closed-form optimizers (three methods, one answer — see the ablation
+benchmark), and as a fallback when only function values are available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..core.errors import SolverConvergenceError
+from .result import ScalarOptResult
+
+__all__ = ["golden_section_maximize"]
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/phi ~ 0.618
+_INV_PHI_SQ = (3.0 - math.sqrt(5.0)) / 2.0  # 1/phi^2 ~ 0.382
+
+
+def golden_section_maximize(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+    max_iter: int = 400,
+) -> ScalarOptResult:
+    """Maximize a unimodal ``fn`` on ``[lo, hi]`` by golden-section search.
+
+    Tolerance is relative to interval magnitude (absolute below 1).
+    Raises :class:`SolverConvergenceError` if the interval does not
+    shrink to tolerance within ``max_iter`` shrinks.
+    """
+    if hi < lo:
+        raise ValueError(f"need lo <= hi, got [{lo}, {hi}]")
+    if hi == lo:
+        return ScalarOptResult(x=lo, value=fn(lo), iterations=0, converged=True)
+
+    a, b = lo, hi
+    h = b - a
+    c = a + _INV_PHI_SQ * h
+    d = a + _INV_PHI * h
+    fc = fn(c)
+    fd = fn(d)
+
+    for iteration in range(1, max_iter + 1):
+        scale = max(1.0, abs(a), abs(b))
+        if h <= tol * scale:
+            x = 0.5 * (a + b)
+            return ScalarOptResult(x=x, value=fn(x), iterations=iteration, converged=True)
+        if fc > fd:
+            b, d, fd = d, c, fc
+            h = b - a
+            c = a + _INV_PHI_SQ * h
+            fc = fn(c)
+        else:
+            a, c, fc = c, d, fd
+            h = b - a
+            d = a + _INV_PHI * h
+            fd = fn(d)
+
+    raise SolverConvergenceError(
+        f"golden-section search did not converge in {max_iter} iterations"
+    )

@@ -1,0 +1,63 @@
+"""Common result containers for the optimizers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ScalarOptResult", "SolveResult"]
+
+
+@dataclass(frozen=True)
+class ScalarOptResult:
+    """Result of a 1-D maximization.
+
+    Attributes
+    ----------
+    x:
+        Arg-max found.
+    value:
+        Objective value at ``x``.
+    iterations:
+        Iterations (bisection steps / golden-section shrinks) used.
+    converged:
+        Whether the tolerance was met within the iteration budget.
+    """
+
+    x: float
+    value: float
+    iterations: int
+    converged: bool
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Result of a convex-program solve.
+
+    Attributes
+    ----------
+    x:
+        Optimal variable vector (copy; callers may mutate freely).
+    objective:
+        Objective value at ``x`` (in the program's *maximize* sense).
+    converged:
+        Whether the backend reports convergence.
+    iterations:
+        Outer iterations (barrier stages or SLSQP iterations).
+    backend:
+        Name of the solver backend that produced the result.
+    message:
+        Backend-specific status message.
+    """
+
+    x: np.ndarray
+    objective: float
+    converged: bool
+    iterations: int
+    backend: str
+    message: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.array(self.x, dtype=float))

@@ -1,0 +1,148 @@
+"""Optimal order splitting across parallel pools (exact KKT solution).
+
+Uniswap routinely hosts several pools for the same token pair; the
+token graph keeps them as parallel edges.  When a hop has parallel
+pools, a trade of total size ``T`` should be *split*: allocate
+``t_i >= 0`` with ``sum t_i = T`` to maximize ``sum F_i(t_i)``.
+
+Because each ``F_i`` is concave, the optimum equalizes marginal rates
+(water-filling): active pools share ``F_i'(t_i) = lam`` and inactive
+pools have spot rate ``<= lam``.  With ``F_i(t) = a_i t/(b_i + c_i t)``
+(:class:`~repro.amm.composition.SwapComposition` coefficients) the KKT
+system solves in closed form per active set:
+
+    t_i = (sqrt(a_i b_i / lam) - b_i) / c_i,
+
+and scanning active sets in descending spot-rate order yields the
+exact optimum in O(k log k).  :func:`optimal_split` implements that;
+the test suite cross-validates it against an SLSQP solve.
+
+This is an *extension* beyond the paper (its loops use one pool per
+hop), motivated by its related work on order routing (Danos et al.);
+the ablation benchmark quantifies how much splitting beats the
+best-single-pool rule the detection pipeline uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["SplitResult", "optimal_split"]
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Optimal allocation of one trade across parallel pools.
+
+    Attributes
+    ----------
+    allocations:
+        Input per pool, aligned with the input sequence; zeros for
+        pools too expensive to use at this trade size.
+    outputs:
+        Output per pool at those allocations.
+    total_out:
+        ``sum(outputs)``.
+    marginal_rate:
+        The common marginal rate ``lam`` of the active pools.
+    """
+
+    allocations: tuple[float, ...]
+    outputs: tuple[float, ...]
+    total_out: float
+    marginal_rate: float
+
+
+def optimal_split(
+    pools: Sequence[tuple[float, float, float]],
+    total_in: float,
+) -> SplitResult:
+    """Split ``total_in`` across parallel ``(x, y, fee)`` pools optimally.
+
+    Raises ``ValueError`` for an empty pool list or negative input.
+    ``total_in == 0`` returns the all-zero split.
+    """
+    if not pools:
+        raise ValueError("need at least one pool to split across")
+    if total_in < 0:
+        raise ValueError(f"total_in must be >= 0, got {total_in}")
+
+    coefficients = []
+    for x, y, fee in pools:
+        if x <= 0 or y <= 0:
+            raise ValueError(f"reserves must be positive, got ({x}, {y})")
+        if not 0.0 <= fee < 1.0:
+            raise ValueError(f"fee must satisfy 0 <= fee < 1, got {fee}")
+        gamma = 1.0 - fee
+        coefficients.append((y * gamma, x, gamma))  # (a, b, c)
+
+    n = len(coefficients)
+    if total_in == 0.0:
+        return SplitResult(
+            allocations=(0.0,) * n,
+            outputs=(0.0,) * n,
+            total_out=0.0,
+            marginal_rate=max(a / b for a, b, _c in coefficients),
+        )
+
+    # Scan active sets in descending spot-rate (a/b) order.  For a
+    # candidate active set S, the common multiplier satisfies
+    #   sqrt(1/lam) = (T + sum b/c) / (sum sqrt(a b)/c)  over S,
+    # and S is consistent iff every member's spot rate exceeds lam and
+    # (by the ordering) every excluded pool's does not.
+    order = sorted(range(n), key=lambda i: -coefficients[i][0] / coefficients[i][1])
+    sum_b_over_c = 0.0
+    sum_root_ab_over_c = 0.0
+    lam = 0.0
+    active_count = 0
+    for rank, index in enumerate(order, start=1):
+        a, b, c = coefficients[index]
+        sum_b_over_c += b / c
+        sum_root_ab_over_c += math.sqrt(a * b) / c
+        inv_sqrt_lam = (total_in + sum_b_over_c) / sum_root_ab_over_c
+        candidate_lam = 1.0 / (inv_sqrt_lam * inv_sqrt_lam)
+        # consistent if every pool in the set would receive t_i > 0,
+        # i.e. its zero-input rate a/b exceeds candidate_lam; by the
+        # sort order it suffices to check the *last* added pool, and
+        # that the next pool (if any) would not want in.
+        current_rate = a / b
+        next_rate = (
+            coefficients[order[rank]][0] / coefficients[order[rank]][1]
+            if rank < n
+            else -math.inf
+        )
+        if current_rate > candidate_lam >= next_rate:
+            lam = candidate_lam
+            active_count = rank
+            break
+    else:  # pragma: no cover - the full set is always consistent
+        lam = candidate_lam
+        active_count = n
+
+    allocations = [0.0] * n
+    outputs = [0.0] * n
+    sqrt_lam = math.sqrt(lam)
+    for index in order[:active_count]:
+        a, b, c = coefficients[index]
+        t = (math.sqrt(a * b) / sqrt_lam - b) / c
+        t = max(t, 0.0)
+        allocations[index] = t
+        outputs[index] = a * t / (b + c * t) if t > 0 else 0.0
+
+    # Normalize tiny float drift so allocations sum to total_in exactly.
+    drift = total_in - sum(allocations)
+    if allocations and abs(drift) > 0:
+        heaviest = max(range(n), key=lambda i: allocations[i])
+        allocations[heaviest] += drift
+        a, b, c = coefficients[heaviest]
+        t = allocations[heaviest]
+        outputs[heaviest] = a * t / (b + c * t) if t > 0 else 0.0
+
+    return SplitResult(
+        allocations=tuple(allocations),
+        outputs=tuple(outputs),
+        total_out=sum(outputs),
+        marginal_rate=lam,
+    )

@@ -1,0 +1,26 @@
+"""Block-by-block market simulation (extension of DESIGN.md S11/S12).
+
+Agents (retail flow, liquidity providers, arbitrageurs) act on a
+market each block while CEX prices random-walk; metrics track how far
+pools drift from CEX parity and how many arbitrage loops exist.  The
+:func:`~repro.simulation.engine.efficiency_experiment` shows the
+paper's economic premise in motion: arbitrageurs keep DEX prices
+aligned with CEXs.
+"""
+
+from .agents import Agent, Arbitrageur, LiquidityProvider, RetailTrader
+from .engine import SimulationEngine, SimulationResult, efficiency_experiment
+from .metrics import BlockMetrics, collect_metrics, mispricing_index
+
+__all__ = [
+    "Agent",
+    "Arbitrageur",
+    "BlockMetrics",
+    "LiquidityProvider",
+    "RetailTrader",
+    "SimulationEngine",
+    "SimulationResult",
+    "collect_metrics",
+    "efficiency_experiment",
+    "mispricing_index",
+]

@@ -1,0 +1,163 @@
+"""Agents for the block-by-block market simulation.
+
+Three agent archetypes cover the behaviours the paper's setting
+implies:
+
+* :class:`RetailTrader` — uninformed flow: random swaps through random
+  pools.  This is what re-creates mispricings (and hence arbitrage
+  loops) block after block.
+* :class:`LiquidityProvider` — deposits/withdraws proportional
+  liquidity at random, changing pool depth (and therefore slippage and
+  optimal trade sizes) without moving prices.
+* :class:`Arbitrageur` — the paper's protagonist: detects a loop
+  (Moore–Bellman–Ford), sizes the trade with a configurable strategy,
+  executes atomically with a flash loan, and books monetized profit.
+
+Agents act on a shared :class:`~repro.data.snapshot.MarketSnapshot`'s
+registry through :meth:`Agent.on_block`; the engine (``engine.py``)
+sequences them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.types import PriceMap
+from ..data.snapshot import MarketSnapshot
+from ..execution.plan import plan_from_result
+from ..execution.simulator import ExecutionSimulator
+from ..graph.build import build_token_graph
+from ..graph.bellman_ford import find_negative_cycle, negative_cycle_to_loop
+from ..strategies.base import Strategy
+
+__all__ = ["Agent", "RetailTrader", "LiquidityProvider", "Arbitrageur"]
+
+
+class Agent(abc.ABC):
+    """A market participant invoked once per block."""
+
+    name: str = "agent"
+
+    @abc.abstractmethod
+    def on_block(self, market: MarketSnapshot, prices: PriceMap, block: int) -> None:
+        """Act on the market for one block."""
+
+
+class RetailTrader(Agent):
+    """Uninformed flow: ``trades_per_block`` random swaps per block.
+
+    Trade sizes are uniform in ``[min_size, max_size]`` as a fraction
+    of the input-side reserve, so pools of any depth get comparable
+    relative price impact.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        trades_per_block: int = 5,
+        min_size: float = 0.001,
+        max_size: float = 0.01,
+        name: str = "retail",
+    ):
+        if not 0.0 < min_size <= max_size < 1.0:
+            raise ValueError(
+                f"need 0 < min_size <= max_size < 1, got ({min_size}, {max_size})"
+            )
+        self._rng = np.random.default_rng(seed)
+        self.trades_per_block = trades_per_block
+        self.min_size = min_size
+        self.max_size = max_size
+        self.name = name
+        self.total_trades = 0
+
+    def on_block(self, market: MarketSnapshot, prices: PriceMap, block: int) -> None:
+        pools = sorted(market.registry, key=lambda p: p.pool_id)
+        for _ in range(self.trades_per_block):
+            pool = pools[int(self._rng.integers(0, len(pools)))]
+            token = pool.tokens[int(self._rng.integers(0, 2))]
+            fraction = float(self._rng.uniform(self.min_size, self.max_size))
+            pool.swap(token, pool.reserve_of(token) * fraction)
+            self.total_trades += 1
+
+
+class LiquidityProvider(Agent):
+    """Random proportional mints/burns: depth changes, prices don't."""
+
+    def __init__(
+        self,
+        seed: int,
+        actions_per_block: int = 1,
+        max_fraction: float = 0.05,
+        name: str = "lp",
+    ):
+        if not 0.0 < max_fraction < 1.0:
+            raise ValueError(f"max_fraction must be in (0, 1), got {max_fraction}")
+        self._rng = np.random.default_rng(seed)
+        self.actions_per_block = actions_per_block
+        self.max_fraction = max_fraction
+        self.name = name
+        self.mints = 0
+        self.burns = 0
+
+    def on_block(self, market: MarketSnapshot, prices: PriceMap, block: int) -> None:
+        pools = sorted(market.registry, key=lambda p: p.pool_id)
+        for _ in range(self.actions_per_block):
+            pool = pools[int(self._rng.integers(0, len(pools)))]
+            fraction = float(self._rng.uniform(0.0, self.max_fraction))
+            if fraction <= 0.0:
+                continue
+            if self._rng.random() < 0.5:
+                r0 = pool.reserve_of(pool.token0)
+                r1 = pool.reserve_of(pool.token1)
+                pool.add_liquidity(r0 * fraction, r1 * fraction)
+                self.mints += 1
+            else:
+                pool.remove_liquidity(fraction)
+                self.burns += 1
+
+
+@dataclass
+class Arbitrageur(Agent):
+    """Detect-and-harvest agent with a configurable sizing strategy.
+
+    Per block: find one negative cycle (fast MBF detection, like
+    paper ref [5]); size it with ``strategy``; execute atomically.
+    Repeats up to ``max_loops_per_block`` times, mirroring a searcher
+    bundling several arbitrages into one block.
+    """
+
+    strategy: Strategy
+    name: str = "arb"
+    max_loops_per_block: int = 3
+    slippage_tolerance: float = 0.05
+    cumulative_usd: float = 0.0
+    trades: int = 0
+    reverts: int = 0
+    profits_by_block: list = field(default_factory=list)
+
+    def on_block(self, market: MarketSnapshot, prices: PriceMap, block: int) -> None:
+        simulator = ExecutionSimulator(registry=market.registry)
+        block_profit = 0.0
+        for _ in range(self.max_loops_per_block):
+            graph = build_token_graph(market.registry)
+            cycle = find_negative_cycle(graph)
+            if cycle is None:
+                break
+            loop = negative_cycle_to_loop(cycle)
+            result = self.strategy.evaluate(loop, prices)
+            if result.monetized_profit <= 0 or not result.hop_amounts:
+                break
+            receipt = simulator.execute(
+                plan_from_result(result, slippage_tolerance=self.slippage_tolerance)
+            )
+            if receipt.reverted:
+                self.reverts += 1
+                break
+            realized = receipt.monetized(prices)
+            block_profit += realized
+            self.cumulative_usd += realized
+            self.trades += 1
+        self.profits_by_block.append(block_profit)

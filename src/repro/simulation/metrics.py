@@ -1,0 +1,76 @@
+"""Per-block market metrics for the simulation engine.
+
+The headline metric is the **mispricing index**: the mean absolute log
+deviation of each pool's (fee-free) relative price from the CEX price
+ratio of its tokens,
+
+    index = mean_pools | log( (y/x) / (P_x / P_y) ) |.
+
+Zero means every pool agrees with the CEX; arbitrage activity should
+push the index toward the fee band.  ``loop_count`` tracks how many
+profitable 3-loops remain — the supply of opportunities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.types import PriceMap
+from ..data.snapshot import MarketSnapshot
+from ..graph.build import build_token_graph
+from ..graph.cycles import find_arbitrage_loops
+
+__all__ = ["BlockMetrics", "mispricing_index", "collect_metrics"]
+
+
+@dataclass(frozen=True)
+class BlockMetrics:
+    """Market health at the end of one block."""
+
+    block: int
+    mispricing_index: float
+    profitable_loops: int
+    total_tvl_usd: float
+
+
+def mispricing_index(market: MarketSnapshot, prices: PriceMap) -> float:
+    """Mean |log| deviation of pool prices from CEX parity."""
+    deviations = []
+    for pool in market.registry:
+        token0, token1 = pool.tokens
+        if token0 not in prices or token1 not in prices:
+            continue
+        p0, p1 = prices[token0], prices[token1]
+        if p0 <= 0 or p1 <= 0:
+            continue
+        pool_price = pool.reserve_of(token1) / pool.reserve_of(token0)
+        cex_price = p0 / p1
+        deviations.append(abs(math.log(pool_price / cex_price)))
+    if not deviations:
+        return 0.0
+    return sum(deviations) / len(deviations)
+
+
+def collect_metrics(
+    market: MarketSnapshot,
+    prices: PriceMap,
+    block: int,
+    count_loops: bool = True,
+) -> BlockMetrics:
+    """Snapshot the market's health after a block."""
+    loops = 0
+    if count_loops:
+        graph = build_token_graph(market.registry)
+        loops = len(find_arbitrage_loops(graph, 3))
+    tvl = sum(
+        pool.tvl(prices)
+        for pool in market.registry
+        if all(token in prices for token in pool.tokens)
+    )
+    return BlockMetrics(
+        block=block,
+        mispricing_index=mispricing_index(market, prices),
+        profitable_loops=loops,
+        total_tvl_usd=tvl,
+    )

@@ -1,0 +1,21 @@
+"""The paper's arbitrage strategies (DESIGN.md S8)."""
+
+from .base import Strategy, StrategyResult
+from .convexopt import ConvexOptimizationStrategy
+from .maxmax import MaxMaxStrategy
+from .maxprice import MaxPriceStrategy
+from .registry import available_strategies, make_strategy
+from .traditional import TraditionalStrategy, optimize_rotation_by, rotation_result
+
+__all__ = [
+    "ConvexOptimizationStrategy",
+    "MaxMaxStrategy",
+    "MaxPriceStrategy",
+    "Strategy",
+    "StrategyResult",
+    "TraditionalStrategy",
+    "available_strategies",
+    "make_strategy",
+    "optimize_rotation_by",
+    "rotation_result",
+]

@@ -1,0 +1,44 @@
+"""Strategy registry: build strategies by name.
+
+Used by the CLI and the experiment harness so configuration stays
+string-based (``--strategy maxmax``) without scattering ``if`` chains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Strategy
+from .convexopt import ConvexOptimizationStrategy
+from .maxmax import MaxMaxStrategy
+from .maxprice import MaxPriceStrategy
+from .traditional import TraditionalStrategy
+
+__all__ = ["STRATEGY_FACTORIES", "make_strategy", "available_strategies"]
+
+STRATEGY_FACTORIES: dict[str, Callable[..., Strategy]] = {
+    "traditional": TraditionalStrategy,
+    "maxprice": MaxPriceStrategy,
+    "maxmax": MaxMaxStrategy,
+    "convex": ConvexOptimizationStrategy,
+}
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Names accepted by :func:`make_strategy`, sorted."""
+    return tuple(sorted(STRATEGY_FACTORIES))
+
+
+def make_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by its registry name.
+
+    Extra keyword arguments pass through to the strategy constructor
+    (e.g. ``make_strategy("convex", backend="slsqp")``).
+    """
+    try:
+        factory = STRATEGY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from None
+    return factory(**kwargs)

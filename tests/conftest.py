@@ -1,0 +1,69 @@
+"""Shared fixtures: the §V example, small markets, and strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import Pool, PoolRegistry
+from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.data import paper_market, section5_loop, section5_prices, section5_snapshot
+
+
+@pytest.fixture
+def tokens_xyz():
+    return Token("X"), Token("Y"), Token("Z")
+
+
+@pytest.fixture
+def s5_loop():
+    """Fresh §V loop (pools are mutable; never share across tests)."""
+    return section5_loop()
+
+
+@pytest.fixture
+def s5_prices():
+    return section5_prices()
+
+
+@pytest.fixture
+def s5_snapshot():
+    return section5_snapshot()
+
+
+@pytest.fixture
+def no_arb_loop(tokens_xyz):
+    """A 3-loop with *no* arbitrage: pools agree on consistent prices.
+
+    Relative prices are 2, 1/2, 1 around the loop; with fees the
+    round-trip rate is (1-fee)^3 < 1.
+    """
+    x, y, z = tokens_xyz
+    pools = [
+        Pool(x, y, 100.0, 200.0, pool_id="na-xy"),
+        Pool(y, z, 200.0, 100.0, pool_id="na-yz"),
+        Pool(z, x, 100.0, 100.0, pool_id="na-zx"),
+    ]
+    return ArbitrageLoop([x, y, z], pools)
+
+
+@pytest.fixture
+def small_registry(tokens_xyz):
+    x, y, z = tokens_xyz
+    registry = PoolRegistry()
+    registry.create(x, y, 100.0, 200.0, pool_id="r-xy")
+    registry.create(y, z, 300.0, 200.0, pool_id="r-yz")
+    registry.create(z, x, 200.0, 400.0, pool_id="r-zx")
+    return registry
+
+
+@pytest.fixture(scope="session")
+def default_market():
+    """The default §VI-scale market (expensive; share per session,
+    treat as read-only — tests that mutate pools must copy())."""
+    return paper_market()
+
+
+@pytest.fixture
+def simple_prices(tokens_xyz):
+    x, y, z = tokens_xyz
+    return PriceMap({x: 2.0, y: 10.2, z: 20.0})

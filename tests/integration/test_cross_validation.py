@@ -1,0 +1,79 @@
+"""Cross-validation sweeps: independent implementations must agree on
+the empirical market, loop by loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import profitable_loops
+from repro.optimize import optimize_rotation_chain
+from repro.strategies import (
+    ConvexOptimizationStrategy,
+    MaxMaxStrategy,
+    TraditionalStrategy,
+    optimize_rotation_by,
+)
+
+
+@pytest.fixture(scope="module")
+def market_and_loops():
+    from repro.data import paper_market
+
+    market = paper_market()
+    _snapshot, loops = profitable_loops(market, 3)
+    return market, loops
+
+
+class TestOptimizerAgreementOnEmpiricalLoops:
+    def test_three_methods_agree_everywhere(self, market_and_loops):
+        _market, loops = market_and_loops
+        for loop in loops[:40]:
+            for rotation in loop.rotations():
+                exact = optimize_rotation_by(rotation, "closed_form")
+                bis = optimize_rotation_by(rotation, "bisection")
+                assert bis.x == pytest.approx(exact.x, rel=1e-6, abs=1e-9)
+                if exact.x > 0:
+                    gold = optimize_rotation_by(rotation, "golden")
+                    assert gold.value == pytest.approx(
+                        exact.value, rel=1e-6, abs=1e-9
+                    )
+
+    def test_chain_rule_agrees_with_closed_form(self, market_and_loops):
+        _market, loops = market_and_loops
+        for loop in loops[:40]:
+            rotation = loop.rotations()[0]
+            exact = optimize_rotation_by(rotation, "closed_form")
+            chain = optimize_rotation_chain(rotation)
+            assert chain.x == pytest.approx(exact.x, rel=1e-6, abs=1e-9)
+
+
+class TestBackendAgreementOnEmpiricalLoops:
+    def test_barrier_equals_slsqp(self, market_and_loops):
+        market, loops = market_and_loops
+        barrier = ConvexOptimizationStrategy(backend="barrier")
+        slsqp = ConvexOptimizationStrategy(backend="slsqp")
+        for loop in loops[:30]:
+            b = barrier.evaluate(loop, market.prices).monetized_profit
+            s = slsqp.evaluate(loop, market.prices).monetized_profit
+            assert b == pytest.approx(s, rel=1e-4, abs=1e-6 * max(1.0, b))
+
+
+class TestMethodInvarianceOfStrategies:
+    def test_maxmax_method_invariant(self, market_and_loops):
+        market, loops = market_and_loops
+        for loop in loops[:20]:
+            closed = MaxMaxStrategy(method="closed_form").evaluate(loop, market.prices)
+            bisect = MaxMaxStrategy(method="bisection").evaluate(loop, market.prices)
+            assert closed.monetized_profit == pytest.approx(
+                bisect.monetized_profit, rel=1e-6
+            )
+            assert closed.start_token == bisect.start_token
+
+    def test_traditional_deterministic(self, market_and_loops):
+        market, loops = market_and_loops
+        loop = loops[0]
+        token = loop.tokens[0]
+        a = TraditionalStrategy(start_token=token).evaluate(loop, market.prices)
+        b = TraditionalStrategy(start_token=token).evaluate(loop, market.prices)
+        assert a.monetized_profit == b.monetized_profit
+        assert a.hop_amounts == b.hop_amounts

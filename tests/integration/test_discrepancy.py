@@ -1,0 +1,46 @@
+"""Integration tests for the Convex-vs-MaxMax discrepancy study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import discrepancy_vs_noise, loop_discrepancy
+from repro.data import section5_loop, section5_prices
+
+
+class TestLoopDiscrepancy:
+    def test_section5_gap(self):
+        """The §V example has a real gap: (206.1 - 205.6)/205.6 ~ 0.27 %."""
+        gap = loop_discrepancy(section5_loop(), section5_prices())
+        assert gap == pytest.approx(0.0027, abs=0.0005)
+
+    def test_no_arb_loop_zero_gap(self, no_arb_loop, simple_prices):
+        assert loop_discrepancy(no_arb_loop, simple_prices) == 0.0
+
+    def test_gap_nonnegative(self, s5_loop, s5_prices):
+        assert loop_discrepancy(s5_loop, s5_prices) >= 0.0
+
+
+class TestDiscrepancyVsNoise:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return discrepancy_vs_noise(noise_levels=(0.01, 0.4))
+
+    def test_small_noise_zero_gap(self, points):
+        """At §VI-like mispricing the strategies coincide — the
+        quantitative explanation of the paper's Fig. 7."""
+        low = points[0]
+        assert low.n_loops > 0
+        assert low.mean_rel_gap == pytest.approx(0.0, abs=1e-9)
+        assert low.frac_loops_with_gap == 0.0
+
+    def test_large_noise_opens_gap(self, points):
+        """Only violently mispriced loops (§V-example scale) reward
+        holding a mixture of tokens."""
+        high = points[-1]
+        assert high.n_loops > 0
+        assert high.max_rel_gap > 0.01
+        assert high.frac_loops_with_gap > 0.0
+
+    def test_log_rate_grows_with_noise(self, points):
+        assert points[-1].mean_log_rate > points[0].mean_log_rate

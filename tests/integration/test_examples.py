@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run and print sane output."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "206.15" in out  # convex monetized profit
+        assert "reverted: False" in out
+
+    def test_runtime_study(self):
+        out = run_example("runtime_study.py", "--max-length", "4", "--repeats", "1")
+        assert "loop length" in out
+        assert "convex/maxmax" in out
+
+    @pytest.mark.slow
+    def test_price_sweep_figures(self, tmp_path):
+        out = run_example("price_sweep_figures.py", "--csv-dir", str(tmp_path))
+        assert "distinct optimum positions (rounded): 6" in out
+        assert (tmp_path / "fig2.csv").exists()
+        assert (tmp_path / "fig3.csv").exists()
+
+    @pytest.mark.slow
+    def test_empirical_study(self):
+        out = run_example("empirical_study.py")
+        assert "profitable length-3 loops:" in out
+        assert "Fig. 7" in out
+
+    @pytest.mark.slow
+    def test_live_bot(self):
+        out = run_example("live_bot.py", "--blocks", "5")
+        assert "maxmax-bot" in out
+        assert "cumulative profit" in out
+
+    @pytest.mark.slow
+    def test_searcher_playbook(self):
+        out = run_example("searcher_playbook.py")
+        assert "bundle" in out
+        assert "sequential harvest" in out

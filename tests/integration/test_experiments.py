@@ -1,0 +1,187 @@
+"""Integration: every figure's harness function reproduces the
+paper's qualitative claims (the 'shape' of each figure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fig1_profit_curve,
+    fig2_rotation_sweep,
+    fig3_convex_vs_maxmax_sweep,
+    fig4_profit_composition,
+    fig5_maxmax_vs_traditional,
+    fig6_maxprice_vs_maxmax,
+    fig7_convex_vs_maxmax,
+    fig8_token_profit_overlap,
+    fig9_len4_traditional,
+    fig10_len4_maxmax,
+    runtime_scaling,
+    section5_numbers,
+    snapshot_calibration,
+)
+from repro.data import SECTION5_PAPER_NUMBERS
+
+
+SMALL_GRID = np.array([1e-9, 2.0, 5.0, 10.0, 15.0, 20.0])
+
+
+@pytest.fixture(scope="module")
+def market():
+    from repro.data import paper_market
+
+    return paper_market()
+
+
+class TestFig1:
+    def test_optimum_matches_paper(self):
+        result = fig1_profit_curve()
+        assert result.optimal_input == pytest.approx(27.0, abs=0.1)
+        assert result.optimal_profit == pytest.approx(16.87, abs=0.05)
+
+    def test_derivative_one_at_optimum(self):
+        result = fig1_profit_curve()
+        assert result.derivative_at_optimum == pytest.approx(1.0, rel=1e-9)
+
+    def test_curve_concave_with_interior_max(self):
+        result = fig1_profit_curve(n_points=300)
+        peak = np.argmax(result.profits)
+        assert 0 < peak < len(result.profits) - 1
+        second_diff = np.diff(result.profits, 2)
+        assert np.all(second_diff < 1e-9)
+
+
+class TestFig2:
+    def test_maxmax_is_pointwise_envelope(self):
+        series = fig2_rotation_sweep(grid=SMALL_GRID)
+        mm = series.series("maxmax")
+        for label in ("start_X", "start_Y", "start_Z"):
+            assert np.all(mm >= series.series(label) - 1e-9)
+
+    def test_x_rotation_overtakes_maxprice_at_high_px(self):
+        """Paper: at Px ~ 15$, starting from X beats the MaxPrice
+        rotation (which starts from Z, price 20$)."""
+        series = fig2_rotation_sweep(grid=np.array([15.0]))
+        assert series.series("start_X")[0] > series.series("maxprice")[0]
+
+    def test_rotation_y_z_flat_in_px(self):
+        series = fig2_rotation_sweep(grid=SMALL_GRID)
+        for label in ("start_Y", "start_Z"):
+            values = series.series(label)
+            assert np.ptp(values) < 1e-9
+
+    def test_known_values_at_px2(self):
+        series = fig2_rotation_sweep(grid=np.array([2.0]))
+        point = series.points[0]
+        assert point.monetized("start_X") == pytest.approx(33.74, abs=0.05)
+        assert point.monetized("start_Y") == pytest.approx(201.14, abs=0.05)
+        assert point.monetized("start_Z") == pytest.approx(205.59, abs=0.05)
+
+
+class TestFig3:
+    def test_convex_dominates_everywhere(self):
+        series = fig3_convex_vs_maxmax_sweep(grid=SMALL_GRID)
+        mm = series.series("maxmax")
+        cv = series.series("convex")
+        assert np.all(cv >= mm - 1e-6)
+
+    def test_gap_is_small_but_real(self):
+        series = fig3_convex_vs_maxmax_sweep(grid=np.array([2.0]))
+        gap = series.series("convex")[0] - series.series("maxmax")[0]
+        assert 0.0 < gap < 2.0  # paper: 206.1 vs 205.6
+
+
+class TestFig4:
+    def test_composition_monetizes_consistently(self):
+        grid, rows, monetized = fig4_profit_composition(grid=SMALL_GRID)
+        for px, row, total in zip(grid, rows, monetized):
+            expected = row[0] * px + row[1] * 10.2 + row[2] * 20.0
+            assert total == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+    def test_profit_amounts_nonnegative(self):
+        _grid, rows, _monetized = fig4_profit_composition(grid=SMALL_GRID)
+        assert np.all(rows >= -1e-8)
+
+    def test_optimal_points_cluster(self):
+        """Paper: optima lie in a small number of positions."""
+        _grid, rows, _monetized = fig4_profit_composition(grid=SMALL_GRID)
+        rounded = {tuple(np.round(row, 1)) for row in rows}
+        assert len(rounded) <= len(SMALL_GRID)
+
+
+class TestSection5Numbers:
+    def test_all_paper_numbers(self):
+        ours = section5_numbers()
+        paper = SECTION5_PAPER_NUMBERS
+        for key in (
+            "monetized_from_X",
+            "monetized_from_Y",
+            "monetized_from_Z",
+            "maxmax",
+        ):
+            assert ours[key] == pytest.approx(paper[key], abs=0.1), key
+        assert ours["convex"] == pytest.approx(paper["convex"], abs=0.1)
+        assert ours["convex_profit_Y"] == pytest.approx(
+            paper["convex_profit_Y"], abs=0.1
+        )
+        assert ours["convex_profit_Z"] == pytest.approx(
+            paper["convex_profit_Z"], abs=0.1
+        )
+
+
+class TestScatterFigures:
+    def test_fig5_all_points_below_line(self, market):
+        result = fig5_maxmax_vs_traditional(market)
+        assert result.stats.n >= 3 * 100  # three points per loop
+        assert result.stats.frac_below_or_on == 1.0
+        assert result.stats.max_rel_excess <= 1e-9
+
+    def test_fig6_maxprice_below_with_strict_cases(self, market):
+        result = fig6_maxprice_vs_maxmax(market)
+        assert result.stats.frac_below_or_on == 1.0
+        assert result.stats.frac_strictly_below > 0.0
+
+    def test_fig7_convex_equals_maxmax_almost(self, market):
+        result = fig7_convex_vs_maxmax(market)
+        assert result.stats.frac_below_or_on == 1.0  # maxmax never above convex
+        assert result.stats.mean_rel_gap < 0.01      # ... and almost equal
+        assert result.stats.pearson_r > 0.999
+
+    def test_fig8_profit_vectors_overlap(self, market):
+        result = fig8_token_profit_overlap(market)
+        assert len(result.loops) > 0
+        # Fig. 8: the clouds overlap; per-token differences are small
+        # relative to each loop's profit scale.
+        assert result.max_component_gap < 0.2
+
+    @pytest.mark.slow
+    def test_fig9_len4_traditional_below_convex(self, market):
+        result = fig9_len4_traditional(market)
+        assert result.stats.frac_below_or_on == 1.0
+        assert result.stats.n >= 4  # 4 points per loop
+
+    @pytest.mark.slow
+    def test_fig10_len4_maxmax_below_convex(self, market):
+        result = fig10_len4_maxmax(market)
+        assert result.stats.frac_below_or_on == 1.0
+        assert result.stats.mean_rel_gap < 0.02
+
+
+class TestRuntime:
+    def test_maxmax_milliseconds_convex_slower(self):
+        result = runtime_scaling(lengths=(3, 10), repeats=1)
+        # paper §VII: MaxMax stays at ms level even for length 10
+        assert result.maxmax_seconds[-1] < 0.05
+        # the convex program is substantially slower at length 10
+        assert result.convex_seconds[-1] > result.maxmax_seconds[-1]
+        speedups = result.speedup()
+        assert speedups[-1] > 1.0
+
+
+class TestCalibration:
+    def test_counts_near_paper(self):
+        result = snapshot_calibration(include_len4=False)
+        assert result.tokens == result.paper_tokens == 51
+        assert result.pools == result.paper_pools == 208
+        assert abs(result.profitable_loops_len3 - result.paper_loops_len3) <= 15

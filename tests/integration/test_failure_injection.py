@@ -1,0 +1,173 @@
+"""Failure injection: pathological markets, degenerate parameters, and
+adversarial conditions across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import Pool, PoolRegistry
+from repro.core import (
+    ArbitrageLoop,
+    InsufficientLiquidityError,
+    PriceMap,
+    Token,
+)
+from repro.data import synthetic_loop, synthetic_loop_prices
+from repro.execution import ExecutionSimulator, plan_from_result
+from repro.graph import build_token_graph, find_arbitrage_loops
+from repro.strategies import (
+    ConvexOptimizationStrategy,
+    MaxMaxStrategy,
+    TraditionalStrategy,
+)
+
+X, Y, Z = Token("X"), Token("Y"), Token("Z")
+
+
+class TestExtremeFees:
+    @pytest.mark.parametrize("fee", [0.0, 0.5, 0.99])
+    def test_strategies_survive_any_fee(self, fee):
+        pools = [
+            Pool(X, Y, 100.0, 300.0, fee=fee, pool_id=f"f-xy-{fee}"),
+            Pool(Y, Z, 300.0, 200.0, fee=fee, pool_id=f"f-yz-{fee}"),
+            Pool(Z, X, 200.0, 400.0, fee=fee, pool_id=f"f-zx-{fee}"),
+        ]
+        loop = ArbitrageLoop([X, Y, Z], pools)
+        prices = PriceMap({X: 2.0, Y: 10.0, Z: 20.0})
+        mm = MaxMaxStrategy().evaluate(loop, prices)
+        cv = ConvexOptimizationStrategy(backend="slsqp").evaluate(loop, prices)
+        assert mm.monetized_profit >= 0.0
+        assert cv.monetized_profit >= mm.monetized_profit - 1e-6
+        if fee == 0.99:
+            # a 99% fee annihilates any plausible mispricing
+            assert mm.monetized_profit == 0.0
+
+    def test_fee_kills_marginal_loop(self):
+        """A loop profitable at fee 0 dies at high fee (crossover)."""
+        def loop_with_fee(fee):
+            pools = [
+                Pool(X, Y, 100.0, 101.0, fee=fee, pool_id=f"m-xy-{fee}"),
+                Pool(Y, Z, 100.0, 101.0, fee=fee, pool_id=f"m-yz-{fee}"),
+                Pool(Z, X, 100.0, 101.0, fee=fee, pool_id=f"m-zx-{fee}"),
+            ]
+            return ArbitrageLoop([X, Y, Z], pools)
+
+        assert loop_with_fee(0.0).is_arbitrage()
+        assert not loop_with_fee(0.02).is_arbitrage()
+
+
+class TestExtremeReserves:
+    def test_tiny_reserves(self):
+        pools = [
+            Pool(X, Y, 1e-6, 3e-6, pool_id="t-xy"),
+            Pool(Y, Z, 3e-6, 2e-6, pool_id="t-yz"),
+            Pool(Z, X, 2e-6, 4e-6, pool_id="t-zx"),
+        ]
+        loop = ArbitrageLoop([X, Y, Z], pools)
+        prices = PriceMap({X: 2.0, Y: 10.0, Z: 20.0})
+        result = MaxMaxStrategy().evaluate(loop, prices)
+        assert result.monetized_profit >= 0.0
+
+    def test_huge_reserves(self):
+        pools = [
+            Pool(X, Y, 1e15, 3e15, pool_id="h-xy"),
+            Pool(Y, Z, 3e15, 2e15, pool_id="h-yz"),
+            Pool(Z, X, 2e15, 4e15, pool_id="h-zx"),
+        ]
+        loop = ArbitrageLoop([X, Y, Z], pools)
+        prices = PriceMap({X: 2.0, Y: 10.0, Z: 20.0})
+        mm = MaxMaxStrategy().evaluate(loop, prices)
+        cv = ConvexOptimizationStrategy(backend="slsqp").evaluate(loop, prices)
+        assert cv.monetized_profit >= mm.monetized_profit * (1 - 1e-6)
+
+    def test_wildly_asymmetric_reserves(self):
+        pools = [
+            Pool(X, Y, 1e2, 1e12, pool_id="a-xy"),
+            Pool(Y, Z, 1e12, 1e3, pool_id="a-yz"),
+            Pool(Z, X, 1e3, 2e2, pool_id="a-zx"),
+        ]
+        loop = ArbitrageLoop([X, Y, Z], pools)
+        prices = PriceMap({X: 1e4, Y: 1e-6, Z: 10.0})
+        result = MaxMaxStrategy().evaluate(loop, prices)
+        assert result.monetized_profit >= 0.0
+
+
+class TestLongLoops:
+    @pytest.mark.parametrize("length", [5, 10, 15])
+    def test_long_loops_end_to_end(self, length):
+        loop = synthetic_loop(length, seed=3)
+        prices = synthetic_loop_prices(loop, seed=3)
+        mm = MaxMaxStrategy().evaluate(loop, prices)
+        cv = ConvexOptimizationStrategy(backend="slsqp").evaluate(loop, prices)
+        assert mm.monetized_profit > 0
+        assert cv.monetized_profit >= mm.monetized_profit - 1e-6 * mm.monetized_profit
+        registry = PoolRegistry(loop.pools)
+        receipt = ExecutionSimulator(registry=registry).execute(
+            plan_from_result(mm, slippage_tolerance=1e-9)
+        )
+        assert not receipt.reverted
+
+    def test_two_token_loop(self):
+        """Parallel pools on one pair form the shortest loop."""
+        p1 = Pool(X, Y, 100.0, 230.0, pool_id="p2-1")
+        p2 = Pool(X, Y, 100.0, 200.0, pool_id="p2-2")
+        loop = ArbitrageLoop([X, Y], [p1, p2])
+        prices = PriceMap({X: 2.0, Y: 1.0})
+        assert loop.is_arbitrage()
+        mm = MaxMaxStrategy().evaluate(loop, prices)
+        assert mm.monetized_profit > 0
+        cv = ConvexOptimizationStrategy(backend="slsqp").evaluate(loop, prices)
+        assert cv.monetized_profit >= mm.monetized_profit - 1e-9
+
+
+class TestAdversarialExecution:
+    def test_sandwiched_plan_reverts_cleanly(self, s5_loop, s5_prices):
+        registry = PoolRegistry(s5_loop.pools)
+        result = MaxMaxStrategy().evaluate(s5_loop, s5_prices)
+        plan = plan_from_result(result)  # zero tolerance
+        # front-runner trades the same direction as the plan's first
+        # hop, moving the price against it
+        first_pool = plan.swaps[0].pool
+        victim_token = plan.swaps[0].token_in
+        first_pool.swap(victim_token, 100.0)
+        simulator = ExecutionSimulator(registry=registry)
+        receipt = simulator.execute(plan)
+        assert receipt.reverted
+        assert simulator.balances == {} or all(
+            abs(v) < 1e-9 for v in simulator.balances.values()
+        )
+
+    def test_exact_out_of_whole_reserve_rejected(self):
+        pool = Pool(X, Y, 100.0, 200.0)
+        with pytest.raises(InsufficientLiquidityError):
+            pool.quote_in(Y, 200.0)
+
+    def test_empty_market_pipeline(self):
+        registry = PoolRegistry()
+        graph = build_token_graph(registry)
+        assert find_arbitrage_loops(graph, 3) == []
+
+
+class TestZeroAndExtremePrices:
+    def test_zero_price_token_ignored_in_monetization(self, s5_loop):
+        prices = PriceMap({X: 0.0, Y: 10.2, Z: 20.0})
+        result = MaxMaxStrategy().evaluate(s5_loop, prices)
+        # X rotation monetizes to zero; the best is still Y or Z
+        assert result.start_token in (Y, Z)
+        assert result.monetized_profit > 0
+
+    def test_all_zero_prices(self, s5_loop):
+        prices = PriceMap({X: 0.0, Y: 0.0, Z: 0.0})
+        result = MaxMaxStrategy().evaluate(s5_loop, prices)
+        assert result.monetized_profit == 0.0
+        cv = ConvexOptimizationStrategy(backend="slsqp").evaluate(s5_loop, prices)
+        assert cv.monetized_profit == pytest.approx(0.0, abs=1e-9)
+
+    def test_astronomical_price(self, s5_loop):
+        prices = PriceMap({X: 1e12, Y: 10.2, Z: 20.0})
+        result = MaxMaxStrategy().evaluate(s5_loop, prices)
+        assert result.start_token == X
+        trad = TraditionalStrategy(start_token=X).evaluate(s5_loop, prices)
+        assert result.monetized_profit == pytest.approx(
+            trad.monetized_profit, rel=1e-12
+        )

@@ -1,0 +1,110 @@
+"""End-to-end behaviour on mixed and evolving markets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import Pool, PoolRegistry, WeightedPool
+from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.data import MarketSnapshot
+from repro.execution import ExecutionSimulator, plan_from_result
+from repro.graph import build_token_graph, find_arbitrage_loops
+from repro.simulation import LiquidityProvider, RetailTrader, SimulationEngine
+from repro.strategies import ConvexOptimizationStrategy, MaxMaxStrategy
+
+A, B, C, D = Token("A"), Token("B"), Token("C"), Token("D")
+
+
+@pytest.fixture
+def mixed_snapshot():
+    """A market mixing constant-product and weighted pools."""
+    registry = PoolRegistry()
+    registry.add(Pool(A, B, 1000.0, 2040.0, pool_id="mx-ab"))
+    registry.add(WeightedPool(B, C, 2000.0, 1000.0, weight0=0.6, weight1=0.4, pool_id="mx-bc"))
+    registry.add(Pool(C, A, 1000.0, 1015.0, pool_id="mx-ca"))
+    registry.add(Pool(A, D, 1000.0, 500.0, pool_id="mx-ad"))
+    registry.add(WeightedPool(C, D, 1000.0, 495.0, weight0=0.5, weight1=0.5, pool_id="mx-cd"))
+    prices = PriceMap({A: 2.0, B: 1.0, C: 2.1, D: 4.0})
+    return MarketSnapshot(registry=registry, prices=prices, label="mixed")
+
+
+class TestMixedDetection:
+    def test_graph_includes_weighted_pools(self, mixed_snapshot):
+        graph = build_token_graph(mixed_snapshot.registry)
+        assert graph.number_of_edges() == 5
+        assert graph.number_of_nodes() == 4
+
+    def test_loops_found_and_evaluated(self, mixed_snapshot):
+        graph = build_token_graph(mixed_snapshot.registry)
+        loops = find_arbitrage_loops(graph, 3)
+        strategy = MaxMaxStrategy()
+        for loop in loops:
+            result = strategy.evaluate(loop, mixed_snapshot.prices)
+            assert result.monetized_profit >= 0.0
+
+    def test_convex_on_mixed_loop(self, mixed_snapshot):
+        graph = build_token_graph(mixed_snapshot.registry)
+        loops = find_arbitrage_loops(graph, 3)
+        mixed_loops = [
+            loop
+            for loop in loops
+            if any(not p.is_constant_product for p in loop.pools)
+        ]
+        if not mixed_loops:
+            pytest.skip("no profitable mixed loop at these reserves")
+        convex = ConvexOptimizationStrategy(backend="slsqp")
+        maxmax = MaxMaxStrategy()
+        for loop in mixed_loops:
+            cv = convex.evaluate(loop, mixed_snapshot.prices)
+            mm = maxmax.evaluate(loop, mixed_snapshot.prices)
+            assert cv.monetized_profit >= mm.monetized_profit - 1e-6
+
+    def test_mixed_loop_executes(self, mixed_snapshot):
+        graph = build_token_graph(mixed_snapshot.registry)
+        loops = find_arbitrage_loops(graph, 3)
+        strategy = MaxMaxStrategy()
+        results = [(strategy.evaluate(l, mixed_snapshot.prices), l) for l in loops]
+        profitable = [(r, l) for r, l in results if r.monetized_profit > 0]
+        assert profitable
+        best, _loop = max(profitable, key=lambda pair: pair[0].monetized_profit)
+        simulator = ExecutionSimulator(registry=mixed_snapshot.registry)
+        receipt = simulator.execute(plan_from_result(best, slippage_tolerance=1e-9))
+        assert not receipt.reverted
+        assert receipt.monetized(mixed_snapshot.prices) == pytest.approx(
+            best.monetized_profit, rel=1e-6
+        )
+
+
+class TestMixedSerialization:
+    def test_weighted_pools_roundtrip(self, mixed_snapshot):
+        restored = MarketSnapshot.from_json(mixed_snapshot.to_json())
+        assert restored.to_json() == mixed_snapshot.to_json()
+        weighted = restored.registry["mx-bc"]
+        assert not weighted.is_constant_product
+        assert weighted.weight_of(B) == pytest.approx(0.6)
+        # quotes agree with the original
+        original = mixed_snapshot.registry["mx-bc"]
+        assert weighted.quote_out(B, 10.0) == pytest.approx(
+            original.quote_out(B, 10.0), rel=1e-12
+        )
+
+
+class TestEngineWithAllAgentTypes:
+    def test_three_agent_simulation(self, mixed_snapshot):
+        engine = SimulationEngine(
+            mixed_snapshot,
+            [
+                RetailTrader(seed=3, trades_per_block=3),
+                LiquidityProvider(seed=4, actions_per_block=1),
+            ],
+            price_seed=3,
+            count_loops=True,
+        )
+        result = engine.run(5)
+        assert len(result.metrics) == 5
+        lp = result.agents[1]
+        assert lp.mints + lp.burns > 0
+        # the evolving market keeps valid reserves throughout
+        for pool in result.market.registry:
+            for token in pool.tokens:
+                assert pool.reserve_of(token) > 0

@@ -1,0 +1,148 @@
+"""Integration tests for multi-loop portfolio analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    conflict_graph,
+    greedy_harvest,
+    independent_bundle,
+    profitable_loops,
+)
+from repro.execution import ExecutionSimulator, plan_from_result
+from repro.strategies import MaxMaxStrategy
+
+
+@pytest.fixture(scope="module")
+def market():
+    from repro.data import paper_market
+
+    return paper_market()
+
+
+@pytest.fixture(scope="module")
+def loops_and_results(market):
+    _snapshot, loops = profitable_loops(market, 3)
+    strategy = MaxMaxStrategy()
+    results = [strategy.evaluate(loop, market.prices) for loop in loops]
+    return loops, results
+
+
+class TestConflictGraph:
+    def test_nodes_match_loops(self, loops_and_results):
+        loops, _ = loops_and_results
+        graph = conflict_graph(loops)
+        assert graph.number_of_nodes() == len(loops)
+
+    def test_edges_only_between_pool_sharers(self, loops_and_results):
+        loops, _ = loops_and_results
+        graph = conflict_graph(loops)
+        for a, b in list(graph.edges())[:200]:
+            pools_a = {p.pool_id for p in loops[a].pools}
+            pools_b = {p.pool_id for p in loops[b].pools}
+            assert pools_a & pools_b
+
+    def test_hub_markets_conflict_heavily(self, loops_and_results):
+        loops, _ = loops_and_results
+        graph = conflict_graph(loops)
+        # hub-dominated markets: most loops share a pool with another
+        assert graph.number_of_edges() > 0
+
+
+class TestIndependentBundle:
+    def test_bundle_is_independent(self, loops_and_results):
+        loops, results = loops_and_results
+        bundle = independent_bundle(loops, results)
+        used_pools: set[str] = set()
+        for index in bundle:
+            pool_ids = {p.pool_id for p in loops[index].pools}
+            assert not (pool_ids & used_pools)
+            used_pools |= pool_ids
+
+    def test_bundle_sorted_greedily(self, loops_and_results):
+        loops, results = loops_and_results
+        bundle = independent_bundle(loops, results)
+        profits = [results[i].monetized_profit for i in bundle]
+        assert profits == sorted(profits, reverse=True)
+        assert all(p > 0 for p in profits)
+
+    def test_bundle_executes_at_predicted_profit(self, market, loops_and_results):
+        """Independence means the whole bundle realizes exactly the sum
+        of the individual predictions on one shared market copy."""
+        loops, results = loops_and_results
+        bundle = independent_bundle(loops, results)
+        registry = market.registry.copy()
+        simulator = ExecutionSimulator(registry=registry)
+        realized = 0.0
+        predicted = 0.0
+        for index in bundle:
+            receipt = simulator.execute(
+                plan_from_result(results[index], slippage_tolerance=1e-9)
+            )
+            assert not receipt.reverted
+            realized += receipt.monetized(market.prices)
+            predicted += results[index].monetized_profit
+        assert realized == pytest.approx(predicted, rel=1e-6)
+
+    def test_length_mismatch_rejected(self, loops_and_results):
+        loops, results = loops_and_results
+        with pytest.raises(ValueError, match="loops but"):
+            independent_bundle(loops, results[:-1])
+
+
+class TestGreedyHarvest:
+    def test_harvest_terminates_and_profits(self, market):
+        report = greedy_harvest(
+            market, MaxMaxStrategy(), min_profit_usd=1.0, max_rounds=20
+        )
+        assert report.total_usd > 0
+        assert len(report.rounds) <= 20
+        assert not any(round_.reverted for round_ in report.rounds)
+
+    def test_rounds_respect_floor(self, market):
+        """Every executed round clears the floor.  (Round profits are
+        NOT monotone: executing one loop can move a shared pool in a
+        direction that *improves* another loop, so we only assert the
+        floor, not decrease.)"""
+        floor = 1.0
+        report = greedy_harvest(
+            market, MaxMaxStrategy(), min_profit_usd=floor, max_rounds=15
+        )
+        for round_ in report.rounds:
+            assert round_.predicted_usd > floor
+
+    def test_realized_matches_predicted(self, market):
+        report = greedy_harvest(
+            market, MaxMaxStrategy(), min_profit_usd=1.0, max_rounds=5
+        )
+        for round_ in report.rounds:
+            assert round_.realized_usd == pytest.approx(
+                round_.predicted_usd, rel=1e-6
+            )
+
+    def test_snapshot_untouched(self, market):
+        before = market.to_json()
+        greedy_harvest(market, MaxMaxStrategy(), min_profit_usd=1.0, max_rounds=3)
+        assert market.to_json() == before
+
+    def test_str_report(self, market):
+        report = greedy_harvest(
+            market, MaxMaxStrategy(), min_profit_usd=5.0, max_rounds=3
+        )
+        assert "harvested $" in str(report)
+
+
+class TestGasAwareHarvest:
+    def test_gas_floor_reduces_rounds(self, market):
+        from repro.execution import GasModel
+
+        model = GasModel(gas_price_gwei=50.0)
+        floor = model.breakeven_gross_usd(3)
+        cheap = greedy_harvest(
+            market, MaxMaxStrategy(), min_profit_usd=0.01, max_rounds=30
+        )
+        gas_aware = greedy_harvest(
+            market, MaxMaxStrategy(), min_profit_usd=floor, max_rounds=30
+        )
+        assert len(gas_aware.rounds) <= len(cheap.rounds)

@@ -1,0 +1,125 @@
+"""Integration tests for the block simulation package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SyntheticMarketGenerator
+from repro.simulation import (
+    Arbitrageur,
+    LiquidityProvider,
+    RetailTrader,
+    SimulationEngine,
+    collect_metrics,
+    efficiency_experiment,
+    mispricing_index,
+)
+from repro.strategies import MaxMaxStrategy
+
+
+@pytest.fixture(scope="module")
+def small_market():
+    """A small market so per-block loop counting stays fast."""
+    return SyntheticMarketGenerator(
+        n_tokens=12, n_pools=30, seed=99, price_noise=0.015
+    ).generate()
+
+
+class TestAgents:
+    def test_retail_trader_moves_reserves(self, small_market):
+        market = small_market.copy()
+        before = market.to_json()
+        trader = RetailTrader(seed=1, trades_per_block=10)
+        trader.on_block(market, market.prices, block=0)
+        assert market.to_json() != before
+        assert trader.total_trades == 10
+
+    def test_retail_trader_validation(self):
+        with pytest.raises(ValueError, match="min_size"):
+            RetailTrader(seed=1, min_size=0.5, max_size=0.1)
+
+    def test_lp_changes_depth_not_price(self, small_market):
+        market = small_market.copy()
+        pool = next(iter(market.registry))
+        price_before = pool.spot_price(pool.token0)
+        lp = LiquidityProvider(seed=2, actions_per_block=20)
+        lp.on_block(market, market.prices, block=0)
+        assert lp.mints + lp.burns > 0
+        assert pool.spot_price(pool.token0) == pytest.approx(price_before, rel=1e-9)
+
+    def test_lp_validation(self):
+        with pytest.raises(ValueError, match="max_fraction"):
+            LiquidityProvider(seed=1, max_fraction=1.5)
+
+    def test_arbitrageur_books_profit(self, small_market):
+        market = small_market.copy()
+        arb = Arbitrageur(strategy=MaxMaxStrategy(), max_loops_per_block=10)
+        arb.on_block(market, market.prices, block=0)
+        assert arb.trades > 0
+        assert arb.cumulative_usd > 0
+        assert arb.reverts == 0
+        assert len(arb.profits_by_block) == 1
+
+
+class TestMispricingIndex:
+    def test_zero_for_parity_market(self):
+        snap = SyntheticMarketGenerator(
+            n_tokens=8, n_pools=15, seed=1, price_noise=0.0
+        ).generate()
+        assert mispricing_index(snap, snap.prices) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_noisy_market(self, small_market):
+        assert mispricing_index(small_market, small_market.prices) > 0.001
+
+    def test_collect_metrics(self, small_market):
+        metrics = collect_metrics(small_market, small_market.prices, block=7)
+        assert metrics.block == 7
+        assert metrics.total_tvl_usd > 0
+        assert metrics.profitable_loops >= 0
+
+
+class TestEngine:
+    def test_run_is_deterministic(self, small_market):
+        def run():
+            engine = SimulationEngine(
+                small_market,
+                [RetailTrader(seed=5), Arbitrageur(strategy=MaxMaxStrategy())],
+                price_seed=5,
+                count_loops=False,
+            )
+            return engine.run(5)
+
+        a, b = run(), run()
+        assert a.mispricing_series() == b.mispricing_series()
+        assert a.agents[1].cumulative_usd == b.agents[1].cumulative_usd
+
+    def test_source_market_untouched(self, small_market):
+        before = small_market.to_json()
+        SimulationEngine(
+            small_market, [RetailTrader(seed=1)], count_loops=False
+        ).run(3)
+        assert small_market.to_json() == before
+
+    def test_metrics_per_block(self, small_market):
+        result = SimulationEngine(
+            small_market, [RetailTrader(seed=1)], count_loops=False
+        ).run(4)
+        assert len(result.metrics) == 4
+        assert [m.block for m in result.metrics] == [0, 1, 2, 3]
+
+    def test_negative_blocks_rejected(self, small_market):
+        engine = SimulationEngine(small_market, [], count_loops=False)
+        with pytest.raises(ValueError, match="n_blocks"):
+            engine.run(-1)
+
+
+class TestEfficiencyExperiment:
+    def test_arbitrage_aligns_prices(self, small_market):
+        """The paper's economic premise: arbitrageurs pull pools back
+        toward CEX parity and exhaust profitable loops."""
+        without, with_arb = efficiency_experiment(small_market, n_blocks=6)
+        assert with_arb.mean_mispricing() < without.mean_mispricing()
+        # an aggressive searcher clears every detectable loop
+        assert with_arb.loop_series()[-1] <= without.loop_series()[-1]
+        arb = with_arb.agents[1]
+        assert arb.cumulative_usd > 0

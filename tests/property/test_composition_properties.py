@@ -1,0 +1,100 @@
+"""Property-based tests for the composition algebra and closed form."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import Pool, compose_hops
+from repro.core import ArbitrageLoop, Token
+from repro.optimize import maximize_by_derivative
+
+hop_strategy = st.tuples(
+    st.floats(min_value=1.0, max_value=1e9),    # x
+    st.floats(min_value=1.0, max_value=1e9),    # y
+    st.floats(min_value=0.0, max_value=0.05),   # fee
+)
+hops_strategy = st.lists(hop_strategy, min_size=1, max_size=6)
+
+
+@given(hops=hops_strategy, t=st.floats(min_value=0.0, max_value=1e6))
+def test_composition_equals_sequential_evaluation(hops, t):
+    comp = compose_hops(hops)
+    current = t
+    for x, y, fee in hops:
+        gamma = 1.0 - fee
+        current = y * gamma * current / (x + gamma * current) if current > 0 else 0.0
+    assert comp(t) == pytest.approx(current, rel=1e-9, abs=1e-12)
+
+
+@given(hops=hops_strategy)
+def test_rate_at_zero_is_spot_product(hops):
+    comp = compose_hops(hops)
+    product = 1.0
+    for x, y, fee in hops:
+        product *= (1.0 - fee) * y / x
+    assert comp.rate_at_zero == pytest.approx(product, rel=1e-9)
+
+
+@given(hops=hops_strategy)
+def test_closed_form_matches_bisection(hops):
+    comp = compose_hops(hops)
+    exact = comp.optimal_input()
+    numeric = maximize_by_derivative(comp.profit, comp.derivative)
+    assert numeric.x == pytest.approx(exact, rel=1e-6, abs=1e-9)
+
+
+@given(hops=hops_strategy)
+def test_optimum_is_stationary_or_boundary(hops):
+    comp = compose_hops(hops)
+    t_star = comp.optimal_input()
+    if t_star == 0.0:
+        assert comp.rate_at_zero <= 1.0 + 1e-12
+    else:
+        assert comp.derivative(t_star) == pytest.approx(1.0, rel=1e-9)
+
+
+@given(hops=hops_strategy, t=st.floats(min_value=1e-9, max_value=1e6))
+def test_profit_at_optimum_dominates_any_input(hops, t):
+    comp = compose_hops(hops)
+    assert comp.optimal_profit() >= comp.profit(t) - 1e-7 * max(1.0, abs(comp.profit(t)))
+
+
+@given(hops=hops_strategy)
+@settings(max_examples=50)
+def test_composition_derivative_decreasing(hops):
+    comp = compose_hops(hops)
+    points = [0.0, 1.0, 10.0, 100.0, 1e4]
+    rates = [comp.derivative(t) for t in points]
+    for earlier, later in zip(rates, rates[1:]):
+        assert later <= earlier * (1.0 + 1e-12)
+
+
+@given(
+    reserves=st.tuples(
+        st.floats(min_value=10.0, max_value=1e6),
+        st.floats(min_value=10.0, max_value=1e6),
+        st.floats(min_value=10.0, max_value=1e6),
+        st.floats(min_value=10.0, max_value=1e6),
+        st.floats(min_value=10.0, max_value=1e6),
+        st.floats(min_value=10.0, max_value=1e6),
+    )
+)
+@settings(max_examples=50)
+def test_rotation_composition_consistency(reserves):
+    """All rotations of a loop share the profitability verdict."""
+    x0, y0, y1, z1, z2, x2 = reserves
+    X, Y, Z = Token("X"), Token("Y"), Token("Z")
+    loop = ArbitrageLoop(
+        [X, Y, Z],
+        [
+            Pool(X, Y, x0, y0, pool_id="h-xy"),
+            Pool(Y, Z, y1, z1, pool_id="h-yz"),
+            Pool(Z, X, z2, x2, pool_id="h-zx"),
+        ],
+    )
+    verdicts = {rot.composition().is_profitable for rot in loop.rotations()}
+    assert len(verdicts) == 1
+    # and the verdict matches the loop-level criterion
+    assert verdicts.pop() == loop.is_arbitrage()

@@ -1,0 +1,80 @@
+"""Property tests of the eq.-(8) program on random loops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import Pool
+from repro.core import ArbitrageLoop, InfeasibleProgramError, PriceMap, Token
+from repro.optimize import build_loop_program, solve_slsqp
+
+X, Y, Z = Token("X"), Token("Y"), Token("Z")
+
+reserve = st.floats(min_value=50.0, max_value=1e5)
+price = st.floats(min_value=0.01, max_value=1e3)
+
+
+@st.composite
+def loops_and_prices(draw):
+    pools = [
+        Pool(X, Y, draw(reserve), draw(reserve), pool_id="lp-xy"),
+        Pool(Y, Z, draw(reserve), draw(reserve), pool_id="lp-yz"),
+        Pool(Z, X, draw(reserve), draw(reserve), pool_id="lp-zx"),
+    ]
+    loop = ArbitrageLoop([X, Y, Z], pools)
+    prices = PriceMap({X: draw(price), Y: draw(price), Z: draw(price)})
+    return loop, prices
+
+
+@given(data=loops_and_prices())
+@settings(max_examples=50, deadline=None)
+def test_interior_point_when_profitable(data):
+    loop, prices = data
+    lp = build_loop_program(loop, prices)
+    if loop.is_arbitrage():
+        v0 = lp.interior_point()
+        assert lp.program.is_strictly_feasible(v0)
+        # every link has strictly positive slack, so every profit
+        # component (and hence the monetized value) is positive
+        assert lp.monetized_profit(v0) > 0.0
+    else:
+        with pytest.raises(InfeasibleProgramError):
+            lp.interior_point()
+
+
+@given(data=loops_and_prices())
+@settings(max_examples=40, deadline=None)
+def test_slsqp_solution_is_feasible(data):
+    loop, prices = data
+    lp = build_loop_program(loop, prices)
+    result = solve_slsqp(lp.program, initial_point=np.full(6, 1e-6))
+    x = result.x
+    # hop constraints satisfied (within solver tolerance)
+    values = lp.program.inequality_values(x)
+    scale = max(1.0, float(np.max(np.abs(x))))
+    assert np.all(values >= -1e-6 * scale)
+    # objective equals monetized profit of the decoded vector
+    assert lp.program.objective_value(x) == pytest.approx(
+        lp.monetized_profit(x), rel=1e-9, abs=1e-9
+    )
+
+
+@given(data=loops_and_prices(), scale=st.floats(min_value=0.2, max_value=5.0))
+@settings(max_examples=30, deadline=None)
+def test_objective_scales_linearly_with_prices(data, scale):
+    """eq. (8) objective is linear in prices: scaling all CEX prices
+    scales the optimum monetized value (same feasible set)."""
+    loop, prices = data
+    scaled = PriceMap({t: p * scale for t, p in prices.items()})
+    base = build_loop_program(loop, prices)
+    lifted = build_loop_program(loop, scaled)
+    x0 = np.full(6, 1e-6)
+    sol_base = solve_slsqp(base.program, initial_point=x0)
+    sol_lifted = solve_slsqp(lifted.program, initial_point=x0)
+    tol = max(1.0, abs(sol_base.objective)) * 5e-3
+    assert sol_lifted.objective == pytest.approx(
+        sol_base.objective * scale, abs=tol * scale
+    )

@@ -1,0 +1,145 @@
+"""Property-based tests of the paper's theorems on random loops.
+
+The dominance chain (Convex >= MaxMax >= MaxPrice / every traditional)
+and the zero-solution theorem are the paper's theoretical results;
+here hypothesis hammers them with random pool states and prices.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import Pool
+from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.strategies import (
+    ConvexOptimizationStrategy,
+    MaxMaxStrategy,
+    MaxPriceStrategy,
+    TraditionalStrategy,
+)
+
+X, Y, Z = Token("X"), Token("Y"), Token("Z")
+
+reserve = st.floats(min_value=50.0, max_value=1e5)
+price = st.floats(min_value=0.01, max_value=1e4)
+
+
+def make_loop(x0, y0, y1, z1, z2, x2):
+    return ArbitrageLoop(
+        [X, Y, Z],
+        [
+            Pool(X, Y, x0, y0, pool_id="p-xy"),
+            Pool(Y, Z, y1, z1, pool_id="p-yz"),
+            Pool(Z, X, z2, x2, pool_id="p-zx"),
+        ],
+    )
+
+
+loop_params = st.tuples(reserve, reserve, reserve, reserve, reserve, reserve)
+price_params = st.tuples(price, price, price)
+
+
+@given(params=loop_params, prices=price_params)
+@settings(max_examples=60, deadline=None)
+def test_maxmax_dominates_every_rotation_and_maxprice(params, prices):
+    loop = make_loop(*params)
+    price_map = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    mm = MaxMaxStrategy().evaluate(loop, price_map).monetized_profit
+    mp = MaxPriceStrategy().evaluate(loop, price_map).monetized_profit
+    assert mm >= mp - 1e-9 * max(1.0, abs(mm))
+    for token in loop.tokens:
+        trad = TraditionalStrategy(start_token=token).evaluate(loop, price_map)
+        assert mm >= trad.monetized_profit - 1e-9 * max(1.0, abs(mm))
+
+
+@given(params=loop_params, prices=price_params)
+@settings(max_examples=40, deadline=None)
+def test_convex_dominates_maxmax(params, prices):
+    loop = make_loop(*params)
+    price_map = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    mm = MaxMaxStrategy().evaluate(loop, price_map).monetized_profit
+    cv = ConvexOptimizationStrategy(backend="slsqp").evaluate(
+        loop, price_map
+    ).monetized_profit
+    assert cv >= mm - 1e-6 * max(1.0, abs(mm))
+
+
+@given(params=loop_params, prices=price_params)
+@settings(max_examples=30, deadline=None)
+def test_backends_agree(params, prices):
+    loop = make_loop(*params)
+    price_map = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    barrier = ConvexOptimizationStrategy(backend="barrier").evaluate(loop, price_map)
+    slsqp = ConvexOptimizationStrategy(backend="slsqp").evaluate(loop, price_map)
+    scale = max(1.0, abs(barrier.monetized_profit))
+    assert barrier.monetized_profit == pytest.approx(
+        slsqp.monetized_profit, rel=1e-4, abs=1e-6 * scale
+    )
+
+
+@given(
+    x=reserve,
+    y=reserve,
+    z=reserve,
+    prices=price_params,
+)
+@settings(max_examples=40, deadline=None)
+def test_zero_solution_theorem(x, y, z, prices):
+    """Consistent pool prices => no strategy finds profit.
+
+    Pools are built so relative prices multiply to exactly 1 around
+    the loop; with the 0.3% fee every rotation has rate < 1.
+    """
+    loop = ArbitrageLoop(
+        [X, Y, Z],
+        [
+            Pool(X, Y, x, y, pool_id="c-xy"),
+            Pool(Y, Z, y, z, pool_id="c-yz"),
+            Pool(Z, X, z, x, pool_id="c-zx"),
+        ],
+    )
+    assert not loop.is_arbitrage()
+    price_map = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    mm = MaxMaxStrategy().evaluate(loop, price_map).monetized_profit
+    assert mm == 0.0
+    for backend in ("barrier", "slsqp"):
+        cv = ConvexOptimizationStrategy(backend=backend).evaluate(
+            loop, price_map
+        ).monetized_profit
+        assert cv == pytest.approx(0.0, abs=1e-9)
+
+
+@given(params=loop_params, prices=price_params)
+@settings(max_examples=40, deadline=None)
+def test_profit_vectors_nonnegative(params, prices):
+    """Eq. (8) is risk-free: no strategy ever reports a negative
+    per-token position."""
+    loop = make_loop(*params)
+    price_map = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    for strategy in (
+        MaxMaxStrategy(),
+        ConvexOptimizationStrategy(backend="slsqp"),
+    ):
+        result = strategy.evaluate(loop, price_map)
+        for amount in result.profit.as_mapping().values():
+            assert amount >= -1e-8 * max(1.0, abs(amount))
+
+
+@given(params=loop_params, prices=price_params, scale=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=30, deadline=None)
+def test_price_scale_invariance_of_plans(params, prices, scale):
+    """Scaling all CEX prices scales monetized profit linearly and
+    leaves the MaxMax trade plan unchanged."""
+    loop = make_loop(*params)
+    base = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    scaled = PriceMap({t: p * scale for t, p in base.items()})
+    r1 = MaxMaxStrategy().evaluate(loop, base)
+    r2 = MaxMaxStrategy().evaluate(loop, scaled)
+    assert r2.monetized_profit == pytest.approx(
+        r1.monetized_profit * scale, rel=1e-9, abs=1e-9
+    )
+    assert r1.start_token == r2.start_token
+    if r1.amount_in:
+        assert r2.amount_in == pytest.approx(r1.amount_in, rel=1e-12)

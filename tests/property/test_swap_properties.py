@@ -1,0 +1,96 @@
+"""Property-based tests for the CPMM swap math (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import swap
+
+reserves = st.floats(min_value=1e-3, max_value=1e12, allow_nan=False)
+fees = st.floats(min_value=0.0, max_value=0.1)
+trade_sizes = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+@given(x=reserves, y=reserves, dx=trade_sizes, fee=fees)
+def test_output_bounded_by_reserve(x, y, dx, fee):
+    dy = swap.amount_out(x, y, dx, fee)
+    assert 0.0 <= dy < y
+
+
+@given(x=reserves, y=reserves, dx=trade_sizes, fee=fees)
+def test_invariant_never_decreases(x, y, dx, fee):
+    dy = swap.amount_out(x, y, dx, fee)
+    k_before = x * y
+    k_after = (x + dx) * (y - dy)
+    # ``y - dy`` cancels catastrophically for dx >> x: allow the
+    # rounding bound eps * y amplified by the grown input reserve.
+    slack = 1e-9 * k_before + 1e-12 * (x + dx) * y
+    assert k_after >= k_before - slack
+
+
+@given(x=reserves, y=reserves, fee=fees, dx1=trade_sizes, dx2=trade_sizes)
+def test_monotonicity(x, y, fee, dx1, dx2):
+    lo, hi = sorted((dx1, dx2))
+    assert swap.amount_out(x, y, lo, fee) <= swap.amount_out(x, y, hi, fee)
+
+
+@given(
+    x=reserves,
+    y=reserves,
+    fee=fees,
+    dx=st.floats(min_value=1e-6, max_value=1e6),
+    frac=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_concavity_by_midpoint(x, y, fee, dx, frac):
+    """F(a*t1 + (1-a)*t2) >= a*F(t1) + (1-a)*F(t2)."""
+    t1, t2 = dx, dx * 2.0
+    mid = frac * t1 + (1.0 - frac) * t2
+    lhs = swap.amount_out(x, y, mid, fee)
+    rhs = frac * swap.amount_out(x, y, t1, fee) + (1.0 - frac) * swap.amount_out(
+        x, y, t2, fee
+    )
+    assert lhs >= rhs * (1.0 - 1e-9)
+
+
+@given(
+    x=reserves,
+    y=reserves,
+    fee=fees,
+    dy_frac=st.floats(min_value=1e-6, max_value=0.999),
+)
+def test_amount_in_inverts_amount_out(x, y, fee, dy_frac):
+    dy = y * dy_frac
+    dx = swap.amount_in(x, y, dy, fee)
+    recovered = swap.amount_out(x, y, dx, fee)
+    assert recovered == pytest.approx(dy, rel=1e-6)
+
+
+@given(x=reserves, y=reserves, fee=fees, dx=st.floats(min_value=1e-9, max_value=1e9))
+def test_splitting_a_trade_never_helps(x, y, fee, dx):
+    """One trade of size dx beats two sequential trades of dx/2 each
+    (each leg pays the fee on its own input)."""
+    whole = swap.amount_out(x, y, dx, fee)
+    half1 = swap.amount_out(x, y, dx / 2, fee)
+    x2, y2 = x + dx / 2, y - half1
+    half2 = swap.amount_out(x2, y2, dx / 2, fee)
+    assert whole >= (half1 + half2) * (1.0 - 1e-9)
+
+
+@given(x=reserves, y=reserves, fee=fees, dx=st.floats(min_value=1e-9, max_value=1e9))
+def test_fee_monotone_in_output(x, y, dx, fee):
+    """Higher fee, less output."""
+    lower = swap.amount_out(x, y, dx, min(fee + 0.01, 0.99))
+    higher = swap.amount_out(x, y, dx, fee)
+    assert lower <= higher
+
+
+@given(x=reserves, y=reserves, fee=fees)
+def test_round_trip_loses_money(x, y, fee):
+    """Swapping X->Y->X in the same pool never profits (fee + slippage)."""
+    dx = x * 0.1
+    dy = swap.amount_out(x, y, dx, fee)
+    x2, y2 = x + dx, y - dy
+    back = swap.amount_out(y2, x2, dy, fee)
+    assert back <= dx * (1.0 + 1e-9)

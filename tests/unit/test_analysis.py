@@ -1,0 +1,167 @@
+"""Unit tests for sweeps, statistics, reports, and timing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ScatterStats,
+    Timer,
+    best_of,
+    format_table,
+    paper_px_grid,
+    price_sweep,
+    render_runtime,
+    render_scatter,
+    render_sweep,
+    scatter_stats,
+    scatter_to_csv,
+    sparkline,
+    sweep_to_csv,
+)
+from repro.analysis.experiments import RuntimeResult, ScatterResult
+from repro.core import Token
+from repro.strategies import MaxMaxStrategy, TraditionalStrategy
+
+
+class TestScatterStats:
+    def test_identical_clouds(self):
+        stats = scatter_stats([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert stats.n == 3
+        assert stats.frac_below_or_on == 1.0
+        assert stats.frac_strictly_below == 0.0
+        assert stats.max_rel_gap == 0.0
+        assert stats.pearson_r == pytest.approx(1.0)
+
+    def test_dominated_cloud(self):
+        stats = scatter_stats([10.0, 20.0], [5.0, 20.0])
+        assert stats.frac_below_or_on == 1.0
+        assert stats.frac_strictly_below == 0.5
+        assert stats.max_rel_gap == pytest.approx(0.5)
+        assert stats.mean_rel_gap == pytest.approx(0.25)
+
+    def test_excess_detected(self):
+        stats = scatter_stats([10.0], [11.0])
+        assert stats.frac_below_or_on == 0.0
+        assert stats.max_rel_excess == pytest.approx(0.1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            scatter_stats([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="at least one"):
+            scatter_stats([], [])
+
+    def test_constant_series_correlation(self):
+        stats = scatter_stats([1.0, 1.0], [1.0, 1.0])
+        assert stats.pearson_r == 1.0
+        stats = scatter_stats([1.0, 1.0], [1.0, 2.0])
+        assert stats.pearson_r == 0.0
+
+
+class TestSweep:
+    def test_paper_grid(self):
+        grid = paper_px_grid()
+        assert grid.size == 101
+        assert grid[1] == pytest.approx(0.2)
+        assert grid[-1] == pytest.approx(20.0)
+        assert grid[0] > 0  # nudged off zero
+
+    def test_price_sweep(self, s5_loop, s5_prices):
+        grid = [1.0, 2.0, 15.0]
+        series = price_sweep(
+            s5_loop,
+            s5_prices,
+            Token("X"),
+            grid,
+            {"maxmax": MaxMaxStrategy(), "from_x": TraditionalStrategy(start_token=Token("X"))},
+        )
+        assert series.prices().tolist() == grid
+        assert set(series.strategies()) == {"maxmax", "from_x"}
+        mm = series.series("maxmax")
+        fx = series.series("from_x")
+        assert np.all(mm >= fx - 1e-9)  # envelope property per point
+        # higher Px strictly raises the X-start profit
+        assert fx[2] > fx[0]
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.0001]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_render_scatter(self):
+        result = ScatterResult(
+            x_label="a",
+            y_label="b",
+            x=np.array([1.0, 2.0]),
+            y=np.array([1.0, 1.5]),
+            loop_ids=("l0", "l1"),
+            point_labels=("p0", "p1"),
+            stats=scatter_stats([1.0, 2.0], [1.0, 1.5]),
+        )
+        text = render_scatter(result, title="demo")
+        assert "demo" in text
+        assert "points" in text
+        assert "l1" in text
+
+    def test_scatter_csv(self, tmp_path):
+        result = ScatterResult(
+            x_label="a",
+            y_label="b",
+            x=np.array([1.0]),
+            y=np.array([2.0]),
+            loop_ids=("l0",),
+            point_labels=("p0",),
+            stats=scatter_stats([1.0], [2.0]),
+        )
+        path = tmp_path / "scatter.csv"
+        text = scatter_to_csv(result, path)
+        assert path.read_text() == text
+        assert text.splitlines()[0] == "loop_id,label,a,b"
+        assert "l0,p0,1.0,2.0" in text
+
+    def test_render_and_csv_sweep(self, s5_loop, s5_prices, tmp_path):
+        series = price_sweep(
+            s5_loop, s5_prices, Token("X"), [1.0, 2.0], {"maxmax": MaxMaxStrategy()}
+        )
+        text = render_sweep(series, title="sweep")
+        assert "sweep" in text and "maxmax" in text
+        csv_text = sweep_to_csv(series, tmp_path / "sweep.csv")
+        assert csv_text.splitlines()[0] == "price_X,maxmax"
+        assert len(csv_text.splitlines()) == 3
+
+    def test_render_runtime(self):
+        result = RuntimeResult(
+            lengths=(3, 10),
+            maxmax_seconds=(0.001, 0.002),
+            convex_seconds=(0.01, 0.4),
+            repeats=3,
+        )
+        text = render_runtime(result)
+        assert "loop length" in text
+        assert "10" in text
+        assert result.speedup()[0] == pytest.approx(10.0)
+
+
+class TestTiming:
+    def test_best_of_returns_positive(self):
+        assert best_of(lambda: sum(range(100)), repeats=2) > 0
+
+    def test_best_of_validation(self):
+        with pytest.raises(ValueError, match="repeats"):
+            best_of(lambda: None, repeats=0)
+
+    def test_timer(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.seconds >= 0

@@ -1,0 +1,135 @@
+"""Unit tests for the CEX oracle layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cex import (
+    REFERENCE_PRICES_2023_09,
+    RandomWalkOracle,
+    StaticPriceOracle,
+    lognormal_prices,
+)
+from repro.core import MissingPriceError, PriceMap, Token
+
+
+class TestStaticOracle:
+    def test_snapshot_roundtrip(self):
+        oracle = StaticPriceOracle({"X": 2.0, "Y": 3.0})
+        snap = oracle.snapshot()
+        assert snap[Token("X")] == 2.0
+        assert oracle.price(Token("Y")) == 3.0
+
+    def test_accepts_pricemap(self):
+        prices = PriceMap.from_symbols({"X": 2.0})
+        assert StaticPriceOracle(prices).snapshot() is prices
+
+    def test_reference_table(self):
+        oracle = StaticPriceOracle.reference_2023_09()
+        snap = oracle.snapshot()
+        assert snap[Token("WETH")] == REFERENCE_PRICES_2023_09["WETH"]
+        assert snap[Token("USDC")] == 1.0
+        # five orders of magnitude of spread exercises MaxPrice
+        assert max(snap.values()) / min(snap.values()) > 1e5
+
+    def test_with_price(self):
+        oracle = StaticPriceOracle({"X": 2.0})
+        bumped = oracle.with_price(Token("X"), 5.0)
+        assert bumped.price(Token("X")) == 5.0
+        assert oracle.price(Token("X")) == 2.0
+
+    def test_quotes_subset(self):
+        oracle = StaticPriceOracle({"X": 2.0, "Y": 3.0})
+        quotes = oracle.quotes([Token("Y")])
+        assert quotes == {Token("Y"): 3.0}
+
+    def test_quotes_missing_token(self):
+        oracle = StaticPriceOracle({"X": 2.0})
+        with pytest.raises(MissingPriceError):
+            oracle.quotes([Token("Q")])
+
+
+class TestLognormalPrices:
+    def test_deterministic_per_seed(self):
+        tokens = [Token(f"T{i}") for i in range(10)]
+        assert dict(lognormal_prices(tokens, seed=1)) == dict(
+            lognormal_prices(tokens, seed=1)
+        )
+
+    def test_different_seeds_differ(self):
+        tokens = [Token(f"T{i}") for i in range(10)]
+        a = lognormal_prices(tokens, seed=1)
+        b = lognormal_prices(tokens, seed=2)
+        assert dict(a) != dict(b)
+
+    def test_all_positive(self):
+        tokens = [Token(f"T{i}") for i in range(50)]
+        assert all(p > 0 for p in lognormal_prices(tokens, seed=3).values())
+
+    def test_sigma_zero_gives_median(self):
+        tokens = [Token("T0")]
+        prices = lognormal_prices(tokens, seed=1, median_price=7.0, sigma=0.0)
+        assert prices[Token("T0")] == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="median_price"):
+            lognormal_prices([Token("T")], seed=1, median_price=0.0)
+        with pytest.raises(ValueError, match="sigma"):
+            lognormal_prices([Token("T")], seed=1, sigma=-1.0)
+
+
+class TestRandomWalkOracle:
+    def make(self, volatility=0.01):
+        initial = PriceMap.from_symbols({"X": 100.0, "Y": 1.0})
+        return RandomWalkOracle(initial, seed=42, volatility=volatility)
+
+    def test_initial_snapshot(self):
+        oracle = self.make()
+        assert oracle.snapshot()[Token("X")] == 100.0
+        assert oracle.steps == 0
+
+    def test_step_changes_prices(self):
+        oracle = self.make()
+        before = dict(oracle.snapshot())
+        after = dict(oracle.step())
+        assert before != after
+        assert oracle.steps == 1
+
+    def test_zero_volatility_zero_drift_is_constant(self):
+        oracle = self.make(volatility=0.0)
+        after = oracle.step()
+        assert after[Token("X")] == pytest.approx(100.0)
+
+    def test_drift(self):
+        initial = PriceMap.from_symbols({"X": 100.0})
+        oracle = RandomWalkOracle(initial, seed=1, volatility=0.0, drift=0.1)
+        oracle.run(10)
+        import math
+
+        assert oracle.snapshot()[Token("X")] == pytest.approx(100.0 * math.e, rel=1e-9)
+
+    def test_deterministic_per_seed(self):
+        a, b = self.make(), self.make()
+        for _ in range(5):
+            a.step()
+            b.step()
+        assert dict(a.snapshot()) == dict(b.snapshot())
+
+    def test_run_returns_snapshots(self):
+        oracle = self.make()
+        snaps = oracle.run(3)
+        assert len(snaps) == 3
+        assert oracle.steps == 3
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError, match="n_steps"):
+            self.make().run(-1)
+
+    def test_volatility_validation(self):
+        with pytest.raises(ValueError, match="volatility"):
+            RandomWalkOracle(PriceMap.from_symbols({"X": 1.0}), seed=1, volatility=-0.1)
+
+    def test_prices_stay_positive(self):
+        oracle = self.make(volatility=0.5)
+        oracle.run(100)
+        assert all(p > 0 for p in oracle.snapshot().values())

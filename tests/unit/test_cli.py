@@ -1,0 +1,79 @@
+"""Unit tests for the CLI (fast commands only; figures run in
+integration tests via the harness functions directly)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        expected = {
+            "section5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "runtime", "calibrate", "detect",
+            "harvest", "discrepancy", "efficiency",
+        }
+        assert expected <= set(sub.choices)
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure-nine-hundred"])
+
+
+class TestCommands:
+    def test_section5(self, capsys):
+        assert main(["section5"]) == 0
+        out = capsys.readouterr().out
+        assert "maxmax" in out
+        assert "206" in out  # convex ~ 206.1$
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--points", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal input" in out
+        assert "26.96" in out
+
+    def test_runtime_small(self, capsys):
+        assert main(["runtime", "--lengths", "3", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "loop length" in out
+
+    def test_harvest(self, capsys):
+        assert main(["harvest", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "harvested $" in out
+
+    def test_harvest_gas_floor(self, capsys):
+        assert main(["harvest", "--rounds", "2", "--gwei", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "gas breakeven" in out
+
+    def test_efficiency(self, capsys):
+        assert main(["efficiency", "--blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mispricing" in out
+        assert "arbitrageur" in out
+
+    def test_fig2_csv(self, capsys, tmp_path, monkeypatch):
+        # shrink the grid for speed by monkeypatching the default grid
+        import repro.analysis.experiments as exp
+        import numpy as np
+
+        monkeypatch.setattr(
+            exp, "paper_px_grid", lambda: np.array([1.0, 2.0, 15.0])
+        )
+        csv_path = tmp_path / "fig2.csv"
+        assert main(["fig2", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("price_X")

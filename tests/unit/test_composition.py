@@ -1,0 +1,157 @@
+"""Unit tests for the linear-fractional composition algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.amm import IDENTITY, Pool, SwapComposition, compose_hops
+from repro.core import ArbitrageLoop, Token
+
+
+class TestConstruction:
+    def test_from_hop_coefficients(self):
+        comp = SwapComposition.from_hop(100.0, 200.0, 0.003)
+        assert comp.a == pytest.approx(200.0 * 0.997)
+        assert comp.b == 100.0
+        assert comp.c == pytest.approx(0.997)
+
+    def test_invalid_coefficients(self):
+        with pytest.raises(ValueError):
+            SwapComposition(a=-1.0, b=1.0, c=1.0)
+        with pytest.raises(ValueError):
+            SwapComposition(a=1.0, b=0.0, c=1.0)
+        with pytest.raises(ValueError):
+            SwapComposition(a=1.0, b=1.0, c=-1.0)
+        with pytest.raises(ValueError):
+            SwapComposition(a=math.inf, b=1.0, c=1.0)
+
+    def test_from_hop_validates(self):
+        with pytest.raises(ValueError):
+            SwapComposition.from_hop(-1.0, 1.0, 0.003)
+        with pytest.raises(ValueError):
+            SwapComposition.from_hop(1.0, 1.0, 1.0)
+
+
+class TestEvaluation:
+    def test_single_hop_matches_pool_quote(self):
+        pool = Pool(Token("X"), Token("Y"), 100.0, 200.0)
+        comp = SwapComposition.from_hop(100.0, 200.0, 0.003)
+        for dx in (0.0, 0.5, 5.0, 50.0):
+            assert comp(dx) == pytest.approx(pool.quote_out(Token("X"), dx))
+
+    def test_identity(self):
+        for t in (0.0, 1.0, 123.456):
+            assert IDENTITY(t) == pytest.approx(t)
+
+    def test_negative_input_rejected(self):
+        comp = SwapComposition.from_hop(100.0, 200.0, 0.003)
+        with pytest.raises(ValueError):
+            comp(-1.0)
+        with pytest.raises(ValueError):
+            comp.derivative(-1.0)
+
+    def test_derivative_matches_finite_difference(self):
+        comp = compose_hops([(100, 200, 0.003), (300, 200, 0.003)])
+        t, h = 17.0, 1e-6
+        fd = (comp(t + h) - comp(t - h)) / (2 * h)
+        assert comp.derivative(t) == pytest.approx(fd, rel=1e-6)
+
+    def test_asymptote(self):
+        comp = SwapComposition.from_hop(100.0, 200.0, 0.003)
+        assert comp.asymptote == pytest.approx(200.0)
+        assert comp(1e15) == pytest.approx(200.0, rel=1e-3)
+        assert IDENTITY.asymptote == math.inf
+
+
+class TestCompositionAlgebra:
+    def test_composition_matches_sequential_hops(self, s5_loop):
+        rotation = s5_loop.rotations()[0]
+        comp = rotation.composition()
+        for t in (0.1, 1.0, 10.0, 27.0, 100.0):
+            assert comp(t) == pytest.approx(rotation.simulate(t)[-1], rel=1e-12)
+
+    def test_then_associative(self):
+        h1 = SwapComposition.from_hop(100, 200, 0.003)
+        h2 = SwapComposition.from_hop(300, 200, 0.003)
+        h3 = SwapComposition.from_hop(200, 400, 0.003)
+        left = h1.then(h2).then(h3)
+        right = h1.then(h2.then(h3))
+        for t in (1.0, 10.0, 50.0):
+            assert left(t) == pytest.approx(right(t), rel=1e-12)
+
+    def test_identity_is_unit(self):
+        h = SwapComposition.from_hop(100, 200, 0.003)
+        for t in (1.0, 10.0):
+            assert IDENTITY.then(h)(t) == pytest.approx(h(t))
+            assert h.then(IDENTITY)(t) == pytest.approx(h(t))
+
+    def test_compose_hops_empty_is_identity(self):
+        comp = compose_hops([])
+        assert comp(5.0) == pytest.approx(5.0)
+
+
+class TestArbitrageAnalytics:
+    def test_rate_at_zero_is_spot_product(self, s5_loop):
+        comp = s5_loop.composition()
+        expected = 1.0
+        rotation = s5_loop.rotations()[0]
+        for token_in, _out, pool in rotation.hops():
+            expected *= pool.spot_price(token_in)
+        assert comp.rate_at_zero == pytest.approx(expected)
+
+    def test_section5_rate(self, s5_loop):
+        # 8/3 before fees, times 0.997^3
+        assert s5_loop.composition().rate_at_zero == pytest.approx(
+            (8.0 / 3.0) * 0.997**3
+        )
+
+    def test_profitable_flag(self, s5_loop, no_arb_loop):
+        assert s5_loop.composition().is_profitable
+        assert not no_arb_loop.composition().is_profitable
+
+    def test_optimal_input_closed_form(self):
+        comp = compose_hops(
+            [(100, 200, 0.003), (300, 200, 0.003), (200, 400, 0.003)]
+        )
+        t_star = comp.optimal_input()
+        expected = (math.sqrt(comp.a * comp.b) - comp.b) / comp.c
+        assert t_star == pytest.approx(expected)
+
+    def test_optimal_input_stationarity(self):
+        comp = compose_hops(
+            [(100, 200, 0.003), (300, 200, 0.003), (200, 400, 0.003)]
+        )
+        assert comp.derivative(comp.optimal_input()) == pytest.approx(1.0, rel=1e-12)
+
+    def test_optimal_input_is_maximum(self):
+        comp = compose_hops(
+            [(100, 200, 0.003), (300, 200, 0.003), (200, 400, 0.003)]
+        )
+        t_star = comp.optimal_input()
+        p_star = comp.profit(t_star)
+        for offset in (-1.0, -0.1, 0.1, 1.0):
+            assert comp.profit(t_star + offset) < p_star
+
+    def test_unprofitable_optimum_is_zero(self, no_arb_loop):
+        comp = no_arb_loop.composition()
+        assert comp.optimal_input() == 0.0
+        assert comp.optimal_profit() == 0.0
+
+    def test_optimal_profit_formula(self):
+        comp = compose_hops([(100, 200, 0.003), (300, 200, 0.003), (200, 400, 0.003)])
+        expected = (math.sqrt(comp.a) - math.sqrt(comp.b)) ** 2 / comp.c
+        assert comp.optimal_profit() == pytest.approx(expected)
+        assert comp.optimal_profit() == pytest.approx(comp.profit(comp.optimal_input()))
+
+    def test_profitable_zero_slippage_unbounded(self):
+        comp = SwapComposition(a=2.0, b=1.0, c=0.0)
+        with pytest.raises(ValueError, match="unbounded"):
+            comp.optimal_input()
+
+    def test_section5_optimal_input_matches_paper(self, s5_loop):
+        # paper: input 27.0 X -> profit 16.8 X
+        comp = s5_loop.composition()
+        assert comp.optimal_input() == pytest.approx(27.0, abs=0.05)
+        assert comp.optimal_profit() == pytest.approx(16.87, abs=0.01)

@@ -1,0 +1,163 @@
+"""Unit tests for snapshots, the synthetic generator, and loop fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SnapshotFormatError, Token
+from repro.data import (
+    MarketSnapshot,
+    SyntheticMarketGenerator,
+    paper_market,
+    section5_loop,
+    section5_snapshot,
+    synthetic_loop,
+    synthetic_loop_prices,
+)
+
+
+class TestSection5Fixture:
+    def test_loop_structure(self):
+        loop = section5_loop()
+        assert [t.symbol for t in loop.tokens] == ["X", "Y", "Z"]
+        assert loop.is_arbitrage()
+
+    def test_fresh_pools_each_call(self):
+        a, b = section5_loop(), section5_loop()
+        a.pools[0].swap(Token("X"), 10.0)
+        assert b.pools[0].reserve_of(Token("X")) == 100.0
+
+    def test_snapshot_contents(self):
+        snap = section5_snapshot()
+        assert len(snap.registry) == 3
+        assert snap.prices[Token("Z")] == 20.0
+        assert snap.label == "section5-example"
+
+    def test_custom_fee_and_px(self):
+        snap = section5_snapshot(fee=0.0, px=15.0)
+        assert snap.prices[Token("X")] == 15.0
+        assert next(iter(snap.registry)).fee == 0.0
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        snap = section5_snapshot()
+        restored = MarketSnapshot.from_json(snap.to_json())
+        assert len(restored.registry) == len(snap.registry)
+        assert dict(restored.prices) == dict(snap.prices)
+        assert restored.label == snap.label
+        for pool in snap.registry:
+            twin = restored.registry[pool.pool_id]
+            assert twin.reserve_of(pool.token0) == pool.reserve_of(pool.token0)
+            assert twin.fee == pool.fee
+
+    def test_save_load(self, tmp_path):
+        snap = section5_snapshot()
+        path = snap.save(tmp_path / "snap.json")
+        restored = MarketSnapshot.load(path)
+        assert dict(restored.prices) == dict(snap.prices)
+
+    def test_invalid_json(self):
+        with pytest.raises(SnapshotFormatError, match="invalid JSON"):
+            MarketSnapshot.from_json("{not json")
+
+    def test_wrong_version(self):
+        data = section5_snapshot().to_dict()
+        data["version"] = 99
+        with pytest.raises(SnapshotFormatError, match="version"):
+            MarketSnapshot.from_dict(data)
+
+    def test_missing_key(self):
+        data = section5_snapshot().to_dict()
+        del data["pools"]
+        with pytest.raises(SnapshotFormatError, match="malformed"):
+            MarketSnapshot.from_dict(data)
+
+    def test_copy_independent(self):
+        snap = section5_snapshot()
+        clone = snap.copy()
+        clone.registry["s5-xy"].swap(Token("X"), 10.0)
+        assert snap.registry["s5-xy"].reserve_of(Token("X")) == 100.0
+
+
+class TestSyntheticMarket:
+    def test_paper_scale(self, default_market):
+        graph = default_market.graph()
+        assert graph.number_of_nodes() == 51
+        assert graph.number_of_edges() == 208
+
+    def test_every_pool_passes_paper_filters(self, default_market):
+        # by construction: filtered and unfiltered graphs coincide
+        filtered = default_market.graph(apply_paper_filters=True)
+        raw = default_market.graph(apply_paper_filters=False)
+        assert filtered.number_of_edges() == raw.number_of_edges()
+
+    def test_deterministic_per_seed(self):
+        a = paper_market(seed=5)
+        b = paper_market(seed=5)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        assert paper_market(seed=5).to_json() != paper_market(seed=6).to_json()
+
+    def test_connected(self, default_market):
+        import networkx as nx
+
+        graph = default_market.graph(apply_paper_filters=False)
+        assert nx.is_connected(nx.Graph(graph))
+
+    def test_zero_noise_market_has_no_arbitrage(self):
+        from repro.graph import find_arbitrage_loops
+
+        snap = SyntheticMarketGenerator(
+            n_tokens=12, n_pools=30, price_noise=0.0, seed=3
+        ).generate()
+        assert find_arbitrage_loops(snap.graph(), 3) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match=">= 3 tokens"):
+            SyntheticMarketGenerator(n_tokens=2)
+        with pytest.raises(ValueError, match="cannot connect"):
+            SyntheticMarketGenerator(n_tokens=10, n_pools=5)
+        with pytest.raises(ValueError, match="price_noise"):
+            SyntheticMarketGenerator(price_noise=-0.1)
+
+    def test_metadata_recorded(self, default_market):
+        assert default_market.metadata["generator"] == "SyntheticMarketGenerator"
+        assert default_market.metadata["n_pools"] == 208
+
+    def test_serialization_roundtrip(self, default_market):
+        restored = MarketSnapshot.from_json(default_market.to_json())
+        assert len(restored.registry) == 208
+        assert restored.graph().number_of_nodes() == 51
+
+
+class TestSyntheticLoop:
+    def test_profitable_for_all_lengths(self):
+        for length in (2, 3, 5, 10):
+            loop = synthetic_loop(length)
+            assert len(loop) == length
+            assert loop.is_arbitrage(), f"length {length} not profitable"
+
+    def test_deterministic(self):
+        a = synthetic_loop(5, seed=9)
+        b = synthetic_loop(5, seed=9)
+        assert a.composition().rate_at_zero == b.composition().rate_at_zero
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="length >= 2"):
+            synthetic_loop(1)
+
+    def test_edge_rate_validation(self):
+        with pytest.raises(ValueError, match="edge_rate"):
+            synthetic_loop(3, edge_rate=0.0)
+
+    def test_unprofitable_rate(self):
+        loop = synthetic_loop(3, edge_rate=0.9, jitter=0.0)
+        assert not loop.is_arbitrage()
+
+    def test_prices_cover_loop(self):
+        loop = synthetic_loop(4)
+        prices = synthetic_loop_prices(loop)
+        for token in loop.tokens:
+            assert prices[token] > 0

@@ -1,0 +1,220 @@
+"""Unit tests for plans, the execution simulator, and flash loans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import Pool, PoolRegistry
+from repro.core import PlanValidationError, Token
+from repro.execution import (
+    ExecutionPlan,
+    ExecutionSimulator,
+    FlashLoanProvider,
+    PlannedSwap,
+    plan_from_result,
+)
+from repro.strategies import ConvexOptimizationStrategy, MaxMaxStrategy, TraditionalStrategy
+
+X, Y, Z = Token("X"), Token("Y"), Token("Z")
+
+
+@pytest.fixture
+def s5_registry(s5_loop):
+    return PoolRegistry(s5_loop.pools)
+
+
+class TestPlannedSwap:
+    def test_token_out(self):
+        pool = Pool(X, Y, 100.0, 200.0)
+        swap = PlannedSwap(pool=pool, token_in=X, amount_in=5.0)
+        assert swap.token_out == Y
+
+    def test_validation(self):
+        pool = Pool(X, Y, 100.0, 200.0)
+        with pytest.raises(PlanValidationError, match="not in pool"):
+            PlannedSwap(pool=pool, token_in=Z, amount_in=5.0)
+        with pytest.raises(PlanValidationError, match="positive"):
+            PlannedSwap(pool=pool, token_in=X, amount_in=0.0)
+        with pytest.raises(PlanValidationError, match="min_amount_out"):
+            PlannedSwap(pool=pool, token_in=X, amount_in=1.0, min_amount_out=-1.0)
+
+
+class TestExecutionPlan:
+    def test_chaining_enforced(self):
+        p_xy = Pool(X, Y, 100.0, 200.0)
+        p_zx = Pool(Z, X, 200.0, 400.0)
+        with pytest.raises(PlanValidationError, match="does not chain"):
+            ExecutionPlan([
+                PlannedSwap(pool=p_xy, token_in=X, amount_in=1.0),
+                PlannedSwap(pool=p_zx, token_in=Z, amount_in=1.0),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanValidationError, match="at least one"):
+            ExecutionPlan([])
+
+    def test_cyclic_detection(self, s5_loop):
+        result = TraditionalStrategy(start_token=X).evaluate(
+            s5_loop, __import__("repro.data", fromlist=["section5_prices"]).section5_prices()
+        )
+        plan = plan_from_result(result)
+        assert plan.is_cyclic
+        assert plan.start_token == X
+        assert plan.end_token == X
+        assert len(plan) == 3
+        assert plan.tokens_touched() == {X, Y, Z}
+
+    def test_plan_from_zero_result_rejected(self, no_arb_loop, simple_prices):
+        result = MaxMaxStrategy().evaluate(no_arb_loop, simple_prices)
+        with pytest.raises(PlanValidationError, match="no trades"):
+            plan_from_result(result)
+
+    def test_slippage_tolerance_bounds(self, s5_loop, s5_prices):
+        result = MaxMaxStrategy().evaluate(s5_loop, s5_prices)
+        with pytest.raises(PlanValidationError, match="tolerance"):
+            plan_from_result(result, slippage_tolerance=1.0)
+
+    def test_min_out_scaled_by_tolerance(self, s5_loop, s5_prices):
+        result = MaxMaxStrategy().evaluate(s5_loop, s5_prices)
+        strict = plan_from_result(result, slippage_tolerance=0.0)
+        loose = plan_from_result(result, slippage_tolerance=0.05)
+        for s_swap, l_swap in zip(strict, loose):
+            assert l_swap.min_amount_out == pytest.approx(s_swap.min_amount_out * 0.95)
+
+
+class TestSimulator:
+    def test_traditional_profit_realized_exactly(self, s5_loop, s5_prices, s5_registry):
+        result = TraditionalStrategy(start_token=Z).evaluate(s5_loop, s5_prices)
+        simulator = ExecutionSimulator(registry=s5_registry)
+        receipt = simulator.execute(plan_from_result(result))
+        assert not receipt.reverted
+        realized = receipt.profit.as_mapping()
+        predicted = result.profit.as_mapping()
+        assert realized[Z] == pytest.approx(predicted[Z], rel=1e-9)
+        assert receipt.monetized(s5_prices) == pytest.approx(
+            result.monetized_profit, rel=1e-9
+        )
+
+    def test_convex_profit_realized_exactly(self, s5_loop, s5_prices, s5_registry):
+        result = ConvexOptimizationStrategy(backend="slsqp").evaluate(
+            s5_loop, s5_prices
+        )
+        simulator = ExecutionSimulator(registry=s5_registry)
+        receipt = simulator.execute(plan_from_result(result, slippage_tolerance=1e-9))
+        assert not receipt.reverted
+        assert receipt.monetized(s5_prices) == pytest.approx(
+            result.monetized_profit, rel=1e-6
+        )
+
+    def test_interference_triggers_revert_and_rollback(
+        self, s5_loop, s5_prices, s5_registry
+    ):
+        result = TraditionalStrategy(start_token=Z).evaluate(s5_loop, s5_prices)
+        plan = plan_from_result(result)  # zero slippage tolerance
+        # Front-run: someone trades through the zx pool first.
+        s5_registry["s5-zx"].swap(Z, 50.0)
+        reserves_before = {
+            pid: (s5_registry[pid].reserve_of(s5_registry[pid].token0))
+            for pid in ("s5-xy", "s5-yz", "s5-zx")
+        }
+        simulator = ExecutionSimulator(registry=s5_registry)
+        receipt = simulator.execute(plan)
+        assert receipt.reverted
+        assert "slippage" in receipt.revert_reason
+        assert receipt.profit.as_mapping() == {}
+        for pid, reserve in reserves_before.items():
+            pool = s5_registry[pid]
+            assert pool.reserve_of(pool.token0) == pytest.approx(reserve)
+
+    def test_interference_within_tolerance_succeeds(
+        self, s5_loop, s5_prices, s5_registry
+    ):
+        result = TraditionalStrategy(start_token=Z).evaluate(s5_loop, s5_prices)
+        plan = plan_from_result(result, slippage_tolerance=0.5)
+        s5_registry["s5-zx"].swap(Z, 1.0)  # small nudge
+        receipt = ExecutionSimulator(registry=s5_registry).execute(plan)
+        assert not receipt.reverted
+        # realized profit differs from prediction but is still positive
+        assert receipt.monetized(s5_prices) > 0
+
+    def test_flash_loans_disabled(self, s5_loop, s5_prices, s5_registry):
+        result = TraditionalStrategy(start_token=Z).evaluate(s5_loop, s5_prices)
+        simulator = ExecutionSimulator(registry=s5_registry, allow_flash_loans=False)
+        receipt = simulator.execute(plan_from_result(result))
+        assert receipt.reverted
+        assert "flash loans are off" in receipt.revert_reason
+
+    def test_funded_trader_needs_no_loan(self, s5_loop, s5_prices, s5_registry):
+        result = TraditionalStrategy(start_token=Z).evaluate(s5_loop, s5_prices)
+        simulator = ExecutionSimulator(
+            registry=s5_registry,
+            balances={Z: 100.0},
+            allow_flash_loans=False,
+        )
+        receipt = simulator.execute(plan_from_result(result))
+        assert not receipt.reverted
+        assert simulator.balance_of(Z) == pytest.approx(
+            100.0 + result.profit.as_mapping()[Z], rel=1e-9
+        )
+
+    def test_flash_fee_reduces_profit(self, s5_loop, s5_prices, s5_registry):
+        result = TraditionalStrategy(start_token=Z).evaluate(s5_loop, s5_prices)
+        fee = 0.0009
+        simulator = ExecutionSimulator(registry=s5_registry, flash_fee=fee)
+        receipt = simulator.execute(plan_from_result(result))
+        expected = result.profit.as_mapping()[Z] - result.amount_in * fee
+        assert receipt.profit.as_mapping()[Z] == pytest.approx(expected, rel=1e-9)
+
+    def test_negative_flash_fee_rejected(self, s5_registry):
+        with pytest.raises(ValueError, match="flash_fee"):
+            ExecutionSimulator(registry=s5_registry, flash_fee=-0.1)
+
+
+class TestFlashLoanProvider:
+    def test_borrow_and_repay(self):
+        provider = FlashLoanProvider(liquidity={X: 1000.0}, fee=0.001)
+        loan = provider.borrow(X, 100.0)
+        assert loan.repayment == pytest.approx(100.1)
+        assert provider.available(X) == pytest.approx(900.0)
+        provider.repay(loan, 100.1)
+        assert provider.available(X) == pytest.approx(1000.1)
+        provider.assert_settled()
+
+    def test_insufficient_liquidity(self):
+        provider = FlashLoanProvider(liquidity={X: 10.0})
+        from repro.core import ExecutionRevertedError
+
+        with pytest.raises(ExecutionRevertedError, match="cannot lend"):
+            provider.borrow(X, 100.0)
+
+    def test_unknown_token_cannot_borrow(self):
+        provider = FlashLoanProvider()
+        from repro.core import ExecutionRevertedError
+
+        with pytest.raises(ExecutionRevertedError):
+            provider.borrow(X, 1.0)
+
+    def test_partial_repayment_rejected(self):
+        from repro.core import ExecutionRevertedError
+
+        provider = FlashLoanProvider(liquidity={X: 1000.0}, fee=0.001)
+        loan = provider.borrow(X, 100.0)
+        with pytest.raises(ExecutionRevertedError, match="needs repayment"):
+            provider.repay(loan, 100.0)
+
+    def test_unsettled_detection(self):
+        from repro.core import ExecutionRevertedError
+
+        provider = FlashLoanProvider(liquidity={X: 1000.0})
+        provider.borrow(X, 1.0)
+        with pytest.raises(ExecutionRevertedError, match="unsettled"):
+            provider.assert_settled()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fee"):
+            FlashLoanProvider(fee=-0.1)
+        with pytest.raises(ValueError, match="liquidity"):
+            FlashLoanProvider(liquidity={X: -5.0})
+        provider = FlashLoanProvider(liquidity={X: 5.0})
+        with pytest.raises(ValueError, match="positive"):
+            provider.borrow(X, 0.0)

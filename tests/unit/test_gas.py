@@ -1,0 +1,70 @@
+"""Unit tests for the gas-cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import section5_loop, section5_prices
+from repro.execution import DEFAULT_GAS_MODEL, GasModel
+from repro.strategies import MaxMaxStrategy
+
+
+@pytest.fixture
+def result(s5_loop, s5_prices):
+    return MaxMaxStrategy().evaluate(s5_loop, s5_prices)
+
+
+class TestGasUnits:
+    def test_three_hop_loop(self):
+        model = GasModel()
+        units = model.gas_units(3)
+        assert units == pytest.approx(30_000 + 3 * 100_000 + 90_000)
+
+    def test_no_flash_loan(self):
+        model = GasModel()
+        assert model.gas_units(3, flash_loan=False) == pytest.approx(330_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GasModel().gas_units(0)
+        with pytest.raises(ValueError, match=">= 0"):
+            GasModel(gas_price_gwei=-1.0)
+
+
+class TestCost:
+    def test_cost_formula(self):
+        model = GasModel(
+            gas_per_swap=100_000,
+            base_gas=30_000,
+            flash_loan_gas=90_000,
+            gas_price_gwei=20.0,
+            eth_price_usd=1650.0,
+        )
+        # 420k gas * 20 gwei * 1650 $ = 420000*20e-9*1650 = 13.86$
+        assert model.cost_usd(3) == pytest.approx(13.86)
+
+    def test_cost_scales_with_gas_price(self):
+        cheap = GasModel(gas_price_gwei=10.0)
+        dear = GasModel(gas_price_gwei=100.0)
+        assert dear.cost_usd(3) == pytest.approx(10 * cheap.cost_usd(3))
+
+    def test_cost_for_loop_uses_length(self, s5_loop):
+        model = GasModel()
+        assert model.cost_for_loop(s5_loop) == model.cost_usd(3)
+
+
+class TestNetProfit:
+    def test_section5_survives_default_gas(self, result):
+        model = DEFAULT_GAS_MODEL
+        net = model.net_profit(result)
+        assert net == pytest.approx(result.monetized_profit - 13.86, abs=1e-9)
+        assert model.is_profitable_after_gas(result)
+
+    def test_high_gas_kills_it(self, result):
+        model = GasModel(gas_price_gwei=400.0)
+        # 420k * 400 gwei * 1650$ = 277$ > 205.6$
+        assert not model.is_profitable_after_gas(result)
+
+    def test_breakeven(self):
+        model = GasModel()
+        assert model.breakeven_gross_usd(3) == pytest.approx(model.cost_usd(3))

@@ -1,0 +1,217 @@
+"""Unit tests for graph construction, filters, and loop enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import Pool, PoolRegistry
+from repro.core import PriceMap, Token
+from repro.graph import (
+    PAPER_MIN_RESERVE,
+    PAPER_MIN_TVL_USD,
+    apply_filters,
+    build_token_graph,
+    count_cycles,
+    enumerate_token_cycles,
+    expand_cycle_to_loops,
+    find_arbitrage_loops,
+    graph_summary,
+    min_reserve_filter,
+    min_tvl_filter,
+    paper_filters,
+)
+
+A, B, C, D = Token("A"), Token("B"), Token("C"), Token("D")
+
+
+def k4_registry() -> PoolRegistry:
+    """Complete graph on 4 tokens (one pool per pair, 6 pools)."""
+    registry = PoolRegistry()
+    reserves = {
+        (A, B): (1000.0, 1010.0),
+        (A, C): (1000.0, 995.0),
+        (A, D): (1000.0, 1020.0),
+        (B, C): (1000.0, 990.0),
+        (B, D): (1000.0, 1000.0),
+        (C, D): (1000.0, 1015.0),
+    }
+    for (t0, t1), (r0, r1) in reserves.items():
+        registry.create(t0, t1, r0, r1, pool_id=f"k4-{t0.symbol}{t1.symbol}")
+    return registry
+
+
+@pytest.fixture
+def k4_graph():
+    return build_token_graph(k4_registry())
+
+
+class TestFilters:
+    def test_min_tvl_filter(self):
+        prices = PriceMap.from_symbols({"A": 1.0, "B": 1.0})
+        pool_big = Pool(A, B, 20_000.0, 20_000.0, pool_id="big")
+        pool_small = Pool(A, B, 1_000.0, 1_000.0, pool_id="small")
+        accept = min_tvl_filter(prices)
+        assert accept(pool_big)
+        assert not accept(pool_small)
+
+    def test_tvl_filter_drops_unpriced_tokens(self):
+        prices = PriceMap.from_symbols({"A": 1.0})
+        pool = Pool(A, B, 1e6, 1e6, pool_id="uq")
+        assert not min_tvl_filter(prices)(pool)
+
+    def test_min_reserve_filter(self):
+        accept = min_reserve_filter()
+        assert accept(Pool(A, B, 101.0, 5000.0))
+        assert not accept(Pool(A, B, 100.0, 5000.0))  # strict: > 100
+        assert not accept(Pool(A, B, 99.0, 5000.0))
+
+    def test_paper_constants(self):
+        assert PAPER_MIN_TVL_USD == 30_000.0
+        assert PAPER_MIN_RESERVE == 100.0
+
+    def test_apply_filters_conjunction(self):
+        prices = PriceMap.from_symbols({"A": 100.0, "B": 100.0})
+        pools = [
+            Pool(A, B, 200.0, 200.0, pool_id="ok"),        # tvl 40k, reserves ok
+            Pool(A, B, 120.0, 90.0, pool_id="thin"),       # reserve < 100
+            Pool(A, B, 101.0, 140.0, pool_id="low-tvl"),   # tvl 24.1k < 30k
+        ]
+        kept = list(apply_filters(pools, paper_filters(prices)))
+        assert [p.pool_id for p in kept] == ["ok"]
+
+    def test_apply_no_filters_keeps_all(self):
+        pools = [Pool(A, B, 1.0, 1.0), Pool(B, C, 1.0, 1.0)]
+        assert list(apply_filters(pools, ())) == pools
+
+
+class TestBuild:
+    def test_nodes_and_edges(self, k4_graph):
+        assert k4_graph.number_of_nodes() == 4
+        assert k4_graph.number_of_edges() == 6
+
+    def test_pools_between(self, k4_graph):
+        pools = k4_graph.pools_between(A, B)
+        assert len(pools) == 1
+        assert pools[0].pool_id == "k4-AB"
+        assert k4_graph.pools_between(A, Token("Q")) == ()
+
+    def test_parallel_edges(self):
+        registry = PoolRegistry()
+        registry.create(A, B, 1000.0, 1000.0, pool_id="p1")
+        registry.create(A, B, 1000.0, 1001.0, pool_id="p2")
+        graph = build_token_graph(registry)
+        assert graph.number_of_edges() == 2
+        assert len(graph.pools_between(A, B)) == 2
+
+    def test_all_pools_sorted(self, k4_graph):
+        ids = [p.pool_id for p in k4_graph.all_pools()]
+        assert ids == sorted(ids)
+        assert len(ids) == 6
+
+    def test_graph_summary(self, k4_graph):
+        prices = PriceMap.from_symbols({s: 1.0 for s in "ABCD"})
+        summary = graph_summary(k4_graph, prices)
+        assert summary["tokens"] == 4
+        assert summary["pools"] == 6
+        assert summary["connected_components"] == 1
+        assert summary["total_tvl_usd"] > 0
+
+    def test_empty_graph_summary(self):
+        graph = build_token_graph(PoolRegistry())
+        assert graph_summary(graph) == {
+            "tokens": 0, "pools": 0, "connected_components": 0,
+        }
+
+
+class TestCycleEnumeration:
+    def test_k4_triangle_count(self, k4_graph):
+        # K4 has C(4,3) = 4 triangles.
+        assert count_cycles(k4_graph, 3) == 4
+
+    def test_k4_quad_count(self, k4_graph):
+        # K4 has 3 distinct 4-cycles.
+        assert count_cycles(k4_graph, 4) == 3
+
+    def test_cycles_are_canonical_and_unique(self, k4_graph):
+        cycles = list(enumerate_token_cycles(k4_graph, 3))
+        assert len(set(cycles)) == len(cycles)
+        for cycle in cycles:
+            assert cycle[0] == min(cycle, key=lambda t: t.symbol)
+            assert cycle[1].symbol < cycle[-1].symbol
+
+    def test_length_below_three_rejected(self, k4_graph):
+        with pytest.raises(ValueError, match=">= 3"):
+            list(enumerate_token_cycles(k4_graph, 2))
+
+    def test_matches_networkx(self, k4_graph):
+        from repro.graph.cycles import cycles_via_networkx
+
+        ours = {frozenset(c) for c in enumerate_token_cycles(k4_graph, 3)}
+        theirs = {frozenset(c) for c in cycles_via_networkx(k4_graph, 3)}
+        assert ours == theirs
+
+
+class TestExpansion:
+    def test_both_directions(self, k4_graph):
+        cycle = next(enumerate_token_cycles(k4_graph, 3))
+        loops = list(expand_cycle_to_loops(k4_graph, cycle))
+        assert len(loops) == 2
+        assert loops[0] == loops[1].reversed()
+
+    def test_forward_only(self, k4_graph):
+        cycle = next(enumerate_token_cycles(k4_graph, 3))
+        loops = list(expand_cycle_to_loops(k4_graph, cycle, directions="forward"))
+        assert len(loops) == 1
+
+    def test_invalid_directions(self, k4_graph):
+        cycle = next(enumerate_token_cycles(k4_graph, 3))
+        with pytest.raises(ValueError, match="directions"):
+            list(expand_cycle_to_loops(k4_graph, cycle, directions="backward"))
+
+    def test_parallel_pools_multiply(self):
+        registry = k4_registry()
+        registry.create(A, B, 1000.0, 1005.0, pool_id="k4-AB2")
+        graph = build_token_graph(registry)
+        cycle = (A, B, C)
+        loops = list(expand_cycle_to_loops(graph, cycle))
+        # 2 choices on the A-B hop x 2 directions
+        assert len(loops) == 4
+
+    def test_max_parallel_cap(self):
+        registry = k4_registry()
+        registry.create(A, B, 1000.0, 1005.0, pool_id="k4-AB2")
+        graph = build_token_graph(registry)
+        loops = list(expand_cycle_to_loops(graph, (A, B, C), max_parallel=1))
+        assert len(loops) == 2
+
+
+class TestFindArbitrageLoops:
+    def test_each_found_loop_is_profitable(self, k4_graph):
+        for loop in find_arbitrage_loops(k4_graph, 3):
+            assert loop.log_rate_sum() > 0
+            assert loop.composition().is_profitable
+
+    def test_at_most_one_direction_per_cycle(self, k4_graph):
+        loops = find_arbitrage_loops(k4_graph, 3)
+        canon = [frozenset(loop.tokens) for loop in loops]
+        # With a single pool per pair, the two directions cannot both
+        # be profitable, so each token set appears at most once.
+        assert len(canon) == len(set(canon))
+
+    def test_deterministic(self, k4_graph):
+        first = find_arbitrage_loops(k4_graph, 3)
+        second = find_arbitrage_loops(k4_graph, 3)
+        assert first == second
+
+    def test_tolerance_excludes_marginal_loops(self, k4_graph):
+        all_loops = find_arbitrage_loops(k4_graph, 3, tol=0.0)
+        strict = find_arbitrage_loops(k4_graph, 3, tol=1.0)
+        assert len(strict) <= len(all_loops)
+
+    def test_balanced_market_has_no_loops(self):
+        """Pools exactly at parity: fees kill every round trip."""
+        registry = PoolRegistry()
+        for pair, pid in (((A, B), "ab"), ((B, C), "bc"), ((C, A), "ca")):
+            registry.create(pair[0], pair[1], 1000.0, 1000.0, pool_id=pid)
+        graph = build_token_graph(registry)
+        assert find_arbitrage_loops(graph, 3) == []

@@ -1,0 +1,131 @@
+"""Unit + differential tests for exact integer Uniswap-V2 arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import (
+    IntegerPool,
+    amount_out as float_amount_out,
+    get_amount_in,
+    get_amount_out,
+)
+from repro.core import InsufficientLiquidityError, InvalidReserveError
+
+WAD = 10**18  # one 18-decimal token in base units
+
+
+class TestGetAmountOut:
+    def test_known_value(self):
+        # 1 token in, pool of (100, 200) tokens (18 decimals)
+        out = get_amount_out(1 * WAD, 100 * WAD, 200 * WAD)
+        # float model: 200*0.997/(100+0.997) ~ 1.974...
+        expected = float_amount_out(100.0, 200.0, 1.0, 0.003)
+        assert out / WAD == pytest.approx(expected, rel=1e-9)
+
+    def test_floor_rounding(self):
+        # tiny pool where floor matters: 10 in, reserves (1000, 1000)
+        out = get_amount_out(10, 1000, 1000)
+        # exact: 10*997*1000/(1000*1000+10*997) = 9970000/1009970 = 9.87...
+        assert out == 9
+
+    def test_zero_input_rejected(self):
+        with pytest.raises(ValueError, match="INSUFFICIENT_INPUT"):
+            get_amount_out(0, 1000, 1000)
+
+    def test_bad_reserves_rejected(self):
+        with pytest.raises(InvalidReserveError):
+            get_amount_out(1, 0, 1000)
+        with pytest.raises(InvalidReserveError):
+            get_amount_out(1, 1000, -5)
+
+    def test_output_below_reserve(self):
+        assert get_amount_out(10**30, 1000, 1000) < 1000
+
+
+class TestGetAmountIn:
+    def test_round_trips_conservatively(self):
+        reserve_in, reserve_out = 5_000 * WAD, 3_000 * WAD
+        desired = 17 * WAD
+        needed = get_amount_in(desired, reserve_in, reserve_out)
+        assert get_amount_out(needed, reserve_in, reserve_out) >= desired
+
+    def test_plus_one_makes_it_sufficient(self):
+        # without the +1 the floor division can under-quote
+        needed = get_amount_in(9, 1000, 1000)
+        assert get_amount_out(needed, 1000, 1000) >= 9
+        if needed > 1:
+            assert get_amount_out(needed - 1, 1000, 1000) < 9
+
+    def test_draining_rejected(self):
+        with pytest.raises(InsufficientLiquidityError):
+            get_amount_in(1000, 1000, 1000)
+
+    def test_zero_output_rejected(self):
+        with pytest.raises(ValueError, match="INSUFFICIENT_OUTPUT"):
+            get_amount_in(0, 1000, 1000)
+
+
+class TestIntegerPool:
+    def test_swap_mutates_reserves(self):
+        pool = IntegerPool(100 * WAD, 200 * WAD)
+        out = pool.swap(10 * WAD)
+        assert pool.reserves == (110 * WAD, 200 * WAD - out)
+
+    def test_k_never_decreases(self):
+        pool = IntegerPool(100 * WAD, 200 * WAD)
+        k0 = pool.k
+        pool.swap(10 * WAD)
+        assert pool.k >= k0
+        k1 = pool.k
+        pool.swap(5 * WAD, zero_for_one=False)
+        assert pool.k >= k1
+
+    def test_directions(self):
+        pool = IntegerPool(100 * WAD, 200 * WAD)
+        out01 = pool.quote_out(WAD, zero_for_one=True)
+        out10 = pool.quote_out(WAD, zero_for_one=False)
+        assert out01 > out10  # token0 is scarcer, worth more token1
+
+    def test_validation(self):
+        with pytest.raises(InvalidReserveError):
+            IntegerPool(0, 100)
+
+
+class TestDifferentialFloatVsInteger:
+    @given(
+        reserve_in=st.integers(min_value=10**15, max_value=10**27),
+        reserve_out=st.integers(min_value=10**15, max_value=10**27),
+        amount_in=st.integers(min_value=1, max_value=10**24),
+    )
+    @settings(max_examples=200)
+    def test_integer_never_exceeds_float(self, reserve_in, reserve_out, amount_in):
+        """Floor rounding only ever reduces output vs real arithmetic."""
+        exact = get_amount_out(amount_in, reserve_in, reserve_out)
+        real = float_amount_out(
+            float(reserve_in), float(reserve_out), float(amount_in), 0.003
+        )
+        # integer result is the floor of the real result (up to float
+        # representation error of the real model itself)
+        assert exact <= real * (1.0 + 1e-12) + 1
+        assert exact >= real * (1.0 - 1e-9) - 1
+
+    @given(
+        reserve_in=st.integers(min_value=10**20, max_value=10**27),
+        reserve_out=st.integers(min_value=10**20, max_value=10**27),
+        amount_in=st.integers(min_value=10**15, max_value=10**24),
+    )
+    @settings(max_examples=100)
+    def test_relative_gap_negligible_at_wad_scale(
+        self, reserve_in, reserve_out, amount_in
+    ):
+        """At 18-decimal scale the float model is accurate to ~1e-9."""
+        exact = get_amount_out(amount_in, reserve_in, reserve_out)
+        real = float_amount_out(
+            float(reserve_in), float(reserve_out), float(amount_in), 0.003
+        )
+        if exact > 10**6:  # ignore dust outputs
+            # float representation error plus the <=1-unit floor cut
+            assert abs(exact - real) <= real * 1e-9 + 1.0

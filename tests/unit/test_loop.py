@@ -1,0 +1,166 @@
+"""Unit tests for ArbitrageLoop and Rotation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.amm import Pool
+from repro.core import ArbitrageLoop, DegenerateLoopError, Rotation, Token
+
+X, Y, Z, W = Token("X"), Token("Y"), Token("Z"), Token("W")
+
+
+def make_pools():
+    return [
+        Pool(X, Y, 100.0, 200.0, pool_id="xy"),
+        Pool(Y, Z, 300.0, 200.0, pool_id="yz"),
+        Pool(Z, X, 200.0, 400.0, pool_id="zx"),
+    ]
+
+
+class TestConstruction:
+    def test_valid_loop(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        assert len(loop) == 3
+        assert loop.tokens == (X, Y, Z)
+
+    def test_two_token_loop_allowed(self):
+        # two parallel pools between the same pair form a 2-loop
+        p1 = Pool(X, Y, 100.0, 220.0, pool_id="p1")
+        p2 = Pool(X, Y, 100.0, 200.0, pool_id="p2")
+        loop = ArbitrageLoop([X, Y], [p1, p2])
+        assert len(loop) == 2
+
+    def test_single_token_rejected(self):
+        with pytest.raises(DegenerateLoopError, match="at least 2"):
+            ArbitrageLoop([X], [make_pools()[0]])
+
+    def test_token_pool_count_mismatch(self):
+        with pytest.raises(DegenerateLoopError, match="exactly one pool"):
+            ArbitrageLoop([X, Y, Z], make_pools()[:2])
+
+    def test_duplicate_tokens_rejected(self):
+        pools = make_pools()
+        with pytest.raises(DegenerateLoopError, match="distinct"):
+            ArbitrageLoop([X, Y, X], pools)
+
+    def test_mismatched_hop_pool_rejected(self):
+        pools = make_pools()
+        pools[0], pools[1] = pools[1], pools[0]  # xy pool no longer serves hop 0
+        with pytest.raises(DegenerateLoopError, match="does not match"):
+            ArbitrageLoop([X, Y, Z], pools)
+
+
+class TestIdentity:
+    def test_rotation_invariant_equality(self):
+        pools = make_pools()
+        a = ArbitrageLoop([X, Y, Z], pools)
+        b = ArbitrageLoop([Y, Z, X], [pools[1], pools[2], pools[0]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_direction_sensitive(self):
+        pools = make_pools()
+        forward = ArbitrageLoop([X, Y, Z], pools)
+        assert forward != forward.reversed()
+
+    def test_different_pools_differ(self):
+        pools = make_pools()
+        alt = Pool(X, Y, 100.0, 210.0, pool_id="xy2")
+        a = ArbitrageLoop([X, Y, Z], pools)
+        b = ArbitrageLoop([X, Y, Z], [alt, pools[1], pools[2]])
+        assert a != b
+
+    def test_usable_in_sets(self):
+        pools = make_pools()
+        a = ArbitrageLoop([X, Y, Z], pools)
+        b = ArbitrageLoop([Z, X, Y], [pools[2], pools[0], pools[1]])
+        assert len({a, b}) == 1
+
+
+class TestReversal:
+    def test_reversed_tokens_and_pools(self):
+        pools = make_pools()
+        rev = ArbitrageLoop([X, Y, Z], pools).reversed()
+        assert rev.tokens == (X, Z, Y)
+        assert [p.pool_id for p in rev.pools] == ["zx", "yz", "xy"]
+
+    def test_double_reverse_is_identity(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        assert loop.reversed().reversed() == loop
+
+    def test_reverse_of_profitable_loop_is_unprofitable(self, s5_loop):
+        assert s5_loop.is_arbitrage()
+        assert not s5_loop.reversed().is_arbitrage()
+
+
+class TestRotations:
+    def test_all_rotations(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        rotations = loop.rotations()
+        assert len(rotations) == 3
+        assert [r.start_token for r in rotations] == [X, Y, Z]
+
+    def test_rotation_from(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        rot = loop.rotation_from(Z)
+        assert rot.start_token == Z
+        assert rot.tokens == (Z, X, Y)
+        assert [p.pool_id for p in rot.pools] == ["zx", "xy", "yz"]
+
+    def test_rotation_from_foreign_token(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        with pytest.raises(DegenerateLoopError):
+            loop.rotation_from(W)
+
+    def test_hops_chain(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        for rotation in loop.rotations():
+            hops = list(rotation.hops())
+            assert hops[0][0] == rotation.start_token
+            for (a_in, a_out, _), (b_in, _b_out, _b) in zip(hops, hops[1:]):
+                assert a_out == b_in
+            assert hops[-1][1] == rotation.start_token
+
+    def test_simulate_lengths(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        amounts = loop.rotations()[0].simulate(10.0)
+        assert len(amounts) == 4
+        assert amounts[0] == 10.0
+
+    def test_rotation_equality(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        assert Rotation(loop, 0) == Rotation(loop, 3)  # offsets mod n
+        assert Rotation(loop, 0) != Rotation(loop, 1)
+
+    def test_repr(self):
+        loop = ArbitrageLoop([X, Y, Z], make_pools())
+        assert "X -> Y -> Z -> X" in repr(loop)
+        assert "Z -> X -> Y -> Z" in repr(loop.rotation_from(Z))
+
+
+class TestArbitrageCriterion:
+    def test_log_rate_sum_positive_for_arb(self, s5_loop):
+        assert s5_loop.log_rate_sum() > 0
+        assert s5_loop.is_arbitrage()
+
+    def test_log_rate_sum_matches_composition(self, s5_loop):
+        assert s5_loop.log_rate_sum() == pytest.approx(
+            math.log(s5_loop.composition().rate_at_zero)
+        )
+
+    def test_rotation_invariance_of_log_rate_sum(self):
+        pools = make_pools()
+        a = ArbitrageLoop([X, Y, Z], pools)
+        b = ArbitrageLoop([Y, Z, X], [pools[1], pools[2], pools[0]])
+        assert a.log_rate_sum() == pytest.approx(b.log_rate_sum())
+
+    def test_no_arb_loop(self, no_arb_loop):
+        assert no_arb_loop.log_rate_sum() < 0
+        assert not no_arb_loop.is_arbitrage()
+
+    def test_tolerance_parameter(self, s5_loop):
+        huge_tol = s5_loop.log_rate_sum() + 1.0
+        assert not s5_loop.is_arbitrage(tol=huge_tol)

@@ -1,0 +1,158 @@
+"""Unit tests for the stateful Pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import DEFAULT_FEE, Pool
+from repro.core import (
+    InvalidReserveError,
+    Token,
+    UnknownTokenError,
+)
+
+X, Y = Token("X"), Token("Y")
+
+
+@pytest.fixture
+def pool():
+    return Pool(X, Y, 100.0, 200.0, pool_id="t-xy")
+
+
+class TestConstruction:
+    def test_tokens_normalized_by_symbol(self):
+        pool = Pool(Y, X, 200.0, 100.0)
+        assert pool.token0 == X
+        assert pool.reserve_of(X) == 100.0
+        assert pool.reserve_of(Y) == 200.0
+
+    def test_same_token_twice_rejected(self):
+        with pytest.raises(InvalidReserveError, match="distinct"):
+            Pool(X, X, 100.0, 100.0)
+
+    def test_nonpositive_reserves_rejected(self):
+        with pytest.raises(InvalidReserveError):
+            Pool(X, Y, 0.0, 100.0)
+        with pytest.raises(InvalidReserveError):
+            Pool(X, Y, 100.0, -1.0)
+
+    def test_default_fee(self, pool):
+        assert pool.fee == DEFAULT_FEE == 0.003
+
+    def test_auto_pool_ids_unique(self):
+        a = Pool(X, Y, 1.0, 1.0)
+        b = Pool(X, Y, 1.0, 1.0)
+        assert a.pool_id != b.pool_id
+
+    def test_contains(self, pool):
+        assert X in pool and Y in pool
+        assert Token("Q") not in pool
+
+    def test_other(self, pool):
+        assert pool.other(X) == Y
+        assert pool.other(Y) == X
+        with pytest.raises(UnknownTokenError):
+            pool.other(Token("Q"))
+
+    def test_reserve_of_unknown_token(self, pool):
+        with pytest.raises(UnknownTokenError):
+            pool.reserve_of(Token("Q"))
+
+    def test_k(self, pool):
+        assert pool.k == pytest.approx(20_000.0)
+
+
+class TestQuotes:
+    def test_quote_does_not_mutate(self, pool):
+        before = (pool.reserve_of(X), pool.reserve_of(Y))
+        pool.quote_out(X, 10.0)
+        pool.quote_in(Y, 10.0)
+        pool.spot_price(X)
+        assert (pool.reserve_of(X), pool.reserve_of(Y)) == before
+
+    def test_quote_out_in_roundtrip(self, pool):
+        out = pool.quote_out(X, 10.0)
+        assert pool.quote_in(Y, out) == pytest.approx(10.0, rel=1e-12)
+
+    def test_spot_price_direction(self, pool):
+        # X is scarce, so X is worth ~2 Y
+        assert pool.spot_price(X) == pytest.approx(0.997 * 2.0)
+        assert pool.spot_price(Y) == pytest.approx(0.997 * 0.5)
+
+    def test_marginal_rate_at_zero_equals_spot(self, pool):
+        assert pool.marginal_rate(X, 0.0) == pytest.approx(pool.spot_price(X))
+
+
+class TestSwap:
+    def test_swap_mutates_reserves(self, pool):
+        out = pool.swap(X, 10.0)
+        assert pool.reserve_of(X) == pytest.approx(110.0)
+        assert pool.reserve_of(Y) == pytest.approx(200.0 - out)
+
+    def test_swap_returns_quote(self, pool):
+        quote = pool.quote_out(X, 10.0)
+        assert pool.swap(X, 10.0) == pytest.approx(quote)
+
+    def test_k_never_decreases_with_fee(self, pool):
+        k0 = pool.k
+        pool.swap(X, 10.0)
+        k1 = pool.k
+        pool.swap(Y, 5.0)
+        k2 = pool.k
+        assert k1 >= k0 * (1 - 1e-12)
+        assert k2 >= k1 * (1 - 1e-12)
+        # With a positive fee k strictly grows.
+        assert k1 > k0
+
+    def test_swap_records_event(self, pool):
+        pool.swap(X, 10.0)
+        assert len(pool.events) == 1
+        event = pool.events[0]
+        assert event.token_in == X
+        assert event.token_out == Y
+        assert event.amount_in == 10.0
+        assert event.pool_id == "t-xy"
+        assert "X" in str(event)
+
+    def test_sequential_swaps_use_updated_state(self, pool):
+        out1 = pool.swap(X, 10.0)
+        out2 = pool.swap(X, 10.0)
+        assert out2 < out1  # slippage: second trade gets a worse price
+
+
+class TestSnapshotRestore:
+    def test_restore_roundtrip(self, pool):
+        snap = pool.snapshot()
+        pool.swap(X, 25.0)
+        pool.restore(snap)
+        assert pool.reserve_of(X) == 100.0
+        assert pool.reserve_of(Y) == 200.0
+
+    def test_restore_wrong_pool_rejected(self, pool):
+        other = Pool(X, Y, 1.0, 1.0, pool_id="other")
+        with pytest.raises(ValueError, match="cannot restore"):
+            pool.restore(other.snapshot())
+
+    def test_from_snapshot_recreates_pool(self, pool):
+        clone = Pool.from_snapshot(pool.snapshot())
+        assert clone.pool_id == pool.pool_id
+        assert clone.reserve_of(X) == pool.reserve_of(X)
+        assert clone.fee == pool.fee
+
+    def test_copy_is_independent(self, pool):
+        clone = pool.copy()
+        clone.swap(X, 10.0)
+        assert pool.reserve_of(X) == 100.0
+
+    def test_snapshot_tvl(self, pool, simple_prices):
+        snap = pool.snapshot()
+        # 100 X * 2$ + 200 Y * 10.2$
+        assert snap.tvl(simple_prices) == pytest.approx(100 * 2 + 200 * 10.2)
+        assert pool.tvl(simple_prices) == pytest.approx(snap.tvl(simple_prices))
+
+
+class TestRepr:
+    def test_repr_mentions_reserves_and_tokens(self, pool):
+        text = repr(pool)
+        assert "100" in text and "200" in text
+        assert "X" in text and "Y" in text

@@ -1,0 +1,130 @@
+"""Unit tests for the convex-program IR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimize import (
+    AffineConstraint,
+    ConvexProgram,
+    HopConstraint,
+    LinearEquality,
+)
+
+
+class TestAffineConstraint:
+    def test_value_and_grad(self):
+        con = AffineConstraint(coeffs=np.array([1.0, -2.0]), offset=3.0)
+        v = np.array([2.0, 1.0])
+        assert con.value(v) == pytest.approx(3.0)
+        assert np.allclose(con.grad(v), [1.0, -2.0])
+        assert np.allclose(con.hess(v), np.zeros((2, 2)))
+
+
+class TestHopConstraint:
+    def make(self):
+        return HopConstraint(x=100.0, y=200.0, gamma=0.997, idx_in=0, idx_out=1, n_vars=2)
+
+    def test_value_zero_on_exact_swap(self):
+        con = self.make()
+        t = 10.0
+        out = 200.0 * 0.997 * t / (100.0 + 0.997 * t)
+        assert con.value(np.array([t, out])) == pytest.approx(0.0, abs=1e-12)
+
+    def test_value_positive_below_curve(self):
+        con = self.make()
+        assert con.value(np.array([10.0, 1.0])) > 0
+
+    def test_value_negative_above_curve(self):
+        con = self.make()
+        assert con.value(np.array([10.0, 100.0])) < 0
+
+    def test_grad_matches_finite_difference(self):
+        con = self.make()
+        v = np.array([10.0, 5.0])
+        g = con.grad(v)
+        h = 1e-6
+        for k in range(2):
+            vp, vm = v.copy(), v.copy()
+            vp[k] += h
+            vm[k] -= h
+            fd = (con.value(vp) - con.value(vm)) / (2 * h)
+            assert g[k] == pytest.approx(fd, rel=1e-6)
+
+    def test_hess_matches_finite_difference(self):
+        con = self.make()
+        v = np.array([10.0, 5.0])
+        hess = con.hess(v)
+        h = 1e-5
+        vp, vm = v.copy(), v.copy()
+        vp[0] += h
+        vm[0] -= h
+        fd = (con.grad(vp)[0] - con.grad(vm)[0]) / (2 * h)
+        assert hess[0, 0] == pytest.approx(fd, rel=1e-4)
+        assert hess[0, 0] < 0  # concavity in the input direction
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="reserves"):
+            HopConstraint(x=0.0, y=1.0, gamma=0.997, idx_in=0, idx_out=1, n_vars=2)
+        with pytest.raises(ValueError, match="gamma"):
+            HopConstraint(x=1.0, y=1.0, gamma=0.0, idx_in=0, idx_out=1, n_vars=2)
+
+
+class TestLinearEquality:
+    def test_residual(self):
+        eq = LinearEquality(coeffs=np.array([1.0, 1.0]), rhs=2.0)
+        assert eq.residual(np.array([1.0, 1.0])) == pytest.approx(0.0)
+        assert eq.residual(np.array([2.0, 1.0])) == pytest.approx(1.0)
+
+
+class TestConvexProgram:
+    def make(self):
+        return ConvexProgram(
+            n_vars=2,
+            objective=np.array([1.0, 1.0]),
+            inequalities=[
+                AffineConstraint(coeffs=np.array([-1.0, 0.0]), offset=5.0),  # v0 <= 5
+                AffineConstraint(coeffs=np.array([0.0, -1.0]), offset=5.0),  # v1 <= 5
+            ],
+        )
+
+    def test_objective_value(self):
+        program = self.make()
+        assert program.objective_value([2.0, 3.0]) == pytest.approx(5.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            ConvexProgram(n_vars=3, objective=np.array([1.0, 1.0]))
+
+    def test_var_names_validation(self):
+        with pytest.raises(ValueError, match="names"):
+            ConvexProgram(
+                n_vars=2, objective=np.zeros(2), var_names=("only-one",)
+            )
+
+    def test_feasibility(self):
+        program = self.make()
+        assert program.is_feasible([1.0, 1.0])
+        assert not program.is_feasible([6.0, 1.0])
+        assert not program.is_feasible([-1.0, 1.0])  # nonneg bound
+
+    def test_strict_feasibility(self):
+        program = self.make()
+        assert program.is_strictly_feasible([1.0, 1.0])
+        assert not program.is_strictly_feasible([5.0, 1.0])  # boundary
+        assert not program.is_strictly_feasible([0.0, 1.0])  # bound boundary
+
+    def test_inequality_values(self):
+        program = self.make()
+        vals = program.inequality_values([1.0, 2.0])
+        assert np.allclose(vals, [4.0, 3.0])
+
+    def test_equality_residuals(self):
+        program = ConvexProgram(
+            n_vars=2,
+            objective=np.zeros(2),
+            equalities=[LinearEquality(coeffs=np.array([1.0, -1.0]), rhs=0.0)],
+        )
+        assert np.allclose(program.equality_residuals([2.0, 2.0]), [0.0])
+        assert not program.is_feasible([2.0, 1.0])

@@ -1,0 +1,103 @@
+"""Unit tests for PoolRegistry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import Pool, PoolRegistry
+from repro.core import Token, UnknownTokenError
+
+X, Y, Z = Token("X"), Token("Y"), Token("Z")
+
+
+class TestCollection:
+    def test_add_and_lookup(self, small_registry):
+        assert len(small_registry) == 3
+        assert "r-xy" in small_registry
+        assert small_registry["r-xy"].pool_id == "r-xy"
+
+    def test_missing_pool_id(self, small_registry):
+        with pytest.raises(KeyError, match="nope"):
+            small_registry["nope"]
+
+    def test_duplicate_pool_id_rejected(self, small_registry):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_registry.add(Pool(X, Y, 1.0, 1.0, pool_id="r-xy"))
+
+    def test_create_shorthand(self):
+        registry = PoolRegistry()
+        pool = registry.create(X, Y, 10.0, 20.0, pool_id="c1")
+        assert registry["c1"] is pool
+
+    def test_iteration(self, small_registry):
+        assert {p.pool_id for p in small_registry} == {"r-xy", "r-yz", "r-zx"}
+
+    def test_init_from_iterable(self):
+        pools = [Pool(X, Y, 1.0, 2.0, pool_id="a"), Pool(Y, Z, 1.0, 2.0, pool_id="b")]
+        registry = PoolRegistry(pools)
+        assert len(registry) == 2
+
+
+class TestLookups:
+    def test_tokens(self, small_registry):
+        assert small_registry.tokens == frozenset({X, Y, Z})
+
+    def test_pools_for_pair(self, small_registry):
+        pools = small_registry.pools_for_pair(X, Y)
+        assert [p.pool_id for p in pools] == ["r-xy"]
+        assert small_registry.pools_for_pair(Y, X) == pools  # order-insensitive
+
+    def test_pools_for_missing_pair(self, small_registry):
+        assert small_registry.pools_for_pair(X, Token("Q")) == ()
+
+    def test_pools_with_token(self, small_registry):
+        assert {p.pool_id for p in small_registry.pools_with_token(X)} == {"r-xy", "r-zx"}
+
+    def test_pools_with_unknown_token(self, small_registry):
+        with pytest.raises(UnknownTokenError):
+            small_registry.pools_with_token(Token("Q"))
+
+    def test_parallel_pools(self):
+        registry = PoolRegistry()
+        registry.create(X, Y, 100.0, 200.0, pool_id="p1")
+        registry.create(X, Y, 100.0, 210.0, pool_id="p2")
+        assert len(registry.pools_for_pair(X, Y)) == 2
+
+    def test_best_pool_for_pair(self):
+        registry = PoolRegistry()
+        registry.create(X, Y, 100.0, 200.0, pool_id="worse")
+        registry.create(X, Y, 100.0, 210.0, pool_id="better")  # more Y out per X
+        assert registry.best_pool_for_pair(X, Y).pool_id == "better"
+        # In the reverse direction the cheap-Y pool is better.
+        assert registry.best_pool_for_pair(Y, X).pool_id == "worse"
+
+    def test_best_pool_missing_pair(self, small_registry):
+        with pytest.raises(UnknownTokenError):
+            small_registry.best_pool_for_pair(X, Token("Q"))
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_roundtrip(self, small_registry):
+        snap = small_registry.snapshot()
+        small_registry["r-xy"].swap(X, 10.0)
+        small_registry["r-yz"].swap(Y, 5.0)
+        small_registry.restore(snap)
+        assert small_registry["r-xy"].reserve_of(X) == 100.0
+        assert small_registry["r-yz"].reserve_of(Y) == 300.0
+
+    def test_snapshot_is_frozen(self, small_registry):
+        snap = small_registry.snapshot()
+        before = snap["r-xy"].reserve0
+        small_registry["r-xy"].swap(X, 10.0)
+        assert snap["r-xy"].reserve0 == before
+
+    def test_snapshot_container_protocol(self, small_registry):
+        snap = small_registry.snapshot()
+        assert len(snap) == 3
+        assert "r-xy" in snap
+        assert {s.pool_id for s in snap} == {"r-xy", "r-yz", "r-zx"}
+
+    def test_copy_independent(self, small_registry):
+        clone = small_registry.copy()
+        clone["r-xy"].swap(X, 10.0)
+        assert small_registry["r-xy"].reserve_of(X) == 100.0

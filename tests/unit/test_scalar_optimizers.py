@@ -1,0 +1,119 @@
+"""Unit tests for bisection, golden-section, and closed-form optimizers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import SolverConvergenceError
+from repro.optimize import (
+    bisect_root,
+    golden_section_maximize,
+    maximize_by_derivative,
+    optimize_composition,
+    optimize_rotation,
+)
+from repro.amm import compose_hops
+
+S5_HOPS = [(100, 200, 0.003), (300, 200, 0.003), (200, 400, 0.003)]
+
+
+class TestBisectRoot:
+    def test_linear_root(self):
+        root, _ = bisect_root(lambda t: 5.0 - t, 0.0, 10.0)
+        assert root == pytest.approx(5.0, abs=1e-9)
+
+    def test_requires_straddling_bracket(self):
+        with pytest.raises(ValueError, match="straddle"):
+            bisect_root(lambda t: 1.0 + t, 0.0, 10.0)  # increasing, no root
+
+    def test_relative_tolerance_at_large_scale(self):
+        root, _ = bisect_root(lambda t: 1e9 - t, 0.0, 1e10)
+        assert root == pytest.approx(1e9, rel=1e-9)
+
+    def test_iteration_budget_exhaustion(self):
+        with pytest.raises(SolverConvergenceError, match="did not converge"):
+            bisect_root(lambda t: 5.0 - t, 0.0, 10.0, tol=1e-30, max_iter=5)
+
+
+class TestMaximizeByDerivative:
+    def test_matches_closed_form(self):
+        comp = compose_hops(S5_HOPS)
+        result = maximize_by_derivative(comp.profit, comp.derivative)
+        assert result.converged
+        assert result.x == pytest.approx(comp.optimal_input(), rel=1e-9)
+        assert result.value == pytest.approx(comp.optimal_profit(), rel=1e-9)
+
+    def test_no_arbitrage_returns_zero(self):
+        comp = compose_hops([(100, 200, 0.003), (200, 100, 0.003)])
+        result = maximize_by_derivative(comp.profit, comp.derivative)
+        assert result.x == 0.0
+        assert result.value == 0.0
+        assert result.converged
+
+    def test_bracket_expansion(self):
+        # Optimum far beyond the initial bracket hint.
+        comp = compose_hops([(1e6, 3e6, 0.003), (1e6, 1e6, 0.003)])
+        result = maximize_by_derivative(comp.profit, comp.derivative, initial_hi=1.0)
+        assert result.x == pytest.approx(comp.optimal_input(), rel=1e-9)
+
+
+class TestGoldenSection:
+    def test_parabola(self):
+        result = golden_section_maximize(lambda t: -(t - 3.0) ** 2, 0.0, 10.0)
+        assert result.x == pytest.approx(3.0, abs=1e-6)
+        assert result.converged
+
+    def test_matches_closed_form_on_loop_profit(self):
+        comp = compose_hops(S5_HOPS)
+        hi = comp.optimal_input() * 4
+        result = golden_section_maximize(comp.profit, 0.0, hi)
+        assert result.x == pytest.approx(comp.optimal_input(), rel=1e-6)
+
+    def test_degenerate_interval(self):
+        result = golden_section_maximize(lambda t: -t * t, 2.0, 2.0)
+        assert result.x == 2.0
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            golden_section_maximize(lambda t: t, 1.0, 0.0)
+
+    def test_boundary_maximum(self):
+        result = golden_section_maximize(lambda t: t, 0.0, 1.0)
+        assert result.x == pytest.approx(1.0, abs=1e-6)
+
+
+class TestClosedForm:
+    def test_optimize_composition(self):
+        comp = compose_hops(S5_HOPS)
+        result = optimize_composition(comp)
+        assert result.x == pytest.approx((math.sqrt(comp.a * comp.b) - comp.b) / comp.c)
+        assert result.iterations == 0
+        assert result.converged
+
+    def test_optimize_rotation_section5(self, s5_loop):
+        result = optimize_rotation(s5_loop.rotations()[0])
+        assert result.x == pytest.approx(27.0, abs=0.05)
+        assert result.value == pytest.approx(16.87, abs=0.01)
+
+    def test_unprofitable_rotation(self, no_arb_loop):
+        result = optimize_rotation(no_arb_loop.rotations()[0])
+        assert result.x == 0.0
+        assert result.value == 0.0
+
+
+class TestThreeMethodsAgree:
+    @pytest.mark.parametrize("hops", [
+        S5_HOPS,
+        [(1000, 1200, 0.003), (500, 450, 0.003)],
+        [(1e6, 1.02e6, 0.003), (1e6, 1.01e6, 0.003), (1e6, 1.0e6, 0.003), (1e6, 1.03e6, 0.003)],
+    ])
+    def test_agreement(self, hops):
+        comp = compose_hops(hops)
+        exact = optimize_composition(comp)
+        bis = maximize_by_derivative(comp.profit, comp.derivative)
+        assert bis.x == pytest.approx(exact.x, rel=1e-8, abs=1e-10)
+        if exact.x > 0:
+            gold = golden_section_maximize(comp.profit, 0.0, exact.x * 4)
+            assert gold.x == pytest.approx(exact.x, rel=1e-5)

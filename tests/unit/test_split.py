@@ -1,0 +1,153 @@
+"""Unit + property tests for optimal order splitting (KKT water-filling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import amount_out
+from repro.optimize import (
+    AffineConstraint,
+    ConvexProgram,
+    HopConstraint,
+    optimal_split,
+    solve_slsqp,
+)
+
+
+class TestBasics:
+    def test_identical_pools_split_equally(self):
+        pools = [(1000.0, 2000.0, 0.003)] * 4
+        result = optimal_split(pools, 100.0)
+        assert np.allclose(result.allocations, 25.0, rtol=1e-9)
+        assert sum(result.allocations) == pytest.approx(100.0)
+
+    def test_single_pool_gets_everything(self):
+        result = optimal_split([(1000.0, 2000.0, 0.003)], 50.0)
+        assert result.allocations == (50.0,)
+        assert result.total_out == pytest.approx(
+            amount_out(1000.0, 2000.0, 50.0, 0.003)
+        )
+
+    def test_dominated_pool_unused_for_small_trades(self):
+        # second pool's spot rate is half the first's: tiny trades
+        # should use only the better pool
+        pools = [(1000.0, 2000.0, 0.003), (1000.0, 1000.0, 0.003)]
+        result = optimal_split(pools, 0.5)
+        assert result.allocations[1] == 0.0
+        assert result.allocations[0] == pytest.approx(0.5)
+
+    def test_large_trades_recruit_worse_pools(self):
+        pools = [(1000.0, 2000.0, 0.003), (1000.0, 1000.0, 0.003)]
+        result = optimal_split(pools, 2000.0)
+        assert result.allocations[1] > 0.0
+
+    def test_zero_input(self):
+        result = optimal_split([(1000.0, 2000.0, 0.003)], 0.0)
+        assert result.allocations == (0.0,)
+        assert result.total_out == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            optimal_split([], 1.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            optimal_split([(1.0, 1.0, 0.003)], -1.0)
+        with pytest.raises(ValueError, match="reserves"):
+            optimal_split([(0.0, 1.0, 0.003)], 1.0)
+        with pytest.raises(ValueError, match="fee"):
+            optimal_split([(1.0, 1.0, 1.0)], 1.0)
+
+    def test_marginal_rates_equalized_on_active_pools(self):
+        pools = [(1000.0, 2000.0, 0.003), (500.0, 800.0, 0.003), (2000.0, 3000.0, 0.0)]
+        result = optimal_split(pools, 300.0)
+        from repro.amm import marginal_rate
+
+        rates = [
+            marginal_rate(x, y, t, fee)
+            for (x, y, fee), t in zip(pools, result.allocations)
+            if t > 0
+        ]
+        assert len(rates) >= 2
+        for rate in rates:
+            assert rate == pytest.approx(result.marginal_rate, rel=1e-9)
+
+
+class TestAgainstSlsqp:
+    @pytest.mark.parametrize("total", [1.0, 50.0, 500.0])
+    def test_matches_general_solver(self, total):
+        pools = [(1000.0, 2100.0, 0.003), (700.0, 1300.0, 0.003), (1500.0, 2900.0, 0.01)]
+        exact = optimal_split(pools, total)
+
+        # general convex program: vars (t_i, o_i) per pool
+        n = len(pools)
+        objective = np.zeros(2 * n)
+        objective[1::2] = 1.0
+        inequalities = [
+            HopConstraint(
+                x=x, y=y, gamma=1.0 - fee, idx_in=2 * i, idx_out=2 * i + 1, n_vars=2 * n
+            )
+            for i, (x, y, fee) in enumerate(pools)
+        ]
+        budget = np.zeros(2 * n)
+        budget[0::2] = -1.0
+        inequalities.append(AffineConstraint(coeffs=budget, offset=total))
+        program = ConvexProgram(
+            n_vars=2 * n, objective=objective, inequalities=inequalities
+        )
+        x0 = np.full(2 * n, total / (2 * n))
+        solved = solve_slsqp(program, initial_point=x0)
+        assert exact.total_out == pytest.approx(solved.objective, rel=1e-6)
+
+
+@st.composite
+def pool_lists(draw):
+    k = draw(st.integers(min_value=1, max_value=5))
+    return [
+        (
+            draw(st.floats(min_value=10.0, max_value=1e6)),
+            draw(st.floats(min_value=10.0, max_value=1e6)),
+            draw(st.sampled_from([0.0, 0.003, 0.01])),
+        )
+        for _ in range(k)
+    ]
+
+
+class TestProperties:
+    @given(pools=pool_lists(), total=st.floats(min_value=0.01, max_value=1e5))
+    @settings(max_examples=100)
+    def test_allocations_feasible(self, pools, total):
+        result = optimal_split(pools, total)
+        assert all(t >= 0 for t in result.allocations)
+        assert sum(result.allocations) == pytest.approx(total, rel=1e-9)
+
+    @given(pools=pool_lists(), total=st.floats(min_value=0.01, max_value=1e5))
+    @settings(max_examples=100)
+    def test_beats_best_single_pool(self, pools, total):
+        result = optimal_split(pools, total)
+        best_single = max(amount_out(x, y, total, fee) for x, y, fee in pools)
+        assert result.total_out >= best_single * (1.0 - 1e-9)
+
+    @given(
+        pools=pool_lists(),
+        total=st.floats(min_value=1.0, max_value=1e4),
+        shift=st.floats(min_value=0.01, max_value=0.2),
+    )
+    @settings(max_examples=60)
+    def test_local_perturbation_never_improves(self, pools, total, shift):
+        """Moving mass between two pools never beats the optimum."""
+        result = optimal_split(pools, total)
+        if len(pools) < 2:
+            return
+        alloc = list(result.allocations)
+        donor = max(range(len(alloc)), key=lambda i: alloc[i])
+        receiver = (donor + 1) % len(alloc)
+        moved = alloc[donor] * shift
+        alloc[donor] -= moved
+        alloc[receiver] += moved
+        perturbed = sum(
+            amount_out(x, y, t, fee) if t > 0 else 0.0
+            for (x, y, fee), t in zip(pools, alloc)
+        )
+        assert perturbed <= result.total_out * (1.0 + 1e-9)

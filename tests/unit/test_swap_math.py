@@ -1,0 +1,132 @@
+"""Unit tests for the pure CPMM swap math."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.amm import swap
+from repro.core import (
+    InsufficientLiquidityError,
+    InvalidFeeError,
+    InvalidReserveError,
+)
+
+
+class TestAmountOut:
+    def test_zero_input_zero_output(self):
+        assert swap.amount_out(100.0, 200.0, 0.0, 0.003) == 0.0
+
+    def test_no_fee_known_value(self):
+        # dy = y*dx/(x+dx) = 200*100/(100+100) = 100
+        assert swap.amount_out(100.0, 200.0, 100.0, 0.0) == pytest.approx(100.0)
+
+    def test_fee_reduces_output(self):
+        free = swap.amount_out(100.0, 200.0, 10.0, 0.0)
+        taxed = swap.amount_out(100.0, 200.0, 10.0, 0.003)
+        assert taxed < free
+
+    def test_invariant_preserved_exactly(self):
+        x, y, fee = 100.0, 200.0, 0.003
+        dx = 37.5
+        dy = swap.amount_out(x, y, dx, fee)
+        gamma = 1.0 - fee
+        assert (x + gamma * dx) * (y - dy) == pytest.approx(x * y, rel=1e-12)
+
+    def test_output_strictly_below_reserve(self):
+        # even absurdly large inputs cannot drain the pool
+        assert swap.amount_out(100.0, 200.0, 1e18, 0.003) < 200.0
+
+    def test_monotone_in_input(self):
+        outs = [swap.amount_out(100.0, 200.0, dx, 0.003) for dx in (1, 2, 5, 10, 100)]
+        assert outs == sorted(outs)
+        assert len(set(outs)) == len(outs)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            swap.amount_out(100.0, 200.0, -1.0, 0.003)
+
+    def test_nan_input_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            swap.amount_out(100.0, 200.0, math.nan, 0.003)
+
+    def test_bad_reserves_rejected(self):
+        with pytest.raises(InvalidReserveError):
+            swap.amount_out(0.0, 200.0, 1.0, 0.003)
+        with pytest.raises(InvalidReserveError):
+            swap.amount_out(100.0, -5.0, 1.0, 0.003)
+        with pytest.raises(InvalidReserveError):
+            swap.amount_out(math.inf, 200.0, 1.0, 0.003)
+
+    def test_bad_fee_rejected(self):
+        for bad in (-0.1, 1.0, 1.5, math.nan):
+            with pytest.raises(InvalidFeeError):
+                swap.amount_out(100.0, 200.0, 1.0, bad)
+
+
+class TestAmountIn:
+    def test_inverse_of_amount_out(self):
+        x, y, fee = 100.0, 200.0, 0.003
+        dx = 13.7
+        dy = swap.amount_out(x, y, dx, fee)
+        assert swap.amount_in(x, y, dy, fee) == pytest.approx(dx, rel=1e-12)
+
+    def test_zero_output_zero_input(self):
+        assert swap.amount_in(100.0, 200.0, 0.0, 0.003) == 0.0
+
+    def test_draining_reserve_rejected(self):
+        with pytest.raises(InsufficientLiquidityError):
+            swap.amount_in(100.0, 200.0, 200.0, 0.003)
+        with pytest.raises(InsufficientLiquidityError):
+            swap.amount_in(100.0, 200.0, 250.0, 0.003)
+
+    def test_negative_output_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            swap.amount_in(100.0, 200.0, -1.0, 0.003)
+
+    def test_near_drain_needs_huge_input(self):
+        dx = swap.amount_in(100.0, 200.0, 199.99, 0.003)
+        assert dx > 1e5
+
+
+class TestPrices:
+    def test_spot_price_formula(self):
+        # p = (1-fee) * y / x
+        assert swap.spot_price(100.0, 200.0, 0.003) == pytest.approx(0.997 * 2.0)
+
+    def test_spot_price_no_fee(self):
+        assert swap.spot_price(100.0, 200.0, 0.0) == pytest.approx(2.0)
+
+    def test_effective_price_below_spot(self):
+        spot = swap.spot_price(100.0, 200.0, 0.003)
+        eff = swap.effective_price(100.0, 200.0, 10.0, 0.003)
+        assert eff < spot
+
+    def test_effective_price_approaches_spot_at_zero(self):
+        spot = swap.spot_price(100.0, 200.0, 0.003)
+        eff = swap.effective_price(100.0, 200.0, 1e-9, 0.003)
+        assert eff == pytest.approx(spot, rel=1e-7)
+
+    def test_effective_price_requires_positive_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            swap.effective_price(100.0, 200.0, 0.0, 0.003)
+
+    def test_marginal_rate_at_zero_is_spot(self):
+        assert swap.marginal_rate(100.0, 200.0, 0.0, 0.003) == pytest.approx(
+            swap.spot_price(100.0, 200.0, 0.003)
+        )
+
+    def test_marginal_rate_decreasing(self):
+        rates = [swap.marginal_rate(100.0, 200.0, dx, 0.003) for dx in (0, 1, 10, 100)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_marginal_rate_matches_finite_difference(self):
+        x, y, fee = 100.0, 200.0, 0.003
+        dx = 25.0
+        h = 1e-6
+        fd = (swap.amount_out(x, y, dx + h, fee) - swap.amount_out(x, y, dx - h, fee)) / (2 * h)
+        assert swap.marginal_rate(x, y, dx, fee) == pytest.approx(fd, rel=1e-6)
+
+    def test_max_amount_out(self):
+        assert swap.max_amount_out(200.0) == 200.0

@@ -1,0 +1,171 @@
+"""Unit tests for repro.core.types."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import MissingPriceError, PriceMap, ProfitVector, Token, TokenAmount
+
+
+class TestToken:
+    def test_identity_by_symbol(self):
+        assert Token("WETH") == Token("WETH")
+        assert hash(Token("WETH")) == hash(Token("WETH"))
+
+    def test_metadata_does_not_affect_identity(self):
+        assert Token("WETH", decimals=6) == Token("WETH", decimals=18)
+        assert Token("WETH", address="0xabc") == Token("WETH")
+
+    def test_distinct_symbols_differ(self):
+        assert Token("WETH") != Token("USDC")
+
+    def test_ordering_by_symbol(self):
+        assert Token("AAA") < Token("BBB")
+        assert sorted([Token("Z"), Token("A")]) == [Token("A"), Token("Z")]
+
+    def test_empty_symbol_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Token("")
+
+    def test_negative_decimals_rejected(self):
+        with pytest.raises(ValueError, match="decimals"):
+            Token("X", decimals=-1)
+
+    def test_str_and_repr(self):
+        assert str(Token("WETH")) == "WETH"
+        assert "WETH" in repr(Token("WETH"))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Token("X").symbol = "Y"  # type: ignore[misc]
+
+    def test_usable_in_sets_and_dicts(self):
+        s = {Token("A"), Token("A"), Token("B")}
+        assert len(s) == 2
+
+
+class TestTokenAmount:
+    def test_addition_same_token(self):
+        a = TokenAmount(Token("X"), 1.5)
+        b = TokenAmount(Token("X"), 2.5)
+        assert (a + b).amount == pytest.approx(4.0)
+
+    def test_subtraction_same_token(self):
+        a = TokenAmount(Token("X"), 5.0)
+        b = TokenAmount(Token("X"), 2.0)
+        assert (a - b).amount == pytest.approx(3.0)
+
+    def test_mixing_tokens_rejected(self):
+        with pytest.raises(ValueError, match="cannot combine"):
+            TokenAmount(Token("X"), 1.0) + TokenAmount(Token("Y"), 1.0)
+
+    def test_scalar_multiplication_both_sides(self):
+        a = TokenAmount(Token("X"), 3.0)
+        assert (a * 2).amount == pytest.approx(6.0)
+        assert (2 * a).amount == pytest.approx(6.0)
+
+    def test_negation(self):
+        assert (-TokenAmount(Token("X"), 3.0)).amount == pytest.approx(-3.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            TokenAmount(Token("X"), math.nan)
+        with pytest.raises(ValueError, match="finite"):
+            TokenAmount(Token("X"), math.inf)
+
+    def test_str(self):
+        assert str(TokenAmount(Token("X"), 2.5)) == "2.5 X"
+
+
+class TestPriceMap:
+    def test_lookup(self):
+        prices = PriceMap({Token("X"): 2.0})
+        assert prices[Token("X")] == 2.0
+        assert prices.price_of(Token("X")) == 2.0
+
+    def test_missing_price_error(self):
+        prices = PriceMap({Token("X"): 2.0})
+        with pytest.raises(MissingPriceError, match="'Y'"):
+            prices[Token("Y")]
+
+    def test_from_symbols(self):
+        prices = PriceMap.from_symbols({"X": 1.0, "Y": 2.0})
+        assert prices[Token("Y")] == 2.0
+        assert len(prices) == 2
+
+    def test_mapping_protocol(self):
+        prices = PriceMap.from_symbols({"A": 1.0, "B": 2.0})
+        assert set(prices) == {Token("A"), Token("B")}
+        assert Token("A") in prices
+        assert dict(prices.items())[Token("B")] == 2.0
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(ValueError, match="finite and >= 0"):
+            PriceMap({Token("X"): -1.0})
+
+    def test_rejects_nan_price(self):
+        with pytest.raises(ValueError, match="finite"):
+            PriceMap({Token("X"): math.nan})
+
+    def test_rejects_non_token_keys(self):
+        with pytest.raises(TypeError, match="keys must be Token"):
+            PriceMap({"X": 1.0})  # type: ignore[dict-item]
+
+    def test_zero_price_allowed(self):
+        # Fig. 2's sweep starts at Px = 0.
+        assert PriceMap({Token("X"): 0.0})[Token("X")] == 0.0
+
+    def test_with_price_is_a_copy(self):
+        original = PriceMap.from_symbols({"X": 1.0})
+        updated = original.with_price(Token("X"), 9.0)
+        assert original[Token("X")] == 1.0
+        assert updated[Token("X")] == 9.0
+
+    def test_max_price_token(self):
+        prices = PriceMap.from_symbols({"A": 1.0, "B": 3.0, "C": 2.0})
+        assert prices.max_price_token([Token("A"), Token("B"), Token("C")]) == Token("B")
+
+    def test_max_price_token_tie_breaks_by_symbol(self):
+        prices = PriceMap.from_symbols({"B": 3.0, "A": 3.0})
+        assert prices.max_price_token([Token("B"), Token("A")]) == Token("A")
+
+    def test_max_price_token_empty_candidates(self):
+        prices = PriceMap.from_symbols({"A": 1.0})
+        with pytest.raises(ValueError, match="non-empty"):
+            prices.max_price_token([])
+
+
+class TestProfitVector:
+    def test_monetize(self):
+        prices = PriceMap.from_symbols({"X": 2.0, "Y": 10.0})
+        profit = ProfitVector.from_mapping({Token("X"): 3.0, Token("Y"): 1.0})
+        assert profit.monetize(prices) == pytest.approx(16.0)
+
+    def test_single(self):
+        profit = ProfitVector.single(Token("X"), 5.0)
+        assert profit.as_mapping() == {Token("X"): 5.0}
+
+    def test_zero(self):
+        prices = PriceMap.from_symbols({"X": 2.0})
+        assert ProfitVector.zero().monetize(prices) == 0.0
+        assert str(ProfitVector.zero()) == "<no profit>"
+
+    def test_nonzero_filters_small_components(self):
+        profit = ProfitVector.from_mapping({Token("X"): 1e-15, Token("Y"): 1.0})
+        cleaned = profit.nonzero(tol=1e-12)
+        assert cleaned.as_mapping() == {Token("Y"): 1.0}
+
+    def test_components_sorted_by_symbol(self):
+        profit = ProfitVector.from_mapping({Token("Z"): 1.0, Token("A"): 2.0})
+        assert [ta.token.symbol for ta in profit.amounts] == ["A", "Z"]
+
+    def test_monetize_missing_price_raises(self):
+        profit = ProfitVector.single(Token("Q"), 1.0)
+        with pytest.raises(MissingPriceError):
+            profit.monetize(PriceMap.from_symbols({"X": 1.0}))
+
+    def test_str_lists_components(self):
+        profit = ProfitVector.from_mapping({Token("X"): 1.5, Token("Y"): 2.0})
+        assert "1.5 X" in str(profit) and "2 Y" in str(profit)

@@ -1,0 +1,122 @@
+"""Unit tests for the subgraph-style pair loader."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SnapshotFormatError, Token
+from repro.data import load_pairs, load_pairs_file
+
+
+SAMPLE_PAIRS = [
+    {
+        "id": "0x0d4a11d5eeaac28ec3f61d100daf4d40471f1852",
+        "token0": {"symbol": "WETH", "decimals": "18"},
+        "token1": {"symbol": "USDT", "decimals": "6"},
+        "reserve0": "31522.123",
+        "reserve1": "51234567.1",
+    },
+    {
+        "id": "0xae461ca67b15dc8dc81ce7615e0320da1a9ab8d5",
+        "token0": {"symbol": "DAI", "decimals": 18},
+        "token1": {"symbol": "USDC", "decimals": 6},
+        "reserve0": 5_000_000.0,
+        "reserve1": 5_010_000.0,
+    },
+    {
+        "id": "0xempty",
+        "token0": {"symbol": "WETH"},
+        "token1": {"symbol": "DAI"},
+        "reserve0": "0",
+        "reserve1": "100",
+    },
+]
+
+PRICES = {"WETH": 1650.0, "USDT": 1.0, "DAI": 1.0, "USDC": 1.0}
+
+
+class TestLoadPairs:
+    def test_basic_load(self):
+        snap = load_pairs(SAMPLE_PAIRS, PRICES)
+        assert len(snap.registry) == 2  # empty pair skipped
+        assert snap.metadata["skipped_pairs"] == 1
+        pool = snap.registry["0x0d4a11d5eeaac28ec3f61d100daf4d40471f1852"]
+        assert pool.reserve_of(Token("WETH")) == pytest.approx(31522.123)
+        assert pool.fee == 0.003
+
+    def test_string_and_numeric_reserves_both_work(self):
+        snap = load_pairs(SAMPLE_PAIRS, PRICES)
+        dai_usdc = snap.registry["0xae461ca67b15dc8dc81ce7615e0320da1a9ab8d5"]
+        assert dai_usdc.reserve_of(Token("USDC")) == pytest.approx(5_010_000.0)
+
+    def test_decimals_preserved(self):
+        snap = load_pairs(SAMPLE_PAIRS, PRICES)
+        tokens = {t.symbol: t for t in snap.registry.tokens}
+        assert tokens["USDT"].decimals == 6
+        assert tokens["WETH"].decimals == 18
+
+    def test_custom_fee(self):
+        snap = load_pairs(SAMPLE_PAIRS[:1], PRICES, fee=0.01)
+        assert next(iter(snap.registry)).fee == 0.01
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(SnapshotFormatError, match="malformed pair"):
+            load_pairs([{"token0": {"symbol": "A"}}], PRICES)
+
+    def test_token_missing_symbol(self):
+        bad = [{
+            "id": "0x1",
+            "token0": {"decimals": 18},
+            "token1": {"symbol": "B"},
+            "reserve0": 1,
+            "reserve1": 1,
+        }]
+        with pytest.raises(SnapshotFormatError, match="symbol"):
+            load_pairs(bad, PRICES)
+
+    def test_self_pair_skipped(self):
+        weird = [{
+            "id": "0x1",
+            "token0": {"symbol": "A"},
+            "token1": {"symbol": "A"},
+            "reserve0": 10,
+            "reserve1": 10,
+        }]
+        snap = load_pairs(weird, {"A": 1.0})
+        assert len(snap.registry) == 0
+        assert snap.metadata["skipped_pairs"] == 1
+
+    def test_pipeline_runs_on_loaded_data(self):
+        """The §VI pipeline applies unchanged to loaded pairs."""
+        snap = load_pairs(SAMPLE_PAIRS, PRICES)
+        graph = snap.graph(apply_paper_filters=False)
+        assert graph.number_of_edges() == 2
+
+
+class TestLoadPairsFile:
+    def test_list_file(self, tmp_path):
+        path = tmp_path / "pairs.json"
+        path.write_text(json.dumps(SAMPLE_PAIRS))
+        snap = load_pairs_file(path, PRICES)
+        assert len(snap.registry) == 2
+        assert snap.label == "pairs"
+
+    def test_wrapped_object_file(self, tmp_path):
+        path = tmp_path / "dump.json"
+        path.write_text(json.dumps({"pairs": SAMPLE_PAIRS}))
+        snap = load_pairs_file(path, PRICES)
+        assert len(snap.registry) == 2
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(SnapshotFormatError, match="invalid JSON"):
+            load_pairs_file(path, PRICES)
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "scalar.json"
+        path.write_text("42")
+        with pytest.raises(SnapshotFormatError, match="list of pairs"):
+            load_pairs_file(path, PRICES)

@@ -1,0 +1,85 @@
+"""Edge-case tests for weighted pools and the chain optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm import WeightedPool
+from repro.core import Token, UnknownTokenError
+from repro.data import synthetic_loop
+from repro.optimize import chain_rate, optimize_rotation_chain
+
+X, Y = Token("X"), Token("Y")
+
+
+class TestWeightedPoolEdges:
+    def test_unknown_token_errors(self):
+        pool = WeightedPool(X, Y, 100.0, 200.0)
+        q = Token("Q")
+        with pytest.raises(UnknownTokenError):
+            pool.other(q)
+        with pytest.raises(UnknownTokenError):
+            pool.reserve_of(q)
+        with pytest.raises(UnknownTokenError):
+            pool.weight_of(q)
+
+    def test_negative_input_rejected(self):
+        pool = WeightedPool(X, Y, 100.0, 200.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            pool.quote_out(X, -1.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            pool.marginal_rate(X, -1.0)
+
+    def test_zero_input_zero_output(self):
+        pool = WeightedPool(X, Y, 100.0, 200.0, weight0=0.7, weight1=0.3)
+        assert pool.quote_out(X, 0.0) == 0.0
+
+    def test_snapshot_restore_roundtrip(self):
+        pool = WeightedPool(X, Y, 100.0, 200.0, weight0=0.7, weight1=0.3, pool_id="wsr")
+        snap = pool.snapshot()
+        pool.swap(X, 25.0)
+        pool.restore(snap)
+        assert pool.reserve_of(X) == 100.0
+        assert pool.reserve_of(Y) == 200.0
+
+    def test_restore_wrong_pool_rejected(self):
+        a = WeightedPool(X, Y, 100.0, 200.0, pool_id="wa")
+        b = WeightedPool(X, Y, 100.0, 200.0, pool_id="wb")
+        with pytest.raises(ValueError, match="cannot restore"):
+            a.restore(b.snapshot())
+
+    def test_copy_independent(self):
+        pool = WeightedPool(X, Y, 100.0, 200.0, weight0=0.7, weight1=0.3, pool_id="wc")
+        clone = pool.copy()
+        clone.swap(X, 10.0)
+        assert pool.reserve_of(X) == 100.0
+        assert clone.weight_of(X) == 0.7
+
+    def test_repr_mentions_weights(self):
+        pool = WeightedPool(X, Y, 100.0, 200.0, weight0=0.8, weight1=0.2)
+        assert "@0.8" in repr(pool)
+
+    def test_auto_pool_ids_unique(self):
+        a = WeightedPool(X, Y, 1.0, 1.0)
+        b = WeightedPool(X, Y, 1.0, 1.0)
+        assert a.pool_id != b.pool_id
+
+
+class TestChainOptimizerEdges:
+    def test_unprofitable_loop_returns_zero(self):
+        loop = synthetic_loop(3, edge_rate=0.95, jitter=0.0)
+        result = optimize_rotation_chain(loop.rotations()[0])
+        assert result.x == 0.0
+        assert result.value == 0.0
+
+    def test_chain_rate_decreasing(self):
+        loop = synthetic_loop(4, seed=2)
+        rotation = loop.rotations()[0]
+        rates = [chain_rate(rotation, t) for t in (0.0, 10.0, 1000.0, 1e5)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_long_loop(self):
+        loop = synthetic_loop(12, seed=5)
+        result = optimize_rotation_chain(loop.rotations()[0])
+        assert result.x > 0
+        assert result.converged
