@@ -1,0 +1,120 @@
+"""Bench + check the batched evaluation engine against the seed path.
+
+Three timings on the acceptance workload — a Fig. 2-style full-grid
+sweep (101 price points × 4 strategies: three traditional anchors +
+MaxMax) over the §V loop:
+
+* ``scalar``   — the seed code path: one ``strategy.evaluate`` per
+  (strategy, point), no cache, no vectorization;
+* ``batched``  — ``EvaluationEngine`` with the vectorized numpy grid
+  kernels and the shared rotation cache (the default everywhere now);
+* ``parallel`` — the same grid forced down the scalar path but fanned
+  over a ``ProcessPoolExecutor`` (chunked, deterministic order).
+
+Checks: batched matches scalar within 1e-9 relative tolerance at every
+point (in practice they are bit-identical) and is >= 3x faster — the
+PR's acceptance criterion; the parallel executor agrees exactly with
+the serial order.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.example import TOKEN_X, section5_loop, section5_prices
+from repro.engine import EvaluationEngine, ParallelExecutor
+from repro.strategies import MaxMaxStrategy, TraditionalStrategy
+
+GRID = np.linspace(0.0, 20.0, 101)
+GRID[0] = 1e-9
+
+
+def _strategies():
+    loop = section5_loop()
+    strategies = {
+        f"start_{token.symbol}": TraditionalStrategy(start_token=token)
+        for token in loop.tokens
+    }
+    strategies["maxmax"] = MaxMaxStrategy()
+    return loop, strategies
+
+
+def _scalar_sweep(loop, strategies, base_prices):
+    """The seed path: a fresh evaluate per (strategy, grid point)."""
+    out = {}
+    for label, strategy in strategies.items():
+        series = []
+        for price in GRID:
+            prices = base_prices.with_price(TOKEN_X, float(price))
+            series.append(strategy.evaluate(loop, prices))
+        out[label] = series
+    return out
+
+
+def _engine_sweep(loop, strategies, base_prices):
+    engine = EvaluationEngine()
+    return engine.sweep_results(strategies, loop, base_prices, TOKEN_X, GRID)
+
+
+def _best_of(fn, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_engine_batching_speedup(benchmark):
+    loop, strategies = _strategies()
+    base_prices = section5_prices()
+
+    scalar_s, scalar = _best_of(lambda: _scalar_sweep(loop, strategies, base_prices))
+    batched = benchmark.pedantic(
+        _engine_sweep,
+        args=(loop, strategies, base_prices),
+        rounds=3,
+        iterations=1,
+    )
+    batched_s, _ = _best_of(lambda: _engine_sweep(loop, strategies, base_prices))
+
+    # parity: every point of every series agrees to 1e-9 relative
+    for label in strategies:
+        for ref, got in zip(scalar[label], batched[label]):
+            assert got.monetized_profit == (
+                ref.monetized_profit
+            ) or abs(got.monetized_profit - ref.monetized_profit) <= 1e-9 * max(
+                1.0, abs(ref.monetized_profit)
+            )
+            assert got.start_token == ref.start_token
+            assert got.amount_in == ref.amount_in
+
+    speedup = scalar_s / batched_s
+    print(
+        f"\nfull-grid sweep ({GRID.size} points x {len(strategies)} strategies): "
+        f"scalar {scalar_s * 1e3:.1f} ms, batched {batched_s * 1e3:.1f} ms "
+        f"({speedup:.1f}x)"
+    )
+    # acceptance criterion: >= 3x on the vectorizable strategies
+    assert speedup >= 3.0
+
+
+def test_parallel_executor_matches_serial():
+    loop, strategies = _strategies()
+    base_prices = section5_prices()
+    serial = _engine_sweep(loop, strategies, base_prices)
+
+    engine = EvaluationEngine(
+        executor=ParallelExecutor(max_workers=2), vectorize=False
+    )
+    t0 = time.perf_counter()
+    parallel = engine.sweep_results(strategies, loop, base_prices, TOKEN_X, GRID)
+    parallel_s = time.perf_counter() - t0
+    print(f"\nparallel scalar sweep: {parallel_s * 1e3:.1f} ms on 2 workers")
+
+    for label in strategies:
+        assert [r.monetized_profit for r in parallel[label]] == [
+            r.monetized_profit for r in serial[label]
+        ]

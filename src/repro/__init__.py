@@ -51,6 +51,14 @@ from .data import (
     section5_snapshot,
     synthetic_loop,
 )
+from .engine import (
+    EvaluationBatch,
+    EvaluationEngine,
+    EvaluationRequest,
+    ParallelExecutor,
+    PoolStateCache,
+    SerialExecutor,
+)
 from .execution import (
     ExecutionPlan,
     ExecutionReceipt,
@@ -80,6 +88,9 @@ __all__ = [
     "ArbitrageLoop",
     "ConvexOptimizationStrategy",
     "DEFAULT_FEE",
+    "EvaluationBatch",
+    "EvaluationEngine",
+    "EvaluationRequest",
     "ExecutionPlan",
     "ExecutionReceipt",
     "ExecutionSimulator",
@@ -87,14 +98,17 @@ __all__ = [
     "MarketSnapshot",
     "MaxMaxStrategy",
     "MaxPriceStrategy",
+    "ParallelExecutor",
     "Pool",
     "PoolRegistry",
+    "PoolStateCache",
     "PriceMap",
     "PriceOracle",
     "ProfitVector",
     "RandomWalkOracle",
     "ReproError",
     "Rotation",
+    "SerialExecutor",
     "StaticPriceOracle",
     "Strategy",
     "StrategyResult",

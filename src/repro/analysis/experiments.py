@@ -36,6 +36,7 @@ from ..data.example import TOKEN_X, section5_loop, section5_prices
 from ..data.loops import synthetic_loop, synthetic_loop_prices
 from ..data.snapshot import MarketSnapshot
 from ..data.synthetic import paper_market
+from ..engine import EvaluationEngine
 from ..graph.cycles import find_arbitrage_loops
 from ..strategies.base import Strategy
 from ..strategies.convexopt import ConvexOptimizationStrategy
@@ -164,8 +165,15 @@ def fig1_profit_curve(
     )
 
 
-def fig2_rotation_sweep(grid=None) -> SweepSeries:
-    """Fig. 2: per-rotation monetized profit + MaxMax, sweeping Px."""
+def fig2_rotation_sweep(
+    grid=None, engine: EvaluationEngine | None = None
+) -> SweepSeries:
+    """Fig. 2: per-rotation monetized profit + MaxMax, sweeping Px.
+
+    The full grid is one engine job; all five series share one
+    rotation-quote cache, so the three traditional anchors, MaxMax,
+    and MaxPrice together cost three optimizations total.
+    """
     loop = section5_loop()
     grid = paper_px_grid() if grid is None else grid
     strategies: dict[str, Strategy] = {
@@ -174,18 +182,25 @@ def fig2_rotation_sweep(grid=None) -> SweepSeries:
     }
     strategies["maxmax"] = MaxMaxStrategy()
     strategies["maxprice"] = MaxPriceStrategy()
-    return price_sweep(loop, section5_prices(), TOKEN_X, grid, strategies)
+    return price_sweep(loop, section5_prices(), TOKEN_X, grid, strategies, engine=engine)
 
 
-def fig3_convex_vs_maxmax_sweep(grid=None, backend: str = "slsqp") -> SweepSeries:
-    """Fig. 3: Convex vs MaxMax monetized profit, sweeping Px."""
+def fig3_convex_vs_maxmax_sweep(
+    grid=None, backend: str = "slsqp", engine: EvaluationEngine | None = None
+) -> SweepSeries:
+    """Fig. 3: Convex vs MaxMax monetized profit, sweeping Px.
+
+    MaxMax rides the vectorized fast path; the convex strategy is
+    price-dependent and falls back to the scalar walk (its internal
+    MaxMax floor still hits the shared cache).
+    """
     loop = section5_loop()
     grid = paper_px_grid() if grid is None else grid
     strategies: dict[str, Strategy] = {
         "maxmax": MaxMaxStrategy(),
         "convex": ConvexOptimizationStrategy(backend=backend),
     }
-    return price_sweep(loop, section5_prices(), TOKEN_X, grid, strategies)
+    return price_sweep(loop, section5_prices(), TOKEN_X, grid, strategies, engine=engine)
 
 
 def fig4_profit_composition(grid=None, backend: str = "slsqp"):
@@ -245,21 +260,26 @@ def profitable_loops(
 
 
 def fig5_maxmax_vs_traditional(
-    snapshot: MarketSnapshot | None = None, length: int = 3
+    snapshot: MarketSnapshot | None = None,
+    length: int = 3,
+    engine: EvaluationEngine | None = None,
 ) -> ScatterResult:
     """Fig. 5 (Fig. 9 uses length=4): traditional points vs MaxMax.
 
     Each loop contributes ``length`` points — one per rotation — all
-    sharing the loop's MaxMax value on the x-axis.
+    sharing the loop's MaxMax value on the x-axis.  One engine job:
+    the MaxMax pass fills the rotation cache, so every traditional
+    point afterwards is a cache hit.
     """
     snapshot, loops = profitable_loops(snapshot, length)
-    maxmax = MaxMaxStrategy()
+    engine = engine if engine is not None else EvaluationEngine()
+    mm_results = engine.evaluate_strategy(MaxMaxStrategy(), loops, snapshot.prices)
     xs, ys, loop_ids, labels = [], [], [], []
     for index, loop in enumerate(loops):
-        mm = maxmax.evaluate(loop, snapshot.prices).monetized_profit
+        mm = mm_results[index].monetized_profit
         for token in loop.tokens:
-            trad = TraditionalStrategy(start_token=token).evaluate(
-                loop, snapshot.prices
+            trad = engine.evaluate(
+                TraditionalStrategy(start_token=token), loop, snapshot.prices
             )
             xs.append(mm)
             ys.append(trad.monetized_profit)
@@ -277,17 +297,25 @@ def fig5_maxmax_vs_traditional(
 
 
 def fig6_maxprice_vs_maxmax(
-    snapshot: MarketSnapshot | None = None, length: int = 3
+    snapshot: MarketSnapshot | None = None,
+    length: int = 3,
+    engine: EvaluationEngine | None = None,
 ) -> ScatterResult:
-    """Fig. 6: MaxPrice monetized profit vs MaxMax per loop."""
+    """Fig. 6: MaxPrice monetized profit vs MaxMax per loop.
+
+    One batched engine job per strategy; the MaxPrice pass reuses the
+    rotation quotes the MaxMax pass already computed.
+    """
     snapshot, loops = profitable_loops(snapshot, length)
-    maxmax = MaxMaxStrategy()
-    maxprice = MaxPriceStrategy()
-    xs, ys, loop_ids = [], [], []
-    for index, loop in enumerate(loops):
-        xs.append(maxmax.evaluate(loop, snapshot.prices).monetized_profit)
-        ys.append(maxprice.evaluate(loop, snapshot.prices).monetized_profit)
-        loop_ids.append(f"loop{index}")
+    engine = engine if engine is not None else EvaluationEngine()
+    per_label = engine.evaluate_loops(
+        {"maxmax": MaxMaxStrategy(), "maxprice": MaxPriceStrategy()},
+        loops,
+        snapshot.prices,
+    )
+    xs = [result.monetized_profit for result in per_label["maxmax"]]
+    ys = [result.monetized_profit for result in per_label["maxprice"]]
+    loop_ids = [f"loop{index}" for index in range(len(loops))]
     return ScatterResult(
         x_label="maxmax",
         y_label="maxprice",
@@ -303,16 +331,27 @@ def fig7_convex_vs_maxmax(
     snapshot: MarketSnapshot | None = None,
     length: int = 3,
     backend: str = "slsqp",
+    engine: EvaluationEngine | None = None,
 ) -> ScatterResult:
-    """Fig. 7 (Fig. 10 uses length=4): Convex vs MaxMax per loop."""
+    """Fig. 7 (Fig. 10 uses length=4): Convex vs MaxMax per loop.
+
+    Batched: the convex pass's internal MaxMax warm start / floor and
+    the explicit MaxMax pass share one rotation cache, halving the
+    fixed-start work.
+    """
     snapshot, loops = profitable_loops(snapshot, length)
-    maxmax = MaxMaxStrategy()
-    convex = ConvexOptimizationStrategy(backend=backend)
-    xs, ys, loop_ids = [], [], []
-    for index, loop in enumerate(loops):
-        xs.append(convex.evaluate(loop, snapshot.prices).monetized_profit)
-        ys.append(maxmax.evaluate(loop, snapshot.prices).monetized_profit)
-        loop_ids.append(f"loop{index}")
+    engine = engine if engine is not None else EvaluationEngine()
+    per_label = engine.evaluate_loops(
+        {
+            "convex": ConvexOptimizationStrategy(backend=backend),
+            "maxmax": MaxMaxStrategy(),
+        },
+        loops,
+        snapshot.prices,
+    )
+    xs = [result.monetized_profit for result in per_label["convex"]]
+    ys = [result.monetized_profit for result in per_label["maxmax"]]
+    loop_ids = [f"loop{index}" for index in range(len(loops))]
     return ScatterResult(
         x_label="convex",
         y_label="maxmax",
@@ -328,6 +367,7 @@ def fig8_token_profit_overlap(
     snapshot: MarketSnapshot | None = None,
     length: int = 3,
     backend: str = "slsqp",
+    engine: EvaluationEngine | None = None,
 ) -> TokenProfitResult:
     """Fig. 8: per-token profit vectors of Convex vs MaxMax.
 
@@ -337,13 +377,20 @@ def fig8_token_profit_overlap(
     made numeric.
     """
     snapshot, loops = profitable_loops(snapshot, length)
-    maxmax = MaxMaxStrategy()
-    convex = ConvexOptimizationStrategy(backend=backend)
+    engine = engine if engine is not None else EvaluationEngine()
+    per_label = engine.evaluate_loops(
+        {
+            "maxmax": MaxMaxStrategy(),
+            "convex": ConvexOptimizationStrategy(backend=backend),
+        },
+        loops,
+        snapshot.prices,
+    )
     loop_ids, mm_rows, cv_rows = [], [], []
     worst = 0.0
     for index, loop in enumerate(loops):
-        mm = maxmax.evaluate(loop, snapshot.prices)
-        cv = convex.evaluate(loop, snapshot.prices)
+        mm = per_label["maxmax"][index]
+        cv = per_label["convex"][index]
         mm_net = {t.symbol: a for t, a in mm.profit.as_mapping().items()}
         cv_net = {t.symbol: a for t, a in cv.profit.as_mapping().items()}
         loop_ids.append(f"loop{index}")
@@ -364,16 +411,22 @@ def fig8_token_profit_overlap(
     )
 
 
-def fig9_len4_traditional(snapshot: MarketSnapshot | None = None) -> ScatterResult:
+def fig9_len4_traditional(
+    snapshot: MarketSnapshot | None = None,
+    engine: EvaluationEngine | None = None,
+) -> ScatterResult:
     """Fig. 9: traditional vs Convex on length-4 loops."""
     snapshot, loops = profitable_loops(snapshot, 4)
-    convex = ConvexOptimizationStrategy(backend="slsqp")
+    engine = engine if engine is not None else EvaluationEngine()
+    cv_results = engine.evaluate_strategy(
+        ConvexOptimizationStrategy(backend="slsqp"), loops, snapshot.prices
+    )
     xs, ys, loop_ids, labels = [], [], [], []
     for index, loop in enumerate(loops):
-        cv = convex.evaluate(loop, snapshot.prices).monetized_profit
+        cv = cv_results[index].monetized_profit
         for token in loop.tokens:
-            trad = TraditionalStrategy(start_token=token).evaluate(
-                loop, snapshot.prices
+            trad = engine.evaluate(
+                TraditionalStrategy(start_token=token), loop, snapshot.prices
             )
             xs.append(cv)
             ys.append(trad.monetized_profit)

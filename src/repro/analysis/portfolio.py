@@ -27,10 +27,9 @@ import networkx as nx
 from ..core.loop import ArbitrageLoop
 from ..core.types import PriceMap
 from ..data.snapshot import MarketSnapshot
+from ..engine import EvaluationEngine
 from ..execution.plan import plan_from_result
 from ..execution.simulator import ExecutionSimulator
-from ..graph.build import build_token_graph
-from ..graph.cycles import find_arbitrage_loops
 from ..strategies.base import Strategy, StrategyResult
 
 __all__ = [
@@ -118,6 +117,7 @@ def greedy_harvest(
     min_profit_usd: float = 0.0,
     max_rounds: int = 1000,
     prices: PriceMap | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> HarvestReport:
     """Repeatedly execute the best loop until none clears the floor.
 
@@ -126,18 +126,24 @@ def greedy_harvest(
     (executing a loop can create or destroy others through shared
     pools), evaluates ``strategy`` on each, executes the best
     atomically, and records predicted vs realized profit.
+
+    Both per-round steps go through the evaluation engine: candidate
+    loops are enumerated once (topology never changes mid-harvest) and
+    only re-filtered on live reserves, and strategy evaluations reuse
+    cached rotation quotes for every loop whose pools the previous
+    round's execution did not touch.
     """
     prices = prices if prices is not None else snapshot.prices
+    engine = engine if engine is not None else EvaluationEngine()
     registry = snapshot.registry.copy()
     simulator = ExecutionSimulator(registry=registry)
     rounds: list[HarvestRound] = []
     total = 0.0
     for _ in range(max_rounds):
-        graph = build_token_graph(registry)
-        loops = find_arbitrage_loops(graph, length)
+        loops = engine.find_profitable_loops(registry, length)
         if not loops:
             break
-        results = [strategy.evaluate(loop, prices) for loop in loops]
+        results = engine.evaluate_strategy(strategy, loops, prices)
         best_index = max(range(len(results)), key=lambda i: results[i].monetized_profit)
         best = results[best_index]
         if best.monetized_profit <= min_profit_usd:
@@ -157,7 +163,7 @@ def greedy_harvest(
         if receipt.reverted:
             break  # deterministic market: a revert means a logic bug
         total += realized
-    remaining = len(find_arbitrage_loops(build_token_graph(registry), length))
+    remaining = engine.count_profitable_loops(registry, length)
     return HarvestReport(
         rounds=tuple(rounds), total_usd=total, remaining_loops=remaining
     )

@@ -14,20 +14,26 @@ import numpy as np
 
 from ..core.loop import ArbitrageLoop
 from ..core.types import PriceMap, Token
+from ..engine import EvaluationEngine
 from ..strategies.base import Strategy, StrategyResult
 
 __all__ = ["SweepPoint", "SweepSeries", "price_sweep", "paper_px_grid"]
 
 
-def paper_px_grid() -> np.ndarray:
-    """The paper's grid: 0$ to 20$ with an interval of 0.2$ (Fig. 4).
+def paper_px_grid(max_price: float = 20.0, step: float = 0.2) -> np.ndarray:
+    """The paper's grid: 0$ to ``max_price`` with interval ``step``
+    (defaults reproduce Fig. 4's 0$–20$ at 0.2$).
 
     The first point is nudged off exact zero (1e-9) because a token
     with price exactly 0 never contributes monetized profit but keeps
     the optimization well-posed either way; the paper's plots start at
     0 too.
     """
-    grid = np.arange(0.0, 20.0 + 1e-9, 0.2)
+    if max_price <= 0:
+        raise ValueError(f"max_price must be positive, got {max_price:g}")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step:g}")
+    grid = np.arange(0.0, max_price + 1e-9, step)
     grid[0] = 1e-9
     return grid
 
@@ -67,6 +73,7 @@ def price_sweep(
     token: Token,
     grid,
     strategies: dict[str, Strategy],
+    engine: EvaluationEngine | None = None,
 ) -> SweepSeries:
     """Evaluate ``strategies`` on ``loop`` as ``token``'s price sweeps.
 
@@ -74,13 +81,18 @@ def price_sweep(
     instance; labels are free-form so the same strategy class can
     appear multiple times (e.g. three differently-anchored
     ``TraditionalStrategy`` instances for Fig. 2).
+
+    The whole sweep is one :class:`~repro.engine.EvaluationEngine`
+    job: closed-form strategies take the vectorized grid fast path,
+    everything else falls back to the scalar walk (optionally
+    parallelized by the engine's executor).  Pass ``engine`` to share
+    its cache/executor across sweeps; the default builds a fresh
+    serial engine.
     """
+    engine = engine if engine is not None else EvaluationEngine()
+    per_label = engine.sweep_results(strategies, loop, base_prices, token, grid)
     points = []
-    for price in grid:
-        prices = base_prices.with_price(token, float(price))
-        results = {
-            label: strategy.evaluate(loop, prices)
-            for label, strategy in strategies.items()
-        }
+    for index, price in enumerate(grid):
+        results = {label: per_label[label][index] for label in strategies}
         points.append(SweepPoint(price=float(price), results=results))
     return SweepSeries(token=token, points=tuple(points))

@@ -8,8 +8,14 @@ Examples::
     repro-arb runtime --lengths 3,5,10
     repro-arb calibrate --seed 42      # synthetic snapshot §VI counts
     repro-arb detect --length 3        # list profitable loops
+    repro-arb detect --jobs 4          # ... scored on 4 worker processes
+    repro-arb sweep --strategies maxmax,maxprice --step 0.1
 
 (Equivalently ``python -m repro ...``.)
+
+Every evaluation-heavy command routes through the batched
+:class:`~repro.engine.EvaluationEngine`; ``--jobs N`` (where offered)
+swaps in the process-pool executor.
 """
 
 from __future__ import annotations
@@ -20,8 +26,18 @@ import sys
 from . import analysis
 from .analysis import report
 from .data.synthetic import paper_market
+from .engine import EvaluationEngine, ParallelExecutor
 
 __all__ = ["main", "build_parser"]
+
+
+def _make_engine(jobs: int | None) -> EvaluationEngine:
+    """Serial engine for ``--jobs 1``; process-pool backed above that."""
+    if jobs is not None and jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    if jobs is not None and jobs > 1:
+        return EvaluationEngine(executor=ParallelExecutor(max_workers=jobs))
+    return EvaluationEngine()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=20230901)
     p.add_argument("--length", type=int, default=3)
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for scoring (1 = serial)")
+
+    p = sub.add_parser(
+        "sweep", help="price sweep of the §V loop through the batched engine"
+    )
+    p.add_argument("--strategies", default="maxmax,maxprice",
+                   help="comma-separated registry names (see --help of figs)")
+    p.add_argument("--token", default="X", help="loop token whose price sweeps")
+    p.add_argument("--max", type=float, default=20.0, dest="max_price")
+    p.add_argument("--step", type=float, default=0.2)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for non-vectorizable strategies")
+    p.add_argument("--csv", help="write the series to a CSV file")
 
     p = sub.add_parser("harvest", help="sequential greedy harvest of a snapshot")
     p.add_argument("--seed", type=int, default=20230901)
@@ -194,12 +224,10 @@ def _cmd_detect(args) -> None:
     from .strategies.maxmax import MaxMaxStrategy
 
     _snapshot, loops = analysis.profitable_loops(snapshot, args.length)
-    strategy = MaxMaxStrategy()
+    engine = _make_engine(args.jobs)
+    results = engine.evaluate_strategy(MaxMaxStrategy(), loops, snapshot.prices)
     scored = sorted(
-        (
-            (strategy.evaluate(loop, snapshot.prices).monetized_profit, loop)
-            for loop in loops
-        ),
+        ((result.monetized_profit, loop) for result, loop in zip(results, loops)),
         key=lambda pair: -pair[0],
     )
     print(f"{len(loops)} profitable length-{args.length} loops; top {args.top}:")
@@ -208,6 +236,41 @@ def _cmd_detect(args) -> None:
         for profit, loop in scored[: args.top]
     ]
     print(report.format_table(["maxmax profit", "loop"], rows))
+
+
+def _cmd_sweep(args) -> None:
+    from .core.types import Token
+    from .data.example import section5_loop, section5_prices
+    from .strategies import make_strategy
+
+    loop = section5_loop()
+    token = Token(args.token)
+    if token not in loop.tokens:
+        raise SystemExit(
+            f"token {args.token!r} is not in the §V loop "
+            f"({', '.join(t.symbol for t in loop.tokens)})"
+        )
+    names = [name.strip() for name in args.strategies.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--strategies needs at least one strategy name")
+    try:
+        strategies = {name: make_strategy(name) for name in names}
+        grid = analysis.paper_px_grid(max_price=args.max_price, step=args.step)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    series = analysis.price_sweep(
+        loop,
+        section5_prices(),
+        token,
+        grid,
+        strategies,
+        engine=_make_engine(args.jobs),
+    )
+    title = f"engine sweep of P{args.token} ({', '.join(strategies)})"
+    print(report.render_sweep(series, title=title))
+    if args.csv:
+        report.sweep_to_csv(series, args.csv)
+        print(f"wrote {args.csv}")
 
 
 def _cmd_harvest(args) -> None:
@@ -290,6 +353,7 @@ _HANDLERS = {
     "runtime": _cmd_runtime,
     "calibrate": _cmd_calibrate,
     "detect": _cmd_detect,
+    "sweep": _cmd_sweep,
     "harvest": _cmd_harvest,
     "discrepancy": _cmd_discrepancy,
     "efficiency": _cmd_efficiency,

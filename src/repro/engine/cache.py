@@ -1,0 +1,123 @@
+"""Reserve-keyed memoization of price-independent evaluation work.
+
+The fixed-start strategies (traditional / MaxPrice / MaxMax) split
+cleanly into a price-independent optimization — optimal input, hop
+amounts, single-token profit, all functions of the *reserves* only —
+and a trivial monetization step.  :class:`PoolStateCache` memoizes the
+former, keyed on each hop's ``(pool_id, input token, reserves, fee)``,
+so:
+
+* a price sweep re-evaluating one loop at hundreds of CEX prices pays
+  for the optimization exactly once per rotation;
+* a harvest / simulation round re-evaluating loops whose pools did not
+  move since the last round gets its quotes for free;
+* any pool mutation (swap, mint, burn) changes the reserves and hence
+  the key — stale entries are simply never hit again, so the cache
+  needs no explicit invalidation.
+
+Entries are evicted LRU once ``maxsize`` is exceeded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.loop import Rotation
+from ..strategies.traditional import RotationQuote, rotation_quote
+
+__all__ = ["PoolStateCache", "RotationQuote", "rotation_state_key"]
+
+
+def rotation_state_key(rotation: Rotation, method: str) -> tuple:
+    """Hashable key identifying a rotation *at its current reserves*.
+
+    Includes the optimizer method (quotes differ across methods by
+    solver tolerance) and, per hop, the pool identity, orientation,
+    oriented reserves, and fee.  Weighted-pool weights are immutable
+    attributes of the pool identified by ``pool_id``, so reserves +
+    identity pin the quote for them too.
+    """
+    parts: list = [method]
+    for token_in, _token_out, pool in rotation.hops():
+        x, y = pool.reserves_oriented(token_in)
+        parts.append((pool.pool_id, token_in.symbol, x, y, pool.fee))
+    return tuple(parts)
+
+
+class PoolStateCache:
+    """LRU cache of :class:`RotationQuote` objects keyed on reserves.
+
+    Thread-compatible for the serial executor; the process-pool
+    executor gives each worker chunk its own instance instead of
+    sharing one across processes.
+    """
+
+    __slots__ = ("_entries", "maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int = 65536):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._entries: OrderedDict[tuple, RotationQuote] = OrderedDict()
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def rotation_quote(
+        self, rotation: Rotation, method: str = "closed_form"
+    ) -> RotationQuote:
+        """Memoized :func:`repro.strategies.traditional.rotation_quote`."""
+        key = rotation_state_key(rotation, method)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        quote = rotation_quote(rotation, method=method)
+        self._entries[key] = quote
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return quote
+
+    # ------------------------------------------------------------------
+    # bulk transfer (parallel executor seeding / merge-back)
+    # ------------------------------------------------------------------
+
+    def export_entries(self) -> dict[tuple, RotationQuote]:
+        """Snapshot of the stored quotes, for seeding worker caches."""
+        return dict(self._entries)
+
+    def merge_entries(self, entries: dict[tuple, RotationQuote]) -> None:
+        """Absorb quotes computed elsewhere (e.g. in worker processes).
+
+        Keys are reserve-exact, so merged entries are as sound as
+        locally computed ones; normal LRU eviction applies.
+        """
+        for key, quote in entries.items():
+            self._entries[key] = quote
+            self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PoolStateCache({len(self._entries)} entries, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,252 @@
+"""The batched evaluation engine: one pipeline for loops × strategies
+× price scenarios.
+
+:class:`EvaluationEngine` is the single entry point every consumer —
+price sweeps, scatter figures, harvesting, the simulation engine, the
+CLI — routes through.  It composes three independent accelerations:
+
+* a reserve-keyed :class:`~repro.engine.cache.PoolStateCache`, so
+  repeated evaluations of unchanged loops (across strategies, rounds,
+  or price points) pay for the optimization once;
+* a pluggable :class:`~repro.engine.executors.Executor` — serial by
+  default, ``ProcessPoolExecutor``-backed with deterministic chunking
+  via :class:`~repro.engine.executors.ParallelExecutor`;
+* the vectorized numpy grid kernels (:mod:`repro.engine.vectorized`)
+  for the closed-form strategies, reached through each strategy's
+  ``evaluate_grid`` override, with automatic scalar fallback for
+  weighted pools and the convex strategy.
+
+Results are always identical to the scalar path — the engine changes
+*when* work happens, never *what* is computed.
+
+:class:`LoopUniverse` complements it on the detection side: loop
+*topology* (which token cycles exist, through which pools) depends
+only on which pools exist, while *profitability* depends on reserves.
+Splitting the two lets block-by-block consumers enumerate once and
+re-filter cheaply.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Mapping, Sequence
+
+from ..amm.pool import Pool
+from ..core.loop import ArbitrageLoop
+from ..core.types import PriceMap, Token
+from ..graph.build import build_token_graph
+from ..graph.cycles import enumerate_token_cycles, expand_cycle_to_loops
+from ..strategies.base import Strategy, StrategyResult
+from .cache import PoolStateCache
+from .executors import Executor, SerialExecutor
+from .request import BatchResult, EvaluationBatch
+
+__all__ = ["EvaluationEngine", "LoopUniverse"]
+
+
+class LoopUniverse:
+    """All candidate loops of one length over a fixed pool topology.
+
+    Enumeration (cycle DFS + pool expansion) is the expensive part of
+    :func:`repro.graph.cycles.find_arbitrage_loops` and depends only
+    on the pool set, not on reserves.  The universe enumerates once,
+    keeps live pool references, and re-applies the paper's
+    ``sum(log p_ij) > tol`` criterion against current reserves on each
+    :meth:`profitable` call — same loops, same order, no re-walk of
+    the graph.
+    """
+
+    def __init__(self, pools: Iterable[Pool], length: int):
+        graph = build_token_graph(pools)
+        self.length = length
+        self.candidates: tuple[ArbitrageLoop, ...] = tuple(
+            loop
+            for cycle in enumerate_token_cycles(graph, length)
+            for loop in expand_cycle_to_loops(graph, cycle)
+        )
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def profitable(self, tol: float = 0.0) -> list[ArbitrageLoop]:
+        """Candidates currently admitting arbitrage — identical to
+        ``find_arbitrage_loops`` on the same pools."""
+        return [loop for loop in self.candidates if loop.log_rate_sum() > tol]
+
+    def count_profitable(self, tol: float = 0.0) -> int:
+        return sum(1 for loop in self.candidates if loop.log_rate_sum() > tol)
+
+
+def _universe_key(pools: Sequence[Pool], length: int) -> tuple:
+    """Identity of a pool topology: the same live pool objects.
+
+    ``id()`` is included so a copied registry (fresh pool objects with
+    the same ids) gets its own universe; the universe keeps references
+    to the pools, so the ids stay valid for its lifetime.
+    """
+    return (length,) + tuple(
+        sorted((pool.pool_id, id(pool)) for pool in pools)
+    )
+
+
+class EvaluationEngine:
+    """Batched strategy evaluation with caching, executors, and the
+    vectorized grid fast path.
+
+    Parameters
+    ----------
+    executor:
+        Batch execution backend; default :class:`SerialExecutor`.
+    cache:
+        A shared :class:`PoolStateCache`; pass ``None`` to get a fresh
+        one, or an existing cache to share quotes across engines.
+    vectorize:
+        When True (default) grid evaluations go through each
+        strategy's ``evaluate_grid`` (the numpy fast path for the
+        closed-form strategies); when False every point is evaluated
+        scalar through the executor — useful for benchmarking and as a
+        correctness oracle.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        cache: PoolStateCache | None = None,
+        vectorize: bool = True,
+    ):
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache if cache is not None else PoolStateCache()
+        self.vectorize = vectorize
+        # Universes hold strong references to every candidate loop (and
+        # hence every pool) of a topology, so the memo is bounded: a
+        # long-lived engine fed many distinct snapshots evicts the
+        # least recently used topology instead of pinning them all.
+        self._universes: OrderedDict[tuple, LoopUniverse] = OrderedDict()
+        self._max_universes = 8
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationEngine(executor={self.executor!r}, "
+            f"vectorize={self.vectorize}, cache={self.cache!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation entry points
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, strategy: Strategy, loop: ArbitrageLoop, prices: PriceMap
+    ) -> StrategyResult:
+        """One evaluation through the shared cache."""
+        return strategy.evaluate_cached(loop, prices, self.cache)
+
+    def run(self, batch: EvaluationBatch) -> BatchResult:
+        """Execute a batch on the configured executor, in order."""
+        results = self.executor.run(batch.requests, cache=self.cache)
+        return BatchResult(requests=batch.requests, results=tuple(results))
+
+    def evaluate_strategy(
+        self,
+        strategy: Strategy,
+        loops: Sequence[ArbitrageLoop],
+        prices: PriceMap,
+    ) -> list[StrategyResult]:
+        """One strategy over many loops at one price map."""
+        if isinstance(self.executor, SerialExecutor):
+            return strategy.evaluate_many(loops, prices, cache=self.cache)
+        batch = EvaluationBatch.cross({strategy.name: strategy}, loops, prices)
+        return list(self.run(batch).results)
+
+    def evaluate_loops(
+        self,
+        strategies: Mapping[str, Strategy],
+        loops: Sequence[ArbitrageLoop],
+        prices: PriceMap,
+    ) -> dict[str, list[StrategyResult]]:
+        """Several labeled strategies over many loops at one price map."""
+        if isinstance(self.executor, SerialExecutor):
+            return {
+                label: strategy.evaluate_many(loops, prices, cache=self.cache)
+                for label, strategy in strategies.items()
+            }
+        batch = EvaluationBatch.cross(strategies, loops, prices)
+        grouped = self.run(batch).by_label()
+        # preserve the caller's label order, including empty loop lists
+        return {label: grouped.get(label, []) for label in strategies}
+
+    def sweep_results(
+        self,
+        strategies: Mapping[str, Strategy],
+        loop: ArbitrageLoop,
+        base_prices: PriceMap,
+        token: Token,
+        grid,
+    ) -> dict[str, list[StrategyResult]]:
+        """Every strategy across a price grid of one token.
+
+        Strategies with a vectorized ``evaluate_grid`` override take
+        the numpy fast path; the rest (and everything when
+        ``vectorize=False``) go point-by-point through the executor.
+        """
+        from .vectorized import is_vectorizable_loop
+
+        out: dict[str, list[StrategyResult]] = {}
+        vectorizable_loop = is_vectorizable_loop(loop)
+        scalar_labels: dict[str, Strategy] = {}
+        for label, strategy in strategies.items():
+            has_fast_path = (
+                type(strategy).evaluate_grid is not Strategy.evaluate_grid
+            )
+            if self.vectorize and has_fast_path and vectorizable_loop:
+                out[label] = strategy.evaluate_grid(
+                    loop, base_prices, token, grid, cache=self.cache
+                )
+            else:
+                scalar_labels[label] = strategy
+        if scalar_labels:
+            # one batch for every scalar series: the executor (and any
+            # process-pool spin-up) is paid once, not once per label
+            batch = EvaluationBatch.sweep(
+                scalar_labels, loop, base_prices, token, grid
+            )
+            grouped = self.run(batch).by_label()
+            for label in scalar_labels:
+                out[label] = grouped.get(label, [])
+        # preserve the caller's label order
+        return {label: out[label] for label in strategies}
+
+    # ------------------------------------------------------------------
+    # loop detection
+    # ------------------------------------------------------------------
+
+    def loop_universe(
+        self, pools: Iterable[Pool], length: int
+    ) -> LoopUniverse:
+        """Memoized :class:`LoopUniverse` for a pool topology.
+
+        Re-enumerates only when the pool set itself changes (pools
+        created or destroyed); reserve changes reuse the universe.
+        """
+        pool_list = list(pools)
+        key = _universe_key(pool_list, length)
+        universe = self._universes.get(key)
+        if universe is None:
+            universe = LoopUniverse(pool_list, length)
+            self._universes[key] = universe
+            if len(self._universes) > self._max_universes:
+                self._universes.popitem(last=False)
+        else:
+            self._universes.move_to_end(key)
+        return universe
+
+    def find_profitable_loops(
+        self, pools: Iterable[Pool], length: int, tol: float = 0.0
+    ) -> list[ArbitrageLoop]:
+        """Drop-in for ``find_arbitrage_loops(build_token_graph(pools),
+        length)`` with topology caching."""
+        return self.loop_universe(pools, length).profitable(tol)
+
+    def count_profitable_loops(
+        self, pools: Iterable[Pool], length: int, tol: float = 0.0
+    ) -> int:
+        return self.loop_universe(pools, length).count_profitable(tol)

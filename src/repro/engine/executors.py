@@ -1,0 +1,183 @@
+"""Pluggable execution backends for evaluation batches.
+
+Two executors implement the same contract — results in request order,
+bit-identical to evaluating the requests one by one:
+
+* :class:`SerialExecutor` — in-process loop, shares one
+  :class:`~repro.engine.cache.PoolStateCache` across the whole batch;
+* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` fan-out with
+  deterministic contiguous chunking.  Chunks are submitted in order
+  and reassembled in order (``Executor.map`` preserves submission
+  order), so the output never depends on worker scheduling.  The
+  shared cache crosses the process boundary by value: each chunk is
+  seeded with the parent's current quotes and ships its new ones
+  back, so iterative workloads (harvest rounds, repeated figures)
+  keep their cross-round reuse under ``--jobs``.
+
+Everything a request carries (strategies, loops, pools, price maps)
+pickles with the default protocol, which is what makes the process
+pool a drop-in.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..strategies.base import StrategyResult
+from .cache import PoolStateCache
+from .request import EvaluationRequest
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor"]
+
+
+class Executor(abc.ABC):
+    """Run a sequence of evaluation requests, preserving order."""
+
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        requests: Sequence[EvaluationRequest],
+        cache: PoolStateCache | None = None,
+    ) -> list[StrategyResult]:
+        """Evaluate ``requests``; result ``i`` answers request ``i``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Evaluate requests one after another in the calling process."""
+
+    name = "serial"
+
+    def run(
+        self,
+        requests: Sequence[EvaluationRequest],
+        cache: PoolStateCache | None = None,
+    ) -> list[StrategyResult]:
+        return [
+            request.strategy.evaluate_cached(request.loop, request.prices, cache)
+            for request in requests
+        ]
+
+
+#: Per-worker seed installed once by the pool initializer (cheaper than
+#: pickling the whole parent cache into every chunk payload).
+_worker_seed: dict = {}
+
+
+def _init_worker(seed_entries) -> None:
+    global _worker_seed
+    _worker_seed = seed_entries
+
+
+def _run_chunk(requests):
+    """Worker entry point: evaluate one chunk with a chunk-local cache.
+
+    The chunk cache is seeded from the parent engine's shared cache
+    (shipped once per worker via the initializer) and the worker ships
+    its *new* quotes back, so quote reuse survives the process
+    boundary in both directions.
+    """
+    cache = PoolStateCache()
+    if _worker_seed:
+        cache.merge_entries(_worker_seed)
+    results = [
+        request.strategy.evaluate_cached(request.loop, request.prices, cache)
+        for request in requests
+    ]
+    new_entries = {
+        key: quote
+        for key, quote in cache.export_entries().items()
+        if key not in _worker_seed
+    }
+    return results, new_entries
+
+
+class ParallelExecutor(Executor):
+    """Fan a batch out over a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Requests per worker task.  Defaults to splitting the batch
+        into ~4 chunks per worker, floored at 1 — large enough to
+        amortize pickling, small enough to balance load.
+    min_batch_size:
+        Batches smaller than this skip the pool entirely (process
+        startup would dominate) and run serially — same results,
+        same order.
+
+    Each :meth:`run` starts a fresh process pool and ships the current
+    cache snapshot to each worker once (via the pool initializer), so
+    workers always see up-to-date reserves and quotes.  That makes a
+    single large batch cheap but adds per-call overhead for tight
+    iterative loops (e.g. a many-round harvest); such workloads are
+    better served by the default serial executor, whose shared cache
+    makes the repeated rounds nearly free anyway.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        min_batch_size: int = 8,
+    ):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.min_batch_size = min_batch_size
+
+    def chunks(
+        self, requests: Sequence[EvaluationRequest]
+    ) -> list[list[EvaluationRequest]]:
+        """Deterministic contiguous chunking of the request list."""
+        n = len(requests)
+        if n == 0:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(n / (self.max_workers * 4)))
+        return [list(requests[i : i + size]) for i in range(0, n, size)]
+
+    def run(
+        self,
+        requests: Sequence[EvaluationRequest],
+        cache: PoolStateCache | None = None,
+    ) -> list[StrategyResult]:
+        if len(requests) < max(self.min_batch_size, 2) or self.max_workers == 1:
+            return SerialExecutor().run(requests, cache)
+        seed = cache.export_entries() if cache is not None else {}
+        chunks = self.chunks(requests)
+        workers = min(self.max_workers, len(chunks))
+        results: list[StrategyResult] = []
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(seed,)
+        ) as pool:
+            # map() yields chunk results in submission order, so the
+            # flattened list is in request order whatever the workers'
+            # completion order was.
+            for chunk_results, new_entries in pool.map(_run_chunk, chunks):
+                results.extend(chunk_results)
+                if cache is not None:
+                    cache.merge_entries(new_entries)
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(max_workers={self.max_workers}, "
+            f"chunk_size={self.chunk_size})"
+        )

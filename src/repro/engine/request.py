@@ -1,0 +1,140 @@
+"""The batched-evaluation job model.
+
+An :class:`EvaluationRequest` is one atomic unit of work — evaluate one
+strategy on one loop under one price map.  An :class:`EvaluationBatch`
+expresses a whole experiment ("these strategies over these loops at
+these price points") as one job, so every consumer — price sweeps,
+scatter figures, harvesting, the CLI — feeds the same pipeline instead
+of hand-rolling its own ``for`` loops.
+
+Batches are plain data: they can be chunked, shipped to worker
+processes, and reassembled deterministically.  :class:`BatchResult`
+keeps requests and results aligned in submission order and offers the
+reshaping accessors the figure harnesses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..core.loop import ArbitrageLoop
+from ..core.types import PriceMap, Token
+from ..strategies.base import Strategy, StrategyResult
+
+__all__ = ["EvaluationRequest", "EvaluationBatch", "BatchResult"]
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One (strategy, loop, prices) evaluation.
+
+    ``label`` groups requests belonging to one logical series (a
+    strategy label in a sweep, a figure axis); ``loop_index`` and
+    ``price_index`` record the request's coordinates in the batch's
+    loop list / price grid so results can be reshaped without
+    re-deriving positions.
+    """
+
+    strategy: Strategy
+    loop: ArbitrageLoop
+    prices: PriceMap
+    label: str = ""
+    loop_index: int = 0
+    price_index: int | None = None
+
+
+@dataclass(frozen=True)
+class EvaluationBatch:
+    """An ordered collection of evaluation requests."""
+
+    requests: tuple[EvaluationRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[EvaluationRequest]:
+        return iter(self.requests)
+
+    @classmethod
+    def cross(
+        cls,
+        strategies: Mapping[str, Strategy],
+        loops: Sequence[ArbitrageLoop],
+        prices: PriceMap,
+    ) -> "EvaluationBatch":
+        """The cross product: every strategy on every loop, one price map.
+
+        Request order is strategy-major (all loops of the first label,
+        then the next), matching how the scatter figures consume them.
+        """
+        requests = tuple(
+            EvaluationRequest(
+                strategy=strategy,
+                loop=loop,
+                prices=prices,
+                label=label,
+                loop_index=index,
+            )
+            for label, strategy in strategies.items()
+            for index, loop in enumerate(loops)
+        )
+        return cls(requests)
+
+    @classmethod
+    def sweep(
+        cls,
+        strategies: Mapping[str, Strategy],
+        loop: ArbitrageLoop,
+        base_prices: PriceMap,
+        token: Token,
+        grid,
+    ) -> "EvaluationBatch":
+        """A price sweep: every strategy at every grid value of one token."""
+        price_maps = [
+            base_prices.with_price(token, float(price)) for price in grid
+        ]
+        requests = tuple(
+            EvaluationRequest(
+                strategy=strategy,
+                loop=loop,
+                prices=prices,
+                label=label,
+                loop_index=0,
+                price_index=index,
+            )
+            for label, strategy in strategies.items()
+            for index, prices in enumerate(price_maps)
+        )
+        return cls(requests)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Results aligned one-to-one with the submitted requests."""
+
+    requests: tuple[EvaluationRequest, ...]
+    results: tuple[StrategyResult, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.requests) != len(self.results):
+            raise ValueError(
+                f"{len(self.requests)} requests but {len(self.results)} results"
+            )
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_label(self) -> dict[str, list[StrategyResult]]:
+        """Results grouped by request label, preserving request order."""
+        grouped: dict[str, list[StrategyResult]] = {}
+        for request, result in zip(self.requests, self.results):
+            grouped.setdefault(request.label, []).append(result)
+        return grouped
+
+    def for_label(self, label: str) -> list[StrategyResult]:
+        return [
+            result
+            for request, result in zip(self.requests, self.results)
+            if request.label == label
+        ]

@@ -127,6 +127,13 @@ class Arbitrageur(Agent):
     paper ref [5]); size it with ``strategy``; execute atomically.
     Repeats up to ``max_loops_per_block`` times, mirroring a searcher
     bundling several arbitrages into one block.
+
+    ``cache`` is an optional
+    :class:`~repro.engine.cache.PoolStateCache`: with one attached
+    (the simulation engine wires its own in by default), sizing a loop
+    whose pools did not move since a previous evaluation reuses the
+    cached rotation quotes.  Reserve-keyed, so every executed trade
+    invalidates exactly the loops it touched.
     """
 
     strategy: Strategy
@@ -137,6 +144,7 @@ class Arbitrageur(Agent):
     trades: int = 0
     reverts: int = 0
     profits_by_block: list = field(default_factory=list)
+    cache: object | None = None
 
     def on_block(self, market: MarketSnapshot, prices: PriceMap, block: int) -> None:
         simulator = ExecutionSimulator(registry=market.registry)
@@ -147,7 +155,7 @@ class Arbitrageur(Agent):
             if cycle is None:
                 break
             loop = negative_cycle_to_loop(cycle)
-            result = self.strategy.evaluate(loop, prices)
+            result = self.strategy.evaluate_cached(loop, prices, self.cache)
             if result.monetized_profit <= 0 or not result.hop_amounts:
                 break
             receipt = simulator.execute(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..cex.synthetic import RandomWalkOracle
 from ..data.snapshot import MarketSnapshot
+from ..engine import EvaluationEngine
 from ..strategies.maxmax import MaxMaxStrategy
 from .agents import Agent, Arbitrageur, RetailTrader
 from .metrics import BlockMetrics, collect_metrics
@@ -58,6 +59,13 @@ class SimulationEngine:
     count_loops:
         Whether metrics include the (more expensive) profitable-loop
         count each block.
+    evaluation_engine:
+        The shared :class:`~repro.engine.EvaluationEngine` backing the
+        run.  Per-block loop counting reuses its topology-cached loop
+        universe (agents move reserves, never the pool set), and any
+        :class:`~repro.simulation.agents.Arbitrageur` without its own
+        rotation cache is wired to the engine's.  Defaults to a fresh
+        engine; results are identical with or without one.
     """
 
     def __init__(
@@ -67,6 +75,7 @@ class SimulationEngine:
         price_seed: int = 0,
         volatility: float = 0.002,
         count_loops: bool = True,
+        evaluation_engine: EvaluationEngine | None = None,
     ):
         self.market = market.copy()
         self.agents = list(agents)
@@ -74,6 +83,12 @@ class SimulationEngine:
             market.prices, seed=price_seed, volatility=volatility
         )
         self.count_loops = count_loops
+        self.evaluation_engine = (
+            evaluation_engine if evaluation_engine is not None else EvaluationEngine()
+        )
+        for agent in self.agents:
+            if isinstance(agent, Arbitrageur) and agent.cache is None:
+                agent.cache = self.evaluation_engine.cache
         self._block = 0
         self._metrics: list[BlockMetrics] = []
 
@@ -87,7 +102,11 @@ class SimulationEngine:
         for agent in self.agents:
             agent.on_block(self.market, prices, self._block)
         metrics = collect_metrics(
-            self.market, prices, self._block, count_loops=self.count_loops
+            self.market,
+            prices,
+            self._block,
+            count_loops=self.count_loops,
+            engine=self.evaluation_engine,
         )
         self._metrics.append(metrics)
         self._block += 1

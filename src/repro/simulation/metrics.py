@@ -57,12 +57,24 @@ def collect_metrics(
     prices: PriceMap,
     block: int,
     count_loops: bool = True,
+    engine=None,
 ) -> BlockMetrics:
-    """Snapshot the market's health after a block."""
+    """Snapshot the market's health after a block.
+
+    When an :class:`~repro.engine.EvaluationEngine` is supplied, the
+    profitable-loop count reuses its topology-cached
+    :class:`~repro.engine.LoopUniverse`: candidate loops are
+    enumerated once per simulation and only the ``sum(log p) > 0``
+    filter runs per block (the agents move reserves, never the pool
+    set).  The count is identical to the uncached detector.
+    """
     loops = 0
     if count_loops:
-        graph = build_token_graph(market.registry)
-        loops = len(find_arbitrage_loops(graph, 3))
+        if engine is not None:
+            loops = engine.count_profitable_loops(market.registry, 3)
+        else:
+            graph = build_token_graph(market.registry)
+            loops = len(find_arbitrage_loops(graph, 3))
     tvl = sum(
         pool.tvl(prices)
         for pool in market.registry

@@ -5,17 +5,27 @@ from .convexopt import ConvexOptimizationStrategy
 from .maxmax import MaxMaxStrategy
 from .maxprice import MaxPriceStrategy
 from .registry import available_strategies, make_strategy
-from .traditional import TraditionalStrategy, optimize_rotation_by, rotation_result
+from .traditional import (
+    RotationQuote,
+    TraditionalStrategy,
+    optimize_rotation_by,
+    result_from_quote,
+    rotation_quote,
+    rotation_result,
+)
 
 __all__ = [
     "ConvexOptimizationStrategy",
     "MaxMaxStrategy",
     "MaxPriceStrategy",
+    "RotationQuote",
     "Strategy",
     "StrategyResult",
     "TraditionalStrategy",
     "available_strategies",
     "make_strategy",
     "optimize_rotation_by",
+    "result_from_quote",
+    "rotation_quote",
     "rotation_result",
 ]

@@ -78,8 +78,15 @@ class ConvexOptimizationStrategy(Strategy):
     # ------------------------------------------------------------------
 
     def evaluate(self, loop: ArbitrageLoop, prices: PriceMap) -> StrategyResult:
+        return self.evaluate_cached(loop, prices, None)
+
+    def evaluate_cached(
+        self, loop: ArbitrageLoop, prices: PriceMap, cache=None
+    ) -> StrategyResult:
+        """The convex solve itself is price-dependent and never cached,
+        but the MaxMax warm start / floor reuses the rotation cache."""
         loop_program = build_loop_program(loop, prices, linking=self.linking)
-        maxmax = self._maxmax.evaluate(loop, prices)
+        maxmax = self._maxmax.evaluate_cached(loop, prices, cache)
 
         solution, backend_used, solve_info = self._solve(loop_program, maxmax)
 

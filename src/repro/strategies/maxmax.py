@@ -36,11 +36,17 @@ class MaxMaxStrategy(Strategy):
         self.method = method
 
     def evaluate(self, loop: ArbitrageLoop, prices: PriceMap) -> StrategyResult:
+        return self.evaluate_cached(loop, prices, None)
+
+    def evaluate_cached(
+        self, loop: ArbitrageLoop, prices: PriceMap, cache=None
+    ) -> StrategyResult:
         best: StrategyResult | None = None
         per_rotation: dict[str, float] = {}
         for rotation in loop.rotations():
             candidate = rotation_result(
-                rotation, prices, strategy_name=self.name, method=self.method
+                rotation, prices, strategy_name=self.name, method=self.method,
+                cache=cache,
             )
             per_rotation[rotation.start_token.symbol] = candidate.monetized_profit
             if best is None or candidate.monetized_profit > best.monetized_profit:
@@ -48,3 +54,20 @@ class MaxMaxStrategy(Strategy):
         assert best is not None  # loops have >= 2 rotations
         best.details["per_rotation"] = per_rotation
         return best
+
+    def evaluate_grid(self, loop, base_prices, token, grid, *, cache=None):
+        from ..engine.vectorized import is_vectorizable_loop, maxmax_grid
+
+        if not is_vectorizable_loop(loop):
+            return super().evaluate_grid(
+                loop, base_prices, token, grid, cache=cache
+            )
+        return maxmax_grid(
+            loop,
+            base_prices,
+            token,
+            grid,
+            strategy_name=self.name,
+            method=self.method,
+            cache=cache,
+        )

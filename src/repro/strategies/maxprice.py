@@ -30,8 +30,30 @@ class MaxPriceStrategy(Strategy):
         self.method = method
 
     def evaluate(self, loop: ArbitrageLoop, prices: PriceMap) -> StrategyResult:
+        return self.evaluate_cached(loop, prices, None)
+
+    def evaluate_cached(
+        self, loop: ArbitrageLoop, prices: PriceMap, cache=None
+    ) -> StrategyResult:
         start = prices.max_price_token(loop.tokens)
         rotation = loop.rotation_from(start)
         return rotation_result(
-            rotation, prices, strategy_name=self.name, method=self.method
+            rotation, prices, strategy_name=self.name, method=self.method, cache=cache
+        )
+
+    def evaluate_grid(self, loop, base_prices, token, grid, *, cache=None):
+        from ..engine.vectorized import is_vectorizable_loop, maxprice_grid
+
+        if not is_vectorizable_loop(loop):
+            return super().evaluate_grid(
+                loop, base_prices, token, grid, cache=cache
+            )
+        return maxprice_grid(
+            loop,
+            base_prices,
+            token,
+            grid,
+            strategy_name=self.name,
+            method=self.method,
+            cache=cache,
         )

@@ -15,6 +15,8 @@ Three interchangeable 1-D optimizers are exposed (`method=`):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..core.errors import StrategyError
 from ..core.loop import ArbitrageLoop, Rotation
 from ..core.types import PriceMap, ProfitVector, Token
@@ -24,7 +26,15 @@ from ..optimize.golden import golden_section_maximize
 from ..optimize.result import ScalarOptResult
 from .base import Strategy, StrategyResult
 
-__all__ = ["TraditionalStrategy", "optimize_rotation_by", "rotation_result"]
+__all__ = [
+    "RotationQuote",
+    "TraditionalStrategy",
+    "optimize_rotation_by",
+    "quote_profit_vector",
+    "result_from_quote",
+    "rotation_quote",
+    "rotation_result",
+]
 
 _METHODS = ("closed_form", "bisection", "golden")
 
@@ -61,33 +71,106 @@ def optimize_rotation_by(rotation: Rotation, method: str = "closed_form") -> Sca
     return golden_section_maximize(comp.profit, 0.0, hi)
 
 
+@dataclass(frozen=True)
+class RotationQuote:
+    """The price-independent part of a fixed-start evaluation.
+
+    Given fixed reserves, the optimal input, the per-hop amounts, and
+    the single-token profit of a rotation do not depend on CEX prices
+    — only the *monetization* does.  Splitting the two lets the
+    engine's :class:`~repro.engine.cache.PoolStateCache` reuse this
+    object across price points and across repeated evaluations of an
+    unchanged loop.
+    """
+
+    amount_in: float
+    hop_amounts: tuple[tuple[float, float], ...]
+    profit: float
+    iterations: int
+
+
+def rotation_quote(rotation: Rotation, method: str = "closed_form") -> RotationQuote:
+    """Optimize one rotation and capture its price-independent outcome."""
+    opt = optimize_rotation_by(rotation, method=method)
+    if opt.x <= 0.0:
+        return RotationQuote(
+            amount_in=opt.x, hop_amounts=(), profit=0.0, iterations=opt.iterations
+        )
+    amounts = rotation.simulate(opt.x)
+    hops = tuple((amounts[i], amounts[i + 1]) for i in range(len(amounts) - 1))
+    return RotationQuote(
+        amount_in=opt.x,
+        hop_amounts=hops,
+        profit=amounts[-1] - amounts[0],
+        iterations=opt.iterations,
+    )
+
+
+def quote_profit_vector(rotation: Rotation, quote: RotationQuote) -> ProfitVector:
+    """The profit vector a quote implies (zero when no profitable input)."""
+    if quote.amount_in <= 0.0:
+        return ProfitVector.zero()
+    return ProfitVector.single(rotation.start_token, quote.profit)
+
+
+def result_from_quote(
+    rotation: Rotation,
+    quote: RotationQuote,
+    prices: PriceMap | None,
+    strategy_name: str = "traditional",
+    method: str = "closed_form",
+    *,
+    profit: ProfitVector | None = None,
+    monetized: float | None = None,
+    extra_details: dict | None = None,
+) -> StrategyResult:
+    """Monetize a :class:`RotationQuote` into a full result.
+
+    The single assembly point for both the scalar and the vectorized
+    paths, so the result shape cannot diverge between them.  The
+    vectorized grid kernels pass ``profit`` (one shared vector per
+    rotation) and ``monetized`` (already computed in the array pass);
+    ``prices`` may then be ``None``.
+    """
+    if profit is None:
+        profit = quote_profit_vector(rotation, quote)
+    if monetized is None:
+        assert prices is not None, "need prices when monetized is not given"
+        monetized = profit.monetize(prices)
+    details = {"method": method, "iterations": quote.iterations}
+    if extra_details:
+        details.update(extra_details)
+    return StrategyResult(
+        strategy=strategy_name,
+        loop=rotation.loop,
+        profit=profit,
+        monetized_profit=monetized,
+        start_token=rotation.start_token,
+        amount_in=quote.amount_in,
+        hop_amounts=quote.hop_amounts,
+        details=details,
+    )
+
+
 def rotation_result(
     rotation: Rotation,
     prices: PriceMap,
     strategy_name: str = "traditional",
     method: str = "closed_form",
+    cache=None,
 ) -> StrategyResult:
-    """Full :class:`StrategyResult` for a fixed rotation."""
-    opt = optimize_rotation_by(rotation, method=method)
-    start = rotation.start_token
-    if opt.x <= 0.0:
-        profit = ProfitVector.zero()
-        hops: tuple[tuple[float, float], ...] = ()
+    """Full :class:`StrategyResult` for a fixed rotation.
+
+    When ``cache`` (a :class:`~repro.engine.cache.PoolStateCache`) is
+    given, the optimization reuses a memoized quote whenever the
+    rotation's reserves are unchanged.
+    """
+    if cache is not None:
+        quote = cache.rotation_quote(rotation, method)
     else:
-        amounts = rotation.simulate(opt.x)
-        hops = tuple(
-            (amounts[i], amounts[i + 1]) for i in range(len(amounts) - 1)
-        )
-        profit = ProfitVector.single(start, amounts[-1] - amounts[0])
-    return StrategyResult(
-        strategy=strategy_name,
-        loop=rotation.loop,
-        profit=profit,
-        monetized_profit=profit.monetize(prices),
-        start_token=start,
-        amount_in=opt.x,
-        hop_amounts=hops,
-        details={"method": method, "iterations": opt.iterations},
+        quote = rotation_quote(rotation, method)
+    return result_from_quote(
+        rotation, quote, prices, strategy_name=strategy_name, method=method
     )
 
 
@@ -114,16 +197,42 @@ class TraditionalStrategy(Strategy):
         self.method = method
 
     def evaluate(self, loop: ArbitrageLoop, prices: PriceMap) -> StrategyResult:
+        return self.evaluate_cached(loop, prices, None)
+
+    def evaluate_cached(
+        self, loop: ArbitrageLoop, prices: PriceMap, cache=None
+    ) -> StrategyResult:
+        rotation = self._rotation(loop)
+        return rotation_result(
+            rotation, prices, strategy_name=self.name, method=self.method, cache=cache
+        )
+
+    def evaluate_grid(self, loop, base_prices, token, grid, *, cache=None):
+        from ..engine.vectorized import is_vectorizable_loop, traditional_grid
+
+        if not is_vectorizable_loop(loop):
+            return super().evaluate_grid(
+                loop, base_prices, token, grid, cache=cache
+            )
+        rotation = self._rotation(loop)
+        return traditional_grid(
+            rotation,
+            base_prices,
+            token,
+            grid,
+            strategy_name=self.name,
+            method=self.method,
+            cache=cache,
+        )
+
+    def _rotation(self, loop: ArbitrageLoop) -> Rotation:
         start = self.start_token if self.start_token is not None else loop.tokens[0]
         if start not in loop.tokens:
             raise StrategyError(
                 f"start token {start} is not in {loop!r}; the traditional "
                 "strategy needs a loop through its numeraire"
             )
-        rotation = loop.rotation_from(start)
-        return rotation_result(
-            rotation, prices, strategy_name=self.name, method=self.method
-        )
+        return loop.rotation_from(start)
 
     def __repr__(self) -> str:
         start = self.start_token.symbol if self.start_token else None

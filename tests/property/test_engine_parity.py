@@ -1,0 +1,140 @@
+"""Property tests: batched / vectorized evaluation == scalar evaluation.
+
+The engine's whole contract is that caching, batching, and the numpy
+grid fast path change *when* work happens but never *what* is
+computed.  Hypothesis hammers that with random reserves, random
+prices, random grids, and both pool kinds (constant-product and
+weighted), asserting agreement with the scalar ``evaluate`` to 1e-9
+relative tolerance (the PR's acceptance bound; in practice the
+constant-product path is bit-identical).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import Pool
+from repro.amm.weighted import WeightedPool
+from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.engine import EvaluationEngine, PoolStateCache
+from repro.strategies import (
+    MaxMaxStrategy,
+    MaxPriceStrategy,
+    TraditionalStrategy,
+)
+
+X, Y, Z = Token("X"), Token("Y"), Token("Z")
+
+reserve = st.floats(min_value=50.0, max_value=1e5)
+price = st.floats(min_value=0.01, max_value=1e4)
+weight = st.floats(min_value=0.2, max_value=0.8)
+grid_values = st.lists(
+    st.floats(min_value=1e-9, max_value=1e4), min_size=1, max_size=8
+)
+loop_params = st.tuples(reserve, reserve, reserve, reserve, reserve, reserve)
+price_params = st.tuples(price, price, price)
+
+
+def make_cp_loop(x0, y0, y1, z1, z2, x2):
+    return ArbitrageLoop(
+        [X, Y, Z],
+        [
+            Pool(X, Y, x0, y0, pool_id="p-xy"),
+            Pool(Y, Z, y1, z1, pool_id="p-yz"),
+            Pool(Z, X, z2, x2, pool_id="p-zx"),
+        ],
+    )
+
+
+def make_weighted_loop(x0, y0, y1, z1, z2, x2, w):
+    return ArbitrageLoop(
+        [X, Y, Z],
+        [
+            Pool(X, Y, x0, y0, pool_id="w-xy"),
+            WeightedPool(Y, Z, y1, z1, w, 1.0 - w, pool_id="w-yz"),
+            Pool(Z, X, z2, x2, pool_id="w-zx"),
+        ],
+    )
+
+
+def assert_close(got, ref):
+    assert got.monetized_profit == pytest.approx(
+        ref.monetized_profit, rel=1e-9, abs=1e-9
+    )
+    assert got.start_token == ref.start_token
+    assert got.amount_in == pytest.approx(ref.amount_in, rel=1e-9, abs=1e-9)
+
+
+def all_strategies(loop):
+    strategies = {
+        f"start_{token.symbol}": TraditionalStrategy(start_token=token)
+        for token in loop.tokens
+    }
+    strategies["maxmax"] = MaxMaxStrategy()
+    strategies["maxprice"] = MaxPriceStrategy()
+    return strategies
+
+
+@given(params=loop_params, prices=price_params, grid=grid_values)
+@settings(max_examples=40, deadline=None)
+def test_vectorized_grid_matches_scalar_on_cp_loops(params, prices, grid):
+    loop = make_cp_loop(*params)
+    base = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    results = EvaluationEngine().sweep_results(
+        all_strategies(loop), loop, base, X, grid
+    )
+    for label, strategy in all_strategies(loop).items():
+        for j, p in enumerate(grid):
+            ref = strategy.evaluate(loop, base.with_price(X, float(p)))
+            assert_close(results[label][j], ref)
+
+
+@given(params=loop_params, prices=price_params, grid=grid_values, w=weight)
+@settings(max_examples=25, deadline=None)
+def test_grid_falls_back_correctly_on_weighted_loops(params, prices, grid, w):
+    loop = make_weighted_loop(*params, w)
+    base = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    results = EvaluationEngine().sweep_results(
+        {"maxmax": MaxMaxStrategy(), "maxprice": MaxPriceStrategy()},
+        loop,
+        base,
+        X,
+        grid,
+    )
+    for label, strategy in (
+        ("maxmax", MaxMaxStrategy()),
+        ("maxprice", MaxPriceStrategy()),
+    ):
+        for j, p in enumerate(grid):
+            ref = strategy.evaluate(loop, base.with_price(X, float(p)))
+            assert_close(results[label][j], ref)
+
+
+@given(params=loop_params, prices=price_params)
+@settings(max_examples=40, deadline=None)
+def test_cached_evaluate_many_matches_scalar(params, prices):
+    loop = make_cp_loop(*params)
+    loops = [loop, loop.reversed()]
+    price_map = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    cache = PoolStateCache()
+    for strategy in (MaxMaxStrategy(), MaxPriceStrategy(), TraditionalStrategy()):
+        batched = strategy.evaluate_many(loops, price_map, cache=cache)
+        rerun = strategy.evaluate_many(loops, price_map, cache=cache)  # warm
+        for one, two, ref_loop in zip(batched, rerun, loops):
+            ref = strategy.evaluate(ref_loop, price_map)
+            assert_close(one, ref)
+            assert_close(two, ref)
+    assert cache.hits > 0
+
+
+@given(params=loop_params, prices=price_params, w=weight)
+@settings(max_examples=25, deadline=None)
+def test_cache_is_sound_on_weighted_loops(params, prices, w):
+    loop = make_weighted_loop(*params, w)
+    price_map = PriceMap({X: prices[0], Y: prices[1], Z: prices[2]})
+    cache = PoolStateCache()
+    strategy = MaxMaxStrategy()
+    cached = strategy.evaluate_many([loop], price_map, cache=cache)[0]
+    assert_close(cached, strategy.evaluate(loop, price_map))

@@ -17,7 +17,7 @@ class TestParser:
         expected = {
             "section5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "runtime", "calibrate", "detect",
-            "harvest", "discrepancy", "efficiency",
+            "harvest", "discrepancy", "efficiency", "sweep",
         }
         assert expected <= set(sub.choices)
 
@@ -57,6 +57,28 @@ class TestCommands:
         assert main(["harvest", "--rounds", "2", "--gwei", "20"]) == 0
         out = capsys.readouterr().out
         assert "gas breakeven" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--strategies", "maxmax,maxprice", "--step", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "engine sweep of PX" in out
+        assert "maxmax" in out and "maxprice" in out
+
+    def test_sweep_csv(self, capsys, tmp_path):
+        target = tmp_path / "sweep.csv"
+        assert main(["sweep", "--step", "5", "--csv", str(target)]) == 0
+        assert target.exists()
+        assert "price" in target.read_text().splitlines()[0]
+
+    def test_sweep_rejects_foreign_token(self):
+        with pytest.raises(SystemExit, match="not in the"):
+            main(["sweep", "--token", "Q"])
+
+    def test_detect_with_jobs(self, capsys):
+        # jobs=1 stays serial; exercises the engine-batched scoring path
+        assert main(["detect", "--top", "2", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "profitable length-3 loops" in out
 
     def test_efficiency(self, capsys):
         assert main(["efficiency", "--blocks", "2"]) == 0

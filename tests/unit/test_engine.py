@@ -1,0 +1,351 @@
+"""Unit tests for the batched evaluation engine.
+
+Covers the job model (requests / batches / results), the
+reserve-keyed rotation cache, both executors, the vectorized sweep
+fast path, and the topology-cached loop universe.  The contract under
+test throughout: the engine changes *when* work happens, never *what*
+is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PriceMap, Token
+from repro.data import paper_market, section5_loop, section5_prices
+from repro.data.example import TOKEN_X
+from repro.engine import (
+    EvaluationBatch,
+    EvaluationEngine,
+    LoopUniverse,
+    ParallelExecutor,
+    PoolStateCache,
+    SerialExecutor,
+    is_vectorizable_loop,
+    rotation_state_key,
+)
+from repro.graph.build import build_token_graph
+from repro.graph.cycles import find_arbitrage_loops
+from repro.strategies import (
+    ConvexOptimizationStrategy,
+    MaxMaxStrategy,
+    MaxPriceStrategy,
+    TraditionalStrategy,
+    rotation_quote,
+)
+
+X, Y, Z = Token("X"), Token("Y"), Token("Z")
+
+SMALL_GRID = np.array([1e-9, 2.0, 5.0, 12.0, 20.0])
+
+
+def _sweep_strategies(loop):
+    strategies = {
+        f"start_{token.symbol}": TraditionalStrategy(start_token=token)
+        for token in loop.tokens
+    }
+    strategies["maxmax"] = MaxMaxStrategy()
+    strategies["maxprice"] = MaxPriceStrategy()
+    return strategies
+
+
+class TestPoolStateCache:
+    def test_hit_after_miss(self, s5_loop):
+        cache = PoolStateCache()
+        rotation = s5_loop.rotations()[0]
+        first = cache.rotation_quote(rotation)
+        second = cache.rotation_quote(rotation)
+        assert cache.misses == 1 and cache.hits == 1
+        assert first is second
+
+    def test_quote_matches_uncached(self, s5_loop):
+        cache = PoolStateCache()
+        for rotation in s5_loop.rotations():
+            assert cache.rotation_quote(rotation) == rotation_quote(rotation)
+
+    def test_reserve_change_invalidates(self, s5_loop):
+        cache = PoolStateCache()
+        rotation = s5_loop.rotations()[0]
+        before = cache.rotation_quote(rotation)
+        s5_loop.pools[0].swap(s5_loop.tokens[0], 5.0)
+        after = cache.rotation_quote(rotation)
+        assert cache.misses == 2
+        assert after.amount_in != before.amount_in
+
+    def test_key_distinguishes_method_and_orientation(self, s5_loop):
+        rotations = s5_loop.rotations()
+        keys = {rotation_state_key(r, "closed_form") for r in rotations}
+        assert len(keys) == len(rotations)
+        assert rotation_state_key(rotations[0], "closed_form") != rotation_state_key(
+            rotations[0], "golden"
+        )
+
+    def test_lru_eviction(self, s5_loop):
+        cache = PoolStateCache(maxsize=2)
+        r0, r1, r2 = s5_loop.rotations()
+        cache.rotation_quote(r0)
+        cache.rotation_quote(r1)
+        cache.rotation_quote(r2)  # evicts r0
+        assert len(cache) == 2
+        cache.rotation_quote(r0)
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            PoolStateCache(maxsize=0)
+
+
+class TestBatchModel:
+    def test_cross_order_is_strategy_major(self, s5_loop, s5_prices):
+        loops = [s5_loop, s5_loop.reversed()]
+        strategies = {"a": MaxMaxStrategy(), "b": MaxPriceStrategy()}
+        batch = EvaluationBatch.cross(strategies, loops, s5_prices)
+        assert [r.label for r in batch] == ["a", "a", "b", "b"]
+        assert [r.loop_index for r in batch] == [0, 1, 0, 1]
+
+    def test_sweep_builds_one_price_map_per_point(self, s5_loop, s5_prices):
+        batch = EvaluationBatch.sweep(
+            {"mm": MaxMaxStrategy()}, s5_loop, s5_prices, TOKEN_X, [1.0, 2.0]
+        )
+        assert len(batch) == 2
+        assert [r.prices[TOKEN_X] for r in batch] == [1.0, 2.0]
+        assert [r.price_index for r in batch] == [0, 1]
+
+    def test_batch_result_by_label(self, s5_loop, s5_prices):
+        strategies = {"a": MaxMaxStrategy(), "b": MaxPriceStrategy()}
+        batch = EvaluationBatch.cross(strategies, [s5_loop], s5_prices)
+        result = EvaluationEngine().run(batch)
+        grouped = result.by_label()
+        assert set(grouped) == {"a", "b"}
+        assert grouped["a"][0].monetized_profit == pytest.approx(205.6, abs=0.1)
+
+    def test_mismatched_results_rejected(self, s5_loop, s5_prices):
+        from repro.engine import BatchResult
+
+        batch = EvaluationBatch.cross({"a": MaxMaxStrategy()}, [s5_loop], s5_prices)
+        with pytest.raises(ValueError, match="requests"):
+            BatchResult(requests=batch.requests, results=())
+
+
+class TestExecutors:
+    def test_serial_matches_direct_evaluation(self, s5_loop, s5_prices):
+        batch = EvaluationBatch.sweep(
+            _sweep_strategies(s5_loop), s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        results = SerialExecutor().run(batch.requests)
+        for request, result in zip(batch.requests, results):
+            ref = request.strategy.evaluate(request.loop, request.prices)
+            assert result.monetized_profit == ref.monetized_profit
+
+    def test_parallel_matches_serial_in_order(self, s5_loop, s5_prices):
+        batch = EvaluationBatch.sweep(
+            {"maxmax": MaxMaxStrategy()}, s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        serial = SerialExecutor().run(batch.requests)
+        parallel = ParallelExecutor(max_workers=2, min_batch_size=2).run(
+            batch.requests
+        )
+        assert [r.monetized_profit for r in parallel] == [
+            r.monetized_profit for r in serial
+        ]
+
+    def test_parallel_small_batch_runs_serially(self, s5_loop, s5_prices):
+        batch = EvaluationBatch.cross({"mm": MaxMaxStrategy()}, [s5_loop], s5_prices)
+        results = ParallelExecutor(max_workers=2).run(batch.requests)
+        assert len(results) == 1
+
+    def test_deterministic_chunking(self, s5_loop, s5_prices):
+        batch = EvaluationBatch.sweep(
+            {"mm": MaxMaxStrategy()}, s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        executor = ParallelExecutor(max_workers=2, chunk_size=2)
+        chunks = executor.chunks(batch.requests)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+        assert [r.price_index for chunk in chunks for r in chunk] == [0, 1, 2, 3, 4]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunk_size=-1)
+
+    def test_parallel_merges_worker_quotes_into_shared_cache(
+        self, s5_loop, s5_prices
+    ):
+        batch = EvaluationBatch.sweep(
+            {"maxmax": MaxMaxStrategy()}, s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        cache = PoolStateCache()
+        ParallelExecutor(max_workers=2, min_batch_size=2).run(
+            batch.requests, cache=cache
+        )
+        assert len(cache) == 3  # the three rotation quotes came back
+        # a subsequent serial evaluation is a pure cache hit
+        MaxMaxStrategy().evaluate_many([s5_loop], s5_prices, cache=cache)
+        assert cache.hits == 3 and cache.misses == 0
+
+
+class TestEngineSweep:
+    def test_vectorized_matches_scalar_everywhere(self, s5_loop, s5_prices):
+        strategies = _sweep_strategies(s5_loop)
+        fast = EvaluationEngine().sweep_results(
+            strategies, s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        for label, strategy in strategies.items():
+            for j, price in enumerate(SMALL_GRID):
+                ref = strategy.evaluate(
+                    s5_loop, s5_prices.with_price(TOKEN_X, float(price))
+                )
+                got = fast[label][j]
+                assert got.monetized_profit == ref.monetized_profit
+                assert got.start_token == ref.start_token
+                assert got.amount_in == ref.amount_in
+                assert got.hop_amounts == ref.hop_amounts
+                assert got.details.get("per_rotation") == ref.details.get(
+                    "per_rotation"
+                )
+
+    def test_vectorize_off_matches_vectorize_on(self, s5_loop, s5_prices):
+        strategies = _sweep_strategies(s5_loop)
+        fast = EvaluationEngine(vectorize=True).sweep_results(
+            strategies, s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        slow = EvaluationEngine(vectorize=False).sweep_results(
+            strategies, s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        for label in strategies:
+            assert [r.monetized_profit for r in fast[label]] == [
+                r.monetized_profit for r in slow[label]
+            ]
+
+    def test_convex_falls_back_to_scalar_walk(self, s5_loop, s5_prices):
+        grid = np.array([2.0, 15.0])
+        results = EvaluationEngine().sweep_results(
+            {"convex": ConvexOptimizationStrategy(backend="slsqp")},
+            s5_loop,
+            s5_prices,
+            TOKEN_X,
+            grid,
+        )["convex"]
+        refs = [
+            ConvexOptimizationStrategy(backend="slsqp").evaluate(
+                s5_loop, s5_prices.with_price(TOKEN_X, float(p))
+            )
+            for p in grid
+        ]
+        for got, ref in zip(results, refs):
+            assert got.monetized_profit == pytest.approx(
+                ref.monetized_profit, rel=1e-6
+            )
+
+    def test_empty_grid(self, s5_loop, s5_prices):
+        results = EvaluationEngine().sweep_results(
+            _sweep_strategies(s5_loop), s5_loop, s5_prices, TOKEN_X, []
+        )
+        assert all(series == [] for series in results.values())
+
+    def test_sweep_fills_shared_cache(self, s5_loop, s5_prices):
+        engine = EvaluationEngine()
+        engine.sweep_results(
+            _sweep_strategies(s5_loop), s5_loop, s5_prices, TOKEN_X, SMALL_GRID
+        )
+        # 3 rotations total; everything beyond the first three quotes hits
+        assert engine.cache.misses == 3
+        assert engine.cache.hits > 0
+
+    def test_weighted_loop_not_vectorizable(self):
+        from repro.amm import Pool
+        from repro.amm.weighted import WeightedPool
+        from repro.core import ArbitrageLoop
+
+        pools = [
+            Pool(X, Y, 100.0, 200.0, pool_id="v-xy"),
+            WeightedPool(Y, Z, 300.0, 200.0, 0.8, 0.2, pool_id="v-yz"),
+            Pool(Z, X, 200.0, 400.0, pool_id="v-zx"),
+        ]
+        loop = ArbitrageLoop([X, Y, Z], pools)
+        assert not is_vectorizable_loop(loop)
+        prices = PriceMap({X: 2.0, Y: 10.2, Z: 20.0})
+        grid = np.array([1.0, 8.0])
+        results = EvaluationEngine().sweep_results(
+            {"mm": MaxMaxStrategy()}, loop, prices, X, grid
+        )["mm"]
+        for got, price in zip(results, grid):
+            ref = MaxMaxStrategy().evaluate(loop, prices.with_price(X, float(price)))
+            assert got.monetized_profit == ref.monetized_profit
+
+
+class TestEngineBatches:
+    def test_evaluate_strategy_matches_scalar(self, default_market):
+        loops = find_arbitrage_loops(default_market.graph(), 3)[:10]
+        engine = EvaluationEngine()
+        batched = engine.evaluate_strategy(MaxMaxStrategy(), loops, default_market.prices)
+        for loop, result in zip(loops, batched):
+            ref = MaxMaxStrategy().evaluate(loop, default_market.prices)
+            assert result.monetized_profit == ref.monetized_profit
+
+    def test_evaluate_loops_shares_cache_across_strategies(
+        self, s5_loop, s5_prices
+    ):
+        engine = EvaluationEngine()
+        per_label = engine.evaluate_loops(
+            {"maxmax": MaxMaxStrategy(), "maxprice": MaxPriceStrategy()},
+            [s5_loop],
+            s5_prices,
+        )
+        assert engine.cache.misses == 3  # maxprice reused maxmax's quotes
+        assert engine.cache.hits >= 1
+        assert (
+            per_label["maxmax"][0].monetized_profit
+            >= per_label["maxprice"][0].monetized_profit
+        )
+
+    def test_cached_evaluation_is_identical(self, s5_loop, s5_prices):
+        engine = EvaluationEngine()
+        ref = MaxMaxStrategy().evaluate(s5_loop, s5_prices)
+        for _ in range(2):  # second round is a pure cache hit
+            got = engine.evaluate(MaxMaxStrategy(), s5_loop, s5_prices)
+            assert got.monetized_profit == ref.monetized_profit
+            assert got.hop_amounts == ref.hop_amounts
+
+
+class TestLoopUniverse:
+    @pytest.fixture(scope="class")
+    def market(self):
+        return paper_market()
+
+    def test_profitable_matches_detector(self, market):
+        universe = LoopUniverse(market.registry, 3)
+        expected = find_arbitrage_loops(build_token_graph(market.registry), 3)
+        assert universe.profitable() == expected
+        assert universe.count_profitable() == len(expected)
+
+    def test_reserve_change_updates_count_without_reenumeration(self):
+        market = paper_market().copy()
+        engine = EvaluationEngine()
+        before_universe = engine.loop_universe(market.registry, 3)
+        # push one pool far off parity; the memoized universe must see it
+        pool = max(market.registry, key=lambda p: p.pool_id)
+        pool.swap(pool.token0, pool.reserve_of(pool.token0) * 0.5)
+        assert engine.loop_universe(market.registry, 3) is before_universe
+        after = engine.count_profitable_loops(market.registry, 3)
+        expected = len(find_arbitrage_loops(build_token_graph(market.registry), 3))
+        assert after == expected
+
+    def test_topology_change_reenumerates(self, small_registry, tokens_xyz):
+        x, y, _z = tokens_xyz
+        engine = EvaluationEngine()
+        first = engine.loop_universe(small_registry, 3)
+        small_registry.create(x, y, 50.0, 75.0, pool_id="r-xy2")
+        second = engine.loop_universe(small_registry, 3)
+        assert second is not first
+        assert len(second) > len(first)
+
+    def test_universe_memo_is_bounded(self, s5_loop):
+        engine = EvaluationEngine()
+        for _ in range(engine._max_universes + 3):
+            # each fresh copy is a distinct topology (new pool objects)
+            pools = [pool.copy() for pool in s5_loop.pools]
+            engine.loop_universe(pools, 3)
+        assert len(engine._universes) == engine._max_universes
