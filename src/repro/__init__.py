@@ -31,7 +31,19 @@ Quickstart::
     print(ConvexOptimizationStrategy().evaluate(loop, prices))
 """
 
-from .amm import DEFAULT_FEE, Pool, PoolRegistry, SwapComposition, compose_hops
+from .amm import (
+    DEFAULT_FEE,
+    BlockEvent,
+    BurnEvent,
+    MarketEvent,
+    MintEvent,
+    Pool,
+    PoolRegistry,
+    PriceTickEvent,
+    SwapComposition,
+    SwapEvent,
+    compose_hops,
+)
 from .cex import PriceOracle, RandomWalkOracle, StaticPriceOracle, lognormal_prices
 from .core import (
     ArbitrageLoop,
@@ -72,6 +84,13 @@ from .graph import (
     find_negative_cycle,
     graph_summary,
 )
+from .replay import (
+    BlockReport,
+    MarketEventLog,
+    ReplayDriver,
+    ReplayResult,
+    generate_event_stream,
+)
 from .strategies import (
     ConvexOptimizationStrategy,
     MaxMaxStrategy,
@@ -82,10 +101,13 @@ from .strategies import (
     make_strategy,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArbitrageLoop",
+    "BlockEvent",
+    "BlockReport",
+    "BurnEvent",
     "ConvexOptimizationStrategy",
     "DEFAULT_FEE",
     "EvaluationBatch",
@@ -95,8 +117,11 @@ __all__ = [
     "ExecutionReceipt",
     "ExecutionSimulator",
     "FlashLoanProvider",
+    "MarketEvent",
+    "MarketEventLog",
     "MarketSnapshot",
     "MaxMaxStrategy",
+    "MintEvent",
     "MaxPriceStrategy",
     "ParallelExecutor",
     "Pool",
@@ -104,8 +129,11 @@ __all__ = [
     "PoolStateCache",
     "PriceMap",
     "PriceOracle",
+    "PriceTickEvent",
     "ProfitVector",
     "RandomWalkOracle",
+    "ReplayDriver",
+    "ReplayResult",
     "ReproError",
     "Rotation",
     "SerialExecutor",
@@ -113,6 +141,7 @@ __all__ = [
     "Strategy",
     "StrategyResult",
     "SwapComposition",
+    "SwapEvent",
     "SyntheticMarketGenerator",
     "Token",
     "TokenAmount",
@@ -122,6 +151,7 @@ __all__ = [
     "compose_hops",
     "find_arbitrage_loops",
     "find_negative_cycle",
+    "generate_event_stream",
     "graph_summary",
     "lognormal_prices",
     "make_strategy",

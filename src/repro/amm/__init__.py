@@ -10,7 +10,14 @@ Public surface:
 """
 
 from .composition import IDENTITY, SwapComposition, compose_hops
-from .events import SwapEvent
+from .events import (
+    BlockEvent,
+    BurnEvent,
+    MarketEvent,
+    MintEvent,
+    PriceTickEvent,
+    SwapEvent,
+)
 from .integer import (
     FEE_DENOMINATOR,
     FEE_NUMERATOR,
@@ -31,12 +38,17 @@ from .swap import (
 )
 
 __all__ = [
+    "BlockEvent",
+    "BurnEvent",
     "DEFAULT_FEE",
     "FEE_DENOMINATOR",
     "FEE_NUMERATOR",
     "IDENTITY",
     "IntegerPool",
+    "MarketEvent",
+    "MintEvent",
     "Pool",
+    "PriceTickEvent",
     "PoolRegistry",
     "PoolSnapshot",
     "RegistrySnapshot",

@@ -29,7 +29,7 @@ import math
 
 from ..core.errors import InvalidReserveError, UnknownTokenError
 from ..core.types import Token
-from .events import SwapEvent
+from .events import BurnEvent, MarketEvent, MintEvent, SwapEvent
 from .swap import validate_fee, validate_reserves
 
 __all__ = ["WeightedPool", "WeightedPoolSnapshot"]
@@ -109,7 +109,7 @@ class WeightedPool:
         self._pool_id = (
             pool_id if pool_id is not None else f"wpool-{next(_weighted_counter)}"
         )
-        self._events: list[SwapEvent] = []
+        self._events: list[MarketEvent] = []
 
     # ------------------------------------------------------------------
     # identity & orientation
@@ -136,8 +136,25 @@ class WeightedPool:
         return self._fee
 
     @property
-    def events(self) -> tuple[SwapEvent, ...]:
+    def events(self) -> tuple[MarketEvent, ...]:
         return tuple(self._events)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    @property
+    def last_event(self) -> MarketEvent | None:
+        return self._events[-1] if self._events else None
+
+    def events_after(self, count: int) -> tuple[MarketEvent, ...]:
+        return tuple(self._events[count:])
+
+    def discard_events_after(self, count: int) -> None:
+        """Drop events recorded after the first ``count`` (revert support)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        del self._events[count:]
 
     def __contains__(self, token: Token) -> bool:
         return token == self._token0 or token == self._token1
@@ -264,6 +281,9 @@ class WeightedPool:
             )
         self._reserve0 += amount0
         self._reserve1 += amount1
+        self._events.append(
+            MintEvent(pool_id=self._pool_id, amount0=amount0, amount1=amount1)
+        )
 
     def remove_liquidity(self, fraction: float) -> tuple[float, float]:
         """Withdraw a fraction of both reserves."""
@@ -273,6 +293,11 @@ class WeightedPool:
         out1 = self._reserve1 * fraction
         self._reserve0 -= out0
         self._reserve1 -= out1
+        self._events.append(
+            BurnEvent(
+                pool_id=self._pool_id, fraction=fraction, amount0=out0, amount1=out1
+            )
+        )
         return (out0, out1)
 
     def tvl(self, prices) -> float:

@@ -10,6 +10,8 @@ Examples::
     repro-arb detect --length 3        # list profitable loops
     repro-arb detect --jobs 4          # ... scored on 4 worker processes
     repro-arb sweep --strategies maxmax,maxprice --step 0.1
+    repro-arb replay --blocks 12       # stream a synthetic event log
+    repro-arb replay --events stream.jsonl --snapshot market.json
 
 (Equivalently ``python -m repro ...``.)
 
@@ -119,6 +121,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--blocks", type=int, default=8)
     p.add_argument("--seed", type=int, default=11)
+
+    p = sub.add_parser(
+        "replay",
+        help="stream swap/mint/burn events through the engine, "
+        "re-detecting arbitrage incrementally per block",
+    )
+    p.add_argument("--events", help="JSONL event log (needs --snapshot)")
+    p.add_argument("--snapshot", help="market snapshot JSON the log starts from")
+    # synthetic-stream parameters: None = "not given", so combining
+    # them with --events can be rejected instead of silently ignored
+    p.add_argument("--seed", type=int, default=None,
+                   help="synthetic stream seed (default 7)")
+    p.add_argument("--tokens", type=int, default=None, help="default 12")
+    p.add_argument("--pools", type=int, default=None, help="default 30")
+    p.add_argument("--blocks", type=int, default=None, help="default 12")
+    p.add_argument("--events-per-block", type=int, default=None,
+                   dest="events_per_block", help="default 6")
+    p.add_argument("--length", type=int, default=3, help="candidate loop length")
+    p.add_argument("--strategies", default="maxmax",
+                   help="comma-separated registry names to score loops with")
+    p.add_argument("--mode", choices=("incremental", "full"), default="incremental")
+    p.add_argument("--save-events", help="write the replayed stream to a JSONL file")
+    p.add_argument("--save-snapshot",
+                   help="write the starting market to a JSON file "
+                   "(a stream is only replayable together with its snapshot)")
+    p.add_argument("--csv", help="write the per-block report to a CSV file")
 
     return parser
 
@@ -338,6 +366,114 @@ def _cmd_efficiency(args) -> None:
     print(f"arbitrageur: {arb.trades} trades, ${arb.cumulative_usd:,.2f} profit")
 
 
+def _cmd_replay(args) -> None:
+    from .data.snapshot import MarketSnapshot
+    from .data.synthetic import SyntheticMarketGenerator
+    from .replay import MarketEventLog, ReplayDriver, generate_event_stream
+    from .strategies import make_strategy
+
+    if (args.events is None) != (args.snapshot is None):
+        raise SystemExit("--events and --snapshot must be given together")
+    synthetic_given = {
+        "--seed": args.seed,
+        "--tokens": args.tokens,
+        "--pools": args.pools,
+        "--blocks": args.blocks,
+        "--events-per-block": args.events_per_block,
+    }
+    if args.events:
+        extras = [flag for flag, value in synthetic_given.items() if value is not None]
+        if extras:
+            raise SystemExit(
+                f"{', '.join(extras)} only shape generated streams; "
+                "they cannot apply to a stream loaded with --events"
+            )
+        market = MarketSnapshot.load(args.snapshot)
+        log = MarketEventLog.load(args.events)
+    else:
+        seed = args.seed if args.seed is not None else 7
+        market = SyntheticMarketGenerator(
+            n_tokens=args.tokens if args.tokens is not None else 12,
+            n_pools=args.pools if args.pools is not None else 30,
+            seed=seed,
+            price_noise=0.015,
+        ).generate()
+        log = generate_event_stream(
+            market,
+            n_blocks=args.blocks if args.blocks is not None else 12,
+            events_per_block=(
+                args.events_per_block if args.events_per_block is not None else 6
+            ),
+            seed=seed,
+        )
+    if args.save_events:
+        log.save(args.save_events)
+        print(f"wrote {args.save_events}")
+    if args.save_snapshot:
+        market.save(args.save_snapshot)
+        print(f"wrote {args.save_snapshot}")
+
+    names = [name.strip() for name in args.strategies.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--strategies needs at least one strategy name")
+    try:
+        strategies = {name: make_strategy(name) for name in names}
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+    driver = ReplayDriver(
+        market, strategies=strategies, length=args.length, mode=args.mode
+    )
+    result = driver.replay(log)
+
+    header = ["block", "events", "dirty", "evaluated", "loops>0", "mispricing"]
+    header += [f"{name} $" for name in strategies]
+    rows = [
+        (
+            r.block,
+            r.n_events,
+            len(r.dirty_pools),
+            f"{r.evaluated_loops}/{r.total_loops}",
+            r.profitable_loops,
+            f"{r.mispricing_index:.5f}",
+            *(f"{r.profit_usd[name]:,.2f}" for name in strategies),
+        )
+        for r in result.reports
+    ]
+    print(
+        f"{args.mode} replay: {result.events_applied} events over "
+        f"{len(result.reports)} blocks, {driver.total_loops} candidate "
+        f"length-{args.length} loops"
+    )
+    print(report.format_table(header, rows))
+    totals = ", ".join(
+        f"{name} ${result.total_profit(name):,.2f}" for name in strategies
+    )
+    print(f"cumulative profit surface: {totals}")
+    print(
+        f"loop evaluations: {result.evaluations()} "
+        f"(full recompute would be {driver.total_loops * len(result.reports)}); "
+        f"cache {driver.engine.cache!r}"
+    )
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["block", "n_events", "dirty_pools", "evaluated_loops",
+                 "total_loops", "profitable_loops", "mispricing_index"]
+                + [f"profit_usd_{name}" for name in strategies]
+            )
+            for r in result.reports:
+                writer.writerow(
+                    [r.block, r.n_events, len(r.dirty_pools), r.evaluated_loops,
+                     r.total_loops, r.profitable_loops, r.mispricing_index]
+                    + [r.profit_usd[name] for name in strategies]
+                )
+        print(f"wrote {args.csv}")
+
+
 _HANDLERS = {
     "section5": _cmd_section5,
     "fig1": _cmd_fig1,
@@ -357,6 +493,7 @@ _HANDLERS = {
     "harvest": _cmd_harvest,
     "discrepancy": _cmd_discrepancy,
     "efficiency": _cmd_efficiency,
+    "replay": _cmd_replay,
 }
 
 

@@ -11,7 +11,8 @@ subsystem layout described in ``DESIGN.md``:
 * :class:`StrategyError` — strategy-level misuse (missing prices, empty
   loops);
 * :class:`ExecutionError` — atomic plan execution failures;
-* :class:`DataError` — snapshot / serialization problems.
+* :class:`DataError` — snapshot / serialization problems;
+* :class:`ReplayError` — event-log and market-replay problems.
 """
 
 from __future__ import annotations
@@ -37,6 +38,10 @@ __all__ = [
     "ExecutionRevertedError",
     "DataError",
     "SnapshotFormatError",
+    "ReplayError",
+    "EventLogFormatError",
+    "EventOrderError",
+    "UnknownPoolError",
 ]
 
 
@@ -122,3 +127,20 @@ class DataError(ReproError):
 
 class SnapshotFormatError(DataError, ValueError):
     """A serialized snapshot could not be parsed."""
+
+
+class ReplayError(ReproError):
+    """Base class for event-log / market-replay errors."""
+
+
+class EventLogFormatError(ReplayError, ValueError):
+    """A serialized event log (JSONL) could not be parsed."""
+
+
+class EventOrderError(ReplayError, ValueError):
+    """Events were appended out of block order (blocks must be
+    non-decreasing; a log is a time-ordered stream)."""
+
+
+class UnknownPoolError(ReplayError, KeyError):
+    """A replayed event referenced a pool id the market does not hold."""

@@ -87,10 +87,19 @@ class ExecutionSimulator:
         """Run ``plan`` atomically; revert everything on any failure."""
         snapshot = self.registry.snapshot()
         balances_before = dict(self.balances)
+        # Reverting must also unwind the pools' event logs: a restored
+        # reserve with a surviving SwapEvent would replay a phantom
+        # trade (see repro.replay).
+        event_marks = {
+            swap.pool.pool_id: len(self.registry[swap.pool.pool_id].events)
+            for swap in plan.swaps
+        }
         try:
             return self._run(plan, balances_before)
         except ExecutionRevertedError as exc:
             self.registry.restore(snapshot)
+            for pool_id, mark in event_marks.items():
+                self.registry[pool_id].discard_events_after(mark)
             self.balances.clear()
             self.balances.update(balances_before)
             return ExecutionReceipt(

@@ -1,0 +1,335 @@
+"""Block-by-block market replay with incremental invalidation.
+
+:class:`ReplayDriver` streams a :class:`~repro.replay.MarketEventLog`
+through a private copy of a :class:`~repro.data.snapshot.MarketSnapshot`
+and re-runs arbitrage detection after every block.  Two modes, same
+numbers:
+
+* ``"incremental"`` (default) — dirty-set tracking.  The driver holds
+  the engine's topology-cached :class:`~repro.engine.LoopUniverse` and
+  two inverted indices (pool id → loops, token → loops).  A block's
+  swaps/mints/burns mark their pools dirty; price ticks mark their
+  tokens dirty.  Only loops over dirty pools are re-optimized (their
+  reserve-keyed cache entries are stale by construction), only loops
+  holding ticked tokens are re-monetized (a cache *hit* — the
+  price-independent quote is reused), and every other loop's stored
+  result is carried over untouched, costing zero.
+* ``"full"`` — every loop re-evaluated from scratch each block, no
+  cache.  The parity oracle: per-block reports must be bit-identical
+  to incremental mode, which the property and golden tests assert.
+
+The equivalence rests on two facts the engine layer already pins down:
+a loop's optimal trade depends only on its pools' reserves, and its
+monetized profit additionally only on its own tokens' CEX prices.  An
+untouched, untick-ed loop therefore cannot change its result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..amm.events import (
+    BlockEvent,
+    BurnEvent,
+    MarketEvent,
+    MintEvent,
+    PriceTickEvent,
+    SwapEvent,
+)
+from ..core.errors import UnknownPoolError
+from ..core.types import PriceMap, Token
+from ..data.snapshot import MarketSnapshot
+from ..engine import EvaluationEngine
+from ..simulation.metrics import mispricing_index
+from ..strategies.base import Strategy, StrategyResult
+from ..strategies.maxmax import MaxMaxStrategy
+from .log import MarketEventLog
+
+__all__ = ["BlockReport", "ReplayDriver", "ReplayResult"]
+
+_MODES = ("incremental", "full")
+
+
+@dataclass(frozen=True)
+class BlockReport:
+    """Arbitrage surface of the market at the end of one block.
+
+    ``profit_usd`` / ``best_profit_usd`` map strategy labels to the sum
+    and maximum of positive monetized profits over all candidate loops;
+    ``evaluated_loops`` counts loops actually re-evaluated this block
+    (the incremental mode's work, ``total_loops`` in full mode).
+    """
+
+    block: int
+    n_events: int
+    dirty_pools: tuple[str, ...]
+    evaluated_loops: int
+    total_loops: int
+    profitable_loops: int
+    mispricing_index: float
+    profit_usd: dict[str, float]
+    best_profit_usd: dict[str, float]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by the golden regression fixtures)."""
+        return {
+            "block": self.block,
+            "n_events": self.n_events,
+            "dirty_pools": list(self.dirty_pools),
+            "evaluated_loops": self.evaluated_loops,
+            "total_loops": self.total_loops,
+            "profitable_loops": self.profitable_loops,
+            "mispricing_index": self.mispricing_index,
+            "profit_usd": dict(self.profit_usd),
+            "best_profit_usd": dict(self.best_profit_usd),
+        }
+
+    def same_numbers(self, other: "BlockReport") -> bool:
+        """Exact equality of everything except ``evaluated_loops`` —
+        the one field that legitimately differs between modes."""
+        return (
+            self.block == other.block
+            and self.n_events == other.n_events
+            and self.dirty_pools == other.dirty_pools
+            and self.total_loops == other.total_loops
+            and self.profitable_loops == other.profitable_loops
+            and self.mispricing_index == other.mispricing_index
+            and self.profit_usd == other.profit_usd
+            and self.best_profit_usd == other.best_profit_usd
+        )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """A finished replay: per-block reports plus stream totals."""
+
+    mode: str
+    reports: tuple[BlockReport, ...]
+    events_applied: int
+
+    def total_profit(self, label: str) -> float:
+        return sum(r.profit_usd[label] for r in self.reports)
+
+    def evaluations(self) -> int:
+        """Total loop evaluations across the replay (the work metric
+        the incremental mode minimizes)."""
+        return sum(r.evaluated_loops for r in self.reports)
+
+    def mispricing_series(self) -> list[float]:
+        return [r.mispricing_index for r in self.reports]
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplayResult({self.mode}: {len(self.reports)} blocks, "
+            f"{self.events_applied} events, {self.evaluations()} evaluations)"
+        )
+
+
+class ReplayDriver:
+    """Apply an event stream to a market copy and re-detect per block.
+
+    Parameters
+    ----------
+    market:
+        Starting snapshot; the driver mutates a private copy.
+    strategies:
+        Labeled strategies to score every candidate loop with; default
+        ``{"maxmax": MaxMaxStrategy()}``.
+    length:
+        Candidate loop length for the universe (default 3).
+    mode:
+        ``"incremental"`` or ``"full"`` (see module docstring).
+    engine:
+        Shared :class:`~repro.engine.EvaluationEngine`; a fresh one by
+        default.  Incremental mode uses its ``PoolStateCache`` and
+        topology-cached loop universe.
+    """
+
+    def __init__(
+        self,
+        market: MarketSnapshot,
+        strategies: Mapping[str, Strategy] | None = None,
+        length: int = 3,
+        mode: str = "incremental",
+        engine: EvaluationEngine | None = None,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.market = market.copy()
+        self.prices: PriceMap = market.prices
+        self.strategies: dict[str, Strategy] = (
+            dict(strategies) if strategies is not None else {"maxmax": MaxMaxStrategy()}
+        )
+        if not self.strategies:
+            raise ValueError("at least one strategy is required")
+        self.engine = engine if engine is not None else EvaluationEngine()
+        self.length = length
+
+        universe = self.engine.loop_universe(self.market.registry, length)
+        self._loops = universe.candidates
+        self._pool_loops: dict[str, tuple[int, ...]] = {}
+        self._token_loops: dict[Token, tuple[int, ...]] = {}
+        pool_loops: dict[str, list[int]] = {}
+        token_loops: dict[Token, list[int]] = {}
+        for index, loop in enumerate(self._loops):
+            for pool in set(loop.pools):
+                pool_loops.setdefault(pool.pool_id, []).append(index)
+            for token in loop.tokens:
+                token_loops.setdefault(token, []).append(index)
+        self._pool_loops = {k: tuple(v) for k, v in pool_loops.items()}
+        self._token_loops = {k: tuple(v) for k, v in token_loops.items()}
+
+        # Per-loop state carried across blocks (incremental mode reuses
+        # it; full mode overwrites it wholesale every block).  Priming
+        # at construction time makes block 0 incremental too.
+        self._log_rates: list[float] = [loop.log_rate_sum() for loop in self._loops]
+        self._results: dict[str, list[StrategyResult]] = {}
+        cache = self.engine.cache if self.mode == "incremental" else None
+        for label, strategy in self.strategies.items():
+            self._results[label] = [
+                strategy.evaluate_cached(loop, self.prices, cache)
+                for loop in self._loops
+            ]
+        self._block_reports: list[BlockReport] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplayDriver({self.mode}, {len(self._loops)} candidate "
+            f"loops over {len(self.market.registry)} pools)"
+        )
+
+    @property
+    def total_loops(self) -> int:
+        return len(self._loops)
+
+    @property
+    def reports(self) -> tuple[BlockReport, ...]:
+        return tuple(self._block_reports)
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+
+    def _pool(self, pool_id: str):
+        try:
+            return self.market.registry[pool_id]
+        except KeyError:
+            raise UnknownPoolError(
+                f"event references pool {pool_id!r} which is not in the market"
+            ) from None
+
+    def _apply(self, event: MarketEvent, dirty_pools: set, dirty_tokens: set) -> None:
+        if isinstance(event, SwapEvent):
+            self._pool(event.pool_id).swap(event.token_in, event.amount_in)
+            dirty_pools.add(event.pool_id)
+        elif isinstance(event, MintEvent):
+            self._pool(event.pool_id).add_liquidity(event.amount0, event.amount1)
+            dirty_pools.add(event.pool_id)
+        elif isinstance(event, BurnEvent):
+            self._pool(event.pool_id).remove_liquidity(event.fraction)
+            dirty_pools.add(event.pool_id)
+        elif isinstance(event, PriceTickEvent):
+            self.prices = self.prices.with_price(event.token, event.price)
+            dirty_tokens.add(event.token)
+        elif isinstance(event, BlockEvent):
+            pass  # boundary marker, no state change
+        else:
+            raise TypeError(f"cannot replay event of type {type(event).__name__}")
+
+    # ------------------------------------------------------------------
+    # per-block evaluation
+    # ------------------------------------------------------------------
+
+    def apply_block(self, block: int, events: Iterable[MarketEvent]) -> BlockReport:
+        """Apply one block's events, re-evaluate, and report.
+
+        In incremental mode only loops whose pools moved are
+        re-optimized and only loops whose tokens ticked are
+        re-monetized; everything else reuses its stored result.
+        """
+        dirty_pools: set[str] = set()
+        dirty_tokens: set[Token] = set()
+        n_events = 0
+        for event in events:
+            self._apply(event, dirty_pools, dirty_tokens)
+            n_events += 1
+        # The private pools record their own events as they mutate;
+        # nothing reads those logs here, so drop them instead of
+        # mirroring the whole input stream in memory.
+        for pool_id in dirty_pools:
+            self.market.registry[pool_id].discard_events_after(0)
+
+        if self.mode == "full":
+            reserve_dirty = range(len(self._loops))
+            reeval = list(reserve_dirty)
+            cache = None
+        else:
+            touched: set[int] = set()
+            for pool_id in dirty_pools:
+                touched.update(self._pool_loops.get(pool_id, ()))
+            ticked: set[int] = set()
+            for token in dirty_tokens:
+                ticked.update(self._token_loops.get(token, ()))
+            reserve_dirty = sorted(touched)
+            reeval = sorted(touched | ticked)
+            cache = self.engine.cache
+
+        for index in reserve_dirty:
+            self._log_rates[index] = self._loops[index].log_rate_sum()
+        for label, strategy in self.strategies.items():
+            results = self._results[label]
+            for index in reeval:
+                results[index] = strategy.evaluate_cached(
+                    self._loops[index], self.prices, cache
+                )
+
+        # Totals are always recomputed over every loop in index order,
+        # so both modes sum identical values in an identical order —
+        # bit-identical reports, not just approximately equal ones.
+        profit_usd: dict[str, float] = {}
+        best_profit_usd: dict[str, float] = {}
+        for label in self.strategies:
+            total = 0.0
+            best = 0.0
+            for result in self._results[label]:
+                monetized = result.monetized_profit
+                if monetized > 0.0:
+                    total += monetized
+                    if monetized > best:
+                        best = monetized
+            profit_usd[label] = total
+            best_profit_usd[label] = best
+
+        report = BlockReport(
+            block=block,
+            n_events=n_events,
+            dirty_pools=tuple(sorted(dirty_pools)),
+            evaluated_loops=len(reeval),
+            total_loops=len(self._loops),
+            profitable_loops=sum(1 for r in self._log_rates if r > 0.0),
+            mispricing_index=mispricing_index(self.market, self.prices),
+            profit_usd=profit_usd,
+            best_profit_usd=best_profit_usd,
+        )
+        self._block_reports.append(report)
+        return report
+
+    def replay(self, log: MarketEventLog) -> ReplayResult:
+        """Stream the whole log block by block.
+
+        The result covers only this call's blocks (a driver can replay
+        several logs in sequence; ``self.reports`` keeps the full
+        history), so its totals and its event count stay consistent.
+        """
+        start = len(self._block_reports)
+        events_applied = 0
+        for block, events in log.iter_blocks():
+            self.apply_block(block, events)
+            events_applied += len(events)
+        return ReplayResult(
+            mode=self.mode,
+            reports=tuple(self._block_reports[start:]),
+            events_applied=events_applied,
+        )

@@ -5,6 +5,15 @@ the CEX prices step (random walk), every agent acts in registration
 order, and end-of-block metrics are collected.  Determinism: given the
 same seeds and agent order, a run is exactly reproducible.
 
+Every agent action lands in the pools' typed event logs; the engine
+stamps those events with block numbers and collects them — plus one
+:class:`~repro.amm.events.PriceTickEvent` per oracle move — into a
+canonical :class:`~repro.replay.MarketEventLog`.  A simulation run is
+therefore a *replayable artifact*: feed ``result.event_log`` and
+``result.initial_market`` to a :class:`~repro.replay.ReplayDriver` and
+the replay reproduces the run's market trajectory bit-for-bit, without
+re-running any agent logic.
+
 The engine powers the market-efficiency experiment
 (:func:`efficiency_experiment`): run the same retail flow with and
 without an arbitrageur and compare mispricing indices — arbitrage
@@ -14,8 +23,10 @@ whole paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
+from ..amm.events import BlockEvent, PriceTickEvent
 from ..cex.synthetic import RandomWalkOracle
 from ..data.snapshot import MarketSnapshot
 from ..engine import EvaluationEngine
@@ -23,16 +34,26 @@ from ..strategies.maxmax import MaxMaxStrategy
 from .agents import Agent, Arbitrageur, RetailTrader
 from .metrics import BlockMetrics, collect_metrics
 
+if TYPE_CHECKING:  # runtime import stays lazy: replay depends on simulation
+    from ..replay.log import MarketEventLog
+
 __all__ = ["SimulationResult", "SimulationEngine", "efficiency_experiment"]
 
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """A finished run: metric series plus the final market state."""
+    """A finished run: metric series plus the final market state.
+
+    ``event_log`` and ``initial_market`` make the run replayable: the
+    log applied to the initial snapshot reproduces ``market`` exactly
+    (``None`` when the engine ran with ``record_events=False``).
+    """
 
     metrics: tuple[BlockMetrics, ...]
     market: MarketSnapshot
     agents: tuple[Agent, ...]
+    event_log: MarketEventLog | None = None
+    initial_market: MarketSnapshot | None = None
 
     def mispricing_series(self) -> list[float]:
         return [m.mispricing_index for m in self.metrics]
@@ -66,6 +87,10 @@ class SimulationEngine:
         :class:`~repro.simulation.agents.Arbitrageur` without its own
         rotation cache is wired to the engine's.  Defaults to a fresh
         engine; results are identical with or without one.
+    record_events:
+        When True (default) every block's price ticks and pool
+        mutations are collected into ``self.event_log`` and the
+        starting snapshot is kept, making the run replayable.
     """
 
     def __init__(
@@ -76,6 +101,7 @@ class SimulationEngine:
         volatility: float = 0.002,
         count_loops: bool = True,
         evaluation_engine: EvaluationEngine | None = None,
+        record_events: bool = True,
     ):
         self.market = market.copy()
         self.agents = list(agents)
@@ -91,16 +117,51 @@ class SimulationEngine:
                 agent.cache = self.evaluation_engine.cache
         self._block = 0
         self._metrics: list[BlockMetrics] = []
+        self.event_log = None
+        self._initial_market: MarketSnapshot | None = None
+        self._events_seen: dict[str, int] = {}
+        if record_events:
+            # imported here: repro.replay depends on repro.simulation
+            # (metrics), so the reverse edge must stay lazy
+            from ..replay.log import MarketEventLog
+
+            self.event_log = MarketEventLog()
+            self._initial_market = market.copy()
+            self._events_seen = {
+                pool.pool_id: pool.event_count for pool in self.market.registry
+            }
 
     @property
     def block(self) -> int:
         return self._block
 
+    def _record_block(self, prices_before, prices_after) -> None:
+        """Stamp and collect everything that happened this block."""
+        self.event_log.append(BlockEvent(block=self._block))
+        for token in sorted(prices_after, key=lambda t: t.symbol):
+            if prices_after[token] != prices_before.get(token):
+                self.event_log.append(
+                    PriceTickEvent(
+                        token=token, price=prices_after[token], block=self._block
+                    )
+                )
+        for pool in sorted(self.market.registry, key=lambda p: p.pool_id):
+            seen = self._events_seen.get(pool.pool_id, 0)
+            count = pool.event_count
+            if count == seen:
+                continue
+            for event in pool.events_after(seen):
+                self.event_log.append(replace(event, block=self._block))
+            self._events_seen[pool.pool_id] = count
+
     def step(self) -> BlockMetrics:
         """Advance one block; return its end-of-block metrics."""
+        prices_before = self.oracle.snapshot()
         prices = self.oracle.step()
         for agent in self.agents:
             agent.on_block(self.market, prices, self._block)
+        if self.event_log is not None:
+            self._record_block(prices_before, prices)
         metrics = collect_metrics(
             self.market,
             prices,
@@ -122,6 +183,8 @@ class SimulationEngine:
             metrics=tuple(self._metrics),
             market=self.market,
             agents=tuple(self.agents),
+            event_log=self.event_log,
+            initial_market=self._initial_market,
         )
 
 

@@ -33,6 +33,15 @@ class TestExamples:
         assert "loop length" in out
         assert "convex/maxmax" in out
 
+    def test_replay_stream(self, tmp_path):
+        out = run_example(
+            "replay_stream.py", "--blocks", "4", "--pools", "18",
+            "--tokens", "9", "--out-dir", str(tmp_path),
+        )
+        assert "bit-identical to full recompute" in out
+        assert (tmp_path / "stream.jsonl").exists()
+        assert (tmp_path / "market.json").exists()
+
     @pytest.mark.slow
     def test_price_sweep_figures(self, tmp_path):
         out = run_example("price_sweep_figures.py", "--csv-dir", str(tmp_path))

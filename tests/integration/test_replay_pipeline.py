@@ -1,0 +1,74 @@
+"""Golden regression for the replay pipeline.
+
+``tests/data`` holds one small seeded stream checked in as an artifact:
+the starting market (``replay_market.json``), six blocks of events
+(``replay_stream.jsonl``), and the exact per-block reports
+(``replay_expected.json``).  The test replays the stream — both
+incrementally and with full recompute — and asserts the reports match
+the checked-in expectation *exactly*, field by field, float by float.
+
+Regenerate the fixtures (only after an intentional semantic change)
+with the snippet in this file's git history / README.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.data import MarketSnapshot
+from repro.replay import MarketEventLog, ReplayDriver
+from repro.strategies import MaxMaxStrategy, TraditionalStrategy
+
+DATA = Path(__file__).resolve().parents[1] / "data"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    market = MarketSnapshot.load(DATA / "replay_market.json")
+    log = MarketEventLog.load(DATA / "replay_stream.jsonl")
+    expected = json.loads((DATA / "replay_expected.json").read_text())
+    return market, log, expected
+
+
+def _strategies():
+    return {"maxmax": MaxMaxStrategy(), "traditional": TraditionalStrategy()}
+
+
+class TestGoldenReplay:
+    def test_incremental_matches_golden_exactly(self, golden):
+        market, log, expected = golden
+        driver = ReplayDriver(market, strategies=_strategies(), mode="incremental")
+        result = driver.replay(log)
+        assert [r.to_dict() for r in result.reports] == expected
+
+    def test_full_recompute_matches_golden_numbers(self, golden):
+        market, log, expected = golden
+        driver = ReplayDriver(market, strategies=_strategies(), mode="full")
+        result = driver.replay(log)
+        got = [r.to_dict() for r in result.reports]
+        for report, want in zip(got, expected):
+            # evaluated_loops is the one field that differs by design:
+            # full mode always evaluates the whole universe
+            assert report["evaluated_loops"] == report["total_loops"]
+            for key, value in want.items():
+                if key != "evaluated_loops":
+                    assert report[key] == value, key
+
+    def test_incremental_does_less_work(self, golden):
+        market, log, _expected = golden
+        driver = ReplayDriver(market, strategies=_strategies(), mode="incremental")
+        result = driver.replay(log)
+        assert result.evaluations() < driver.total_loops * len(result.reports)
+
+    def test_stream_fixture_is_block_ordered_and_typed(self, golden):
+        _market, log, expected = golden
+        assert log.blocks() == tuple(r["block"] for r in expected)
+        assert len(log) == sum(r["n_events"] for r in expected)
+        # the stream exercises the whole event family
+        names = {type(e).__name__ for e in log}
+        assert names == {
+            "BlockEvent", "PriceTickEvent", "SwapEvent", "MintEvent", "BurnEvent",
+        }

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.data import SyntheticMarketGenerator
+from repro.replay import ReplayDriver
 from repro.simulation import (
     Arbitrageur,
     LiquidityProvider,
@@ -111,6 +112,56 @@ class TestEngine:
         engine = SimulationEngine(small_market, [], count_loops=False)
         with pytest.raises(ValueError, match="n_blocks"):
             engine.run(-1)
+
+
+class TestEventEmission:
+    """Simulation runs are replayable artifacts: the emitted event log
+    applied to the initial snapshot reproduces the final market."""
+
+    def test_run_emits_canonical_events(self, small_market):
+        result = SimulationEngine(
+            small_market,
+            [RetailTrader(seed=3, trades_per_block=4), LiquidityProvider(seed=4)],
+            price_seed=3,
+            count_loops=False,
+        ).run(3)
+        assert result.event_log is not None
+        assert result.initial_market is not None
+        assert result.event_log.blocks() == (0, 1, 2)
+        # retail flow: 4 swaps per block land in the log
+        from repro.amm.events import SwapEvent
+
+        swaps = [e for e in result.event_log if isinstance(e, SwapEvent)]
+        assert len(swaps) == 12
+
+    def test_replay_reproduces_simulation_exactly(self, small_market):
+        engine = SimulationEngine(
+            small_market,
+            [
+                RetailTrader(seed=5),
+                LiquidityProvider(seed=6),
+                Arbitrageur(strategy=MaxMaxStrategy(), max_loops_per_block=4),
+            ],
+            price_seed=5,
+            count_loops=False,
+        )
+        result = engine.run(5)
+        driver = ReplayDriver(result.initial_market, mode="incremental")
+        driver.replay(result.event_log)
+        for pool in result.market.registry:
+            replayed = driver.market.registry[pool.pool_id]
+            assert replayed.reserve_of(replayed.token0) == pool.reserve_of(pool.token0)
+            assert replayed.reserve_of(replayed.token1) == pool.reserve_of(pool.token1)
+        final_prices = engine.oracle.snapshot()
+        assert all(driver.prices[t] == p for t, p in final_prices.items())
+
+    def test_record_events_off(self, small_market):
+        result = SimulationEngine(
+            small_market, [RetailTrader(seed=1)], count_loops=False,
+            record_events=False,
+        ).run(2)
+        assert result.event_log is None
+        assert result.initial_market is None
 
 
 class TestEfficiencyExperiment:

@@ -17,7 +17,7 @@ class TestParser:
         expected = {
             "section5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "runtime", "calibrate", "detect",
-            "harvest", "discrepancy", "efficiency", "sweep",
+            "harvest", "discrepancy", "efficiency", "sweep", "replay",
         }
         assert expected <= set(sub.choices)
 
@@ -85,6 +85,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mispricing" in out
         assert "arbitrageur" in out
+
+    def test_replay_synthetic(self, capsys):
+        assert main([
+            "replay", "--blocks", "3", "--pools", "18", "--tokens", "9",
+            "--events-per-block", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incremental replay" in out
+        assert "loop evaluations" in out
+
+    def test_replay_full_mode_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "replay.csv"
+        assert main([
+            "replay", "--blocks", "2", "--pools", "15", "--tokens", "8",
+            "--mode", "full", "--csv", str(csv_path),
+        ]) == 0
+        assert "full replay" in capsys.readouterr().out
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("block,")
+        assert "profit_usd_maxmax" in header
+
+    def test_replay_save_and_reload_events(self, capsys, tmp_path):
+        stream = tmp_path / "stream.jsonl"
+        snapshot = tmp_path / "market.json"
+        assert main([
+            "replay", "--blocks", "2", "--pools", "15", "--tokens", "8",
+            "--seed", "3", "--save-events", str(stream),
+            "--save-snapshot", str(snapshot),
+        ]) == 0
+        capsys.readouterr()
+        # round trip: replay the saved stream against the saved snapshot
+        assert main([
+            "replay", "--events", str(stream), "--snapshot", str(snapshot),
+        ]) == 0
+        assert "incremental replay" in capsys.readouterr().out
+
+    def test_replay_events_requires_snapshot(self):
+        with pytest.raises(SystemExit, match="together"):
+            main(["replay", "--events", "stream.jsonl"])
+
+    def test_replay_rejects_synthetic_flags_with_events(self):
+        with pytest.raises(SystemExit, match="--blocks"):
+            main(["replay", "--events", "s.jsonl", "--snapshot", "m.json",
+                  "--blocks", "5"])
+
+    def test_replay_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit, match="unknown strategy"):
+            main(["replay", "--blocks", "1", "--strategies", "oracle"])
 
     def test_fig2_csv(self, capsys, tmp_path, monkeypatch):
         # shrink the grid for speed by monkeypatching the default grid
