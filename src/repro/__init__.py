@@ -91,6 +91,15 @@ from .replay import (
     ReplayResult,
     generate_event_stream,
 )
+from .service import (
+    Opportunity,
+    OpportunityBook,
+    OpportunityService,
+    ServiceMetrics,
+    ServiceReport,
+    ShardPlan,
+    ShardWorker,
+)
 from .strategies import (
     ConvexOptimizationStrategy,
     MaxMaxStrategy,
@@ -101,7 +110,7 @@ from .strategies import (
     make_strategy,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ArbitrageLoop",
@@ -123,6 +132,9 @@ __all__ = [
     "MaxMaxStrategy",
     "MintEvent",
     "MaxPriceStrategy",
+    "Opportunity",
+    "OpportunityBook",
+    "OpportunityService",
     "ParallelExecutor",
     "Pool",
     "PoolRegistry",
@@ -137,6 +149,10 @@ __all__ = [
     "ReproError",
     "Rotation",
     "SerialExecutor",
+    "ServiceMetrics",
+    "ServiceReport",
+    "ShardPlan",
+    "ShardWorker",
     "StaticPriceOracle",
     "Strategy",
     "StrategyResult",

@@ -12,6 +12,8 @@ Examples::
     repro-arb sweep --strategies maxmax,maxprice --step 0.1
     repro-arb replay --blocks 12       # stream a synthetic event log
     repro-arb replay --events stream.jsonl --snapshot market.json
+    repro-arb serve --shards 4         # live top-K book off a stream
+    repro-arb loadgen --rates 0,500    # measure sustained throughput
 
 (Equivalently ``python -m repro ...``.)
 
@@ -30,7 +32,25 @@ from .analysis import report
 from .data.synthetic import paper_market
 from .engine import EvaluationEngine, ParallelExecutor
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """Version of the code actually running.
+
+    The source tree's ``repro.__version__`` is authoritative — it
+    travels with the executing code, whereas distribution metadata can
+    describe a stale installed wheel when running via PYTHONPATH.  The
+    metadata lookup is only a fallback for exotic repackaged installs
+    that strip the attribute."""
+    try:
+        from . import __version__
+
+        return __version__
+    except ImportError:  # pragma: no cover - repackaged installs only
+        from importlib.metadata import version
+
+        return version("repro-arb")
 
 
 def _make_engine(jobs: int | None) -> EvaluationEngine:
@@ -46,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-arb",
         description="Reproduce experiments from 'Profit Maximization In Arbitrage Loops'",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -92,6 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for scoring (1 = serial)")
+    p.add_argument("--csv", help="write the full ranked list to a CSV file "
+                   "(deterministic: profit desc, canonical loop id asc)")
 
     p = sub.add_parser(
         "sweep", help="price sweep of the §V loop through the batched engine"
@@ -147,6 +172,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the starting market to a JSON file "
                    "(a stream is only replayable together with its snapshot)")
     p.add_argument("--csv", help="write the per-block report to a CSV file")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the streaming opportunity service: sharded ingest of an "
+        "event stream into a live top-K arbitrage book",
+    )
+    p.add_argument("--events", help="JSONL event log (needs --snapshot)")
+    p.add_argument("--snapshot", help="market snapshot JSON the log starts from")
+    p.add_argument("--simulate", type=int, default=None, metavar="BLOCKS",
+                   help="ingest live from a running simulation instead of a "
+                   "prerecorded stream (retail flow over the synthetic market)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--tokens", type=int, default=12)
+    p.add_argument("--pools", type=int, default=30)
+    p.add_argument("--blocks", type=int, default=12)
+    p.add_argument("--events-per-block", type=int, default=6,
+                   dest="events_per_block")
+    p.add_argument("--length", type=int, default=3, help="candidate loop length")
+    p.add_argument("--strategy", default="maxmax",
+                   help="registry name of the book's scoring strategy")
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--backend", choices=("inline", "process"), default="inline",
+                   help="process = one worker process per shard (multi-core)")
+    p.add_argument("--policy", choices=("block", "drop"), default="block",
+                   help="full-queue behaviour: backpressure or shed blocks")
+    p.add_argument("--queue-size", type=int, default=64, dest="queue_size")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="offered events/sec (0 = as fast as possible)")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--json", help="write the full service report to a JSON file")
+    p.add_argument("--csv", help="write the final book (top-K) to a CSV file")
+
+    p = sub.add_parser(
+        "loadgen",
+        help="load-generate against the opportunity service and report "
+        "sustained events/sec and end-to-end latency percentiles",
+    )
+    p.add_argument("--seed", type=int, default=20240601)
+    p.add_argument("--tokens", type=int, default=40)
+    p.add_argument("--pools", type=int, default=100)
+    p.add_argument("--blocks", type=int, default=20)
+    p.add_argument("--events-per-block", type=int, default=8,
+                   dest="events_per_block")
+    p.add_argument("--pools-per-block", type=int, default=None,
+                   dest="pools_per_block",
+                   help="touch sparsity: max distinct pools per block")
+    p.add_argument("--length", type=int, default=3)
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--backend", choices=("inline", "process"), default="inline")
+    p.add_argument("--policy", choices=("block", "drop"), default="block")
+    p.add_argument("--queue-size", type=int, default=64, dest="queue_size")
+    p.add_argument("--rates", default="0",
+                   help="comma-separated offered rates (events/sec, 0 = "
+                   "unthrottled); one run and one report row per rate")
+    p.add_argument("--json", help="write the reports to a JSON file")
+    p.add_argument("--csv", help="write one CSV row per run")
 
     return parser
 
@@ -249,14 +330,18 @@ def _cmd_calibrate(args) -> None:
 
 def _cmd_detect(args) -> None:
     snapshot = paper_market(seed=args.seed)
+    from .service.book import opportunity_sort_key
     from .strategies.maxmax import MaxMaxStrategy
 
     _snapshot, loops = analysis.profitable_loops(snapshot, args.length)
     engine = _make_engine(args.jobs)
     results = engine.evaluate_strategy(MaxMaxStrategy(), loops, snapshot.prices)
+    # profit descending, canonical loop id ascending on ties: the same
+    # total order the opportunity book uses, so output (and any CSV
+    # golden file) is fully deterministic across runs
     scored = sorted(
         ((result.monetized_profit, loop) for result, loop in zip(results, loops)),
-        key=lambda pair: -pair[0],
+        key=lambda pair: opportunity_sort_key(pair[0], pair[1].canonical_id),
     )
     print(f"{len(loops)} profitable length-{args.length} loops; top {args.top}:")
     rows = [
@@ -264,6 +349,18 @@ def _cmd_detect(args) -> None:
         for profit, loop in scored[: args.top]
     ]
     print(report.format_table(["maxmax profit", "loop"], rows))
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["rank", "profit_usd", "loop_id", "path"])
+            for rank, (profit, loop) in enumerate(scored, start=1):
+                writer.writerow(
+                    [rank, repr(profit), loop.canonical_id,
+                     " -> ".join(t.symbol for t in loop.tokens)]
+                )
+        print(f"wrote {args.csv}")
 
 
 def _cmd_sweep(args) -> None:
@@ -474,6 +571,176 @@ def _cmd_replay(args) -> None:
         print(f"wrote {args.csv}")
 
 
+def _cmd_serve(args) -> None:
+    import asyncio
+
+    from .data.snapshot import MarketSnapshot
+    from .data.synthetic import SyntheticMarketGenerator
+    from .replay import MarketEventLog, generate_event_stream
+    from .service import OpportunityService, log_source, paced, simulation_source
+    from .strategies import make_strategy
+
+    if (args.events is None) != (args.snapshot is None):
+        raise SystemExit("--events and --snapshot must be given together")
+    if args.events and args.simulate is not None:
+        raise SystemExit("--simulate and --events are mutually exclusive sources")
+    try:
+        strategy = make_strategy(args.strategy)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+
+    if args.events:
+        market = MarketSnapshot.load(args.snapshot)
+        log = MarketEventLog.load(args.events)
+        source = log_source(log)
+        origin = f"{args.events} ({len(log)} events)"
+    else:
+        market = SyntheticMarketGenerator(
+            n_tokens=args.tokens, n_pools=args.pools, seed=args.seed,
+            price_noise=0.015,
+        ).generate()
+        if args.simulate is not None:
+            from .simulation import SimulationEngine
+            from .simulation.agents import RetailTrader
+
+            source = simulation_source(
+                SimulationEngine(
+                    market, [RetailTrader(seed=args.seed)], price_seed=args.seed
+                ),
+                args.simulate,
+            )
+            origin = f"live simulation ({args.simulate} blocks)"
+        else:
+            log = generate_event_stream(
+                market, n_blocks=args.blocks,
+                events_per_block=args.events_per_block, seed=args.seed,
+            )
+            source = log_source(log)
+            origin = f"synthetic stream ({len(log)} events, {args.blocks} blocks)"
+    if args.rate > 0:
+        source = paced(source, args.rate)
+
+    service = OpportunityService(
+        market,
+        n_shards=args.shards,
+        length=args.length,
+        strategy=strategy,
+        backend=args.backend,
+        queue_size=args.queue_size,
+        ingest_policy=args.policy,
+    )
+    print(
+        f"serving {origin} over {service.total_loops} candidate "
+        f"length-{args.length} loops, {args.shards} shard(s) "
+        f"[{args.backend}], loops per shard {service.plan.loops_per_shard()}"
+    )
+    result = asyncio.run(service.run(source))
+
+    top = result.top(args.top)
+    rows = [
+        (i + 1, f"${o.profit_usd:,.2f}", o.path, o.block, o.shard)
+        for i, o in enumerate(top)
+    ]
+    print(f"top {len(top)} opportunities (book seq {result.book.seq}):")
+    print(report.format_table(["#", f"{args.strategy} $", "loop", "block", "shard"], rows))
+    e2e = result.metrics["latencies"].get("end_to_end", {})
+    print(
+        f"{result.events_ingested} events ({result.events_dropped} dropped) in "
+        f"{result.duration_s:.3f}s -> {result.events_per_s:,.0f} ev/s; "
+        f"{result.evaluations} loop evaluations, "
+        f"cache hit-rate {result.cache_hit_rate:.1%}; "
+        f"end-to-end p50 {e2e.get('p50_ms', 0.0):.2f}ms / "
+        f"p99 {e2e.get('p99_ms', 0.0):.2f}ms"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["rank", "profit_usd", "loop_id", "path", "amount_in",
+                 "start", "block", "shard"]
+            )
+            for rank, o in enumerate(top, start=1):
+                writer.writerow(
+                    [rank, repr(o.profit_usd), o.loop_id, o.path,
+                     "" if o.amount_in is None else repr(o.amount_in),
+                     o.start_symbol or "", o.block, o.shard]
+                )
+        print(f"wrote {args.csv}")
+
+
+def _cmd_loadgen(args) -> None:
+    from .service import loadgen
+
+    try:
+        rates = [float(piece) for piece in args.rates.split(",") if piece.strip()]
+    except ValueError:
+        raise SystemExit(f"--rates must be comma-separated numbers, got {args.rates!r}") from None
+    if not rates:
+        raise SystemExit("--rates needs at least one rate")
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+
+    market, log = loadgen.make_workload(
+        args.tokens, args.pools, args.blocks, args.events_per_block, args.seed,
+        pools_per_block=args.pools_per_block,
+    )
+    print(
+        f"loadgen: {len(log)} events over {args.blocks} blocks, "
+        f"{args.pools} pools, {args.shards} shard(s) [{args.backend}]"
+    )
+    reports = []
+    for rate in rates:
+        reports.append(
+            loadgen.run_load(
+                market, log,
+                rate=rate,
+                n_shards=args.shards,
+                length=args.length,
+                backend=args.backend,
+                ingest_policy=args.policy,
+                queue_size=args.queue_size,
+                n_tokens=args.tokens,
+                n_blocks=args.blocks,
+            )
+        )
+    rows = [
+        (
+            "max" if row["rate"] == 0 else f"{row['rate']:,.0f}",
+            f"{row['events_per_s']:,.0f}",
+            row["events_dropped"],
+            f"{row['e2e_p50_ms']:.2f}",
+            f"{row['e2e_p99_ms']:.2f}",
+            f"{row['cache_hit_rate']:.1%}",
+            row["evaluations"],
+        )
+        for row in (r.to_row() for r in reports)
+    ]
+    print(report.format_table(
+        ["offered ev/s", "achieved ev/s", "dropped", "p50 ms", "p99 ms",
+         "cache hit %", "evals"],
+        rows,
+    ))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.csv:
+        loadgen.save_rows_csv(reports, args.csv)
+        print(f"wrote {args.csv}")
+
+
 _HANDLERS = {
     "section5": _cmd_section5,
     "fig1": _cmd_fig1,
@@ -494,6 +761,8 @@ _HANDLERS = {
     "discrepancy": _cmd_discrepancy,
     "efficiency": _cmd_efficiency,
     "replay": _cmd_replay,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -209,6 +209,15 @@ class ArbitrageLoop:
         best = min(range(n), key=lambda i: hop_keys[i:] + hop_keys[:i])
         return hop_keys[best:] + hop_keys[:best]
 
+    @property
+    def canonical_id(self) -> str:
+        """Stable string identity: ``token/pool`` hops from the
+        canonical rotation.  Rotation-invariant and direction-sensitive
+        like ``__eq__``; the total order it induces is what makes
+        profit-tied rankings (detect output, the service's opportunity
+        book) deterministic across runs."""
+        return "|".join(f"{sym}/{pid}" for sym, pid in self._canonical_key)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ArbitrageLoop):
             return NotImplemented

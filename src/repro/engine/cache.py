@@ -111,6 +111,16 @@ class PoolStateCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict:
+        """Counter snapshot (feeds the service's cache hit-rate metric)."""
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0

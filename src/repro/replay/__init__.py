@@ -21,6 +21,7 @@ emission both build on this package; ``benchmarks/
 bench_replay_throughput.py`` pins the incremental speedup.
 """
 
+from .apply import apply_event, build_loop_indices, rebind_loops
 from .driver import BlockReport, ReplayDriver, ReplayResult
 from .generator import generate_event_stream
 from .log import MarketEventLog, event_from_dict, event_to_dict
@@ -30,7 +31,10 @@ __all__ = [
     "MarketEventLog",
     "ReplayDriver",
     "ReplayResult",
+    "apply_event",
+    "build_loop_indices",
     "event_from_dict",
     "event_to_dict",
     "generate_event_stream",
+    "rebind_loops",
 ]

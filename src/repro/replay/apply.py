@@ -1,0 +1,116 @@
+"""Shared event-application and invalidation-index primitives.
+
+Both block-by-block consumers of a market event stream — the offline
+:class:`~repro.replay.ReplayDriver` and the online sharded workers of
+:mod:`repro.service` — need the same two building blocks:
+
+* :func:`apply_event` — mutate a private market copy (and price map)
+  according to one event, recording which pool / token it dirtied;
+* :func:`build_loop_indices` — the inverted indices (pool id → loop
+  positions, token → loop positions) that turn a dirty set into the
+  exact set of loops whose stored results are stale.
+
+Keeping them here means the service's per-shard dirty-set logic is the
+*same code* whose incremental/full parity the replay test suite pins
+down, not a reimplementation that could drift.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..amm.events import (
+    BlockEvent,
+    BurnEvent,
+    MarketEvent,
+    MintEvent,
+    PriceTickEvent,
+    SwapEvent,
+)
+from ..amm.registry import PoolRegistry
+from ..core.errors import UnknownPoolError
+from ..core.loop import ArbitrageLoop
+from ..core.types import PriceMap, Token
+
+__all__ = ["apply_event", "build_loop_indices", "rebind_loops"]
+
+
+def _pool(registry: PoolRegistry, pool_id: str):
+    try:
+        return registry[pool_id]
+    except KeyError:
+        raise UnknownPoolError(
+            f"event references pool {pool_id!r} which is not in the market"
+        ) from None
+
+
+def apply_event(
+    registry: PoolRegistry,
+    prices: PriceMap,
+    event: MarketEvent,
+    dirty_pools: set[str],
+    dirty_tokens: set[Token],
+) -> PriceMap:
+    """Apply one event to ``registry`` / ``prices``, tracking dirt.
+
+    Pool events (swap / mint / burn) mutate the pool in place and add
+    its id to ``dirty_pools``; a price tick adds the token to
+    ``dirty_tokens`` and returns the updated price map (price maps are
+    immutable, so the caller must keep the return value); block
+    markers are boundary no-ops.
+    """
+    if isinstance(event, SwapEvent):
+        _pool(registry, event.pool_id).swap(event.token_in, event.amount_in)
+        dirty_pools.add(event.pool_id)
+    elif isinstance(event, MintEvent):
+        _pool(registry, event.pool_id).add_liquidity(event.amount0, event.amount1)
+        dirty_pools.add(event.pool_id)
+    elif isinstance(event, BurnEvent):
+        _pool(registry, event.pool_id).remove_liquidity(event.fraction)
+        dirty_pools.add(event.pool_id)
+    elif isinstance(event, PriceTickEvent):
+        prices = prices.with_price(event.token, event.price)
+        dirty_tokens.add(event.token)
+    elif isinstance(event, BlockEvent):
+        pass  # boundary marker, no state change
+    else:
+        raise TypeError(f"cannot replay event of type {type(event).__name__}")
+    return prices
+
+
+def build_loop_indices(
+    loops: Sequence[ArbitrageLoop],
+) -> tuple[dict[str, tuple[int, ...]], dict[Token, tuple[int, ...]]]:
+    """Inverted indices over ``loops``: pool id → positions, token →
+    positions.  Positions are indices into the given sequence, so the
+    same helper serves the driver's global universe and a shard's
+    local slice."""
+    pool_loops: dict[str, list[int]] = {}
+    token_loops: dict[Token, list[int]] = {}
+    for index, loop in enumerate(loops):
+        for pool in set(loop.pools):
+            pool_loops.setdefault(pool.pool_id, []).append(index)
+        for token in loop.tokens:
+            token_loops.setdefault(token, []).append(index)
+    return (
+        {k: tuple(v) for k, v in pool_loops.items()},
+        {k: tuple(v) for k, v in token_loops.items()},
+    )
+
+
+def rebind_loops(
+    loops: Sequence[ArbitrageLoop], registry: PoolRegistry
+) -> tuple[ArbitrageLoop, ...]:
+    """Re-point loops at another registry's pool objects (by pool id).
+
+    Loop *topology* is registry-independent; only the live pool
+    references differ between a market and its copies.  Rebinding a
+    universe enumerated once onto each shard's private market copy is
+    how the service avoids per-shard re-enumeration.
+    """
+    return tuple(
+        ArbitrageLoop(
+            loop.tokens, [_pool(registry, pool.pool_id) for pool in loop.pools]
+        )
+        for loop in loops
+    )

@@ -29,21 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
-from ..amm.events import (
-    BlockEvent,
-    BurnEvent,
-    MarketEvent,
-    MintEvent,
-    PriceTickEvent,
-    SwapEvent,
-)
-from ..core.errors import UnknownPoolError
+from ..amm.events import MarketEvent
 from ..core.types import PriceMap, Token
 from ..data.snapshot import MarketSnapshot
 from ..engine import EvaluationEngine
 from ..simulation.metrics import mispricing_index
 from ..strategies.base import Strategy, StrategyResult
 from ..strategies.maxmax import MaxMaxStrategy
+from .apply import apply_event, build_loop_indices
 from .log import MarketEventLog
 
 __all__ = ["BlockReport", "ReplayDriver", "ReplayResult"]
@@ -169,17 +162,7 @@ class ReplayDriver:
 
         universe = self.engine.loop_universe(self.market.registry, length)
         self._loops = universe.candidates
-        self._pool_loops: dict[str, tuple[int, ...]] = {}
-        self._token_loops: dict[Token, tuple[int, ...]] = {}
-        pool_loops: dict[str, list[int]] = {}
-        token_loops: dict[Token, list[int]] = {}
-        for index, loop in enumerate(self._loops):
-            for pool in set(loop.pools):
-                pool_loops.setdefault(pool.pool_id, []).append(index)
-            for token in loop.tokens:
-                token_loops.setdefault(token, []).append(index)
-        self._pool_loops = {k: tuple(v) for k, v in pool_loops.items()}
-        self._token_loops = {k: tuple(v) for k, v in token_loops.items()}
+        self._pool_loops, self._token_loops = build_loop_indices(self._loops)
 
         # Per-loop state carried across blocks (incremental mode reuses
         # it; full mode overwrites it wholesale every block).  Priming
@@ -209,36 +192,6 @@ class ReplayDriver:
         return tuple(self._block_reports)
 
     # ------------------------------------------------------------------
-    # event application
-    # ------------------------------------------------------------------
-
-    def _pool(self, pool_id: str):
-        try:
-            return self.market.registry[pool_id]
-        except KeyError:
-            raise UnknownPoolError(
-                f"event references pool {pool_id!r} which is not in the market"
-            ) from None
-
-    def _apply(self, event: MarketEvent, dirty_pools: set, dirty_tokens: set) -> None:
-        if isinstance(event, SwapEvent):
-            self._pool(event.pool_id).swap(event.token_in, event.amount_in)
-            dirty_pools.add(event.pool_id)
-        elif isinstance(event, MintEvent):
-            self._pool(event.pool_id).add_liquidity(event.amount0, event.amount1)
-            dirty_pools.add(event.pool_id)
-        elif isinstance(event, BurnEvent):
-            self._pool(event.pool_id).remove_liquidity(event.fraction)
-            dirty_pools.add(event.pool_id)
-        elif isinstance(event, PriceTickEvent):
-            self.prices = self.prices.with_price(event.token, event.price)
-            dirty_tokens.add(event.token)
-        elif isinstance(event, BlockEvent):
-            pass  # boundary marker, no state change
-        else:
-            raise TypeError(f"cannot replay event of type {type(event).__name__}")
-
-    # ------------------------------------------------------------------
     # per-block evaluation
     # ------------------------------------------------------------------
 
@@ -253,7 +206,9 @@ class ReplayDriver:
         dirty_tokens: set[Token] = set()
         n_events = 0
         for event in events:
-            self._apply(event, dirty_pools, dirty_tokens)
+            self.prices = apply_event(
+                self.market.registry, self.prices, event, dirty_pools, dirty_tokens
+            )
             n_events += 1
         # The private pools record their own events as they mutate;
         # nothing reads those logs here, so drop them instead of

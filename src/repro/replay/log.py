@@ -181,6 +181,16 @@ class MarketEventLog:
     def events(self) -> tuple[MarketEvent, ...]:
         return tuple(self._events)
 
+    def events_since(self, index: int) -> tuple[MarketEvent, ...]:
+        """Events appended at position ``index`` or later.
+
+        Lets a consumer tail a growing log (e.g. the live simulation
+        source) without copying the whole history each poll.
+        """
+        if index < 0:
+            raise ValueError(f"index must be >= 0, got {index}")
+        return tuple(self._events[index:])
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------

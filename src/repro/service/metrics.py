@@ -1,0 +1,160 @@
+"""Service observability: counters, gauges, and latency quantiles.
+
+A :class:`ServiceMetrics` registry is threaded through every stage of
+the streaming pipeline.  It is deliberately dependency-free (no
+prometheus client in the image) but keeps the same shape — named
+counters, gauges, and histogram-like latency stats — so the report it
+renders (`to_dict`) can be scraped, uploaded as a CI artifact, or
+printed as a table.
+
+Latency stats keep a bounded reservoir of samples (the first
+``max_samples`` observations; overflow keeps counting and tracking
+min/max/sum but stops storing).  Quantiles are computed on demand with
+the nearest-rank method — exact for the sample sizes the service and
+its benchmark produce.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LatencyStat", "ServiceMetrics"]
+
+
+class LatencyStat:
+    """Streaming latency accumulator with on-demand quantiles."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 100_000):
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._samples: list[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative, got {seconds}")
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the stored samples (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def merge(self, other: "LatencyStat") -> None:
+        """Absorb another stat's observations (same units assumed)."""
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        room = self.max_samples - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.quantile(0.50) * 1e3,
+            "p99_ms": self.quantile(0.99) * 1e3,
+            "min_ms": (self.min if self.count else 0.0) * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyStat({self.name}: n={self.count}, "
+            f"p50={self.quantile(0.5) * 1e3:.3f}ms, "
+            f"p99={self.quantile(0.99) * 1e3:.3f}ms)"
+        )
+
+
+class ServiceMetrics:
+    """Named counters + gauges + latency stats for one service run."""
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self._latencies: dict[str, LatencyStat] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        value = self.counters.get(name, 0) + amount
+        self.counters[name] = value
+        return value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe_gauge_max(self, name: str, value: float) -> None:
+        """Track the high-water mark of a sampled quantity (queue depth)."""
+        if value > self.gauges.get(name, 0.0):
+            self.gauges[name] = value
+
+    def latency(self, name: str) -> LatencyStat:
+        stat = self._latencies.get(name)
+        if stat is None:
+            stat = self._latencies[name] = LatencyStat(name)
+        return stat
+
+    def merge(self, other: "ServiceMetrics") -> None:
+        """Fold another registry into this one (lifetime accumulation:
+        the service merges each run's window into its cumulative
+        registry).  Counters add, ``*_max`` gauges keep the high-water
+        mark, other gauges take the newer value, latencies absorb the
+        window's samples."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, value in other.gauges.items():
+            if name.endswith("_max"):
+                self.observe_gauge_max(name, value)
+            else:
+                self.gauges[name] = value
+        for name, stat in other._latencies.items():
+            self.latency(name).merge(stat)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "latencies": {
+                name: stat.to_dict()
+                for name, stat in sorted(self._latencies.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMetrics({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self._latencies)} latency stats)"
+        )

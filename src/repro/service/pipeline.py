@@ -1,0 +1,460 @@
+"""The streaming opportunity service: ingest → shards → live book.
+
+:class:`OpportunityService` wires the pieces of this package into one
+asyncio pipeline::
+
+    source ──► ingest/route ──► shard queues ──► shard workers ──► publish ──► OpportunityBook
+               (block batch,     (bounded,        (inline tasks                 (top-K, seq'd
+                backpressure      per shard)       or processes)                 subscriptions)
+                or drop)
+
+* **Ingest** groups the event stream into blocks (AMM state advances
+  per block) and routes each block's events to exactly the shards
+  whose loops they touch.  Queues are bounded: the default policy
+  ``"block"`` applies backpressure to the source (lossless — required
+  for parity with batch detection); ``"drop"`` sheds whole blocks
+  atomically across shards when any target queue is full (lossy but
+  cross-shard consistent — the overload mode the load generator
+  exercises), counting every dropped event.
+* **Shards** run the replay layer's dirty-set invalidation over their
+  slice of the loop universe (see :mod:`repro.service.worker`), either
+  inline on the event loop or in long-lived child processes
+  (``backend="process"``) for multi-core throughput.
+* **Publish** applies each shard's updates to the
+  :class:`~repro.service.book.OpportunityBook` as a sequenced delta
+  and records per-stage latencies into :class:`ServiceMetrics`.
+
+On a quiesced stream (source exhausted, queues drained) the book is
+bit-identical to batch-evaluating every candidate loop against the
+final market state — the integration and property tests assert this
+for both backends and any shard count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import AsyncIterator
+
+from ..amm.events import MarketEvent
+from ..data.snapshot import MarketSnapshot
+from ..engine import EvaluationEngine
+from ..strategies.base import Strategy
+from ..strategies.maxmax import MaxMaxStrategy
+from .book import BookSnapshot, Opportunity, OpportunityBook
+from .metrics import ServiceMetrics
+from .sharding import ShardPlan
+from .worker import BlockWork, ProcessShardPool, ShardUpdate, ShardWorker
+
+__all__ = ["OpportunityService", "ServiceReport", "batch_detect_ranking"]
+
+
+def batch_detect_ranking(
+    market: MarketSnapshot,
+    events,
+    length: int = 3,
+    strategy: Strategy | None = None,
+) -> list[tuple[float, str]]:
+    """The quiesced-service oracle: apply ``events`` to a copy of
+    ``market``, batch-evaluate every candidate loop against the final
+    state, and rank the profitable ones in the book's total order.
+
+    A drained :class:`OpportunityService` must produce exactly this
+    list — ``[(o.profit_usd, o.loop_id) for o in report.book.entries]``
+    — bit for bit.  The integration/property tests, the throughput
+    benchmark, and the example all assert against this one definition.
+    """
+    from ..engine.core import LoopUniverse
+    from ..replay.apply import apply_event
+    from .book import opportunity_sort_key
+
+    strategy = strategy if strategy is not None else MaxMaxStrategy()
+    copy = market.copy()
+    prices = copy.prices
+    dirty_pools: set = set()
+    dirty_tokens: set = set()
+    for event in events:
+        prices = apply_event(
+            copy.registry, prices, event, dirty_pools, dirty_tokens
+        )
+    scored = [
+        (result.monetized_profit, loop.canonical_id)
+        for loop in LoopUniverse(copy.registry, length).candidates
+        for result in [strategy.evaluate(loop, prices)]
+        if result.monetized_profit > 0.0
+    ]
+    return sorted(scored, key=lambda pair: opportunity_sort_key(*pair))
+
+_BACKENDS = ("inline", "process")
+_POLICIES = ("block", "drop")
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Summary of one service run (quiesced stream)."""
+
+    duration_s: float
+    events_ingested: int
+    events_dropped: int
+    blocks_ingested: int
+    blocks_dropped: int
+    evaluations: int
+    cache_hits: int
+    cache_misses: int
+    n_shards: int
+    backend: str
+    loops_per_shard: tuple[int, ...]
+    book: BookSnapshot
+    metrics: dict
+
+    @property
+    def events_per_s(self) -> float:
+        applied = self.events_ingested - self.events_dropped
+        return applied / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def top(self, k: int) -> tuple[Opportunity, ...]:
+        return self.book.top(k)
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "events_ingested": self.events_ingested,
+            "events_dropped": self.events_dropped,
+            "blocks_ingested": self.blocks_ingested,
+            "blocks_dropped": self.blocks_dropped,
+            "events_per_s": self.events_per_s,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "n_shards": self.n_shards,
+            "backend": self.backend,
+            "loops_per_shard": list(self.loops_per_shard),
+            "book_seq": self.book.seq,
+            "profitable_loops": len(self.book.entries),
+            "metrics": self.metrics,
+        }
+
+
+class OpportunityService:
+    """Sharded streaming arbitrage detection over a live event stream.
+
+    Parameters
+    ----------
+    market:
+        Starting snapshot; every shard works on a private copy.
+    n_shards:
+        Number of shard workers; pools (and hence loops) are
+        partitioned deterministically across them.
+    length:
+        Candidate loop length for the universe (default 3).
+    strategy:
+        The scoring strategy for the book; default MaxMax.
+    backend:
+        ``"inline"`` (shards as asyncio tasks, default) or
+        ``"process"`` (one child process per shard — multi-core).
+    queue_size:
+        Bound of every inter-stage queue.
+    ingest_policy:
+        ``"block"`` (backpressure, lossless) or ``"drop"`` (shed whole
+        blocks under overload, counted).
+    metrics:
+        A :class:`ServiceMetrics` registry; fresh one by default.
+    """
+
+    def __init__(
+        self,
+        market: MarketSnapshot,
+        *,
+        n_shards: int = 1,
+        length: int = 3,
+        strategy: Strategy | None = None,
+        backend: str = "inline",
+        queue_size: int = 64,
+        ingest_policy: str = "block",
+        metrics: ServiceMetrics | None = None,
+        engine: EvaluationEngine | None = None,
+    ):
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if ingest_policy not in _POLICIES:
+            raise ValueError(
+                f"ingest_policy must be one of {_POLICIES}, got {ingest_policy!r}"
+            )
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.backend = backend
+        self.ingest_policy = ingest_policy
+        self.queue_size = queue_size
+        self.strategy = strategy if strategy is not None else MaxMaxStrategy()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.engine = engine if engine is not None else EvaluationEngine()
+
+        universe = self.engine.loop_universe(market.registry, length)
+        self.plan = ShardPlan(
+            [pool.pool_id for pool in market.registry],
+            universe.candidates,
+            n_shards,
+        )
+        self.workers = [
+            ShardWorker(
+                shard,
+                market,
+                [universe.candidates[i] for i in self.plan.shard_loops[shard]],
+                self.strategy,
+            )
+            for shard in range(n_shards)
+        ]
+        self.book = OpportunityBook()
+        for worker in self.workers:
+            self.book.apply(-1, worker.shard_id, worker.initial_entries())
+        self._process_spent = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.workers)
+
+    @property
+    def total_loops(self) -> int:
+        return sum(len(worker.loops) for worker in self.workers)
+
+    def __repr__(self) -> str:
+        return (
+            f"OpportunityService({self.n_shards} shards, {self.backend}, "
+            f"{self.total_loops} loops, book seq {self.book.seq})"
+        )
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+
+    async def _ingest(
+        self,
+        source: AsyncIterator[MarketEvent],
+        shard_queues: list[asyncio.Queue],
+        metrics: ServiceMetrics,
+    ) -> None:
+        """Group the stream into blocks, route, enqueue (or shed)."""
+        current_block: int | None = None
+        buffer: list[MarketEvent] = []
+
+        async def flush() -> None:
+            if current_block is None:
+                return
+            t_ingest = time.perf_counter()
+            metrics.inc("blocks_ingested")
+            routed = self.plan.route_block(buffer)
+            if not routed:
+                return  # block touched nothing any shard evaluates
+            if self.ingest_policy == "drop" and any(
+                shard_queues[shard].full() for shard in routed
+            ):
+                # shed the whole block atomically: every shard skips the
+                # same events, so cross-shard state stays consistent
+                metrics.inc("blocks_dropped")
+                metrics.inc("events_dropped", len(buffer))
+                return
+            for shard, events in routed.items():
+                queue = shard_queues[shard]
+                metrics.observe_gauge_max("shard_queue_depth_max", queue.qsize())
+                t0 = time.perf_counter()
+                await queue.put(
+                    BlockWork(
+                        block=current_block,
+                        events=tuple(events),
+                        t_ingest=t_ingest,
+                        t_dispatch=time.perf_counter(),
+                    )
+                )
+                metrics.latency("ingest_backpressure").observe(
+                    time.perf_counter() - t0
+                )
+
+        async for event in source:
+            metrics.inc("events_ingested")
+            if current_block is None:
+                current_block = event.block
+            elif event.block != current_block:
+                await flush()
+                buffer = []
+                current_block = event.block
+            buffer.append(event)
+        await flush()
+        for queue in shard_queues:
+            await queue.put(None)  # per-shard end-of-stream sentinel
+
+    async def _inline_shard(
+        self,
+        worker: ShardWorker,
+        in_queue: asyncio.Queue,
+        out_queue: asyncio.Queue,
+    ) -> None:
+        """Inline backend: evaluate on the event loop, one block a time."""
+        while True:
+            work = await in_queue.get()
+            if work is None:
+                await out_queue.put(("done", worker.shard_id))
+                return
+            update = worker.process_block(work)
+            await out_queue.put(("update", update))
+            # cooperative yield so ingest/publish interleave between blocks
+            await asyncio.sleep(0)
+
+    async def _process_feeder(
+        self, shard: int, in_queue: asyncio.Queue, pool: ProcessShardPool
+    ) -> None:
+        """Process backend: forward the bounded asyncio queue into the
+        shard's (equally bounded) IPC queue off-loop."""
+        loop = asyncio.get_running_loop()
+        while True:
+            work = await in_queue.get()
+            if work is None:
+                await loop.run_in_executor(None, pool.finish, shard)
+                return
+            await loop.run_in_executor(None, pool.submit, shard, work)
+
+    async def _process_collector(
+        self, pool: ProcessShardPool, out_queue: asyncio.Queue
+    ) -> None:
+        """Forward child results into the publish stage until every
+        shard has acknowledged its sentinel."""
+        loop = asyncio.get_running_loop()
+        done = 0
+        while done < len(pool):
+            kind, payload = await loop.run_in_executor(None, pool.next_message)
+            if kind == "done":
+                done += 1
+                await out_queue.put(("done", payload))
+            elif kind == "error":
+                shard, tb = payload
+                raise RuntimeError(f"shard {shard} worker failed:\n{tb}")
+            else:
+                await out_queue.put((kind, payload))
+
+    async def _publish(
+        self, out_queue: asyncio.Queue, metrics: ServiceMetrics
+    ) -> None:
+        """Apply shard updates to the book and record latencies."""
+        remaining = self.n_shards
+        while remaining:
+            kind, payload = await out_queue.get()
+            if kind == "done":
+                remaining -= 1
+                continue
+            update: ShardUpdate = payload
+            t_publish = time.perf_counter()
+            self.book.apply(update.block, update.shard, update.entries)
+            metrics.inc("updates_published")
+            metrics.inc("evaluations", update.evaluated)
+            metrics.inc("cache_hits", update.cache_hits)
+            metrics.inc("cache_misses", update.cache_misses)
+            metrics.latency("shard_eval").observe(update.eval_s)
+            metrics.latency("dispatch_wait").observe(
+                max(0.0, update.t_dispatch - update.t_ingest)
+            )
+            metrics.latency("end_to_end").observe(
+                max(0.0, t_publish - update.t_ingest)
+            )
+        self.book.close()
+
+    @staticmethod
+    async def _gather(*coros) -> None:
+        """``asyncio.gather`` that actually tears the pipeline down on
+        failure: a raising stage cancels its siblings instead of
+        leaving them blocked on queues forever."""
+        tasks = [asyncio.ensure_future(coro) for coro in coros]
+        try:
+            await asyncio.gather(*tasks)
+        except BaseException:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    async def run(self, source: AsyncIterator[MarketEvent]) -> ServiceReport:
+        """Consume ``source`` to exhaustion and return the quiesced report.
+
+        The service can be run repeatedly with consecutive sources
+        (shard state carries over, like a driver replaying several
+        logs); each call drains fully before returning.
+        """
+        shard_queues = [
+            asyncio.Queue(maxsize=self.queue_size) for _ in range(self.n_shards)
+        ]
+        out_queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_size)
+        # each run records into a fresh window, merged into the
+        # cumulative self.metrics at the end — so a report's counters
+        # AND latency quantiles are per-run, never mixed across runs
+        window = ServiceMetrics()
+        # a previous run closed the delta stream at quiescence; anyone
+        # who subscribed since must see this run's deltas, not a
+        # premature end-of-stream
+        self.book.reopen()
+        t_start = time.perf_counter()
+        if self.backend == "process":
+            if self._process_spent:
+                raise RuntimeError(
+                    "a process-backed service is single-shot: the shard "
+                    "processes (and their advanced state) are gone after "
+                    "run(); build a new service for another stream"
+                )
+            self._process_spent = True
+            pool = ProcessShardPool(self.workers, maxsize=self.queue_size)
+            pool.start()
+            try:
+                await self._gather(
+                    self._ingest(source, shard_queues, window),
+                    *(
+                        self._process_feeder(shard, shard_queues[shard], pool)
+                        for shard in range(self.n_shards)
+                    ),
+                    self._process_collector(pool, out_queue),
+                    self._publish(out_queue, window),
+                )
+            finally:
+                pool.join()
+        else:
+            await self._gather(
+                self._ingest(source, shard_queues, window),
+                *(
+                    self._inline_shard(
+                        self.workers[shard], shard_queues[shard], out_queue
+                    )
+                    for shard in range(self.n_shards)
+                ),
+                self._publish(out_queue, window),
+            )
+        duration = time.perf_counter() - t_start
+
+        counters = window.counters
+        window.set_gauge("events_per_s", (
+            (counters.get("events_ingested", 0) - counters.get("events_dropped", 0))
+            / duration
+            if duration > 0 else 0.0
+        ))
+        self.metrics.merge(window)
+        return ServiceReport(
+            duration_s=duration,
+            events_ingested=counters.get("events_ingested", 0),
+            events_dropped=counters.get("events_dropped", 0),
+            blocks_ingested=counters.get("blocks_ingested", 0),
+            blocks_dropped=counters.get("blocks_dropped", 0),
+            evaluations=counters.get("evaluations", 0),
+            cache_hits=counters.get("cache_hits", 0),
+            cache_misses=counters.get("cache_misses", 0),
+            n_shards=self.n_shards,
+            backend=self.backend,
+            loops_per_shard=self.plan.loops_per_shard(),
+            book=self.book.snapshot(),
+            metrics=window.to_dict(),
+        )

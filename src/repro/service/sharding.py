@@ -1,0 +1,138 @@
+"""Pool partitioning and event routing across shards.
+
+A :class:`ShardPlan` splits the market deterministically:
+
+* **pool ownership** — pool ids are sorted and dealt round-robin, so
+  every shard owns ~``n_pools / n_shards`` pools regardless of id
+  distribution;
+* **loop assignment** — each candidate loop lives on exactly one
+  shard: the owner of its lexicographically smallest pool id.  Loops
+  are the unit of evaluation work, so this is what actually balances
+  the pipeline;
+* **routing tables** — a pool event must reach every shard holding a
+  loop over that pool (a loop's pools can span ownership boundaries),
+  and a price tick every shard holding a loop through that token.
+  Both tables are precomputed from the loop assignment.
+
+The plan is a pure function of ``(sorted pool ids, loops, n_shards)``
+— identical across runs and across processes, which is what lets the
+process-backed shards agree with the inline ones bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..amm.events import BurnEvent, MarketEvent, MintEvent, PriceTickEvent, SwapEvent
+from ..core.errors import UnknownPoolError
+from ..core.loop import ArbitrageLoop
+from ..core.types import Token
+
+__all__ = ["ShardPlan"]
+
+
+class ShardPlan:
+    """Deterministic partition of pools and loops over ``n_shards``."""
+
+    def __init__(
+        self,
+        pool_ids: Sequence[str],
+        loops: Sequence[ArbitrageLoop],
+        n_shards: int,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        #: pool id -> owning shard (round-robin over sorted ids)
+        self.pool_owner: dict[str, int] = {
+            pool_id: i % n_shards
+            for i, pool_id in enumerate(sorted(set(pool_ids)))
+        }
+        #: per shard, the *global* indices of its loops (into ``loops``)
+        self.shard_loops: tuple[tuple[int, ...], ...]
+        #: loop index -> shard
+        self.loop_shard: tuple[int, ...]
+        per_shard: list[list[int]] = [[] for _ in range(n_shards)]
+        loop_shard: list[int] = []
+        pool_routes: dict[str, set[int]] = {}
+        token_routes: dict[Token, set[int]] = {}
+        for index, loop in enumerate(loops):
+            anchor = min(pool.pool_id for pool in loop.pools)
+            shard = self.pool_owner[anchor]
+            per_shard[shard].append(index)
+            loop_shard.append(shard)
+            for pool in loop.pools:
+                pool_routes.setdefault(pool.pool_id, set()).add(shard)
+            for token in loop.tokens:
+                token_routes.setdefault(token, set()).add(shard)
+        self.shard_loops = tuple(tuple(indices) for indices in per_shard)
+        self.loop_shard = tuple(loop_shard)
+        self._pool_routes: dict[str, tuple[int, ...]] = {
+            pool_id: tuple(sorted(shards))
+            for pool_id, shards in pool_routes.items()
+        }
+        self._token_routes: dict[Token, tuple[int, ...]] = {
+            token: tuple(sorted(shards)) for token, shards in token_routes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def shards_for_pool(self, pool_id: str) -> tuple[int, ...]:
+        """Shards holding at least one loop over ``pool_id``."""
+        return self._pool_routes.get(pool_id, ())
+
+    def shards_for_token(self, token: Token) -> tuple[int, ...]:
+        """Shards holding at least one loop through ``token``."""
+        return self._token_routes.get(token, ())
+
+    def shards_for_event(self, event: MarketEvent) -> tuple[int, ...]:
+        """Shards whose state (and hence results) this event can touch."""
+        if isinstance(event, (SwapEvent, MintEvent, BurnEvent)):
+            return self.shards_for_pool(event.pool_id)
+        if isinstance(event, PriceTickEvent):
+            return self.shards_for_token(event.token)
+        return ()  # block markers carry no state
+
+    def route_block(
+        self, events: Sequence[MarketEvent]
+    ) -> dict[int, list[MarketEvent]]:
+        """Split one block's events into per-shard sub-streams.
+
+        Each shard receives exactly the events that touch its loops'
+        pools or tokens, in stream order — enough to keep every pool a
+        shard evaluates bit-identical to a global replay.  An event for
+        a pool the market does not have raises
+        :class:`~repro.core.errors.UnknownPoolError`, the same typed
+        error a replay of the stream would produce — corrupt input is
+        never silently shed.  (Known pools no loop crosses route to
+        zero shards: applying them cannot change any result.)
+        """
+        routed: dict[int, list[MarketEvent]] = {}
+        for event in events:
+            if (
+                isinstance(event, (SwapEvent, MintEvent, BurnEvent))
+                and event.pool_id not in self.pool_owner
+            ):
+                raise UnknownPoolError(
+                    f"event references pool {event.pool_id!r} which is "
+                    "not in the market"
+                )
+            for shard in self.shards_for_event(event):
+                routed.setdefault(shard, []).append(event)
+        return routed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def loops_per_shard(self) -> tuple[int, ...]:
+        return tuple(len(indices) for indices in self.shard_loops)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan({self.n_shards} shards, "
+            f"{len(self.pool_owner)} pools, "
+            f"loops per shard {self.loops_per_shard()})"
+        )

@@ -1,0 +1,298 @@
+"""Per-shard evaluation state and the process-shard host.
+
+A :class:`ShardWorker` is the service's unit of parallelism: a private
+market copy, the slice of the loop universe assigned by the
+:class:`~repro.service.sharding.ShardPlan`, a shard-local
+:class:`~repro.engine.cache.PoolStateCache`, and the replay layer's
+dirty-set invalidation (:func:`~repro.replay.apply.apply_event` +
+:func:`~repro.replay.apply.build_loop_indices` — the same code paths
+whose incremental/full parity the replay tests pin down).
+
+Workers are plain synchronous objects, so the pipeline can run them
+
+* **inline** — called directly from an asyncio task (deterministic,
+  zero IPC; the default and the test configuration), or
+* **in a process** — :class:`ProcessShardHost` moves the worker into a
+  long-lived child process fed over queues, which is what buys real
+  multi-core throughput (each shard burns its own interpreter).
+
+Either way the numbers are identical: evaluation is a pure function of
+the shard's market state, and the shard sees every event that touches
+its loops' pools.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass
+from queue import Empty, Full
+from typing import Sequence
+
+from ..amm.events import MarketEvent
+from ..amm.registry import PoolRegistry
+from ..core.types import Token
+from ..data.snapshot import MarketSnapshot
+from ..engine.cache import PoolStateCache
+from ..replay.apply import apply_event, build_loop_indices, rebind_loops
+from ..strategies.base import Strategy
+from .book import Opportunity
+
+__all__ = ["BlockWork", "ProcessShardPool", "ShardUpdate", "ShardWorker"]
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """One block's worth of events routed to one shard."""
+
+    block: int
+    events: tuple[MarketEvent, ...]
+    t_ingest: float  # perf_counter at ingest (monotonic across processes on Linux)
+    t_dispatch: float
+
+
+@dataclass(frozen=True)
+class ShardUpdate:
+    """A shard's output for one block: changed entries + work stats."""
+
+    shard: int
+    block: int
+    entries: tuple[Opportunity, ...]
+    evaluated: int
+    cache_hits: int
+    cache_misses: int
+    eval_s: float
+    t_ingest: float
+    t_dispatch: float
+
+
+def _loop_path(loop) -> str:
+    return " -> ".join(t.symbol for t in loop.tokens) + f" -> {loop.tokens[0].symbol}"
+
+
+class ShardWorker:
+    """Dirty-set incremental evaluation over one shard's loops."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        market: MarketSnapshot,
+        loops: Sequence,
+        strategy: Strategy,
+        cache: PoolStateCache | None = None,
+    ):
+        self.shard_id = shard_id
+        # private copy of only the pools this shard's loops cross: the
+        # router guarantees no other pool's event ever reaches it, and
+        # restricting keeps N-shard memory (and process-backend pickle
+        # size) proportional to the shard, not the whole market
+        needed = sorted({pool.pool_id for loop in loops for pool in loop.pools})
+        registry = PoolRegistry()
+        for pool_id in needed:
+            registry.add(market.registry[pool_id].copy())
+        self.market = MarketSnapshot(
+            registry=registry, prices=market.prices, label=market.label
+        )
+        self.prices = market.prices
+        self.strategy = strategy
+        self.cache = cache if cache is not None else PoolStateCache()
+        # re-point the globally enumerated loops at this shard's pools
+        self.loops = rebind_loops(loops, self.market.registry)
+        self._pool_loops, self._token_loops = build_loop_indices(self.loops)
+        self._loop_ids = tuple(loop.canonical_id for loop in self.loops)
+        self._paths = tuple(_loop_path(loop) for loop in self.loops)
+        self._results = [
+            strategy.evaluate_cached(loop, self.prices, self.cache)
+            for loop in self.loops
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWorker(shard={self.shard_id}, {len(self.loops)} loops, "
+            f"{len(self.market.registry)} pools)"
+        )
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    def initial_entries(self, block: int = -1) -> tuple[Opportunity, ...]:
+        """The shard's full evaluation of the starting market (primes
+        the book before any event is applied)."""
+        return tuple(
+            self._entry(index, block) for index in range(len(self.loops))
+        )
+
+    def _entry(self, index: int, block: int) -> Opportunity:
+        result = self._results[index]
+        return Opportunity(
+            loop_id=self._loop_ids[index],
+            path=self._paths[index],
+            profit_usd=result.monetized_profit,
+            amount_in=result.amount_in,
+            start_symbol=result.start_token.symbol if result.start_token else None,
+            block=block,
+            shard=self.shard_id,
+        )
+
+    # ------------------------------------------------------------------
+    # work
+    # ------------------------------------------------------------------
+
+    def process_block(self, work: BlockWork) -> ShardUpdate:
+        """Apply one routed block and re-evaluate only the dirty loops."""
+        t0 = time.perf_counter()
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        dirty_pools: set[str] = set()
+        dirty_tokens: set[Token] = set()
+        for event in work.events:
+            self.prices = apply_event(
+                self.market.registry, self.prices, event, dirty_pools, dirty_tokens
+            )
+        for pool_id in dirty_pools:
+            # pools record their own mutations; nothing here reads them
+            self.market.registry[pool_id].discard_events_after(0)
+
+        touched: set[int] = set()
+        for pool_id in dirty_pools:
+            touched.update(self._pool_loops.get(pool_id, ()))
+        for token in dirty_tokens:
+            touched.update(self._token_loops.get(token, ()))
+        reeval = sorted(touched)
+        entries = []
+        for index in reeval:
+            self._results[index] = self.strategy.evaluate_cached(
+                self.loops[index], self.prices, self.cache
+            )
+            entries.append(self._entry(index, work.block))
+        return ShardUpdate(
+            shard=self.shard_id,
+            block=work.block,
+            entries=tuple(entries),
+            evaluated=len(reeval),
+            cache_hits=self.cache.hits - hits0,
+            cache_misses=self.cache.misses - misses0,
+            eval_s=time.perf_counter() - t0,
+            t_ingest=work.t_ingest,
+            t_dispatch=work.t_dispatch,
+        )
+
+
+# ----------------------------------------------------------------------
+# process backend
+# ----------------------------------------------------------------------
+
+
+def _shard_main(worker: ShardWorker, in_queue, out_queue) -> None:
+    """Child-process loop: pull work until the ``None`` sentinel.
+
+    The worker arrives by fork (Linux) or pickle (spawn platforms);
+    the priming pass already ran in the parent, so the child starts
+    with warm results and a warm cache.  A failing block is reported
+    as an ``("error", ...)`` message — never a silent death that would
+    leave the parent blocked on the result queue.
+    """
+    out_queue.put(("ready", worker.shard_id))
+    while True:
+        item = in_queue.get()
+        if item is None:
+            out_queue.put(("done", worker.shard_id))
+            return
+        try:
+            update = worker.process_block(item)
+        except BaseException:
+            out_queue.put(("error", (worker.shard_id, traceback.format_exc())))
+            return
+        out_queue.put(("update", update))
+
+
+class ProcessShardPool:
+    """All process-backed shards plus their shared result queue.
+
+    Input queues are bounded to ``maxsize`` so the pipeline's
+    backpressure reaches across the process boundary instead of
+    piling unbounded work into IPC buffers.
+    """
+
+    def __init__(self, workers: Sequence[ShardWorker], maxsize: int = 64):
+        self._ctx = mp.get_context()
+        # the result path is bounded too (the pipeline's backpressure
+        # must reach the children): a slow publish stage blocks shard
+        # puts instead of letting updates pile up in IPC buffers
+        self.out_queue = self._ctx.Queue(
+            maxsize=max(1, maxsize) * max(1, len(workers))
+        )
+        self.in_queues = []
+        self.processes = []
+        for worker in workers:
+            in_queue = self._ctx.Queue(maxsize=maxsize)
+            process = self._ctx.Process(
+                target=_shard_main,
+                args=(worker, in_queue, self.out_queue),
+                daemon=True,
+            )
+            self.in_queues.append(in_queue)
+            self.processes.append(process)
+
+    def start(self) -> None:
+        for process in self.processes:
+            process.start()
+        for _ in self.processes:
+            # next_message polls exitcodes, so a child that dies before
+            # its ready marker (unpicklable worker on spawn platforms,
+            # startup OOM) raises here instead of hanging the parent
+            kind, shard = self.next_message()
+            if kind != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"shard {shard} sent {kind!r} before becoming ready"
+                )
+
+    def _put(self, shard: int, item, poll_s: float = 1.0) -> None:
+        """Bounded put that notices a dead child instead of blocking
+        forever on a queue nobody will ever drain."""
+        while True:
+            try:
+                self.in_queues[shard].put(item, timeout=poll_s)
+                return
+            except Full:
+                code = self.processes[shard].exitcode
+                if code is not None:
+                    raise RuntimeError(
+                        f"shard {shard} process exited (code {code}) "
+                        "with work still pending"
+                    )
+
+    def submit(self, shard: int, work: BlockWork) -> None:
+        self._put(shard, work)
+
+    def finish(self, shard: int) -> None:
+        self._put(shard, None)
+
+    def next_message(self, poll_s: float = 1.0):
+        """Blocking read of the shared result queue (call off-loop).
+
+        Polls so an abnormally dead child (OOM-kill, segfault — one
+        that could not even send its ``error`` message) surfaces as an
+        exception instead of a parent that waits forever.
+        """
+        while True:
+            try:
+                return self.out_queue.get(timeout=poll_s)
+            except Empty:
+                for shard, process in enumerate(self.processes):
+                    code = process.exitcode
+                    if code not in (None, 0):
+                        raise RuntimeError(
+                            f"shard {shard} process died with exit code {code}"
+                        )
+
+    def join(self, timeout: float = 5.0) -> None:
+        for process in self.processes:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __len__(self) -> int:
+        return len(self.processes)

@@ -1,8 +1,50 @@
-"""Shared fixtures: the §V example, small markets, and strategies."""
+"""Shared fixtures (the §V example, small markets, strategies) and the
+asyncio test runner.
+
+The service tests are ``async def`` functions.  The image has no
+pytest-asyncio, so a minimal equivalent lives here: coroutine test
+functions are auto-marked ``asyncio`` (the marker is registered in
+pyproject) and executed on a fresh event loop via :func:`asyncio.run`.
+If pytest-asyncio is installed it takes precedence untouched — the
+hook below bows out.
+"""
 
 from __future__ import annotations
 
+import asyncio
+import inspect
+
 import pytest
+
+try:  # defer to the real plugin when the environment has it
+    import pytest_asyncio  # noqa: F401
+
+    _HAVE_PYTEST_ASYNCIO = True
+except ImportError:
+    _HAVE_PYTEST_ASYNCIO = False
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if isinstance(item, pytest.Function) and inspect.iscoroutinefunction(
+            item.function
+        ):
+            item.add_marker(pytest.mark.asyncio)
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    if _HAVE_PYTEST_ASYNCIO:
+        return None
+    func = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(func):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(func(**kwargs))
+    return True
 
 from repro.amm import Pool, PoolRegistry
 from repro.core import ArbitrageLoop, PriceMap, Token

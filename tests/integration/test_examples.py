@@ -42,6 +42,15 @@ class TestExamples:
         assert (tmp_path / "stream.jsonl").exists()
         assert (tmp_path / "market.json").exists()
 
+    def test_opportunity_service(self):
+        out = run_example(
+            "opportunity_service.py", "--blocks", "4", "--pools", "18",
+            "--tokens", "9", "--shards", "3",
+        )
+        assert "parity with batch detect: OK" in out
+        assert "top opportunities:" in out
+        assert "throughput" in out
+
     @pytest.mark.slow
     def test_price_sweep_figures(self, tmp_path):
         out = run_example("price_sweep_figures.py", "--csv-dir", str(tmp_path))

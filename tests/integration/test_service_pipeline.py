@@ -1,0 +1,302 @@
+"""Integration tests for the streaming opportunity service.
+
+The load-bearing assertion: on a quiesced stream the book is
+**bit-identical** to batch detection on the final market state — for
+any shard count and for both shard backends.  Everything else (drop
+accounting, live simulation ingest, subscriptions, metrics shape)
+rides on the same small workloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.replay import generate_event_stream
+from repro.service import (
+    OpportunityService,
+    batch_detect_ranking as batch_book,
+    log_source,
+    make_workload,
+    opportunity_sort_key,
+    run_load,
+    simulation_source,
+)
+from repro.simulation import SimulationEngine
+from repro.simulation.agents import RetailTrader
+from repro.strategies import MaxPriceStrategy
+
+
+def book_pairs(report):
+    return [(o.profit_usd, o.loop_id) for o in report.book.entries]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(10, 24, 10, 6, seed=11)
+
+
+class TestQuiescedParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    async def test_bit_identical_to_batch_detect(self, workload, n_shards):
+        market, log = workload
+        service = OpportunityService(market, n_shards=n_shards)
+        report = await service.run(log_source(log))
+        assert book_pairs(report) == batch_book(market, log)
+
+    async def test_parity_holds_for_other_strategies(self, workload):
+        market, log = workload
+        strategy = MaxPriceStrategy()
+        service = OpportunityService(market, n_shards=3, strategy=strategy)
+        report = await service.run(log_source(log))
+        assert book_pairs(report) == batch_book(market, log, strategy=strategy)
+
+    async def test_shard_count_never_changes_numbers(self, workload):
+        market, log = workload
+        reports = []
+        for n_shards in (1, 4):
+            service = OpportunityService(market, n_shards=n_shards)
+            reports.append(await service.run(log_source(log)))
+        assert book_pairs(reports[0]) == book_pairs(reports[1])
+        # the work split differs, the evaluation total does not
+        assert reports[0].evaluations == reports[1].evaluations
+
+    async def test_follow_up_empty_stream_is_a_noop_quiesce(self, workload):
+        market, _ = workload
+        first = generate_event_stream(market, n_blocks=4, events_per_block=5, seed=1)
+        service = OpportunityService(market, n_shards=2)
+        await service.run(log_source(first))
+        seq_between = service.book.seq
+        empty = generate_event_stream(market, n_blocks=0, events_per_block=0, seed=3)
+        report = await service.run(log_source(empty))
+        assert service.book.seq == seq_between
+        assert book_pairs(report) == batch_book(market, first)
+
+
+class TestProcessBackend:
+    async def test_process_shards_match_inline(self, workload):
+        market, log = workload
+        inline = OpportunityService(market, n_shards=2)
+        expected = book_pairs(await inline.run(log_source(log)))
+        service = OpportunityService(market, n_shards=2, backend="process")
+        report = await service.run(log_source(log))
+        assert book_pairs(report) == expected
+        assert report.backend == "process"
+
+    async def test_process_service_is_single_shot(self, workload):
+        market, log = workload
+        service = OpportunityService(market, n_shards=2, backend="process")
+        await service.run(log_source(log))
+        with pytest.raises(RuntimeError, match="single-shot"):
+            await service.run(log_source(log))
+
+
+class TestBackpressureAndDrops:
+    async def test_block_policy_is_lossless(self, workload):
+        market, log = workload
+        service = OpportunityService(market, n_shards=2, queue_size=1)
+        report = await service.run(log_source(log))
+        assert report.events_dropped == 0
+        assert book_pairs(report) == batch_book(market, log)
+
+    async def test_drop_policy_counts_and_stays_coherent(self, workload):
+        market, log = workload
+
+        async def stalling_source():
+            # burst everything without yielding so tiny queues overflow
+            for event in log:
+                yield event
+
+        service = OpportunityService(
+            market, n_shards=1, queue_size=1, ingest_policy="drop"
+        )
+        report = await service.run(stalling_source())
+        # conservation: every event was either applied or counted dropped
+        assert report.events_ingested == len(log)
+        assert 0 <= report.events_dropped <= report.events_ingested
+        assert 0 <= report.blocks_dropped <= report.blocks_ingested
+        if report.events_dropped:
+            assert report.blocks_dropped > 0
+            # the book still ranks deterministically over applied events
+            pairs = book_pairs(report)
+            assert pairs == sorted(
+                pairs, key=lambda pair: opportunity_sort_key(*pair)
+            )
+        else:
+            # nothing shed -> lossless, so full batch parity must hold
+            assert book_pairs(report) == batch_book(market, log)
+
+    async def test_report_counters_are_per_run(self, workload):
+        market, log = workload
+        service = OpportunityService(market, n_shards=1)
+        first = await service.run(log_source(log))
+        empty = generate_event_stream(market, n_blocks=0, events_per_block=0, seed=5)
+        second = await service.run(log_source(empty))
+        assert first.events_ingested == len(log)
+        assert second.events_ingested == 0
+        assert second.evaluations == 0
+        # latency quantiles are per-run windows too, not lifetime mixes
+        first_e2e = first.metrics["latencies"]["end_to_end"]["count"]
+        assert first_e2e > 0
+        assert second.metrics["latencies"].get(
+            "end_to_end", {"count": 0}
+        )["count"] == 0
+        # while the service's own registry accumulates across runs
+        assert service.metrics.counters["events_ingested"] == len(log)
+        assert service.metrics.latency("end_to_end").count == first_e2e
+
+
+class TestFailurePaths:
+    async def test_unknown_pool_event_raises_not_sheds(self, workload):
+        from repro.amm.events import SwapEvent
+        from repro.core.errors import UnknownPoolError
+
+        market, log = workload
+        pool = next(iter(market.registry))
+        bogus = SwapEvent(
+            pool_id="no-such-pool", token_in=pool.token0,
+            token_out=pool.token1, amount_in=1.0, amount_out=0.9, block=0,
+        )
+
+        async def corrupt_source():
+            yield bogus
+
+        service = OpportunityService(market, n_shards=2)
+        with pytest.raises(UnknownPoolError, match="no-such-pool"):
+            await service.run(corrupt_source())
+
+    def test_child_process_error_is_reported_not_hung(self, workload):
+        from repro.engine import EvaluationEngine
+        from repro.service import ShardPlan, ShardWorker
+        from repro.service.worker import BlockWork, ProcessShardPool
+        from repro.amm.events import SwapEvent
+        from repro.strategies import MaxMaxStrategy
+
+        market, _ = workload
+        universe = EvaluationEngine().loop_universe(market.registry, 3)
+        plan = ShardPlan(
+            [p.pool_id for p in market.registry], universe.candidates, 1
+        )
+        worker = ShardWorker(
+            0, market,
+            [universe.candidates[i] for i in plan.shard_loops[0]],
+            MaxMaxStrategy(),
+        )
+        pool = ProcessShardPool([worker], maxsize=4)
+        pool.start()
+        try:
+            loop_pool = worker.loops[0].pools[0]
+            # the worker's registry is restricted to its loops' pools,
+            # so an event for a foreign pool makes process_block raise
+            bad = SwapEvent(
+                pool_id="not-in-this-shard", token_in=loop_pool.token0,
+                token_out=loop_pool.token1, amount_in=1.0, amount_out=0.9,
+                block=0,
+            )
+            pool.submit(0, BlockWork(
+                block=0, events=(bad,), t_ingest=0.0, t_dispatch=0.0,
+            ))
+            kind, payload = pool.next_message(poll_s=0.2)
+            assert kind == "error"
+            shard, tb = payload
+            assert shard == 0
+            assert "UnknownPoolError" in tb
+        finally:
+            pool.join(timeout=2.0)
+
+
+class TestLiveSimulationSource:
+    async def test_service_tracks_a_running_simulation(self):
+        market, _ = make_workload(8, 16, 1, 1, seed=3)
+        n_blocks = 5
+        sim = SimulationEngine(market, [RetailTrader(seed=9)], price_seed=9)
+        service = OpportunityService(market, n_shards=2)
+        report = await service.run(simulation_source(sim, n_blocks))
+        assert report.blocks_ingested == n_blocks
+        # oracle: batch-evaluate against the simulation's recorded log
+        assert book_pairs(report) == batch_book(market, sim.event_log)
+
+    async def test_simulation_source_requires_recording(self):
+        market, _ = make_workload(8, 16, 1, 1, seed=3)
+        sim = SimulationEngine(
+            market, [RetailTrader(seed=9)], record_events=False
+        )
+        with pytest.raises(ValueError, match="record_events"):
+            async for _ in simulation_source(sim, 1):
+                pass
+
+
+class TestSubscriptions:
+    async def test_live_subscriber_sees_every_delta_when_keeping_up(self, workload):
+        market, log = workload
+        service = OpportunityService(market, n_shards=2, queue_size=8)
+        sub = service.book.subscribe(maxsize=4096)
+        seen = []
+
+        async def consume():
+            while True:
+                delta = await sub.next_delta()
+                if delta is None:
+                    return
+                seen.append(delta.seq)
+
+        report, _ = await asyncio.gather(
+            service.run(log_source(log)), consume()
+        )
+        assert not sub.gapped
+        assert seen == sorted(seen)
+        assert seen and seen[-1] == report.book.seq
+        del report
+
+
+    async def test_subscription_between_runs_sees_the_next_run(self, workload):
+        market, _ = workload
+        first = generate_event_stream(market, n_blocks=2, events_per_block=4, seed=6)
+        second = generate_event_stream(market, n_blocks=2, events_per_block=4, seed=7)
+        service = OpportunityService(market, n_shards=1)
+        await service.run(log_source(first))
+        sub = service.book.subscribe(maxsize=4096)  # after run 1 quiesced
+        seen = []
+
+        async def consume():
+            while True:
+                delta = await sub.next_delta()
+                if delta is None:
+                    return
+                seen.append(delta.seq)
+
+        await asyncio.gather(service.run(log_source(second)), consume())
+        assert seen, "a between-runs subscriber must not be born dead"
+        assert seen[-1] == service.book.seq
+
+
+class TestReportShape:
+    async def test_metrics_and_report_fields(self, workload):
+        market, log = workload
+        service = OpportunityService(market, n_shards=2)
+        report = await service.run(log_source(log))
+        data = report.to_dict()
+        assert data["events_ingested"] == len(log)
+        assert data["n_shards"] == 2
+        assert data["events_per_s"] > 0
+        assert 0.0 <= data["cache_hit_rate"] <= 1.0
+        latencies = data["metrics"]["latencies"]
+        for stage in ("end_to_end", "shard_eval", "dispatch_wait"):
+            assert latencies[stage]["count"] > 0
+            assert latencies[stage]["p99_ms"] >= latencies[stage]["p50_ms"] >= 0
+        assert sum(data["loops_per_shard"]) == service.total_loops
+
+    def test_run_load_flattens_to_csv_row(self, tmp_path, workload):
+        from repro.service.loadgen import save_rows_csv
+
+        market, log = workload
+        report = run_load(market, log, n_shards=2, rate=0.0)
+        row = report.to_row()
+        assert row["events_per_s"] > 0
+        assert row["n_shards"] == 2
+        target = tmp_path / "load.csv"
+        save_rows_csv([report], target)
+        header, line = target.read_text().splitlines()
+        assert header.startswith("n_pools,")
+        assert line.split(",")[0] == str(row["n_pools"])

@@ -1,0 +1,132 @@
+"""PoolStateCache hit/miss accounting and reserve-keyed invalidation.
+
+The service's cache hit-rate metric is these counters aggregated over
+shard-local caches, so their semantics under interleaved reserve
+updates are pinned down here: a pool mutation changes the key (old
+entries are never hit again), reverting reserves re-hits the old
+entry, and accounting is exact throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import PoolStateCache
+from repro.engine.cache import rotation_state_key
+from repro.strategies import MaxMaxStrategy
+
+
+@pytest.fixture
+def rotation(s5_loop):
+    return s5_loop.rotations()[0]
+
+
+class TestAccounting:
+    def test_first_quote_is_a_miss_then_hits(self, rotation):
+        cache = PoolStateCache()
+        cache.rotation_quote(rotation)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.rotation_quote(rotation)
+        cache.rotation_quote(rotation)
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_swap_invalidates_by_key_change(self, rotation):
+        cache = PoolStateCache()
+        key_before = rotation_state_key(rotation, "closed_form")
+        cache.rotation_quote(rotation)
+        pool = rotation.pools[0]
+        pool.swap(rotation.start_token, 5.0)
+        assert rotation_state_key(rotation, "closed_form") != key_before
+        cache.rotation_quote(rotation)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_interleaved_updates_hit_exactly_when_reserves_repeat(self, rotation):
+        cache = PoolStateCache()
+        pool = rotation.pools[0]
+        r0 = pool.reserve_of(pool.token0)
+        r1 = pool.reserve_of(pool.token1)
+
+        cache.rotation_quote(rotation)          # miss: state A
+        pool.swap(rotation.start_token, 5.0)
+        cache.rotation_quote(rotation)          # miss: state B
+        # teleport the reserves back to state A (no public setter: the
+        # point is key equality, not any particular mutation path)
+        pool._reserve0, pool._reserve1 = r0, r1
+        cache.rotation_quote(rotation)          # hit: state A cached
+        cache.rotation_quote(rotation)          # hit again
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert len(cache) == 2                  # both states retained
+
+    def test_mint_and_burn_also_invalidate(self, rotation):
+        cache = PoolStateCache()
+        pool = rotation.pools[0]
+        cache.rotation_quote(rotation)
+        pool.add_liquidity(1.0, 2.0)
+        cache.rotation_quote(rotation)
+        pool.remove_liquidity(0.01)
+        cache.rotation_quote(rotation)
+        assert (cache.hits, cache.misses) == (0, 3)
+
+    def test_distinct_methods_do_not_collide(self, rotation):
+        cache = PoolStateCache()
+        cache.rotation_quote(rotation, method="closed_form")
+        cache.rotation_quote(rotation, method="bisection")
+        assert cache.misses == 2
+        cache.rotation_quote(rotation, method="closed_form")
+        assert cache.hits == 1
+
+    def test_clear_resets_counters_and_entries(self, rotation):
+        cache = PoolStateCache()
+        cache.rotation_quote(rotation)
+        cache.rotation_quote(rotation)
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_stats_snapshot(self, rotation):
+        cache = PoolStateCache(maxsize=128)
+        cache.rotation_quote(rotation)
+        cache.rotation_quote(rotation)
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1,
+            "maxsize": 128,
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+        }
+
+
+class TestEvaluateCachedAccounting:
+    def test_strategy_evaluation_counts_one_miss_per_rotation(self, s5_loop, s5_prices):
+        cache = PoolStateCache()
+        strategy = MaxMaxStrategy()
+        strategy.evaluate_cached(s5_loop, s5_prices, cache)
+        n = len(s5_loop)
+        assert cache.misses == n and cache.hits == 0
+        # unchanged reserves: a re-evaluation is all hits
+        strategy.evaluate_cached(s5_loop, s5_prices, cache)
+        assert cache.misses == n and cache.hits == n
+
+    def test_price_change_is_pure_hits(self, s5_loop, s5_prices):
+        from repro.core.types import Token
+
+        cache = PoolStateCache()
+        strategy = MaxMaxStrategy()
+        strategy.evaluate_cached(s5_loop, s5_prices, cache)
+        misses = cache.misses
+        bumped = s5_prices.with_price(Token("X"), 9.0)
+        strategy.evaluate_cached(s5_loop, bumped, cache)
+        assert cache.misses == misses  # optimization is price-independent
+
+    def test_reserve_change_in_one_pool_is_partial_invalidation(
+        self, s5_loop, s5_prices
+    ):
+        cache = PoolStateCache()
+        strategy = MaxMaxStrategy()
+        strategy.evaluate_cached(s5_loop, s5_prices, cache)
+        misses = cache.misses
+        s5_loop.pools[0].swap(s5_loop.tokens[0], 1.0)
+        strategy.evaluate_cached(s5_loop, s5_prices, cache)
+        # every rotation crosses the mutated pool, so all keys changed
+        assert cache.misses == misses + len(s5_loop)

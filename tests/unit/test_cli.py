@@ -18,6 +18,7 @@ class TestParser:
             "section5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "runtime", "calibrate", "detect",
             "harvest", "discrepancy", "efficiency", "sweep", "replay",
+            "serve", "loadgen",
         }
         assert expected <= set(sub.choices)
 
@@ -25,9 +26,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_unknown_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["figure-nine-hundred"])
+    def test_unknown_command_exits_2(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["figure-nine-hundred"])
+        assert exc_info.value.code == 2
+
+    def test_unknown_flag_exits_2(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["detect", "--no-such-flag"])
+        assert exc_info.value.code == 2
+
+    def test_version_exits_0_and_prints(self, capsys):
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro-arb {package_version()}"
+
+    def test_package_version_matches_source_tree(self):
+        import repro
+        from repro.cli import package_version
+
+        # uninstalled (PYTHONPATH) runs fall back to repro.__version__;
+        # installed runs must agree with it anyway
+        assert package_version() == repro.__version__
 
 
 class TestCommands:
@@ -79,6 +103,19 @@ class TestCommands:
         assert main(["detect", "--top", "2", "--jobs", "1"]) == 0
         out = capsys.readouterr().out
         assert "profitable length-3 loops" in out
+
+    def test_detect_csv_is_byte_stable_across_runs(self, capsys, tmp_path):
+        first = tmp_path / "a.csv"
+        second = tmp_path / "b.csv"
+        assert main(["detect", "--csv", str(first)]) == 0
+        assert main(["detect", "--csv", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        header, *rows = first.read_text().splitlines()
+        assert header == "rank,profit_usd,loop_id,path"
+        # ranked: profit descending with canonical-id tie-break
+        profits = [float(row.split(",")[1]) for row in rows]
+        assert profits == sorted(profits, reverse=True)
 
     def test_efficiency(self, capsys):
         assert main(["efficiency", "--blocks", "2"]) == 0
@@ -133,6 +170,84 @@ class TestCommands:
     def test_replay_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit, match="unknown strategy"):
             main(["replay", "--blocks", "1", "--strategies", "oracle"])
+
+    def test_serve_synthetic(self, capsys):
+        assert main([
+            "serve", "--pools", "18", "--tokens", "9", "--blocks", "4",
+            "--shards", "2", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s) [inline]" in out
+        assert "opportunities" in out
+        assert "end-to-end p50" in out
+
+    def test_serve_reports_and_csv(self, capsys, tmp_path):
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "book.csv"
+        assert main([
+            "serve", "--pools", "15", "--tokens", "8", "--blocks", "3",
+            "--json", str(json_path), "--csv", str(csv_path),
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        data = json.loads(json_path.read_text())
+        assert data["n_shards"] == 1 and data["events_ingested"] > 0
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("rank,profit_usd,loop_id")
+
+    def test_serve_file_source_round_trip(self, capsys, tmp_path):
+        stream = tmp_path / "stream.jsonl"
+        snapshot = tmp_path / "market.json"
+        assert main([
+            "replay", "--blocks", "2", "--pools", "15", "--tokens", "8",
+            "--seed", "3", "--save-events", str(stream),
+            "--save-snapshot", str(snapshot),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--events", str(stream), "--snapshot", str(snapshot),
+            "--shards", "2",
+        ]) == 0
+        assert "serving" in capsys.readouterr().out
+
+    def test_serve_simulation_source(self, capsys):
+        assert main([
+            "serve", "--simulate", "3", "--pools", "15", "--tokens", "8",
+        ]) == 0
+        assert "live simulation" in capsys.readouterr().out
+
+    def test_serve_rejects_conflicting_sources(self, tmp_path):
+        with pytest.raises(SystemExit, match="together"):
+            main(["serve", "--events", "s.jsonl"])
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["serve", "--events", "s.jsonl", "--snapshot", "m.json",
+                  "--simulate", "3"])
+
+    def test_serve_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit, match="unknown strategy"):
+            main(["serve", "--blocks", "1", "--strategy", "oracle"])
+
+    def test_serve_rejects_bad_shards(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["serve", "--shards", "0"])
+
+    def test_loadgen_rate_ladder_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "load.csv"
+        assert main([
+            "loadgen", "--pools", "15", "--tokens", "8", "--blocks", "3",
+            "--events-per-block", "3", "--rates", "0,5000",
+            "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "achieved ev/s" in out
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 3  # header + one row per rate
+        assert lines[0].startswith("n_pools,")
+
+    def test_loadgen_rejects_bad_rates(self):
+        with pytest.raises(SystemExit, match="--rates"):
+            main(["loadgen", "--rates", "fast"])
 
     def test_fig2_csv(self, capsys, tmp_path, monkeypatch):
         # shrink the grid for speed by monkeypatching the default grid

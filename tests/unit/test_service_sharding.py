@@ -1,0 +1,125 @@
+"""Unit tests for pool partitioning and event routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amm.events import BlockEvent, PriceTickEvent, SwapEvent
+from repro.data import SyntheticMarketGenerator
+from repro.engine import EvaluationEngine
+from repro.service import ShardPlan
+
+
+@pytest.fixture(scope="module")
+def market_and_loops():
+    market = SyntheticMarketGenerator(n_tokens=10, n_pools=25, seed=5).generate()
+    universe = EvaluationEngine().loop_universe(market.registry, 3)
+    return market, universe.candidates
+
+
+def make_plan(market, loops, n_shards):
+    return ShardPlan([p.pool_id for p in market.registry], loops, n_shards)
+
+
+class TestPartition:
+    def test_rejects_nonpositive_shards(self, market_and_loops):
+        market, loops = market_and_loops
+        with pytest.raises(ValueError, match="n_shards"):
+            make_plan(market, loops, 0)
+
+    def test_pool_ownership_is_balanced(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 4)
+        counts = [0, 0, 0, 0]
+        for shard in plan.pool_owner.values():
+            counts[shard] += 1
+        assert max(counts) - min(counts) <= 1
+
+    def test_every_loop_on_exactly_one_shard(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 3)
+        assert len(plan.loop_shard) == len(loops)
+        seen = [i for indices in plan.shard_loops for i in indices]
+        assert sorted(seen) == list(range(len(loops)))
+
+    def test_plan_is_deterministic(self, market_and_loops):
+        market, loops = market_and_loops
+        a = make_plan(market, loops, 3)
+        b = make_plan(market, loops, 3)
+        assert a.pool_owner == b.pool_owner
+        assert a.shard_loops == b.shard_loops
+
+    def test_single_shard_owns_everything(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 1)
+        assert set(plan.pool_owner.values()) == {0}
+        assert plan.loops_per_shard() == (len(loops),)
+
+
+class TestRouting:
+    def test_pool_events_reach_every_holding_shard(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 3)
+        for index, loop in enumerate(loops):
+            shard = plan.loop_shard[index]
+            for pool in loop.pools:
+                assert shard in plan.shards_for_pool(pool.pool_id)
+
+    def test_ticks_reach_every_holding_shard(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 3)
+        for index, loop in enumerate(loops):
+            shard = plan.loop_shard[index]
+            for token in loop.tokens:
+                assert shard in plan.shards_for_token(token)
+
+    def test_block_markers_route_nowhere(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 3)
+        assert plan.shards_for_event(BlockEvent(block=0)) == ()
+
+    def test_unknown_pool_routes_nowhere(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 2)
+        assert plan.shards_for_pool("no-such-pool") == ()
+
+    def test_route_block_raises_on_unknown_pool_event(self, market_and_loops):
+        from repro.core.errors import UnknownPoolError
+
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 2)
+        pool = loops[0].pools[0]
+        bogus = SwapEvent(
+            pool_id="no-such-pool", token_in=pool.token0,
+            token_out=pool.token1, amount_in=1.0, amount_out=0.9, block=0,
+        )
+        with pytest.raises(UnknownPoolError, match="no-such-pool"):
+            plan.route_block([bogus])
+
+    def test_route_block_preserves_stream_order(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 2)
+        pool = loops[0].pools[0]
+        token = loops[0].tokens[0]
+        events = [
+            SwapEvent(
+                pool_id=pool.pool_id, token_in=pool.token0,
+                token_out=pool.token1, amount_in=1.0, amount_out=0.9, block=0,
+            ),
+            PriceTickEvent(token=token, price=2.0, block=0),
+            SwapEvent(
+                pool_id=pool.pool_id, token_in=pool.token1,
+                token_out=pool.token0, amount_in=0.5, amount_out=0.4, block=0,
+            ),
+        ]
+        routed = plan.route_block(events)
+        shard = plan.loop_shard[0]
+        mine = routed[shard]
+        # this shard's sub-stream preserves relative order of its events
+        positions = [events.index(e) for e in mine]
+        assert positions == sorted(positions)
+
+    def test_repr_summarizes(self, market_and_loops):
+        market, loops = market_and_loops
+        plan = make_plan(market, loops, 2)
+        assert "2 shards" in repr(plan)
