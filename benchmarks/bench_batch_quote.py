@@ -1,0 +1,162 @@
+"""Throughput benchmark: per-loop scalar evaluation vs the cross-loop
+batch quote kernel.
+
+Builds complete token graphs (optionally with parallel pools) whose
+length-3 loop universes ladder from 10² to ~10⁴ loops, then scores
+every loop with MaxMax twice — once loop by loop on the scalar object
+path (the seed code path), once through
+:class:`~repro.market.BatchEvaluator` (hop-index matrices over
+structure-of-arrays reserves, one vectorized pass per rotation).
+
+Parity is asserted with ``==`` on every loop before a timing counts —
+the kernel's contract is bit-identical results, not a tolerance.  The
+acceptance criterion is **batch ≥ 5× scalar at ~10⁴ loops** (≥ 3× at
+the smaller smoke sizes CI runs).
+
+Run standalone (CI runs the smoke variant and uploads the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_quote.py --smoke --json out.json
+
+or the full ladder::
+
+    PYTHONPATH=src python benchmarks/bench_batch_quote.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.amm.registry import PoolRegistry
+from repro.core.types import PriceMap, Token
+from repro.engine import LoopUniverse
+from repro.market import BatchEvaluator, MarketArrays
+from repro.strategies import MaxMaxStrategy
+
+#: (n_tokens, pools_per_pair) — complete graphs; loop count is
+#: C(n,3) * pools_per_pair^3 * 2 directions.
+FULL_CASES = [(8, 1), (15, 1), (17, 2)]  # ~112 / ~910 / ~10880 loops
+SMOKE_CASES = [(8, 1), (15, 1)]
+
+MIN_SPEEDUP_FULL = 5.0  # at the 10^4-loop case
+MIN_SPEEDUP_SMOKE = 3.0
+
+
+def make_market(n_tokens: int, pools_per_pair: int, seed: int):
+    """Complete pool graph over ``n_tokens`` with random reserves."""
+    rng = np.random.default_rng(seed)
+    tokens = [Token(f"T{i:02d}") for i in range(n_tokens)]
+    registry = PoolRegistry()
+    pid = 0
+    for i in range(n_tokens):
+        for j in range(i + 1, n_tokens):
+            for _ in range(pools_per_pair):
+                registry.create(
+                    tokens[i],
+                    tokens[j],
+                    float(rng.uniform(1e3, 5e4)),
+                    float(rng.uniform(1e3, 5e4)),
+                    pool_id=f"p{pid}",
+                )
+                pid += 1
+    prices = PriceMap(
+        {t: float(rng.uniform(0.1, 100.0)) for t in tokens}
+    )
+    return registry, prices
+
+
+def run_case(n_tokens: int, pools_per_pair: int, repeats: int, seed: int = 7) -> dict:
+    registry, prices = make_market(n_tokens, pools_per_pair, seed)
+    loops = list(LoopUniverse(registry, 3).candidates)
+    strategy = MaxMaxStrategy()
+
+    t0 = time.perf_counter()
+    evaluator = BatchEvaluator(
+        loops, arrays=MarketArrays.from_registry(registry)
+    )
+    compile_s = time.perf_counter() - t0
+
+    def best_of(fn):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    scalar_s, scalar = best_of(lambda: strategy.evaluate_many(loops, prices))
+    batch_s, batch = best_of(lambda: evaluator.evaluate_many(strategy, prices))
+
+    for k, (ref, got) in enumerate(zip(scalar, batch)):
+        assert got.monetized_profit == ref.monetized_profit, f"parity at loop {k}"
+        assert got.amount_in == ref.amount_in, f"parity at loop {k}"
+        assert got.hop_amounts == ref.hop_amounts, f"parity at loop {k}"
+
+    return {
+        "n_tokens": n_tokens,
+        "pools_per_pair": pools_per_pair,
+        "n_pools": len(registry),
+        "n_loops": len(loops),
+        "compile_s": compile_s,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_loops_per_s": len(loops) / scalar_s if scalar_s > 0 else float("inf"),
+        "batch_loops_per_s": len(loops) / batch_s if batch_s > 0 else float("inf"),
+        "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes only (CI)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--json", help="write results to a JSON file")
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    min_speedup = MIN_SPEEDUP_SMOKE if args.smoke else MIN_SPEEDUP_FULL
+    results = []
+    for n_tokens, pools_per_pair in cases:
+        result = run_case(n_tokens, pools_per_pair, args.repeats)
+        results.append(result)
+        print(
+            f"{result['n_loops']:>6} loops ({result['n_pools']} pools): "
+            f"scalar {result['scalar_s'] * 1e3:8.1f} ms, "
+            f"batch {result['batch_s'] * 1e3:7.1f} ms "
+            f"(compile {result['compile_s'] * 1e3:.1f} ms) -> "
+            f"{result['speedup']:.1f}x"
+        )
+
+    largest = results[-1]
+    ok = largest["speedup"] >= min_speedup
+    print(
+        f"acceptance: batch >= {min_speedup:.0f}x scalar at "
+        f"{largest['n_loops']} loops -> "
+        f"{'PASS' if ok else 'FAIL'} ({largest['speedup']:.1f}x)"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "batch_quote",
+            "smoke": args.smoke,
+            "min_speedup": min_speedup,
+            "cases": results,
+            "pass": ok,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+def test_batch_quote_smoke():
+    assert main(["--smoke", "--repeats", "2"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,6 @@ against the CPMM closed form.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.amm import Pool, WeightedPool
 from repro.core import ArbitrageLoop, PriceMap, Token

@@ -84,6 +84,10 @@ from .graph import (
     find_negative_cycle,
     graph_summary,
 )
+from .market import (
+    BatchEvaluator,
+    MarketArrays,
+)
 from .replay import (
     BlockReport,
     MarketEventLog,
@@ -110,13 +114,14 @@ from .strategies import (
     make_strategy,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ArbitrageLoop",
     "BlockEvent",
     "BlockReport",
     "BurnEvent",
+    "BatchEvaluator",
     "ConvexOptimizationStrategy",
     "DEFAULT_FEE",
     "EvaluationBatch",
@@ -126,6 +131,7 @@ __all__ = [
     "ExecutionReceipt",
     "ExecutionSimulator",
     "FlashLoanProvider",
+    "MarketArrays",
     "MarketEvent",
     "MarketEventLog",
     "MarketSnapshot",

@@ -136,6 +136,16 @@ class WeightedPool:
         return self._fee
 
     @property
+    def reserve0(self) -> float:
+        """Current reserve of ``token0`` (duck-parity with ``Pool``)."""
+        return self._reserve0
+
+    @property
+    def reserve1(self) -> float:
+        """Current reserve of ``token1``."""
+        return self._reserve1
+
+    @property
     def events(self) -> tuple[MarketEvent, ...]:
         return tuple(self._events)
 

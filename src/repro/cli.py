@@ -115,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for scoring (1 = serial)")
+    p.add_argument("--scalar", action="store_true",
+                   help="disable the cross-loop batch kernel and score "
+                   "every loop on the scalar path (correctness oracle; "
+                   "identical numbers, slower)")
     p.add_argument("--csv", help="write the full ranked list to a CSV file "
                    "(deterministic: profit desc, canonical loop id asc)")
 
@@ -167,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategies", default="maxmax",
                    help="comma-separated registry names to score loops with")
     p.add_argument("--mode", choices=("incremental", "full"), default="incremental")
+    p.add_argument("--scalar", action="store_true",
+                   help="disable the cross-loop batch kernel for per-block "
+                   "re-quotes (correctness oracle; identical numbers, slower)")
     p.add_argument("--save-events", help="write the replayed stream to a JSONL file")
     p.add_argument("--save-snapshot",
                    help="write the starting market to a JSON file "
@@ -335,6 +342,8 @@ def _cmd_detect(args) -> None:
 
     _snapshot, loops = analysis.profitable_loops(snapshot, args.length)
     engine = _make_engine(args.jobs)
+    if args.scalar:
+        engine.vectorize = False
     results = engine.evaluate_strategy(MaxMaxStrategy(), loops, snapshot.prices)
     # profit descending, canonical loop id ascending on ties: the same
     # total order the opportunity book uses, so output (and any CSV
@@ -518,8 +527,14 @@ def _cmd_replay(args) -> None:
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
 
+    engine = None
+    if args.scalar:
+        from .engine import EvaluationEngine
+
+        engine = EvaluationEngine(vectorize=False)
     driver = ReplayDriver(
-        market, strategies=strategies, length=args.length, mode=args.mode
+        market, strategies=strategies, length=args.length, mode=args.mode,
+        engine=engine,
     )
     result = driver.replay(log)
 

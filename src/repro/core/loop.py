@@ -57,6 +57,11 @@ class Rotation:
         return self._loop
 
     @property
+    def offset(self) -> int:
+        """Start position of this rotation in the loop's token order."""
+        return self._offset
+
+    @property
     def start_token(self) -> Token:
         return self._loop.tokens[self._offset]
 
@@ -208,6 +213,36 @@ class ArbitrageLoop:
         )
         best = min(range(n), key=lambda i: hop_keys[i:] + hop_keys[:i])
         return hop_keys[best:] + hop_keys[:best]
+
+    @cached_property
+    def rotation_key_statics(self) -> tuple:
+        """Per-rotation static key material, computed once per loop.
+
+        Entry ``offset`` is ``(static, hop_refs)``: ``static`` is the
+        hashable reserve-independent identity of the rotation (per hop:
+        pool id, input-token symbol, fee — all immutable), ``hop_refs``
+        the ``(pool, token_in, is_token0)`` triples a caller needs to
+        gather *only the reserves* per lookup.  ``is_token0`` is
+        ``None`` for pools without the ``token0`` / ``reserve0``
+        fast-path attributes.  The engine's reserve-keyed cache builds
+        its keys from this instead of re-walking the hops every call.
+        """
+        n = len(self._tokens)
+        statics = []
+        for offset in range(n):
+            static = []
+            refs = []
+            for i in range(n):
+                token_in = self._tokens[(offset + i) % n]
+                pool = self._pools[(offset + i) % n]
+                static.append((pool.pool_id, token_in.symbol, pool.fee))
+                token0 = getattr(pool, "token0", None)
+                if token0 is not None and hasattr(pool, "reserve0"):
+                    refs.append((pool, token_in, token_in == token0))
+                else:
+                    refs.append((pool, token_in, None))
+            statics.append((tuple(static), tuple(refs)))
+        return tuple(statics)
 
     @property
     def canonical_id(self) -> str:

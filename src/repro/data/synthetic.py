@@ -215,6 +215,15 @@ class SyntheticMarketGenerator:
                 scale = floor / min_reserve
                 reserve_a *= scale
                 reserve_b *= scale
+            # The noise multiplier shrinks one side, so a pool drawn
+            # near the TVL floor can land below it post-noise; scale it
+            # back up only in that case, so every seed that already
+            # satisfied the contract is reproduced unchanged.
+            tvl_now = prices[a] * reserve_a + prices[b] * reserve_b
+            if tvl_now < PAPER_MIN_TVL_USD:
+                scale = PAPER_MIN_TVL_USD * 1.05 / tvl_now
+                reserve_a *= scale
+                reserve_b *= scale
             registry.create(
                 a,
                 b,

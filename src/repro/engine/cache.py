@@ -36,12 +36,23 @@ def rotation_state_key(rotation: Rotation, method: str) -> tuple:
     oriented reserves, and fee.  Weighted-pool weights are immutable
     attributes of the pool identified by ``pool_id``, so reserves +
     identity pin the quote for them too.
+
+    The static part (pool ids, symbols, fees — everything but the
+    reserves) is precomputed once per loop
+    (:attr:`repro.core.loop.ArbitrageLoop.rotation_key_statics`), so a
+    lookup only gathers the current reserves; on the hot per-block
+    paths this key is built once per rotation per cache access.
     """
-    parts: list = [method]
-    for token_in, _token_out, pool in rotation.hops():
-        x, y = pool.reserves_oriented(token_in)
-        parts.append((pool.pool_id, token_in.symbol, x, y, pool.fee))
-    return tuple(parts)
+    static, hop_refs = rotation.loop.rotation_key_statics[rotation.offset]
+    reserves = []
+    for pool, token_in, is_token0 in hop_refs:
+        if is_token0 is None:
+            reserves.append(pool.reserves_oriented(token_in))
+        elif is_token0:
+            reserves.append((pool.reserve0, pool.reserve1))
+        else:
+            reserves.append((pool.reserve1, pool.reserve0))
+    return (method, static, tuple(reserves))
 
 
 class PoolStateCache:

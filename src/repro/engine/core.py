@@ -14,7 +14,12 @@ CLI — routes through.  It composes three independent accelerations:
 * the vectorized numpy grid kernels (:mod:`repro.engine.vectorized`)
   for the closed-form strategies, reached through each strategy's
   ``evaluate_grid`` override, with automatic scalar fallback for
-  weighted pools and the convex strategy.
+  weighted pools and the convex strategy;
+* the cross-loop batch kernel (:mod:`repro.market`): loops-at-one-
+  price-map calls on the serial executor compile eligible
+  constant-product loops into hop-index matrices over columnar
+  reserves and quote them all in one vectorized pass per rotation,
+  with built-in scalar fallback for everything else.
 
 Results are always identical to the scalar path — the engine changes
 *when* work happens, never *what* is computed.
@@ -42,6 +47,11 @@ from .executors import Executor, SerialExecutor
 from .request import BatchResult, EvaluationBatch
 
 __all__ = ["EvaluationEngine", "LoopUniverse"]
+
+#: Loop batches below this size skip building a batch evaluator: the
+#: compile + numpy dispatch overhead only pays for itself across tens
+#: of loops.
+_MIN_BATCH_LOOPS = 16
 
 
 class LoopUniverse:
@@ -123,6 +133,13 @@ class EvaluationEngine:
         # least recently used topology instead of pinning them all.
         self._universes: OrderedDict[tuple, LoopUniverse] = OrderedDict()
         self._max_universes = 8
+        # Batch evaluators memoized like universes: compiled hop
+        # matrices are reserve-independent, so iterative consumers
+        # (harvest rounds re-scoring a universe's filtered sub-lists)
+        # pay compilation once and only refresh the reserve columns.
+        self._batch_evaluators: OrderedDict[int, "object"] = OrderedDict()
+        self._max_batch_evaluators = 4
+        self._batch_evaluator_counter = 0
 
     def __repr__(self) -> str:
         return (
@@ -151,8 +168,21 @@ class EvaluationEngine:
         loops: Sequence[ArbitrageLoop],
         prices: PriceMap,
     ) -> list[StrategyResult]:
-        """One strategy over many loops at one price map."""
+        """One strategy over many loops at one price map.
+
+        On the serial executor, eligible loops (constant-product, under
+        a closed-form fixed-start strategy) take the cross-loop batch
+        kernel; everything else — and everything when
+        ``vectorize=False`` — evaluates scalar, with identical numbers
+        either way.
+        """
         if isinstance(self.executor, SerialExecutor):
+            picked = self._batch_evaluator([strategy], loops)
+            if picked is not None:
+                evaluator, indices = picked
+                return evaluator.evaluate_many(
+                    strategy, prices, indices=indices, cache=self.cache
+                )
             return strategy.evaluate_many(loops, prices, cache=self.cache)
         batch = EvaluationBatch.cross({strategy.name: strategy}, loops, prices)
         return list(self.run(batch).results)
@@ -163,8 +193,21 @@ class EvaluationEngine:
         loops: Sequence[ArbitrageLoop],
         prices: PriceMap,
     ) -> dict[str, list[StrategyResult]]:
-        """Several labeled strategies over many loops at one price map."""
+        """Several labeled strategies over many loops at one price map.
+
+        The batch evaluator (arrays + compiled hop matrices) is built
+        once and shared across all labels.
+        """
         if isinstance(self.executor, SerialExecutor):
+            picked = self._batch_evaluator(strategies.values(), loops)
+            if picked is not None:
+                evaluator, indices = picked
+                return {
+                    label: evaluator.evaluate_many(
+                        strategy, prices, indices=indices, cache=self.cache
+                    )
+                    for label, strategy in strategies.items()
+                }
             return {
                 label: strategy.evaluate_many(loops, prices, cache=self.cache)
                 for label, strategy in strategies.items()
@@ -173,6 +216,39 @@ class EvaluationEngine:
         grouped = self.run(batch).by_label()
         # preserve the caller's label order, including empty loop lists
         return {label: grouped.get(label, []) for label in strategies}
+
+    def _batch_evaluator(self, strategies, loops):
+        """``(evaluator, indices)`` routing ``loops`` through the batch
+        kernel, or ``None`` when the batch path cannot win
+        (vectorization off, batch too small, or no batchable strategy
+        in the mix).
+
+        A memoized evaluator whose compiled loop set covers every
+        requested loop (by object identity — e.g. a universe's filtered
+        sub-list on a later harvest round) is reused after a reserve
+        refresh; otherwise a fresh one is compiled and memoized.
+        ``indices`` maps the request onto the evaluator's positions
+        (``None`` means "all, in order" for a fresh build).
+        """
+        if not self.vectorize or len(loops) < _MIN_BATCH_LOOPS:
+            return None
+        from ..market import BatchEvaluator, batch_kind
+
+        if all(batch_kind(strategy) is None for strategy in strategies):
+            return None
+        for key in reversed(self._batch_evaluators):
+            evaluator = self._batch_evaluators[key]
+            indices = evaluator.positions_for(loops)
+            if indices is not None:
+                self._batch_evaluators.move_to_end(key)
+                evaluator.refresh()
+                return evaluator, indices
+        evaluator = BatchEvaluator(loops)
+        self._batch_evaluator_counter += 1
+        self._batch_evaluators[self._batch_evaluator_counter] = evaluator
+        if len(self._batch_evaluators) > self._max_batch_evaluators:
+            self._batch_evaluators.popitem(last=False)
+        return evaluator, None
 
     def sweep_results(
         self,

@@ -1,0 +1,35 @@
+"""Columnar market state and the cross-loop batch quote kernel.
+
+The :mod:`repro.market` layer sits between the object-level AMM model
+(:mod:`repro.amm`) and the consumers that evaluate many loops per
+step (:mod:`repro.engine`, :mod:`repro.replay`, :mod:`repro.service`):
+
+* :class:`MarketArrays` — structure-of-arrays reserves/fees with pool
+  and token index maps, built from and round-trippable to a
+  :class:`~repro.amm.registry.PoolRegistry`, with in-place (and, for
+  distinct-pool batches, vectorized) event application;
+* :func:`compile_loops` / :class:`CompiledLoopGroup` — loops × hops
+  pool-index and orientation matrices over a fixed arrays instance;
+* :func:`batch_quotes` — the kernel: optimal input, hop amounts, and
+  single-token profit for one rotation of *every* compiled loop in a
+  single vectorized pass, bit-identical to the scalar path;
+* :class:`BatchEvaluator` — strategy dispatch (traditional / MaxPrice
+  / MaxMax on the closed-form solver) with built-in scalar fallback
+  for weighted hops, non-batchable strategies, and tiny dirty sets.
+"""
+
+from .arrays import MarketArrays
+from .batch import BatchEvaluator, batch_kind
+from .compile import CompiledLoopGroup, compile_loops
+from .kernel import BatchQuotes, batch_quotes, monetize_quotes
+
+__all__ = [
+    "BatchEvaluator",
+    "BatchQuotes",
+    "CompiledLoopGroup",
+    "MarketArrays",
+    "batch_kind",
+    "batch_quotes",
+    "compile_loops",
+    "monetize_quotes",
+]

@@ -1,0 +1,385 @@
+"""Strategy-level batch evaluation over columnar market state.
+
+:class:`BatchEvaluator` is the piece the engine, the replay driver,
+and the service's shard workers share: a fixed loop list compiled once
+against a :class:`~repro.market.arrays.MarketArrays`, plus
+``evaluate_many`` — the batch twin of
+:meth:`repro.strategies.base.Strategy.evaluate_many` that quotes every
+requested constant-product loop in one kernel pass per rotation and
+returns :class:`~repro.strategies.base.StrategyResult` objects
+bit-identical to the scalar path.
+
+Scalar fallbacks are built in, so callers never special-case:
+
+* strategies without a closed-form batch kind (convex, or any
+  fixed-start strategy on a non-``closed_form`` solver) run loop by
+  loop through ``evaluate_cached``;
+* loops with weighted hops (or pools outside the arrays) stay scalar
+  even under a batchable strategy;
+* dirty sets smaller than ``min_batch`` skip the kernel — below a few
+  loops, fixed numpy dispatch overhead beats the win, and the scalar
+  path can hit the reserve-keyed cache.
+
+Whatever the route, the numbers are the same; only the wall-clock
+differs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.errors import MissingPriceError, StrategyError
+from ..core.loop import ArbitrageLoop, Rotation
+from ..core.types import PriceMap
+from ..strategies.base import Strategy, StrategyResult
+from ..strategies.maxmax import MaxMaxStrategy
+from ..strategies.maxprice import MaxPriceStrategy
+from ..strategies.traditional import (
+    TraditionalStrategy,
+    quote_profit_vector,
+    result_from_quote,
+)
+from .arrays import MarketArrays
+from .compile import CompiledLoopGroup, compile_loops
+from .kernel import BatchQuotes, batch_quotes, monetize_quotes
+
+__all__ = ["BatchEvaluator", "batch_kind"]
+
+#: Below this many loops per compiled group, the kernel's fixed numpy
+#: dispatch overhead outweighs the vectorization win; such slices run
+#: scalar (where they may also hit the rotation cache).
+DEFAULT_MIN_BATCH = 8
+
+
+def batch_kind(strategy: Strategy) -> str | None:
+    """The kernel dispatch kind of a strategy, or ``None`` if it must
+    stay scalar.
+
+    Only the exact fixed-start classes on the ``closed_form`` solver
+    qualify: subclasses may override evaluation arbitrarily, and the
+    iterative solvers differ from the closed form in their reported
+    iteration counts (the batch kernel *is* the closed form).
+    """
+    if type(strategy) is TraditionalStrategy and strategy.method == "closed_form":
+        return "traditional"
+    if type(strategy) is MaxPriceStrategy and strategy.method == "closed_form":
+        return "maxprice"
+    if type(strategy) is MaxMaxStrategy and strategy.method == "closed_form":
+        return "maxmax"
+    return None
+
+
+class BatchEvaluator:
+    """A fixed loop list compiled against columnar market state.
+
+    Parameters
+    ----------
+    loops:
+        The loop sequence this evaluator answers for; ``indices``
+        passed to :meth:`evaluate_many` are positions into it.
+    arrays:
+        Columnar reserves the compiled hop matrices address.  When
+        omitted, arrays are built over exactly the pools the loops
+        cross.  The caller owns keeping them fresh (see
+        :meth:`pull`).
+    min_batch:
+        Smallest per-group slice worth a kernel pass.
+    """
+
+    def __init__(
+        self,
+        loops: Sequence[ArbitrageLoop],
+        arrays: MarketArrays | None = None,
+        min_batch: int = DEFAULT_MIN_BATCH,
+    ):
+        self.loops: tuple[ArbitrageLoop, ...] = tuple(loops)
+        self._source_pools: list | None = None
+        if arrays is None:
+            pools: dict[str, object] = {}
+            for loop in self.loops:
+                for pool in loop.pools:
+                    pools.setdefault(pool.pool_id, pool)
+            arrays = MarketArrays(pools.values())
+            # kept row-aligned with the arrays so `refresh` can re-read
+            # the live pools without a registry
+            self._source_pools = list(pools.values())
+        self.arrays = arrays
+        self.min_batch = min_batch
+        self.groups, self.fallback_positions = compile_loops(
+            self.loops, arrays
+        )
+        self._where: dict[int, tuple[int, int]] = {}
+        for gi, group in enumerate(self.groups):
+            for row, position in enumerate(group.positions):
+                self._where[int(position)] = (gi, row)
+        # self.loops holds strong references, so an id match below can
+        # only ever mean "the same live object"
+        self._position_by_id: dict[int, int] = {
+            id(loop): position for position, loop in enumerate(self.loops)
+        }
+
+    def __repr__(self) -> str:
+        compiled = sum(len(g) for g in self.groups)
+        return (
+            f"BatchEvaluator({len(self.loops)} loops: {compiled} compiled "
+            f"in {len(self.groups)} group(s), "
+            f"{len(self.fallback_positions)} scalar-only)"
+        )
+
+    @property
+    def compiled_count(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    def pull(
+        self, registry, pool_ids: Iterable[str] | None = None
+    ) -> None:
+        """Refresh the arrays from live pool objects (see
+        :meth:`MarketArrays.pull`)."""
+        self.arrays.pull(registry, pool_ids)
+
+    def refresh(self) -> None:
+        """Re-read every source pool's current reserves into the arrays.
+
+        Only available when the evaluator built its own arrays (it then
+        kept the live pool references row-aligned); the engine's
+        evaluator memo calls this before every reuse, so reserve
+        mutations between calls are always visible.  Callers that
+        supplied their own arrays refresh via :meth:`pull` instead.
+        """
+        if self._source_pools is None:
+            raise RuntimeError(
+                "this evaluator's arrays are caller-owned; refresh them "
+                "with pull(registry, dirty_pool_ids)"
+            )
+        reserve0, reserve1 = self.arrays.reserve0, self.arrays.reserve1
+        for i, pool in enumerate(self._source_pools):
+            reserve0[i] = pool.reserve_of(pool.token0)
+            reserve1[i] = pool.reserve_of(pool.token1)
+
+    def positions_for(self, loops: Sequence[ArbitrageLoop]) -> list[int] | None:
+        """Positions of ``loops`` in this evaluator's loop list, or
+        ``None`` unless *every* one is the same live object compiled
+        here (the engine memo's subset test — a universe's filtered
+        sub-lists hit, anything else rebuilds)."""
+        by_id = self._position_by_id
+        positions = []
+        for loop in loops:
+            position = by_id.get(id(loop))
+            if position is None:
+                return None
+            positions.append(position)
+        return positions
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_many(
+        self,
+        strategy: Strategy,
+        prices: PriceMap,
+        indices: Sequence[int] | None = None,
+        cache=None,
+    ) -> list[StrategyResult]:
+        """Evaluate ``strategy`` on the loops at ``indices`` (all loops
+        when ``None``); result ``i`` answers ``indices[i]``.
+
+        Bit-identical to ``[strategy.evaluate_cached(loops[i], prices,
+        cache) for i in indices]`` — the kernel handles eligible
+        slices, everything else falls back to exactly that call.
+        """
+        positions = (
+            list(indices) if indices is not None else list(range(len(self.loops)))
+        )
+        results: dict[int, StrategyResult] = {}
+        kind = batch_kind(strategy)
+        if kind is not None:
+            by_group: dict[int, list[int]] = {}
+            for position in positions:
+                where = self._where.get(position)
+                if where is not None:
+                    by_group.setdefault(where[0], []).append(where[1])
+            for gi, rows in by_group.items():
+                if len(rows) < self.min_batch:
+                    continue  # scalar fallback below
+                group = self.groups[gi]
+                sub = group if len(rows) == len(group) else group.rows(rows)
+                for position, result in zip(
+                    sub.positions, _evaluate_group(kind, strategy, self.arrays, sub, prices)
+                ):
+                    results[int(position)] = result
+        for position in positions:
+            if position not in results:
+                results[position] = strategy.evaluate_cached(
+                    self.loops[position], prices, cache
+                )
+        return [results[position] for position in positions]
+
+
+# ----------------------------------------------------------------------
+# per-kind group evaluation
+# ----------------------------------------------------------------------
+
+
+def _assemble(
+    group: CompiledLoopGroup,
+    k: int,
+    offset: int,
+    quotes: BatchQuotes,
+    monetized: float,
+    strategy_name: str,
+    extra_details: dict | None = None,
+) -> StrategyResult:
+    rotation = Rotation(group.loops[k], offset)
+    quote = quotes.quote(k)
+    return result_from_quote(
+        rotation,
+        quote,
+        None,
+        strategy_name,
+        "closed_form",
+        profit=quote_profit_vector(rotation, quote),
+        monetized=monetized,
+        extra_details=extra_details,
+    )
+
+
+def _raise_missing_price(group: CompiledLoopGroup, k: int, offset: int):
+    token = group.loops[k].tokens[offset]
+    raise MissingPriceError(f"no CEX price for token {token.symbol!r}")
+
+
+def _check_monetized(
+    monetized: np.ndarray, group: CompiledLoopGroup, offsets: np.ndarray
+) -> None:
+    """A NaN can only come from monetizing a profitable rotation whose
+    start token has no CEX price — the case where the scalar path
+    raises too."""
+    bad = np.isnan(monetized)
+    if bad.any():
+        k = int(np.argmax(bad))
+        _raise_missing_price(group, k, int(offsets[k]))
+
+
+def _evaluate_group(
+    kind: str,
+    strategy: Strategy,
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    prices: PriceMap,
+) -> list[StrategyResult]:
+    if kind == "traditional":
+        return _traditional_group(strategy, arrays, group, prices)
+    if kind == "maxprice":
+        return _maxprice_group(strategy, arrays, group, prices)
+    return _maxmax_group(strategy, arrays, group, prices)
+
+
+def _traditional_group(
+    strategy: TraditionalStrategy,
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    prices: PriceMap,
+) -> list[StrategyResult]:
+    count = len(group)
+    start = strategy.start_token
+    if start is None:
+        offsets = np.zeros(count, dtype=np.intp)
+    else:
+        offset_list = []
+        for loop, token_offset in zip(group.loops, group.token_offset):
+            offset = token_offset.get(start)
+            if offset is None:
+                raise StrategyError(
+                    f"start token {start} is not in {loop!r}; the traditional "
+                    "strategy needs a loop through its numeraire"
+                )
+            offset_list.append(offset)
+        offsets = np.asarray(offset_list, dtype=np.intp)
+    quotes = batch_quotes(arrays, group, offsets)
+    price_vec = arrays.price_vector(prices)
+    start_prices = price_vec[group.token_idx[np.arange(count), offsets]]
+    monetized = monetize_quotes(quotes, start_prices)
+    _check_monetized(monetized, group, offsets)
+    return [
+        _assemble(group, k, int(offsets[k]), quotes, float(monetized[k]),
+                  strategy.name)
+        for k in range(count)
+    ]
+
+
+def _maxprice_group(
+    strategy: MaxPriceStrategy,
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    prices: PriceMap,
+) -> list[StrategyResult]:
+    count = len(group)
+    price_vec = arrays.price_vector(prices)
+    price_matrix = price_vec[group.token_idx]
+    missing = np.isnan(price_matrix)
+    if missing.any():
+        k = int(np.argmax(missing.any(axis=1)))
+        _raise_missing_price(group, k, int(np.argmax(missing[k])))
+    # ``max_price_token``: highest price, ties to the smallest symbol.
+    # Ranks are a per-row permutation, so masking non-maximal columns
+    # to `length` and taking argmin reproduces the (-price, symbol)
+    # sort exactly.
+    row_max = price_matrix.max(axis=1)
+    ranked = np.where(
+        price_matrix == row_max[:, None], group.symbol_rank, group.length
+    )
+    offsets = np.argmin(ranked, axis=1)
+    quotes = batch_quotes(arrays, group, offsets)
+    start_prices = price_matrix[np.arange(count), offsets]
+    monetized = monetize_quotes(quotes, start_prices)
+    return [
+        _assemble(group, k, int(offsets[k]), quotes, float(monetized[k]),
+                  strategy.name)
+        for k in range(count)
+    ]
+
+
+def _maxmax_group(
+    strategy: MaxMaxStrategy,
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    prices: PriceMap,
+) -> list[StrategyResult]:
+    count = len(group)
+    n = group.length
+    price_vec = arrays.price_vector(prices)
+    quotes_by_offset: list[BatchQuotes] = []
+    monetized = np.empty((n, count), dtype=np.float64)
+    for offset in range(n):
+        quotes = batch_quotes(arrays, group, offset)
+        quotes_by_offset.append(quotes)
+        start_prices = price_vec[group.token_idx[:, offset]]
+        monetized[offset] = monetize_quotes(quotes, start_prices)
+    bad = np.isnan(monetized)
+    if bad.any():
+        k = int(np.argmax(bad.any(axis=0)))
+        _raise_missing_price(group, k, int(np.argmax(bad[:, k])))
+    # first maximal rotation wins, like the scalar strict-`>` scan
+    best = np.argmax(monetized, axis=0)
+    results = []
+    for k in range(count):
+        offset = int(best[k])
+        loop = group.loops[k]
+        per_rotation = {
+            loop.tokens[j].symbol: float(monetized[j, k]) for j in range(n)
+        }
+        results.append(
+            _assemble(
+                group,
+                k,
+                offset,
+                quotes_by_offset[offset],
+                float(monetized[offset, k]),
+                strategy.name,
+                {"per_rotation": per_rotation},
+            )
+        )
+    return results

@@ -1,0 +1,150 @@
+"""Compile arbitrage loops into hop-index matrices over a MarketArrays.
+
+A :class:`CompiledLoopGroup` is the bridge between loop *objects* and
+the columnar market state: for every loop of one length it stores, per
+hop of the base rotation, the pool's row in the arrays and the hop's
+orientation (is the input token the pool's ``token0``?).  A rotation
+is then just a cyclic column shift, so the batch kernel can evaluate
+any rotation of every loop with pure gathers — no object traversal.
+
+Loops are *eligible* for compilation when every hop is a
+constant-product pool present in the arrays; everything else (weighted
+hops, foreign pools) lands in the fallback set and keeps the scalar
+path.  Grouping by loop length keeps each matrix rectangular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.loop import ArbitrageLoop
+from ..core.types import Token
+from .arrays import MarketArrays
+
+__all__ = ["CompiledLoopGroup", "compile_loops"]
+
+
+@dataclass(frozen=True)
+class CompiledLoopGroup:
+    """Hop-index matrices for all compiled loops of one length.
+
+    Attributes
+    ----------
+    positions:
+        Row ``k`` of the matrices describes ``loops[positions[k]]`` of
+        the caller's loop sequence.
+    loops:
+        The loop objects, aligned with the matrix rows.
+    length:
+        Hop count ``n`` shared by every loop in the group.
+    pool_idx:
+        ``(L, n)`` array: arrays-row of the pool serving hop ``j`` of
+        the base rotation (start = ``loop.tokens[0]``).
+    orient:
+        ``(L, n)`` bool: True when hop ``j``'s input token is the
+        pool's ``token0`` (so oriented reserves are ``(r0, r1)``).
+    token_idx:
+        ``(L, n)`` array: arrays token-column of ``loop.tokens[j]`` —
+        the start token of rotation ``j``.
+    symbol_rank:
+        ``(L, n)`` array: rank of ``loop.tokens[j]`` among the loop's
+        tokens sorted by symbol; the vectorized MaxPrice start
+        selection uses it to reproduce ``max_price_token``'s
+        ``(-price, symbol)`` tie-break.
+    token_offset:
+        Per loop, token → rotation offset (for fixed-start lookup).
+    """
+
+    positions: np.ndarray
+    loops: tuple[ArbitrageLoop, ...]
+    length: int
+    pool_idx: np.ndarray
+    orient: np.ndarray
+    token_idx: np.ndarray
+    symbol_rank: np.ndarray
+    token_offset: tuple[dict[Token, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def rows(self, sel: Sequence[int]) -> "CompiledLoopGroup":
+        """Sub-group restricted to matrix rows ``sel`` (in order)."""
+        rows = np.asarray(sel, dtype=np.intp)
+        return CompiledLoopGroup(
+            positions=self.positions[rows],
+            loops=tuple(self.loops[k] for k in sel),
+            length=self.length,
+            pool_idx=self.pool_idx[rows],
+            orient=self.orient[rows],
+            token_idx=self.token_idx[rows],
+            symbol_rank=self.symbol_rank[rows],
+            token_offset=tuple(self.token_offset[k] for k in sel),
+        )
+
+
+def _is_compilable(loop: ArbitrageLoop, arrays: MarketArrays) -> bool:
+    for pool in loop.pools:
+        if not getattr(pool, "is_constant_product", True):
+            return False
+        if pool.pool_id not in arrays.pool_index:
+            return False
+    return True
+
+
+def compile_loops(
+    loops: Sequence[ArbitrageLoop], arrays: MarketArrays
+) -> tuple[list[CompiledLoopGroup], list[int]]:
+    """Split ``loops`` into compiled groups plus scalar-fallback positions.
+
+    Returns ``(groups, fallback)`` where each group covers the eligible
+    loops of one length (in input order) and ``fallback`` lists the
+    positions of loops that must stay on the object path.
+    """
+    by_length: dict[int, list[int]] = {}
+    fallback: list[int] = []
+    for position, loop in enumerate(loops):
+        if _is_compilable(loop, arrays):
+            by_length.setdefault(len(loop), []).append(position)
+        else:
+            fallback.append(position)
+
+    groups: list[CompiledLoopGroup] = []
+    for length, positions in sorted(by_length.items()):
+        count = len(positions)
+        pool_idx = np.empty((count, length), dtype=np.intp)
+        orient = np.empty((count, length), dtype=bool)
+        token_idx = np.empty((count, length), dtype=np.intp)
+        symbol_rank = np.empty((count, length), dtype=np.intp)
+        token_offset: list[dict[Token, int]] = []
+        group_loops: list[ArbitrageLoop] = []
+        for k, position in enumerate(positions):
+            loop = loops[position]
+            group_loops.append(loop)
+            ranked = sorted(range(length), key=lambda j: loop.tokens[j].symbol)
+            for rank, j in enumerate(ranked):
+                symbol_rank[k, j] = rank
+            offsets: dict[Token, int] = {}
+            for j in range(length):
+                token_in = loop.tokens[j]
+                pool = loop.pools[j]
+                pool_idx[k, j] = arrays.pool_index[pool.pool_id]
+                orient[k, j] = token_in == pool.token0
+                token_idx[k, j] = arrays.token_index[token_in]
+                offsets[token_in] = j
+            token_offset.append(offsets)
+        groups.append(
+            CompiledLoopGroup(
+                positions=np.asarray(positions, dtype=np.intp),
+                loops=tuple(group_loops),
+                length=length,
+                pool_idx=pool_idx,
+                orient=orient,
+                token_idx=token_idx,
+                symbol_rank=symbol_rank,
+                token_offset=tuple(token_offset),
+            )
+        )
+    return groups, fallback

@@ -1,0 +1,153 @@
+"""Cross-loop batch quote kernel.
+
+One vectorized pass evaluates a *rotation* of every compiled loop at
+once: compose the linear-fractional hop maps down the hop axis (the
+same ``a, b, c`` recurrence as
+:meth:`repro.amm.composition.SwapComposition.then`, with numpy arrays
+over loops instead of scalars), take the closed-form optimal input
+``t* = (sqrt(a*b) - b) / c``, and re-simulate the hop amounts with the
+exact-in swap formula.
+
+Bit-exactness with the scalar path is by construction, not by
+tolerance: every elementwise numpy operation executes the same
+IEEE-754 double operation in the same order as the corresponding
+Python-float expression in :mod:`repro.amm.composition` /
+:mod:`repro.amm.swap` (and ``np.sqrt`` is correctly rounded exactly
+like ``math.sqrt``).  The parity suites assert ``==``, never
+``approx``.  Transcendental functions whose rounding is *not*
+IEEE-pinned (``np.log`` vs ``math.log``) are deliberately kept out of
+this kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..strategies.traditional import RotationQuote
+from .arrays import MarketArrays
+from .compile import CompiledLoopGroup
+
+__all__ = ["BatchQuotes", "batch_quotes", "monetize_quotes"]
+
+
+@dataclass(frozen=True)
+class BatchQuotes:
+    """Price-independent quotes for one rotation of each compiled loop.
+
+    Row ``k`` quotes rotation ``offsets[k]`` (or the shared offset) of
+    the group's ``k``-th loop: optimal input, round-trip profit in the
+    start token, and the per-hop amounts ``amounts[k] = [in, after hop
+    1, ..., out]``.  Rows with no profitable input hold zeros, exactly
+    like :func:`repro.strategies.traditional.rotation_quote`.
+    """
+
+    length: int
+    amount_in: np.ndarray
+    profit: np.ndarray
+    amounts: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.amount_in)
+
+    def quote(self, k: int) -> RotationQuote:
+        """Materialize row ``k`` as the scalar path's RotationQuote."""
+        amount_in = float(self.amount_in[k])
+        if amount_in <= 0.0:
+            return RotationQuote(
+                amount_in=amount_in, hop_amounts=(), profit=0.0, iterations=0
+            )
+        row = self.amounts[k]
+        hops = tuple(
+            (float(row[j]), float(row[j + 1])) for j in range(self.length)
+        )
+        return RotationQuote(
+            amount_in=amount_in,
+            hop_amounts=hops,
+            profit=float(self.profit[k]),
+            iterations=0,
+        )
+
+
+def _gathered_hops(
+    group: CompiledLoopGroup, offsets: int | np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pool / orientation matrices with hop ``j`` = base hop ``offset+j``."""
+    n = group.length
+    if isinstance(offsets, (int, np.integer)):
+        cols = (np.arange(n) + int(offsets)) % n
+        return group.pool_idx[:, cols], group.orient[:, cols]
+    offs = np.asarray(offsets, dtype=np.intp)
+    cols = (offs[:, None] + np.arange(n)) % n
+    rows = np.arange(len(group))[:, None]
+    return group.pool_idx[rows, cols], group.orient[rows, cols]
+
+
+def batch_quotes(
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    offsets: int | np.ndarray,
+) -> BatchQuotes:
+    """Quote one rotation of every loop in ``group`` in one pass.
+
+    ``offsets`` is either one shared rotation offset or a per-loop
+    array of offsets (fixed-start strategies pick different rotations
+    for different loops).
+    """
+    n = group.length
+    count = len(group)
+    pool_g, orient_g = _gathered_hops(group, offsets)
+
+    r0, r1, fee = arrays.reserve0, arrays.reserve1, arrays.fee
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+    gammas: list[np.ndarray] = []
+    # compose IDENTITY.then(hop_0).then(hop_1)...: per hop, with
+    # (a_h, b_h, c_h) = (y*gamma, x, gamma), the recurrence is
+    #   c <- b_h*c + c_h*a ;  a <- a*a_h ;  b <- b*b_h
+    # (c first: it reads the pre-update a, exactly like `then`).
+    a = np.ones(count, dtype=np.float64)
+    b = np.ones(count, dtype=np.float64)
+    c = np.zeros(count, dtype=np.float64)
+    for j in range(n):
+        pool_col = pool_g[:, j]
+        orient_col = orient_g[:, j]
+        pr0 = r0[pool_col]
+        pr1 = r1[pool_col]
+        x = np.where(orient_col, pr0, pr1)
+        y = np.where(orient_col, pr1, pr0)
+        gamma = 1.0 - fee[pool_col]
+        xs.append(x)
+        ys.append(y)
+        gammas.append(gamma)
+        a_h = y * gamma
+        c = x * c + gamma * a
+        a = a * a_h
+        b = b * x
+
+    # closed form: t* = (sqrt(a*b) - b) / c when a > b, else 0
+    t = np.where(a > b, (np.sqrt(a * b) - b) / c, 0.0)
+
+    amounts = np.empty((count, n + 1), dtype=np.float64)
+    amounts[:, 0] = t
+    current = t
+    for j in range(n):
+        eff = gammas[j] * current
+        current = ys[j] * eff / (xs[j] + eff)
+        amounts[:, j + 1] = current
+    profit = amounts[:, n] - amounts[:, 0]
+    return BatchQuotes(length=n, amount_in=t, profit=profit, amounts=amounts)
+
+
+def monetize_quotes(
+    quotes: BatchQuotes, start_prices: np.ndarray
+) -> np.ndarray:
+    """Monetized profit per row: ``P_start * profit`` where a
+    profitable input exists, 0.0 otherwise (the scalar path's empty
+    profit vector never touches the price map, so rows without a
+    profitable input must not read — or propagate NaN from — the
+    price)."""
+    return np.where(
+        quotes.amount_in > 0.0, start_prices * quotes.profit, 0.0
+    )

@@ -21,7 +21,12 @@ emission both build on this package; ``benchmarks/
 bench_replay_throughput.py`` pins the incremental speedup.
 """
 
-from .apply import apply_event, build_loop_indices, rebind_loops
+from .apply import (
+    apply_block_events,
+    apply_event,
+    build_loop_indices,
+    rebind_loops,
+)
 from .driver import BlockReport, ReplayDriver, ReplayResult
 from .generator import generate_event_stream
 from .log import MarketEventLog, event_from_dict, event_to_dict
@@ -31,6 +36,7 @@ __all__ = [
     "MarketEventLog",
     "ReplayDriver",
     "ReplayResult",
+    "apply_block_events",
     "apply_event",
     "build_loop_indices",
     "event_from_dict",

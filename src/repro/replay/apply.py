@@ -6,6 +6,10 @@ Both block-by-block consumers of a market event stream — the offline
 
 * :func:`apply_event` — mutate a private market copy (and price map)
   according to one event, recording which pool / token it dirtied;
+* :func:`apply_block_events` — a whole block of events at once,
+  including dropping the pools' own event records and refreshing a
+  columnar :class:`~repro.market.MarketArrays` mirror for the dirty
+  pools, so the batch quote kernel sees the new reserves;
 * :func:`build_loop_indices` — the inverted indices (pool id → loop
   positions, token → loop positions) that turn a dirty set into the
   exact set of loops whose stored results are stale.
@@ -17,7 +21,7 @@ down, not a reimplementation that could drift.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..amm.events import (
     BlockEvent,
@@ -32,7 +36,15 @@ from ..core.errors import UnknownPoolError
 from ..core.loop import ArbitrageLoop
 from ..core.types import PriceMap, Token
 
-__all__ = ["apply_event", "build_loop_indices", "rebind_loops"]
+if TYPE_CHECKING:  # imported lazily to keep the layers decoupled
+    from ..market import MarketArrays
+
+__all__ = [
+    "apply_block_events",
+    "apply_event",
+    "build_loop_indices",
+    "rebind_loops",
+]
 
 
 def _pool(registry: PoolRegistry, pool_id: str):
@@ -76,6 +88,37 @@ def apply_event(
     else:
         raise TypeError(f"cannot replay event of type {type(event).__name__}")
     return prices
+
+
+def apply_block_events(
+    registry: PoolRegistry,
+    prices: PriceMap,
+    events: Iterable[MarketEvent],
+    arrays: "MarketArrays | None" = None,
+) -> tuple[PriceMap, set[str], set[Token], int]:
+    """Apply one block's events; return ``(prices, dirty_pools,
+    dirty_tokens, n_events)``.
+
+    The block-consumer boilerplate shared by the replay driver and the
+    service's shard workers: every event goes through
+    :func:`apply_event`, the mutated pools' own event records are
+    dropped (the private pools record their mutations as they happen;
+    nothing here reads those logs, so they must not mirror the whole
+    input stream in memory), and — when the caller keeps a columnar
+    ``arrays`` mirror for the batch quote kernel — the dirty pools'
+    reserves are pulled into it.
+    """
+    dirty_pools: set[str] = set()
+    dirty_tokens: set[Token] = set()
+    n_events = 0
+    for event in events:
+        prices = apply_event(registry, prices, event, dirty_pools, dirty_tokens)
+        n_events += 1
+    for pool_id in dirty_pools:
+        registry[pool_id].discard_events_after(0)
+    if arrays is not None and dirty_pools:
+        arrays.pull(registry, dirty_pools)
+    return prices, dirty_pools, dirty_tokens, n_events
 
 
 def build_loop_indices(

@@ -11,9 +11,14 @@ numbers:
   swaps/mints/burns mark their pools dirty; price ticks mark their
   tokens dirty.  Only loops over dirty pools are re-optimized (their
   reserve-keyed cache entries are stale by construction), only loops
-  holding ticked tokens are re-monetized (a cache *hit* — the
-  price-independent quote is reused), and every other loop's stored
-  result is carried over untouched, costing zero.
+  holding ticked tokens are re-monetized, and every other loop's
+  stored result is carried over untouched, costing zero.  Re-quotes go
+  through the cross-loop batch kernel (:mod:`repro.market`): the
+  driver mirrors its private market in a columnar
+  :class:`~repro.market.MarketArrays` (refreshed per block for the
+  dirty pools) and evaluates the whole dirty set in one vectorized
+  pass per strategy; small dirty sets, weighted loops, and
+  non-closed-form strategies fall back to the scalar cached path.
 * ``"full"`` — every loop re-evaluated from scratch each block, no
   cache.  The parity oracle: per-block reports must be bit-identical
   to incremental mode, which the property and golden tests assert.
@@ -30,13 +35,13 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..amm.events import MarketEvent
-from ..core.types import PriceMap, Token
+from ..core.types import PriceMap
 from ..data.snapshot import MarketSnapshot
 from ..engine import EvaluationEngine
 from ..simulation.metrics import mispricing_index
 from ..strategies.base import Strategy, StrategyResult
 from ..strategies.maxmax import MaxMaxStrategy
-from .apply import apply_event, build_loop_indices
+from .apply import apply_block_events, build_loop_indices
 from .log import MarketEventLog
 
 __all__ = ["BlockReport", "ReplayDriver", "ReplayResult"]
@@ -164,6 +169,18 @@ class ReplayDriver:
         self._loops = universe.candidates
         self._pool_loops, self._token_loops = build_loop_indices(self._loops)
 
+        # Columnar mirror of the private market for the batch kernel.
+        # Full mode stays scalar on purpose: it is the parity oracle
+        # the incremental+batch path is asserted bit-identical against.
+        self._evaluator = None
+        if self.mode == "incremental" and self.engine.vectorize:
+            from ..market import BatchEvaluator, MarketArrays
+
+            self._evaluator = BatchEvaluator(
+                self._loops,
+                arrays=MarketArrays.from_registry(self.market.registry),
+            )
+
         # Per-loop state carried across blocks (incremental mode reuses
         # it; full mode overwrites it wholesale every block).  Priming
         # at construction time makes block 0 incremental too.
@@ -171,10 +188,15 @@ class ReplayDriver:
         self._results: dict[str, list[StrategyResult]] = {}
         cache = self.engine.cache if self.mode == "incremental" else None
         for label, strategy in self.strategies.items():
-            self._results[label] = [
-                strategy.evaluate_cached(loop, self.prices, cache)
-                for loop in self._loops
-            ]
+            if self._evaluator is not None:
+                self._results[label] = self._evaluator.evaluate_many(
+                    strategy, self.prices, cache=cache
+                )
+            else:
+                self._results[label] = [
+                    strategy.evaluate_cached(loop, self.prices, cache)
+                    for loop in self._loops
+                ]
         self._block_reports: list[BlockReport] = []
 
     def __repr__(self) -> str:
@@ -202,19 +224,12 @@ class ReplayDriver:
         re-optimized and only loops whose tokens ticked are
         re-monetized; everything else reuses its stored result.
         """
-        dirty_pools: set[str] = set()
-        dirty_tokens: set[Token] = set()
-        n_events = 0
-        for event in events:
-            self.prices = apply_event(
-                self.market.registry, self.prices, event, dirty_pools, dirty_tokens
-            )
-            n_events += 1
-        # The private pools record their own events as they mutate;
-        # nothing reads those logs here, so drop them instead of
-        # mirroring the whole input stream in memory.
-        for pool_id in dirty_pools:
-            self.market.registry[pool_id].discard_events_after(0)
+        self.prices, dirty_pools, dirty_tokens, n_events = apply_block_events(
+            self.market.registry,
+            self.prices,
+            events,
+            arrays=self._evaluator.arrays if self._evaluator is not None else None,
+        )
 
         if self.mode == "full":
             reserve_dirty = range(len(self._loops))
@@ -235,10 +250,19 @@ class ReplayDriver:
             self._log_rates[index] = self._loops[index].log_rate_sum()
         for label, strategy in self.strategies.items():
             results = self._results[label]
-            for index in reeval:
-                results[index] = strategy.evaluate_cached(
-                    self._loops[index], self.prices, cache
-                )
+            if self._evaluator is not None:
+                for index, result in zip(
+                    reeval,
+                    self._evaluator.evaluate_many(
+                        strategy, self.prices, indices=reeval, cache=cache
+                    ),
+                ):
+                    results[index] = result
+            else:
+                for index in reeval:
+                    results[index] = strategy.evaluate_cached(
+                        self._loops[index], self.prices, cache
+                    )
 
         # Totals are always recomputed over every loop in index order,
         # so both modes sum identical values in an identical order —

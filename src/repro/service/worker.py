@@ -1,10 +1,13 @@
 """Per-shard evaluation state and the process-shard host.
 
 A :class:`ShardWorker` is the service's unit of parallelism: a private
-market copy, the slice of the loop universe assigned by the
-:class:`~repro.service.sharding.ShardPlan`, a shard-local
-:class:`~repro.engine.cache.PoolStateCache`, and the replay layer's
-dirty-set invalidation (:func:`~repro.replay.apply.apply_event` +
+market copy of only its shard's pools, that slice mirrored as columnar
+:class:`~repro.market.MarketArrays` with the shard's loops compiled
+against it (the cross-loop batch kernel re-quotes a block's whole
+dirty set in one vectorized pass), a shard-local
+:class:`~repro.engine.cache.PoolStateCache` for the scalar fallback,
+and the replay layer's dirty-set invalidation
+(:func:`~repro.replay.apply.apply_block_events` +
 :func:`~repro.replay.apply.build_loop_indices` — the same code paths
 whose incremental/full parity the replay tests pin down).
 
@@ -32,10 +35,10 @@ from typing import Sequence
 
 from ..amm.events import MarketEvent
 from ..amm.registry import PoolRegistry
-from ..core.types import Token
 from ..data.snapshot import MarketSnapshot
 from ..engine.cache import PoolStateCache
-from ..replay.apply import apply_event, build_loop_indices, rebind_loops
+from ..market import BatchEvaluator, MarketArrays
+from ..replay.apply import apply_block_events, build_loop_indices, rebind_loops
 from ..strategies.base import Strategy
 from .book import Opportunity
 
@@ -102,10 +105,14 @@ class ShardWorker:
         self._pool_loops, self._token_loops = build_loop_indices(self.loops)
         self._loop_ids = tuple(loop.canonical_id for loop in self.loops)
         self._paths = tuple(_loop_path(loop) for loop in self.loops)
-        self._results = [
-            strategy.evaluate_cached(loop, self.prices, self.cache)
-            for loop in self.loops
-        ]
+        # the shard's array slice: columnar reserves of exactly its
+        # pools, with its loop slice compiled against them once
+        self._evaluator = BatchEvaluator(
+            self.loops, arrays=MarketArrays.from_registry(self.market.registry)
+        )
+        self._results = self._evaluator.evaluate_many(
+            strategy, self.prices, cache=self.cache
+        )
 
     def __repr__(self) -> str:
         return (
@@ -144,15 +151,12 @@ class ShardWorker:
         """Apply one routed block and re-evaluate only the dirty loops."""
         t0 = time.perf_counter()
         hits0, misses0 = self.cache.hits, self.cache.misses
-        dirty_pools: set[str] = set()
-        dirty_tokens: set[Token] = set()
-        for event in work.events:
-            self.prices = apply_event(
-                self.market.registry, self.prices, event, dirty_pools, dirty_tokens
-            )
-        for pool_id in dirty_pools:
-            # pools record their own mutations; nothing here reads them
-            self.market.registry[pool_id].discard_events_after(0)
+        self.prices, dirty_pools, dirty_tokens, _ = apply_block_events(
+            self.market.registry,
+            self.prices,
+            work.events,
+            arrays=self._evaluator.arrays,
+        )
 
         touched: set[int] = set()
         for pool_id in dirty_pools:
@@ -161,10 +165,13 @@ class ShardWorker:
             touched.update(self._token_loops.get(token, ()))
         reeval = sorted(touched)
         entries = []
-        for index in reeval:
-            self._results[index] = self.strategy.evaluate_cached(
-                self.loops[index], self.prices, self.cache
-            )
+        for index, result in zip(
+            reeval,
+            self._evaluator.evaluate_many(
+                self.strategy, self.prices, indices=reeval, cache=self.cache
+            ),
+        ):
+            self._results[index] = result
             entries.append(self._entry(index, work.block))
         return ShardUpdate(
             shard=self.shard_id,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.amm import Pool, PoolRegistry, WeightedPool
-from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.core import PriceMap, Token
 from repro.data import MarketSnapshot
 from repro.execution import ExecutionSimulator, plan_from_result
 from repro.graph import build_token_graph, find_arbitrage_loops

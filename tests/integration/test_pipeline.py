@@ -15,7 +15,6 @@ from repro.strategies import (
     ConvexOptimizationStrategy,
     MaxMaxStrategy,
     MaxPriceStrategy,
-    TraditionalStrategy,
 )
 
 

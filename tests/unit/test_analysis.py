@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    ScatterStats,
     Timer,
     best_of,
     format_table,

@@ -69,7 +69,6 @@ class TestFindNegativeCycle:
         graph = build_token_graph(arb_registry())
         cycle = find_negative_cycle(graph)
         total = 0.0
-        n = len(cycle)
         for i, (token, pool) in enumerate(cycle):
             total += -math.log(pool.spot_price(token))
         assert total < 0

@@ -7,7 +7,7 @@ import math
 import pytest
 
 from repro.amm import IDENTITY, Pool, SwapComposition, compose_hops
-from repro.core import ArbitrageLoop, Token
+from repro.core import Token
 
 
 class TestConstruction:

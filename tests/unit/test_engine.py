@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import PriceMap, Token
-from repro.data import paper_market, section5_loop, section5_prices
+from repro.data import paper_market
 from repro.data.example import TOKEN_X
 from repro.engine import (
     EvaluationBatch,
@@ -308,6 +308,38 @@ class TestEngineBatches:
             got = engine.evaluate(MaxMaxStrategy(), s5_loop, s5_prices)
             assert got.monetized_profit == ref.monetized_profit
             assert got.hop_amounts == ref.hop_amounts
+
+    def test_batch_evaluator_memo_reuses_and_refreshes(self, default_market):
+        """Harvest pattern: repeated evaluate_strategy calls over a
+        universe's (changing) filtered sub-lists reuse one compiled
+        evaluator, and reserve mutations between rounds are visible."""
+        engine = EvaluationEngine()
+        universe = engine.loop_universe(default_market.registry, 3)
+        loops = list(universe.candidates)
+        assert len(loops) >= 16  # above the batch-path floor
+        strategy = MaxMaxStrategy()
+        engine.evaluate_strategy(strategy, loops, default_market.prices)
+        assert len(engine._batch_evaluators) == 1
+
+        # mutate a pool, re-score a filtered sub-list of the same objects
+        pool = loops[0].pools[0]
+        pool.swap(pool.token0, pool.reserve0 * 0.05)
+        subset = loops[: max(16, len(loops) // 2)]
+        results = engine.evaluate_strategy(strategy, subset, default_market.prices)
+        assert len(engine._batch_evaluators) == 1  # memo hit, no rebuild
+        for loop, got in zip(subset, results):
+            ref = strategy.evaluate(loop, default_market.prices)
+            assert got.monetized_profit == ref.monetized_profit
+            assert got.amount_in == ref.amount_in
+
+    def test_scalar_engine_skips_batch_path(self, default_market):
+        loops = list(
+            EvaluationEngine().loop_universe(default_market.registry, 3).candidates
+        )
+        engine = EvaluationEngine(vectorize=False)
+        engine.evaluate_strategy(MaxMaxStrategy(), loops, default_market.prices)
+        assert len(engine._batch_evaluators) == 0
+        assert engine.cache.misses > 0  # went through the cached scalar path
 
 
 class TestLoopUniverse:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data import section5_loop, section5_prices
 from repro.execution import DEFAULT_GAS_MODEL, GasModel
 from repro.strategies import MaxMaxStrategy
 

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import InfeasibleProgramError, MissingPriceError, PriceMap, Token
+from repro.core import InfeasibleProgramError, MissingPriceError, PriceMap
 from repro.optimize import build_loop_program, solve_slsqp
-from repro.data import section5_loop, section5_prices
 
 
 @pytest.fixture

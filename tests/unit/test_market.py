@@ -1,0 +1,390 @@
+"""Unit tests for the columnar market layer (:mod:`repro.market`).
+
+Parity assertions here are ``==``, never ``approx``: the batch kernel
+and the array event application are contractually *bit-identical* to
+the scalar object path (the hypothesis suite in
+``tests/property/test_market_parity.py`` hammers the same contract
+with random markets and streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amm import Pool, PoolRegistry
+from repro.amm.events import BlockEvent, BurnEvent, MintEvent, PriceTickEvent, SwapEvent
+from repro.amm.weighted import WeightedPool
+from repro.core import (
+    ArbitrageLoop,
+    MissingPriceError,
+    PriceMap,
+    StrategyError,
+    Token,
+)
+from repro.core.errors import UnknownPoolError
+from repro.market import (
+    BatchEvaluator,
+    MarketArrays,
+    batch_kind,
+    batch_quotes,
+    compile_loops,
+)
+from repro.strategies import (
+    ConvexOptimizationStrategy,
+    MaxMaxStrategy,
+    MaxPriceStrategy,
+    TraditionalStrategy,
+)
+
+X, Y, Z, W = Token("X"), Token("Y"), Token("Z"), Token("W")
+
+
+@pytest.fixture
+def registry():
+    registry = PoolRegistry()
+    registry.create(X, Y, 1_000.0, 2_000.0, pool_id="xy")
+    registry.create(Y, Z, 3_000.0, 1_500.0, pool_id="yz")
+    registry.create(Z, X, 900.0, 1_800.0, pool_id="zx")
+    registry.create(X, W, 5_000.0, 5_000.0, pool_id="xw")
+    return registry
+
+
+@pytest.fixture
+def loop(registry):
+    return ArbitrageLoop(
+        [X, Y, Z], [registry["xy"], registry["yz"], registry["zx"]]
+    )
+
+
+@pytest.fixture
+def prices():
+    return PriceMap({X: 10.0, Y: 5.0, Z: 20.0, W: 1.0})
+
+
+class TestMarketArrays:
+    def test_from_registry_copies_state(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        assert len(arrays) == 4
+        assert arrays.reserves("xy") == (1_000.0, 2_000.0)
+        assert set(arrays.tokens) == {X, Y, Z, W}
+        assert arrays.constant_product.all()
+
+    def test_duplicate_pool_ids_rejected(self):
+        pools = [
+            Pool(X, Y, 1.0, 1.0, pool_id="dup"),
+            Pool(Y, Z, 1.0, 1.0, pool_id="dup"),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            MarketArrays(pools)
+
+    def test_round_trip_to_registry(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        rebuilt = arrays.to_registry()
+        assert len(rebuilt) == len(registry)
+        for pool in registry:
+            clone = rebuilt[pool.pool_id]
+            assert clone.tokens == pool.tokens
+            assert clone.reserve0 == pool.reserve0
+            assert clone.reserve1 == pool.reserve1
+            assert clone.fee == pool.fee
+
+    def test_weighted_pools_round_trip_flagged(self, registry):
+        original = WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp")
+        registry.add(original)
+        arrays = MarketArrays.from_registry(registry)
+        i = arrays.pool_index["wp"]
+        assert not arrays.constant_product[i]
+        clone = arrays.to_registry()["wp"]
+        assert isinstance(clone, WeightedPool)
+        assert clone.weight_of(Y) == original.weight_of(Y) == 0.8
+        assert clone.weight_of(W) == original.weight_of(W) == 0.2
+
+    def test_pull_refreshes_named_pools_bit_exactly(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        registry["xy"].swap(X, 37.5)
+        registry["yz"].swap(Z, 11.0)
+        arrays.pull(registry, ["xy"])
+        assert arrays.reserves("xy") == (
+            registry["xy"].reserve0, registry["xy"].reserve1
+        )
+        # yz was not named: still stale
+        assert arrays.reserves("yz") != (
+            registry["yz"].reserve0, registry["yz"].reserve1
+        )
+        arrays.pull(registry)
+        assert arrays.reserves("yz") == (
+            registry["yz"].reserve0, registry["yz"].reserve1
+        )
+
+    def test_pull_ignores_foreign_pool_ids(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        registry.create(Y, W, 10_000.0, 10_000.0, pool_id="extra")
+        arrays.pull(registry, ["extra"])  # silently skipped
+        assert "extra" not in arrays
+
+    def test_apply_swap_matches_object_path(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        pool = registry["xy"]
+        pool.swap(Y, 123.0)
+        event = pool.events[-1]
+        dirty = arrays.apply_events([event])
+        assert dirty == {"xy"}
+        assert arrays.reserves("xy") == (pool.reserve0, pool.reserve1)
+
+    def test_apply_mint_and_burn_match_object_path(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        pool = registry["yz"]
+        pool.add_liquidity(30.0, 15.0)
+        pool.remove_liquidity(0.25)
+        arrays.apply_events(pool.events)
+        assert arrays.reserves("yz") == (pool.reserve0, pool.reserve1)
+
+    def test_repeated_pool_in_batch_stays_sequential_exact(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        pool = registry["zx"]
+        pool.swap(Z, 50.0)
+        pool.swap(X, 75.0)  # depends on the first swap's reserves
+        arrays.apply_events(pool.events)
+        assert arrays.reserves("zx") == (pool.reserve0, pool.reserve1)
+
+    def test_ticks_and_blocks_are_noops(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        before = arrays.reserves("xy")
+        dirty = arrays.apply_events(
+            [PriceTickEvent(token=X, price=3.0), BlockEvent(block=7)]
+        )
+        assert dirty == set()
+        assert arrays.reserves("xy") == before
+
+    def test_unknown_pool_rejected(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        with pytest.raises(UnknownPoolError):
+            arrays.apply_events(
+                [SwapEvent(pool_id="nope", token_in=X, token_out=Y,
+                           amount_in=1.0, amount_out=1.0)]
+            )
+
+    def test_weighted_pool_events_refused(self, registry):
+        registry.add(WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp"))
+        arrays = MarketArrays.from_registry(registry)
+        with pytest.raises(TypeError, match="constant-product"):
+            arrays.apply_events(
+                [SwapEvent(pool_id="wp", token_in=Y, token_out=W,
+                           amount_in=1.0, amount_out=1.0)]
+            )
+
+    def test_invalid_events_rejected_like_pools(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        with pytest.raises(Exception, match="fraction"):
+            arrays.apply_events([BurnEvent(pool_id="xy", fraction=1.5)])
+        with pytest.raises(Exception, match="ratio"):
+            arrays.apply_events([MintEvent(pool_id="xy", amount0=1.0, amount1=500.0)])
+
+    def test_invalid_event_in_distinct_batch_keeps_prefix_semantics(self, registry):
+        """A distinct-pool batch containing an invalid event must raise
+        the same error AND leave the same partial state as applying the
+        events one by one (the vectorized path falls back)."""
+        arrays = MarketArrays.from_registry(registry)
+        pool = registry["yz"]
+        pool.swap(Y, 10.0)  # records a valid swap on yz
+        batch = [
+            pool.events[-1],
+            BurnEvent(pool_id="xy", fraction=1.5),  # invalid, later in order
+        ]
+        with pytest.raises(Exception, match="fraction"):
+            arrays.apply_events(batch)
+        # the valid swap preceding the failure was applied, like the
+        # object path's event-by-event prefix
+        assert arrays.reserves("yz") == (pool.reserve0, pool.reserve1)
+        assert arrays.reserves("xy") == (
+            registry["xy"].reserve0, registry["xy"].reserve1
+        )
+        # reversed order: failure first, nothing applied
+        arrays2 = MarketArrays.from_registry(registry)
+        before = arrays2.reserves("zx")
+        swap_zx = registry["zx"]
+        swap_zx.swap(Z, 5.0)
+        with pytest.raises(Exception, match="fraction"):
+            arrays2.apply_events(
+                [BurnEvent(pool_id="xy", fraction=1.5), swap_zx.events[-1]]
+            )
+        assert arrays2.reserves("zx") == before
+
+    def test_price_vector_marks_missing_tokens_nan(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        vec = arrays.price_vector(PriceMap({X: 2.0}))
+        by_token = dict(zip(arrays.tokens, vec))
+        assert by_token[X] == 2.0
+        assert np.isnan(by_token[Y])
+
+
+class TestCompileLoops:
+    def test_groups_by_length_and_tracks_positions(self, registry, loop):
+        two = ArbitrageLoop([X, Y], [registry["xy"], registry["xy"]])
+        arrays = MarketArrays.from_registry(registry)
+        groups, fallback = compile_loops([loop, two], arrays)
+        assert fallback == []
+        assert [g.length for g in groups] == [2, 3]
+        assert [list(g.positions) for g in groups] == [[1], [0]]
+
+    def test_weighted_loops_fall_back(self, registry, prices):
+        registry.add(WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp"))
+        mixed = ArbitrageLoop(
+            [X, Y, W], [registry["xy"], registry["wp"], registry["xw"]]
+        )
+        arrays = MarketArrays.from_registry(registry)
+        groups, fallback = compile_loops([mixed], arrays)
+        assert groups == [] and fallback == [0]
+
+    def test_orientation_and_pool_rows(self, registry, loop):
+        arrays = MarketArrays.from_registry(registry)
+        groups, _ = compile_loops([loop], arrays)
+        group = groups[0]
+        for j, (token_in, _token_out, pool) in enumerate(
+            loop.rotations()[0].hops()
+        ):
+            assert group.pool_idx[0, j] == arrays.pool_index[pool.pool_id]
+            assert group.orient[0, j] == (token_in == pool.token0)
+
+
+class TestBatchQuotes:
+    def test_quotes_match_scalar_rotation_quote(self, registry, loop):
+        from repro.strategies.traditional import rotation_quote
+
+        arrays = MarketArrays.from_registry(registry)
+        groups, _ = compile_loops([loop], arrays)
+        group = groups[0]
+        for offset in range(3):
+            quotes = batch_quotes(arrays, group, offset)
+            ref = rotation_quote(loop.rotations()[offset])
+            assert quotes.quote(0) == ref
+
+    def test_per_loop_offsets_gather(self, registry, loop):
+        from repro.strategies.traditional import rotation_quote
+
+        other = ArbitrageLoop(
+            [Z, Y, X], [registry["yz"], registry["xy"], registry["zx"]]
+        )
+        arrays = MarketArrays.from_registry(registry)
+        groups, _ = compile_loops([loop, other], arrays)
+        group = groups[0]
+        quotes = batch_quotes(arrays, group, np.array([2, 1]))
+        assert quotes.quote(0) == rotation_quote(loop.rotations()[2])
+        assert quotes.quote(1) == rotation_quote(other.rotations()[1])
+
+
+class TestBatchKind:
+    def test_closed_form_fixed_start_strategies_qualify(self):
+        assert batch_kind(TraditionalStrategy()) == "traditional"
+        assert batch_kind(TraditionalStrategy(start_token=X)) == "traditional"
+        assert batch_kind(MaxPriceStrategy()) == "maxprice"
+        assert batch_kind(MaxMaxStrategy()) == "maxmax"
+
+    def test_iterative_solvers_and_convex_stay_scalar(self):
+        assert batch_kind(TraditionalStrategy(method="bisection")) is None
+        assert batch_kind(MaxMaxStrategy(method="golden")) is None
+        assert batch_kind(ConvexOptimizationStrategy()) is None
+
+    def test_subclasses_stay_scalar(self):
+        class Custom(MaxMaxStrategy):
+            pass
+
+        assert batch_kind(Custom()) is None
+
+
+class TestBatchEvaluator:
+    def _loops(self, registry):
+        return [
+            ArbitrageLoop([X, Y, Z], [registry["xy"], registry["yz"], registry["zx"]]),
+            ArbitrageLoop([Z, Y, X], [registry["yz"], registry["xy"], registry["zx"]]),
+        ]
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            TraditionalStrategy(),
+            TraditionalStrategy(start_token=Y),
+            MaxPriceStrategy(),
+            MaxMaxStrategy(),
+            ConvexOptimizationStrategy(),
+        ],
+        ids=lambda s: type(s).__name__ + (s.start_token.symbol if getattr(s, "start_token", None) else ""),
+    )
+    def test_bit_identical_to_scalar(self, registry, prices, strategy):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=1)
+        batch = evaluator.evaluate_many(strategy, prices)
+        for got, loop in zip(batch, loops):
+            ref = strategy.evaluate_cached(loop, prices, None)
+            assert got.monetized_profit == ref.monetized_profit
+            assert got.amount_in == ref.amount_in
+            assert got.hop_amounts == ref.hop_amounts
+            assert got.profit == ref.profit
+            assert got.start_token == ref.start_token
+            assert got.details == ref.details
+            assert got.loop == ref.loop
+
+    def test_indices_select_and_align(self, registry, prices):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=1)
+        out = evaluator.evaluate_many(MaxMaxStrategy(), prices, indices=[1])
+        assert len(out) == 1
+        assert out[0].loop == loops[1]
+
+    def test_small_sets_fall_back_to_cached_scalar(self, registry, prices):
+        from repro.engine import PoolStateCache
+
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=10)
+        cache = PoolStateCache()
+        evaluator.evaluate_many(MaxMaxStrategy(), prices, cache=cache)
+        assert cache.misses > 0  # went through the scalar cached path
+
+    def test_missing_price_raises_like_scalar(self, registry):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=1)
+        sparse = PriceMap({X: 1.0, Y: 1.0})  # Z unpriced
+        with pytest.raises(MissingPriceError, match="'Z'"):
+            evaluator.evaluate_many(MaxPriceStrategy(), sparse)
+
+    def test_traditional_missing_start_raises(self, registry, prices):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=1)
+        with pytest.raises(StrategyError, match="start token"):
+            evaluator.evaluate_many(TraditionalStrategy(start_token=W), prices)
+
+    def test_refresh_rereads_source_pools(self, registry, prices):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=1)  # owns its arrays
+        registry["xy"].swap(X, 150.0)
+        evaluator.refresh()
+        assert evaluator.arrays.reserves("xy") == (
+            registry["xy"].reserve0, registry["xy"].reserve1
+        )
+        with pytest.raises(RuntimeError, match="caller-owned"):
+            BatchEvaluator(
+                loops, arrays=MarketArrays.from_registry(registry)
+            ).refresh()
+
+    def test_positions_for_identity_subset(self, registry):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=1)
+        assert evaluator.positions_for([loops[1]]) == [1]
+        assert evaluator.positions_for(loops) == [0, 1]
+        # an equal but distinct loop object is NOT the compiled one
+        clone = ArbitrageLoop(loops[0].tokens, loops[0].pools)
+        assert evaluator.positions_for([clone]) is None
+
+    def test_pull_tracks_object_mutations(self, registry, prices):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(
+            loops, arrays=MarketArrays.from_registry(registry), min_batch=1
+        )
+        strategy = MaxMaxStrategy()
+        registry["xy"].swap(X, 200.0)
+        evaluator.pull(registry, ["xy"])
+        batch = evaluator.evaluate_many(strategy, prices)
+        for got, loop in zip(batch, loops):
+            ref = strategy.evaluate_cached(loop, prices, None)
+            assert got.monetized_profit == ref.monetized_profit

@@ -151,6 +151,37 @@ class TestSnapshotRestore:
         assert pool.tvl(simple_prices) == pytest.approx(snap.tvl(simple_prices))
 
 
+class TestSnapshotTvlDirect:
+    """Direct unit coverage for ``PoolSnapshot.tvl`` — a proper
+    ``Mapping[Token, float]`` parameter, not a duck-typed object."""
+
+    def test_exact_value_with_plain_dict(self, pool):
+        snap = pool.snapshot()
+        prices = {X: 3.0, Y: 0.5}
+        assert snap.tvl(prices) == 100.0 * 3.0 + 200.0 * 0.5
+
+    def test_accepts_price_map(self, pool):
+        from repro.core import PriceMap
+
+        snap = pool.snapshot()
+        prices = PriceMap({X: 1.25, Y: 4.0})
+        assert snap.tvl(prices) == 100.0 * 1.25 + 200.0 * 4.0
+        assert snap.tvl(prices) == pool.tvl(prices)
+
+    def test_missing_token_surfaces_mapping_error(self, pool):
+        from repro.core import MissingPriceError, PriceMap
+
+        snap = pool.snapshot()
+        with pytest.raises(KeyError):
+            snap.tvl({X: 3.0})
+        with pytest.raises(MissingPriceError):
+            snap.tvl(PriceMap({X: 3.0}))
+
+    def test_zero_price_zeroes_that_side(self, pool):
+        snap = pool.snapshot()
+        assert snap.tvl({X: 0.0, Y: 2.0}) == 400.0
+
+
 class TestRepr:
     def test_repr_mentions_reserves_and_tokens(self, pool):
         text = repr(pool)

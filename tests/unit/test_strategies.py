@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import StrategyError, Token
-from repro.data import SECTION5_PAPER_NUMBERS, section5_loop, section5_prices
+from repro.data import section5_loop, section5_prices
 from repro.strategies import (
     ConvexOptimizationStrategy,
     MaxMaxStrategy,
