@@ -114,7 +114,7 @@ from .strategies import (
     make_strategy,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ArbitrageLoop",

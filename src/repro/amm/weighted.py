@@ -20,6 +20,12 @@ optimizer (:mod:`repro.optimize.chain`) covers weighted hops.
 
 ``is_constant_product`` distinguishes the families so the composition
 path can refuse weighted pools instead of silently mis-pricing them.
+
+All fractional powers route through :func:`pinned_pow` — the same
+``np.power`` ufunc the columnar weighted kernel
+(:mod:`repro.market.weighted_kernel`) applies array-wide — so the
+scalar object path and the batched path agree bit for bit on any one
+platform (see ``pinned_pow`` for why ``**`` would not).
 """
 
 from __future__ import annotations
@@ -27,14 +33,55 @@ from __future__ import annotations
 import itertools
 import math
 
+import numpy as np
+
 from ..core.errors import InvalidReserveError, UnknownTokenError
 from ..core.types import Token
 from .events import BurnEvent, MarketEvent, MintEvent, SwapEvent
 from .swap import validate_fee, validate_reserves
 
-__all__ = ["WeightedPool", "WeightedPoolSnapshot"]
+__all__ = ["WeightedPool", "WeightedPoolSnapshot", "pinned_pow"]
 
 _weighted_counter = itertools.count()
+
+
+def pinned_pow(base: float, exponent: float) -> float:
+    """``base ** exponent`` via numpy's ``power`` ufunc.
+
+    Unlike the other arithmetic in the AMM layer (whose ``+ - * /`` and
+    ``sqrt`` are IEEE-754-pinned, making the constant-product kernels
+    *bit-exact* against the object path), ``pow`` is not correctly
+    rounded, and CPython's ``**`` and numpy's ``power`` can disagree by
+    an ulp.  Every scalar weighted-pool quote therefore calls the same
+    ufunc the batched weighted kernel applies array-wide: on any one
+    platform the two paths then produce identical bits (the replay
+    incremental-vs-full and service parity suites assert ``==``), while
+    *cross*-platform reproducibility of weighted quotes is only
+    guaranteed to the documented kernel tolerance.
+
+    ``**``'s overflow contract is preserved: a non-finite result from
+    finite operands raises ``OverflowError`` (where ``np.power`` alone
+    would return ``inf`` and let a later ``inf/inf`` poison quotes
+    with silent NaNs) — absurd-magnitude markets fail loudly on the
+    scalar path, like the composition algebra's finiteness check does
+    for constant-product coefficients.
+
+    Callers pass ``base > 0`` (reserves and reserve ratios).  The
+    common can't-overflow case — ``exponent * log2(base)`` safely
+    under float64's 1024 exponent cap — skips the ``np.errstate``
+    guard entirely; entering that context costs more than the pow
+    itself, and this function sits inside the scalar chain
+    optimizer's innermost loop.
+    """
+    if exponent * math.log2(base) < 1023.0:
+        return float(np.power(base, exponent))
+    with np.errstate(over="ignore"):
+        result = float(np.power(base, exponent))
+    if not math.isfinite(result) and math.isfinite(base) and math.isfinite(exponent):
+        raise OverflowError(
+            f"pow({base!r}, {exponent!r}) overflows a float64"
+        )
+    return result
 
 
 class WeightedPoolSnapshot:
@@ -218,7 +265,7 @@ class WeightedPool:
         gamma = 1.0 - self._fee
         ratio = self.weight_ratio(token_in)
         base = x / (x + gamma * amount_in)
-        return y * (1.0 - base ** ratio)
+        return y * (1.0 - pinned_pow(base, ratio))
 
     def spot_price(self, token_in: Token) -> float:
         """Fee-adjusted marginal price at zero size:
@@ -237,7 +284,10 @@ class WeightedPool:
         x, y = self.reserves_oriented(token_in)
         gamma = 1.0 - self._fee
         r = self.weight_ratio(token_in)
-        return y * r * gamma * (x ** r) / ((x + gamma * amount_in) ** (r + 1.0))
+        return (
+            y * r * gamma * pinned_pow(x, r)
+            / pinned_pow(x + gamma * amount_in, r + 1.0)
+        )
 
     # ------------------------------------------------------------------
     # state transitions

@@ -116,9 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for scoring (1 = serial)")
     p.add_argument("--scalar", action="store_true",
-                   help="disable the cross-loop batch kernel and score "
-                   "every loop on the scalar path (correctness oracle; "
-                   "identical numbers, slower)")
+                   help="disable the cross-loop batch kernels (closed-form, "
+                   "iterative, and weighted) and score every loop on the "
+                   "scalar path (correctness oracle; identical numbers, "
+                   "slower, composable with --jobs)")
     p.add_argument("--csv", help="write the full ranked list to a CSV file "
                    "(deterministic: profit desc, canonical loop id asc)")
 
@@ -172,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated registry names to score loops with")
     p.add_argument("--mode", choices=("incremental", "full"), default="incremental")
     p.add_argument("--scalar", action="store_true",
-                   help="disable the cross-loop batch kernel for per-block "
+                   help="disable the cross-loop batch kernels for per-block "
                    "re-quotes (correctness oracle; identical numbers, slower)")
     p.add_argument("--save-events", help="write the replayed stream to a JSONL file")
     p.add_argument("--save-snapshot",

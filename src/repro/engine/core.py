@@ -15,11 +15,13 @@ CLI — routes through.  It composes three independent accelerations:
   for the closed-form strategies, reached through each strategy's
   ``evaluate_grid`` override, with automatic scalar fallback for
   weighted pools and the convex strategy;
-* the cross-loop batch kernel (:mod:`repro.market`): loops-at-one-
-  price-map calls on the serial executor compile eligible
-  constant-product loops into hop-index matrices over columnar
-  reserves and quote them all in one vectorized pass per rotation,
-  with built-in scalar fallback for everything else.
+* the cross-loop batch kernels (:mod:`repro.market`): loops-at-one-
+  price-map calls on the serial executor compile *every* loop —
+  constant-product and weighted alike, on any of the three fixed-start
+  solvers — into hop-index matrices over columnar reserves and quote
+  them per rotation in one vectorized pass (closed form for CPMM
+  groups, batched chain-rule/iterative solvers otherwise), with scalar
+  fallback only for non-batchable strategies and tiny slices.
 
 Results are always identical to the scalar path — the engine changes
 *when* work happens, never *what* is computed.
@@ -170,11 +172,11 @@ class EvaluationEngine:
     ) -> list[StrategyResult]:
         """One strategy over many loops at one price map.
 
-        On the serial executor, eligible loops (constant-product, under
-        a closed-form fixed-start strategy) take the cross-loop batch
-        kernel; everything else — and everything when
-        ``vectorize=False`` — evaluates scalar, with identical numbers
-        either way.
+        On the serial executor, loops under a fixed-start strategy
+        (any solver method, weighted hops included) take the
+        cross-loop batch kernels; everything else — and everything
+        when ``vectorize=False`` — evaluates scalar, with identical
+        numbers either way.
         """
         if isinstance(self.executor, SerialExecutor):
             picked = self._batch_evaluator([strategy], loops)

@@ -1,35 +1,58 @@
-"""Columnar market state and the cross-loop batch quote kernel.
+"""Columnar market state and the cross-loop batch quote kernels.
 
 The :mod:`repro.market` layer sits between the object-level AMM model
 (:mod:`repro.amm`) and the consumers that evaluate many loops per
 step (:mod:`repro.engine`, :mod:`repro.replay`, :mod:`repro.service`):
 
-* :class:`MarketArrays` — structure-of-arrays reserves/fees with pool
-  and token index maps, built from and round-trippable to a
+* :class:`MarketArrays` — structure-of-arrays reserves/fees/weights
+  with pool and token index maps, built from and round-trippable to a
   :class:`~repro.amm.registry.PoolRegistry`, with in-place (and, for
-  distinct-pool batches, vectorized) event application;
+  distinct-pool batches, vectorized) event application for both pool
+  families;
 * :func:`compile_loops` / :class:`CompiledLoopGroup` — loops × hops
-  pool-index and orientation matrices over a fixed arrays instance;
-* :func:`batch_quotes` — the kernel: optimal input, hop amounts, and
-  single-token profit for one rotation of *every* compiled loop in a
-  single vectorized pass, bit-identical to the scalar path;
+  pool-index and orientation matrices over a fixed arrays instance,
+  grouped by (length, weighted);
+* :func:`batch_quotes` — the closed-form kernel: optimal input, hop
+  amounts, and single-token profit for one rotation of every compiled
+  constant-product loop in a single vectorized pass, bit-identical to
+  the scalar path;
+* :func:`weighted_quotes` / the ``cp_*`` iterative kernels — the same
+  contract for weighted-hop loops and the bisection/golden solver
+  methods, built on the batched lockstep solvers of
+  :mod:`repro.market.solvers` (weighted parity documented at
+  :data:`WEIGHTED_PARITY_RTOL`);
 * :class:`BatchEvaluator` — strategy dispatch (traditional / MaxPrice
-  / MaxMax on the closed-form solver) with built-in scalar fallback
-  for weighted hops, non-batchable strategies, and tiny dirty sets.
+  / MaxMax on any of the three solvers) with built-in scalar fallback
+  only for non-batchable strategies, foreign pools, and tiny dirty
+  sets.
 """
 
 from .arrays import MarketArrays
-from .batch import BatchEvaluator, batch_kind
+from .batch import BatchEvaluator, EvaluatorStats, batch_kind
 from .compile import CompiledLoopGroup, compile_loops
 from .kernel import BatchQuotes, batch_quotes, monetize_quotes
+from .solvers import batched_golden_section, batched_maximize_by_derivative
+from .weighted_kernel import (
+    WEIGHTED_PARITY_RTOL,
+    cp_bisection_quotes,
+    cp_golden_quotes,
+    weighted_quotes,
+)
 
 __all__ = [
     "BatchEvaluator",
     "BatchQuotes",
     "CompiledLoopGroup",
+    "EvaluatorStats",
     "MarketArrays",
+    "WEIGHTED_PARITY_RTOL",
     "batch_kind",
     "batch_quotes",
+    "batched_golden_section",
+    "batched_maximize_by_derivative",
     "compile_loops",
+    "cp_bisection_quotes",
+    "cp_golden_quotes",
     "monetize_quotes",
+    "weighted_quotes",
 ]

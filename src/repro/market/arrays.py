@@ -1,6 +1,6 @@
 """Structure-of-arrays view of a pool market.
 
-:class:`MarketArrays` holds every pool's reserves and fee in three
+:class:`MarketArrays` holds every pool's reserves, fee, and weights in
 contiguous ``float64`` numpy arrays, plus the index maps (pool id →
 row, token → column) that let loop-hop matrices address them.  It is
 the columnar twin of :class:`~repro.amm.registry.PoolRegistry`:
@@ -20,10 +20,16 @@ operation, so array-applied reserves are *bit-identical* to the same
 events applied through :class:`~repro.amm.pool.Pool` — the property
 the hypothesis round-trip suite pins down.
 
-Weighted (G3M) pools are carried along (so a registry containing them
-still round-trips) but flagged ``constant_product = False``; the batch
-quote kernel never addresses them and :meth:`apply_events` refuses
-events on them — weighted flow stays on the scalar object path.
+Weighted (G3M) pools are first-class columns too: ``weight0`` /
+``weight1`` sit alongside the reserves (1.0 for constant-product rows,
+where only the ratio would matter anyway) and ``constant_product``
+flags the family per row so both the event mirror and the kernels
+(:mod:`repro.market.kernel` closed-form for CPMM rows,
+:mod:`repro.market.weighted_kernel` for weighted-containing loops)
+dispatch the right arithmetic.  Weighted swap events apply the G3M
+exact-in formula through the same :func:`~repro.amm.weighted.pinned_pow`
+the object path uses, so the columnar mirror never drifts from the
+pools it shadows — the weighted replay regression suite pins that.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from ..amm.events import (
 )
 from ..amm.pool import Pool
 from ..amm.registry import PoolRegistry
+from ..amm.weighted import pinned_pow
 from ..core.errors import (
     InvalidReserveError,
     UnknownPoolError,
@@ -68,10 +75,11 @@ class MarketArrays:
         "reserve0",
         "reserve1",
         "fee",
+        "weight0",
+        "weight1",
         "token0_idx",
         "token1_idx",
         "constant_product",
-        "_weights",
     )
 
     def __init__(self, pools: Iterable):
@@ -95,10 +103,11 @@ class MarketArrays:
         self.reserve0 = np.empty(n, dtype=np.float64)
         self.reserve1 = np.empty(n, dtype=np.float64)
         self.fee = np.empty(n, dtype=np.float64)
+        self.weight0 = np.ones(n, dtype=np.float64)
+        self.weight1 = np.ones(n, dtype=np.float64)
         self.token0_idx = np.empty(n, dtype=np.intp)
         self.token1_idx = np.empty(n, dtype=np.intp)
         self.constant_product = np.empty(n, dtype=bool)
-        self._weights: dict[int, tuple[float, float]] = {}
         for i, pool in enumerate(pool_list):
             self.reserve0[i] = pool.reserve_of(pool.token0)
             self.reserve1[i] = pool.reserve_of(pool.token1)
@@ -108,10 +117,8 @@ class MarketArrays:
             is_cp = bool(getattr(pool, "is_constant_product", True))
             self.constant_product[i] = is_cp
             if not is_cp:
-                self._weights[i] = (
-                    pool.weight_of(pool.token0),
-                    pool.weight_of(pool.token1),
-                )
+                self.weight0[i] = pool.weight_of(pool.token0)
+                self.weight1[i] = pool.weight_of(pool.token1)
 
     @classmethod
     def from_registry(cls, registry: PoolRegistry) -> "MarketArrays":
@@ -129,9 +136,10 @@ class MarketArrays:
         return pool_id in self.pool_index
 
     def __repr__(self) -> str:
+        weighted = int((~self.constant_product).sum())
         return (
             f"MarketArrays({len(self)} pools, {len(self.tokens)} tokens, "
-            f"{len(self._weights)} weighted)"
+            f"{weighted} weighted)"
         )
 
     def reserves(self, pool_id: str) -> tuple[float, float]:
@@ -171,15 +179,14 @@ class MarketArrays:
             else:
                 from ..amm.weighted import WeightedPool
 
-                weight0, weight1 = self._weights[i]
                 registry.add(
                     WeightedPool(
                         token0,
                         token1,
                         float(self.reserve0[i]),
                         float(self.reserve1[i]),
-                        weight0,
-                        weight1,
+                        float(self.weight0[i]),
+                        float(self.weight1[i]),
                         fee=float(self.fee[i]),
                         pool_id=pool_id,
                     )
@@ -218,10 +225,13 @@ class MarketArrays:
         Price ticks and block markers are no-ops here (arrays hold no
         prices — the caller tracks those); swap/mint/burn mutate the
         reserve columns with arithmetic that mirrors the object path
-        bit for bit.  When every pool in the batch is touched at most
-        once the updates are applied as single vectorized scatters;
-        any repeated pool forces the exact sequential path (later
-        events must see earlier events' reserves).
+        bit for bit — per-family: constant-product rows use the CPMM
+        exact-in formula, weighted rows the G3M one (through the same
+        ``pinned_pow`` as :meth:`WeightedPool.quote_out`).  When every
+        pool in the batch is touched at most once the updates are
+        applied as single vectorized scatters; any repeated pool forces
+        the exact sequential path (later events must see earlier
+        events' reserves).
         """
         pool_events: list[MarketEvent] = []
         for event in events:
@@ -236,12 +246,6 @@ class MarketArrays:
         if not pool_events:
             return set()
         indices = [self._index(e.pool_id) for e in pool_events]
-        for i in indices:
-            if not self.constant_product[i]:
-                raise TypeError(
-                    f"pool {self.pool_ids[i]!r} is not constant-product; "
-                    "apply its events through the object path"
-                )
         if len(set(indices)) == len(indices):
             self._apply_distinct(pool_events, indices)
         else:
@@ -260,6 +264,16 @@ class MarketArrays:
             f"{token_in} is not in pool {self.pool_ids[i]!r}"
         )
 
+    def _weighted_out(self, i: int, is0: bool, x: float, y: float,
+                      gamma: float, dx: float) -> float:
+        """G3M exact-in output, op-for-op :meth:`WeightedPool.quote_out`
+        (after its validation): ``dy = y*(1 - (x/(x+γ·dx))^(w_in/w_out))``."""
+        w_in = float(self.weight0[i]) if is0 else float(self.weight1[i])
+        w_out = float(self.weight1[i]) if is0 else float(self.weight0[i])
+        ratio = w_in / w_out
+        base = x / (x + gamma * dx)
+        return y * (1.0 - pinned_pow(base, ratio))
+
     def _apply_one(self, event: MarketEvent, i: int) -> None:
         r0 = float(self.reserve0[i])
         r1 = float(self.reserve1[i])
@@ -274,11 +288,17 @@ class MarketArrays:
             if dx == 0.0:
                 return
             gamma = 1.0 - float(self.fee[i])
-            eff = gamma * dx
-            dy = y * eff / (x + eff)
+            if self.constant_product[i]:
+                eff = gamma * dx
+                dy = y * eff / (x + eff)
+            else:
+                dy = self._weighted_out(i, is0, x, y, gamma, dx)
             new_x = x + dx
             new_y = y - dy
-            if new_y <= 0:
+            # weighted rows skip the depletion check: the G3M formula
+            # cannot emit a full reserve, and WeightedPool.swap has no
+            # such check to mirror
+            if self.constant_product[i] and new_y <= 0:
                 raise InvalidReserveError(
                     f"reserve of {event.token_out} would become {new_y}"
                 )
@@ -320,11 +340,14 @@ class MarketArrays:
         event is valid*, so swaps and burns become one gather / compute
         / scatter each, with the same IEEE-754 sequence per element as
         :meth:`_apply_one` (mints stay scalar — rare, per-event ratio
-        validation).  Everything is validated against the (disjoint)
-        pre-states before anything is written; a batch containing any
-        invalid event is re-run sequentially instead, so the exception
-        raised — and the partial state left behind — match the
-        event-by-event object path exactly.
+        validation; weighted swap outputs are likewise recomputed
+        per-row through the scalar G3M mirror, so their ``pinned_pow``
+        call sequence is identical to the object path's).  Everything
+        is validated against the (disjoint) pre-states before anything
+        is written; a batch containing any invalid event is re-run
+        sequentially instead, so the exception raised — and the partial
+        state left behind — match the event-by-event object path
+        exactly.
         """
         swaps = [(e, i) for e, i in zip(events, indices) if isinstance(e, SwapEvent)]
         mints = [(e, i) for e, i in zip(events, indices) if isinstance(e, MintEvent)]
@@ -357,9 +380,18 @@ class MarketArrays:
             gamma = 1.0 - self.fee[idx]
             eff = gamma * dx
             dy = y * eff / (x + eff)
+            cp = self.constant_product[idx]
+            if not cp.all():
+                # weighted rows: overwrite the CPMM output with the
+                # scalar G3M mirror (per row, like _apply_one)
+                for k in np.nonzero(~cp)[0]:
+                    dy[k] = self._weighted_out(
+                        int(idx[k]), bool(is0[k]), float(x[k]),
+                        float(y[k]), float(gamma[k]), float(dx[k]),
+                    )
             new_x = np.where(dx == 0.0, x, x + dx)
             new_y = np.where(dx == 0.0, y, y - dy)
-            if (new_y <= 0).any():
+            if (new_y[cp] <= 0).any():
                 return sequential()
             swap_update = (idx, is0, new_x, new_y)
         for event, i in mints:

@@ -5,28 +5,41 @@ and the service's shard workers share: a fixed loop list compiled once
 against a :class:`~repro.market.arrays.MarketArrays`, plus
 ``evaluate_many`` — the batch twin of
 :meth:`repro.strategies.base.Strategy.evaluate_many` that quotes every
-requested constant-product loop in one kernel pass per rotation and
-returns :class:`~repro.strategies.base.StrategyResult` objects
-bit-identical to the scalar path.
+requested loop in one kernel pass per rotation and returns
+:class:`~repro.strategies.base.StrategyResult` objects bit-identical
+to the scalar path.
 
-Scalar fallbacks are built in, so callers never special-case:
+Dispatch is total over the paper's three fixed-start strategies: each
+compiled group routes to the kernel matching its family and the
+strategy's solver —
 
-* strategies without a closed-form batch kind (convex, or any
-  fixed-start strategy on a non-``closed_form`` solver) run loop by
-  loop through ``evaluate_cached``;
-* loops with weighted hops (or pools outside the arrays) stay scalar
-  even under a batchable strategy;
+* constant-product group × ``closed_form`` → the bit-exact closed-form
+  kernel (:func:`~repro.market.kernel.batch_quotes`);
+* constant-product group × ``bisection`` / ``golden`` → the batched
+  iterative kernels (:mod:`~repro.market.weighted_kernel`);
+* weighted-containing group × any method → the chain-rule weighted
+  kernel (the scalar path routes those rotations to the chain
+  optimizer whatever the method says, and so does the batch path).
+
+The remaining scalar fallbacks are structural, not family-based:
+
+* strategies without a batch kind (convex, subclasses overriding
+  evaluation, unknown solver strings) run loop by loop through
+  ``evaluate_cached``;
+* loops crossing pools outside the arrays stay scalar;
 * dirty sets smaller than ``min_batch`` skip the kernel — below a few
   loops, fixed numpy dispatch overhead beats the win, and the scalar
   path can hit the reserve-keyed cache.
 
 Whatever the route, the numbers are the same; only the wall-clock
-differs.
+differs.  :attr:`BatchEvaluator.stats` counts kernel-vs-scalar routing
+so consumers can assert no loop is *forced* scalar.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -44,31 +57,76 @@ from ..strategies.traditional import (
 from .arrays import MarketArrays
 from .compile import CompiledLoopGroup, compile_loops
 from .kernel import BatchQuotes, batch_quotes, monetize_quotes
+from .weighted_kernel import (
+    cp_bisection_quotes,
+    cp_golden_quotes,
+    weighted_quotes,
+)
 
-__all__ = ["BatchEvaluator", "batch_kind"]
+__all__ = ["BatchEvaluator", "EvaluatorStats", "batch_kind"]
 
 #: Below this many loops per compiled group, the kernel's fixed numpy
 #: dispatch overhead outweighs the vectorization win; such slices run
 #: scalar (where they may also hit the rotation cache).
 DEFAULT_MIN_BATCH = 8
 
+#: Solver methods the batch kernels reproduce exactly (the scalar
+#: optimizers' closed form, derivative bisection, and golden-section
+#: search all have array-wide lockstep twins).
+_BATCH_METHODS = ("closed_form", "bisection", "golden")
+
+#: quote_fn(arrays, group, offsets) -> BatchQuotes
+QuoteFn = Callable[
+    [MarketArrays, CompiledLoopGroup, "int | np.ndarray"], BatchQuotes
+]
+
 
 def batch_kind(strategy: Strategy) -> str | None:
     """The kernel dispatch kind of a strategy, or ``None`` if it must
     stay scalar.
 
-    Only the exact fixed-start classes on the ``closed_form`` solver
-    qualify: subclasses may override evaluation arbitrarily, and the
-    iterative solvers differ from the closed form in their reported
-    iteration counts (the batch kernel *is* the closed form).
+    Only the exact fixed-start classes qualify (subclasses may override
+    evaluation arbitrarily), on any of the three solver methods — each
+    method has a batched twin reproducing its optima *and* its reported
+    iteration counts.
     """
-    if type(strategy) is TraditionalStrategy and strategy.method == "closed_form":
+    if type(strategy) is TraditionalStrategy and strategy.method in _BATCH_METHODS:
         return "traditional"
-    if type(strategy) is MaxPriceStrategy and strategy.method == "closed_form":
+    if type(strategy) is MaxPriceStrategy and strategy.method in _BATCH_METHODS:
         return "maxprice"
-    if type(strategy) is MaxMaxStrategy and strategy.method == "closed_form":
+    if type(strategy) is MaxMaxStrategy and strategy.method in _BATCH_METHODS:
         return "maxmax"
     return None
+
+
+def _quote_fn(group: CompiledLoopGroup, method: str) -> QuoteFn:
+    """The kernel quoting ``group`` under solver ``method`` (see module
+    docstring for the dispatch table)."""
+    if group.weighted:
+        return weighted_quotes
+    if method == "closed_form":
+        return batch_quotes
+    if method == "bisection":
+        return cp_bisection_quotes
+    return cp_golden_quotes
+
+
+@dataclass
+class EvaluatorStats:
+    """Cumulative routing counters of one :class:`BatchEvaluator`.
+
+    ``kernel_loops`` / ``scalar_loops`` count loop evaluations answered
+    by a batch kernel vs the per-loop object path (small-slice and
+    non-batchable-strategy fallbacks land in the latter);
+    ``kernel_passes`` counts vectorized group passes.
+    """
+
+    kernel_loops: int = 0
+    scalar_loops: int = 0
+    kernel_passes: int = 0
+
+    def reset(self) -> None:
+        self.kernel_loops = self.scalar_loops = self.kernel_passes = 0
 
 
 class BatchEvaluator:
@@ -107,6 +165,7 @@ class BatchEvaluator:
             self._source_pools = list(pools.values())
         self.arrays = arrays
         self.min_batch = min_batch
+        self.stats = EvaluatorStats()
         self.groups, self.fallback_positions = compile_loops(
             self.loops, arrays
         )
@@ -122,9 +181,10 @@ class BatchEvaluator:
 
     def __repr__(self) -> str:
         compiled = sum(len(g) for g in self.groups)
+        weighted = sum(len(g) for g in self.groups if g.weighted)
         return (
             f"BatchEvaluator({len(self.loops)} loops: {compiled} compiled "
-            f"in {len(self.groups)} group(s), "
+            f"({weighted} weighted) in {len(self.groups)} group(s), "
             f"{len(self.fallback_positions)} scalar-only)"
         )
 
@@ -187,7 +247,7 @@ class BatchEvaluator:
         when ``None``); result ``i`` answers ``indices[i]``.
 
         Bit-identical to ``[strategy.evaluate_cached(loops[i], prices,
-        cache) for i in indices]`` — the kernel handles eligible
+        cache) for i in indices]`` — the kernels handle eligible
         slices, everything else falls back to exactly that call.
         """
         positions = (
@@ -206,10 +266,17 @@ class BatchEvaluator:
                     continue  # scalar fallback below
                 group = self.groups[gi]
                 sub = group if len(rows) == len(group) else group.rows(rows)
+                quote_fn = _quote_fn(group, strategy.method)
+                self.stats.kernel_passes += 1
                 for position, result in zip(
-                    sub.positions, _evaluate_group(kind, strategy, self.arrays, sub, prices)
+                    sub.positions,
+                    _evaluate_group(
+                        kind, strategy, self.arrays, sub, prices, quote_fn
+                    ),
                 ):
                     results[int(position)] = result
+        self.stats.kernel_loops += len(results)
+        self.stats.scalar_loops += len(positions) - len(results)
         for position in positions:
             if position not in results:
                 results[position] = strategy.evaluate_cached(
@@ -230,6 +297,7 @@ def _assemble(
     quotes: BatchQuotes,
     monetized: float,
     strategy_name: str,
+    method: str,
     extra_details: dict | None = None,
 ) -> StrategyResult:
     rotation = Rotation(group.loops[k], offset)
@@ -239,7 +307,7 @@ def _assemble(
         quote,
         None,
         strategy_name,
-        "closed_form",
+        method,
         profit=quote_profit_vector(rotation, quote),
         monetized=monetized,
         extra_details=extra_details,
@@ -269,12 +337,13 @@ def _evaluate_group(
     arrays: MarketArrays,
     group: CompiledLoopGroup,
     prices: PriceMap,
+    quote_fn: QuoteFn,
 ) -> list[StrategyResult]:
     if kind == "traditional":
-        return _traditional_group(strategy, arrays, group, prices)
+        return _traditional_group(strategy, arrays, group, prices, quote_fn)
     if kind == "maxprice":
-        return _maxprice_group(strategy, arrays, group, prices)
-    return _maxmax_group(strategy, arrays, group, prices)
+        return _maxprice_group(strategy, arrays, group, prices, quote_fn)
+    return _maxmax_group(strategy, arrays, group, prices, quote_fn)
 
 
 def _traditional_group(
@@ -282,6 +351,7 @@ def _traditional_group(
     arrays: MarketArrays,
     group: CompiledLoopGroup,
     prices: PriceMap,
+    quote_fn: QuoteFn,
 ) -> list[StrategyResult]:
     count = len(group)
     start = strategy.start_token
@@ -298,14 +368,14 @@ def _traditional_group(
                 )
             offset_list.append(offset)
         offsets = np.asarray(offset_list, dtype=np.intp)
-    quotes = batch_quotes(arrays, group, offsets)
+    quotes = quote_fn(arrays, group, offsets)
     price_vec = arrays.price_vector(prices)
     start_prices = price_vec[group.token_idx[np.arange(count), offsets]]
     monetized = monetize_quotes(quotes, start_prices)
     _check_monetized(monetized, group, offsets)
     return [
         _assemble(group, k, int(offsets[k]), quotes, float(monetized[k]),
-                  strategy.name)
+                  strategy.name, strategy.method)
         for k in range(count)
     ]
 
@@ -315,6 +385,7 @@ def _maxprice_group(
     arrays: MarketArrays,
     group: CompiledLoopGroup,
     prices: PriceMap,
+    quote_fn: QuoteFn,
 ) -> list[StrategyResult]:
     count = len(group)
     price_vec = arrays.price_vector(prices)
@@ -332,12 +403,12 @@ def _maxprice_group(
         price_matrix == row_max[:, None], group.symbol_rank, group.length
     )
     offsets = np.argmin(ranked, axis=1)
-    quotes = batch_quotes(arrays, group, offsets)
+    quotes = quote_fn(arrays, group, offsets)
     start_prices = price_matrix[np.arange(count), offsets]
     monetized = monetize_quotes(quotes, start_prices)
     return [
         _assemble(group, k, int(offsets[k]), quotes, float(monetized[k]),
-                  strategy.name)
+                  strategy.name, strategy.method)
         for k in range(count)
     ]
 
@@ -347,6 +418,7 @@ def _maxmax_group(
     arrays: MarketArrays,
     group: CompiledLoopGroup,
     prices: PriceMap,
+    quote_fn: QuoteFn,
 ) -> list[StrategyResult]:
     count = len(group)
     n = group.length
@@ -354,7 +426,7 @@ def _maxmax_group(
     quotes_by_offset: list[BatchQuotes] = []
     monetized = np.empty((n, count), dtype=np.float64)
     for offset in range(n):
-        quotes = batch_quotes(arrays, group, offset)
+        quotes = quote_fn(arrays, group, offset)
         quotes_by_offset.append(quotes)
         start_prices = price_vec[group.token_idx[:, offset]]
         monetized[offset] = monetize_quotes(quotes, start_prices)
@@ -379,6 +451,7 @@ def _maxmax_group(
                 quotes_by_offset[offset],
                 float(monetized[offset, k]),
                 strategy.name,
+                strategy.method,
                 {"per_rotation": per_rotation},
             )
         )

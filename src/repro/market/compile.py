@@ -4,13 +4,19 @@ A :class:`CompiledLoopGroup` is the bridge between loop *objects* and
 the columnar market state: for every loop of one length it stores, per
 hop of the base rotation, the pool's row in the arrays and the hop's
 orientation (is the input token the pool's ``token0``?).  A rotation
-is then just a cyclic column shift, so the batch kernel can evaluate
+is then just a cyclic column shift, so the batch kernels can evaluate
 any rotation of every loop with pure gathers — no object traversal.
 
-Loops are *eligible* for compilation when every hop is a
-constant-product pool present in the arrays; everything else (weighted
-hops, foreign pools) lands in the fallback set and keeps the scalar
-path.  Grouping by loop length keeps each matrix rectangular.
+Loops are *eligible* for compilation when every hop's pool is present
+in the arrays; only loops crossing foreign pools land in the fallback
+set and keep the scalar path.  Grouping is by ``(length, weighted)``:
+purely constant-product loops keep the closed-form kernel
+(:mod:`repro.market.kernel`, bit-exact by construction), while loops
+containing at least one weighted (G3M) hop — including weighted pools
+whose weights happen to be equal, which the scalar path also treats
+as G3M — are grouped separately for the iterative weighted kernel
+(:mod:`repro.market.weighted_kernel`).  Grouping by loop length keeps
+each matrix rectangular.
 """
 
 from __future__ import annotations
@@ -40,6 +46,10 @@ class CompiledLoopGroup:
         The loop objects, aligned with the matrix rows.
     length:
         Hop count ``n`` shared by every loop in the group.
+    weighted:
+        True when the group's loops contain at least one weighted
+        (G3M) hop; such groups are quoted by the iterative weighted
+        kernel, never the closed form.
     pool_idx:
         ``(L, n)`` array: arrays-row of the pool serving hop ``j`` of
         the base rotation (start = ``loop.tokens[0]``).
@@ -61,6 +71,7 @@ class CompiledLoopGroup:
     positions: np.ndarray
     loops: tuple[ArbitrageLoop, ...]
     length: int
+    weighted: bool
     pool_idx: np.ndarray
     orient: np.ndarray
     token_idx: np.ndarray
@@ -77,6 +88,7 @@ class CompiledLoopGroup:
             positions=self.positions[rows],
             loops=tuple(self.loops[k] for k in sel),
             length=self.length,
+            weighted=self.weighted,
             pool_idx=self.pool_idx[rows],
             orient=self.orient[rows],
             token_idx=self.token_idx[rows],
@@ -85,13 +97,16 @@ class CompiledLoopGroup:
         )
 
 
-def _is_compilable(loop: ArbitrageLoop, arrays: MarketArrays) -> bool:
+def _loop_kind(loop: ArbitrageLoop, arrays: MarketArrays) -> bool | None:
+    """``False``/``True`` for compilable CPMM-only/weighted-containing
+    loops, ``None`` when a hop's pool is not in the arrays."""
+    weighted = False
     for pool in loop.pools:
-        if not getattr(pool, "is_constant_product", True):
-            return False
         if pool.pool_id not in arrays.pool_index:
-            return False
-    return True
+            return None
+        if not getattr(pool, "is_constant_product", True):
+            weighted = True
+    return weighted
 
 
 def compile_loops(
@@ -100,19 +115,21 @@ def compile_loops(
     """Split ``loops`` into compiled groups plus scalar-fallback positions.
 
     Returns ``(groups, fallback)`` where each group covers the eligible
-    loops of one length (in input order) and ``fallback`` lists the
-    positions of loops that must stay on the object path.
+    loops of one ``(length, weighted)`` combination (in input order)
+    and ``fallback`` lists the positions of loops that must stay on the
+    object path (a hop's pool missing from the arrays).
     """
-    by_length: dict[int, list[int]] = {}
+    by_kind: dict[tuple[int, bool], list[int]] = {}
     fallback: list[int] = []
     for position, loop in enumerate(loops):
-        if _is_compilable(loop, arrays):
-            by_length.setdefault(len(loop), []).append(position)
-        else:
+        weighted = _loop_kind(loop, arrays)
+        if weighted is None:
             fallback.append(position)
+        else:
+            by_kind.setdefault((len(loop), weighted), []).append(position)
 
     groups: list[CompiledLoopGroup] = []
-    for length, positions in sorted(by_length.items()):
+    for (length, weighted), positions in sorted(by_kind.items()):
         count = len(positions)
         pool_idx = np.empty((count, length), dtype=np.intp)
         orient = np.empty((count, length), dtype=bool)
@@ -140,6 +157,7 @@ def compile_loops(
                 positions=np.asarray(positions, dtype=np.intp),
                 loops=tuple(group_loops),
                 length=length,
+                weighted=weighted,
                 pool_idx=pool_idx,
                 orient=orient,
                 token_idx=token_idx,

@@ -1,4 +1,4 @@
-"""Cross-loop batch quote kernel.
+"""Cross-loop batch quote kernel (closed-form, constant-product).
 
 One vectorized pass evaluates a *rotation* of every compiled loop at
 once: compose the linear-fractional hop maps down the hop axis (the
@@ -17,6 +17,18 @@ like ``math.sqrt``).  The parity suites assert ``==``, never
 ``approx``.  Transcendental functions whose rounding is *not*
 IEEE-pinned (``np.log`` vs ``math.log``) are deliberately kept out of
 this kernel.
+
+The closed form is computed *masked*: ``sqrt(a*b)`` runs only on the
+rows where ``a > b`` (a profitable input exists).  The scalar path
+never evaluates the formula for unprofitable rotations either, so the
+masking both matches it op-for-op and keeps degenerate reserves (for
+example products overflowing on hopeless rows) from raising spurious
+``RuntimeWarning``s — the market-layer test modules escalate those to
+errors.
+
+Weighted (G3M) hops never reach this module: loops containing one are
+compiled into ``weighted`` groups and quoted by
+:mod:`repro.market.weighted_kernel` instead.
 """
 
 from __future__ import annotations
@@ -29,7 +41,14 @@ from ..strategies.traditional import RotationQuote
 from .arrays import MarketArrays
 from .compile import CompiledLoopGroup
 
-__all__ = ["BatchQuotes", "batch_quotes", "monetize_quotes"]
+__all__ = [
+    "BatchQuotes",
+    "batch_quotes",
+    "compose_group",
+    "gather_hops",
+    "monetize_quotes",
+    "simulate_hops",
+]
 
 
 @dataclass(frozen=True)
@@ -41,12 +60,16 @@ class BatchQuotes:
     start token, and the per-hop amounts ``amounts[k] = [in, after hop
     1, ..., out]``.  Rows with no profitable input hold zeros, exactly
     like :func:`repro.strategies.traditional.rotation_quote`.
+    ``iterations`` carries the per-row solver iteration counts when an
+    iterative kernel produced the quotes (``None`` — reported as 0 —
+    for the closed form, matching the scalar solvers).
     """
 
     length: int
     amount_in: np.ndarray
     profit: np.ndarray
     amounts: np.ndarray
+    iterations: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.amount_in)
@@ -54,9 +77,13 @@ class BatchQuotes:
     def quote(self, k: int) -> RotationQuote:
         """Materialize row ``k`` as the scalar path's RotationQuote."""
         amount_in = float(self.amount_in[k])
+        iterations = (
+            int(self.iterations[k]) if self.iterations is not None else 0
+        )
         if amount_in <= 0.0:
             return RotationQuote(
-                amount_in=amount_in, hop_amounts=(), profit=0.0, iterations=0
+                amount_in=amount_in, hop_amounts=(), profit=0.0,
+                iterations=iterations,
             )
         row = self.amounts[k]
         hops = tuple(
@@ -66,11 +93,11 @@ class BatchQuotes:
             amount_in=amount_in,
             hop_amounts=hops,
             profit=float(self.profit[k]),
-            iterations=0,
+            iterations=iterations,
         )
 
 
-def _gathered_hops(
+def gather_hops(
     group: CompiledLoopGroup, offsets: int | np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """Pool / orientation matrices with hop ``j`` = base hop ``offset+j``."""
@@ -84,20 +111,24 @@ def _gathered_hops(
     return group.pool_idx[rows, cols], group.orient[rows, cols]
 
 
-def batch_quotes(
+def compose_group(
     arrays: MarketArrays,
     group: CompiledLoopGroup,
     offsets: int | np.ndarray,
-) -> BatchQuotes:
-    """Quote one rotation of every loop in ``group`` in one pass.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+           list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+    """Compose the rotation's linear-fractional coefficients per loop.
 
-    ``offsets`` is either one shared rotation offset or a per-loop
-    array of offsets (fixed-start strategies pick different rotations
-    for different loops).
+    Returns ``(a, b, c, xs, ys, gammas)``: the composed map
+    ``t -> a*t / (b + c*t)`` for the requested rotation of every loop,
+    plus the per-hop oriented reserve / fee gathers (hop ``j`` of the
+    rotation) the callers reuse for re-simulation and bracket hints.
+    Constant-product groups only — the recurrence mirrors
+    ``SwapComposition.then`` op for op.
     """
     n = group.length
     count = len(group)
-    pool_g, orient_g = _gathered_hops(group, offsets)
+    pool_g, orient_g = gather_hops(group, offsets)
 
     r0, r1, fee = arrays.reserve0, arrays.reserve1, arrays.fee
     xs: list[np.ndarray] = []
@@ -125,19 +156,56 @@ def batch_quotes(
         c = x * c + gamma * a
         a = a * a_h
         b = b * x
+    return a, b, c, xs, ys, gammas
 
-    # closed form: t* = (sqrt(a*b) - b) / c when a > b, else 0
-    t = np.where(a > b, (np.sqrt(a * b) - b) / c, 0.0)
 
-    amounts = np.empty((count, n + 1), dtype=np.float64)
+def simulate_hops(
+    t: np.ndarray,
+    xs: list[np.ndarray],
+    ys: list[np.ndarray],
+    gammas: list[np.ndarray],
+) -> np.ndarray:
+    """Exact-in re-simulation of every hop at input ``t`` per loop;
+    returns the ``(count, n+1)`` amounts matrix ``[in, after hop 1,
+    ..., out]`` with the same per-element IEEE-754 sequence as
+    :func:`repro.amm.swap.amount_out`."""
+    n = len(xs)
+    amounts = np.empty((t.shape[0], n + 1), dtype=np.float64)
     amounts[:, 0] = t
     current = t
     for j in range(n):
         eff = gammas[j] * current
         current = ys[j] * eff / (xs[j] + eff)
         amounts[:, j + 1] = current
-    profit = amounts[:, n] - amounts[:, 0]
-    return BatchQuotes(length=n, amount_in=t, profit=profit, amounts=amounts)
+    return amounts
+
+
+def batch_quotes(
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    offsets: int | np.ndarray,
+) -> BatchQuotes:
+    """Quote one rotation of every loop in ``group`` in one pass.
+
+    ``offsets`` is either one shared rotation offset or a per-loop
+    array of offsets (fixed-start strategies pick different rotations
+    for different loops).
+    """
+    a, b, c, xs, ys, gammas = compose_group(arrays, group, offsets)
+
+    # closed form: t* = (sqrt(a*b) - b) / c when a > b, else 0 —
+    # evaluated only on the profitable rows (see module docstring)
+    t = np.zeros(len(group), dtype=np.float64)
+    profitable = np.nonzero(a > b)[0]
+    if profitable.size:
+        ap, bp = a[profitable], b[profitable]
+        t[profitable] = (np.sqrt(ap * bp) - bp) / c[profitable]
+
+    amounts = simulate_hops(t, xs, ys, gammas)
+    profit = amounts[:, group.length] - amounts[:, 0]
+    return BatchQuotes(
+        length=group.length, amount_in=t, profit=profit, amounts=amounts
+    )
 
 
 def monetize_quotes(

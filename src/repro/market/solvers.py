@@ -1,0 +1,184 @@
+"""Batched 1-D optimizers: array-wide twins of the scalar solvers.
+
+The hop map of a weighted (G3M) pool,
+``out = y * (1 - (x / (x + γ·t))^(w_in/w_out))``, is *not*
+linear-fractional, so loops containing weighted hops have no
+closed-form optimum — and the iterative strategy methods
+(``bisection`` / ``golden``) are iterative by definition.  Covering
+both on the columnar path needs solvers that iterate on the whole loop
+array at once.
+
+Each function here replicates its scalar counterpart
+(:func:`repro.optimize.bisection.maximize_by_derivative`,
+:func:`repro.optimize.golden.golden_section_maximize`) *in lockstep
+per row*: every row performs exactly the scalar algorithm's sequence
+of IEEE-754 operations — same bracket hint, same geometric expansion,
+same midpoints, same convergence test — with a converged mask freezing
+finished rows while the rest keep iterating.  Rows therefore converge
+after exactly as many iterations as the scalar call would report, to
+exactly the value the scalar call would return, whenever the
+elementwise arithmetic matches — which it does bit-for-bit for the
+``+ - * / sqrt`` family, and per-platform for ``pow`` (see
+:func:`repro.amm.weighted.pinned_pow`).  The per-row iteration counts
+are returned so callers can reproduce the scalar result objects
+exactly.
+
+Convergence criterion (shared with the scalar solvers): the bracket
+``[lo, hi]`` has collapsed when ``hi - lo <= tol * max(1, |mid|)``
+with ``tol = 1e-12`` — relative to the midpoint's magnitude above 1,
+absolute below it, so tiny and huge reserve scales behave alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.errors import SolverConvergenceError
+from ..optimize.bisection import DEFAULT_MAX_ITER, DEFAULT_TOL
+
+__all__ = ["batched_maximize_by_derivative", "batched_golden_section"]
+
+_INV_PHI = (np.sqrt(5.0) - 1.0) / 2.0  # 1/phi ~ 0.618
+_INV_PHI_SQ = (3.0 - np.sqrt(5.0)) / 2.0  # 1/phi^2 ~ 0.382
+
+_MAX_EXPANSIONS = 200  # matches maximize_by_derivative's bracket guard
+
+
+def batched_maximize_by_derivative(
+    rate: Callable[[np.ndarray], np.ndarray],
+    initial_hi: np.ndarray,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise ``argmax profit`` over ``t >= 0`` given the output rate.
+
+    ``rate`` maps a full-width input array to the composed marginal
+    rate per row (monotone decreasing in ``t``); ``initial_hi`` seeds
+    the per-row bracket expansion.  Returns ``(x, iterations)`` where
+    ``x[k]`` is row ``k``'s optimal input (0.0 where ``rate(0) <= 1``,
+    the no-arbitrage boundary) and ``iterations[k]`` the scalar
+    solver's iteration count (bisection steps + bracket expansions).
+    """
+    hi = np.array(initial_hi, dtype=np.float64, copy=True)
+    count = hi.shape[0]
+    x = np.zeros(count, dtype=np.float64)
+    iterations = np.zeros(count, dtype=np.intp)
+    # `not (rate <= 1)`, NOT `rate > 1`: the scalar guard is `if
+    # rate(0.0) <= 1.0: return 0`, so a NaN rate (degenerate-magnitude
+    # reserves) falls *through* to the search there — lockstep means
+    # falling through here too (the garbage then converges or raises
+    # identically on both paths).
+    active = ~(rate(np.zeros(count, dtype=np.float64)) <= 1.0)
+    if not active.any():
+        return x, iterations
+
+    # -- bracket: double hi until rate(hi) < 1, per row ----------------
+    expansions = np.zeros(count, dtype=np.intp)
+    expanding = active.copy()
+    while True:
+        expanding &= rate(hi) >= 1.0
+        if not expanding.any():
+            break
+        hi = np.where(expanding, hi * 2.0, hi)
+        expansions += expanding
+        if (expansions > _MAX_EXPANSIONS).any():
+            worst = float(hi[expansions.argmax()])
+            raise SolverConvergenceError(
+                "could not bracket the optimum: rate stays >= 1 "
+                f"even at input {worst}"
+            )
+
+    # -- bisect rate(t) - 1 on [0, hi], per row ------------------------
+    lo = np.zeros(count, dtype=np.float64)
+    steps = np.zeros(count, dtype=np.intp)
+    solving = active.copy()
+    while True:
+        # the while-guard comes first, like the scalar `while
+        # iterations < max_iter`: a row that has spent its budget
+        # raises without being granted one more convergence check
+        if (steps[solving] >= max_iter).any():
+            raise SolverConvergenceError(
+                f"bisection did not converge in {max_iter} iterations"
+            )
+        mid = 0.5 * (lo + hi)
+        width = hi - lo
+        scale = np.maximum(1.0, np.abs(mid))
+        done = solving & (width <= tol * scale)
+        x = np.where(done, mid, x)
+        solving &= ~done
+        if not solving.any():
+            break
+        take_lo = solving & (rate(mid) - 1.0 >= 0.0)
+        lo = np.where(take_lo, mid, lo)
+        hi = np.where(solving & ~take_lo, mid, hi)
+        steps += solving
+    iterations = np.where(active, steps + expansions, iterations)
+    return x, iterations
+
+
+def batched_golden_section(
+    fn: Callable[[np.ndarray], np.ndarray],
+    hi: np.ndarray,
+    active: np.ndarray,
+    tol: float = 1e-12,
+    max_iter: int = 400,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise golden-section maximization of unimodal ``fn`` on
+    ``[0, hi]``.
+
+    Only rows flagged ``active`` are solved (the caller has already
+    resolved the rest to the boundary 0.0, like the scalar path's
+    ``is_profitable`` pre-check); inactive rows return ``x = 0`` with
+    zero iterations.  Returns ``(x, iterations)``.
+    """
+    count = hi.shape[0]
+    x = np.zeros(count, dtype=np.float64)
+    iterations = np.zeros(count, dtype=np.intp)
+    if not active.any():
+        return x, iterations
+
+    a = np.zeros(count, dtype=np.float64)
+    b = np.array(hi, dtype=np.float64, copy=True)
+    h = b - a
+    c = a + _INV_PHI_SQ * h
+    d = a + _INV_PHI * h
+    fc = fn(c)
+    fd = fn(d)
+    solving = active.copy()
+    for iteration in range(1, max_iter + 1):
+        scale = np.maximum(1.0, np.maximum(np.abs(a), np.abs(b)))
+        done = solving & (h <= tol * scale)
+        if done.any():
+            x = np.where(done, 0.5 * (a + b), x)
+            iterations = np.where(done, iteration, iterations)
+            solving &= ~done
+        if not solving.any():
+            break
+        # shrink toward the better probe: rows with fc > fd keep the
+        # left interval [a, d], the rest keep the right one [c, b] —
+        # recomputing exactly the one probe the scalar loop recomputes
+        take_left = fc > fd
+        new_b = np.where(take_left, d, b)
+        new_a = np.where(take_left, a, c)
+        new_h = new_b - new_a
+        cand_c = new_a + _INV_PHI_SQ * new_h
+        cand_d = new_a + _INV_PHI * new_h
+        f_new = fn(np.where(take_left, cand_c, cand_d))
+        a = np.where(solving, new_a, a)
+        b = np.where(solving, new_b, b)
+        h = np.where(solving, new_h, h)
+        new_c = np.where(take_left, cand_c, d)
+        new_d = np.where(take_left, c, cand_d)
+        new_fc = np.where(take_left, f_new, fd)
+        new_fd = np.where(take_left, fc, f_new)
+        c = np.where(solving, new_c, c)
+        d = np.where(solving, new_d, d)
+        fc = np.where(solving, new_fc, fc)
+        fd = np.where(solving, new_fd, fd)
+    if solving.any():
+        raise SolverConvergenceError(
+            f"golden-section search did not converge in {max_iter} iterations"
+        )
+    return x, iterations

@@ -1,0 +1,291 @@
+"""Batch quote kernels beyond the closed form.
+
+Two scalar-fallback seams used to quarantine loops on the per-loop
+object path; both are closed here:
+
+* **Weighted hops.**  The G3M hop map
+  ``out = y * (1 - (x / (x + γ·t))^(w_in/w_out))`` has no
+  linear-fractional composition, so a loop containing one weighted
+  pool has no closed-form optimum.  :func:`weighted_quotes` evaluates
+  such loops array-wide with the chain rule — the composed marginal
+  rate at input ``t`` is the product of per-hop marginal rates along
+  the simulated path — and finds each loop's optimum with the batched
+  bracketing + bisection solver
+  (:func:`~repro.market.solvers.batched_maximize_by_derivative`),
+  iterating on the whole loop array at once with a converged mask.
+  This is the same algorithm (same hint, same brackets, same
+  tolerance) as the scalar chain optimizer
+  (:func:`repro.optimize.chain.optimize_rotation_chain`), in lockstep
+  per row.
+
+* **Iterative strategy methods.**  ``method="bisection"`` /
+  ``"golden"`` on constant-product loops previously forced the scalar
+  path because the closed-form kernel could not reproduce their
+  iteration counts.  :func:`cp_bisection_quotes` /
+  :func:`cp_golden_quotes` run the same iterative searches over the
+  composed linear-fractional coefficients array-wide.
+
+Parity policy: constant-product arithmetic here is IEEE-pinned and
+bit-exact against the scalar path by construction.  Weighted hops go
+through ``np.power`` — the very ufunc the scalar
+:class:`~repro.amm.weighted.WeightedPool` quotes route through
+(:func:`~repro.amm.weighted.pinned_pow`) — so batch and scalar agree
+bit-for-bit *on any one platform*; across platforms/libms ``pow`` is
+not correctly rounded, and the documented contract is relative
+agreement within ``WEIGHTED_PARITY_RTOL`` (the hypothesis suite in
+``tests/property/test_weighted_kernel_parity.py`` pins it).
+
+Failure parity at degenerate magnitudes: inf/NaN *propagation* is as
+silent here as Python-float arithmetic is on the scalar path
+(``_SCALAR_SILENCE``), pow overflow from finite operands is as loud
+(``_pow`` raises ``OverflowError`` exactly where ``pinned_pow``
+does), and solver non-convergence raises the same
+``SolverConvergenceError``.  The one seam deliberately left open: the
+scalar path's per-hop *input validation* (``ValueError`` when an
+intermediate amount has already overflowed to inf, reachable only
+with reserves beyond ~1e154) is not replicated — checking every hop's
+amounts for finiteness would tax every real quote to chase markets
+float64 cannot meaningfully represent in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .arrays import MarketArrays
+from .compile import CompiledLoopGroup
+from .kernel import BatchQuotes, compose_group, gather_hops, simulate_hops
+from .solvers import batched_golden_section, batched_maximize_by_derivative
+
+__all__ = [
+    "WEIGHTED_PARITY_RTOL",
+    "cp_bisection_quotes",
+    "cp_golden_quotes",
+    "weighted_quotes",
+]
+
+#: Documented batch-vs-scalar tolerance for quotes crossing a weighted
+#: hop.  On one platform the two paths share every operation (including
+#: the ``pow`` ufunc) and agree exactly; this bound is the contract for
+#: environments whose array and scalar ``pow`` code paths differ by an
+#: ulp per hop (~1e-16 relative per pow, amplified through at most a
+#: few hundred bisection steps on well-conditioned monotone rates).
+WEIGHTED_PARITY_RTOL = 1e-9
+
+#: Kernel arithmetic mirrors *Python-float* semantics, which are silent
+#: on inf/NaN propagation (``1e308 * 10`` is ``inf``, not a warning);
+#: numpy would emit RuntimeWarnings for the identical operations, so
+#: expressions the scalar twin also computes run under this state.
+#: Loudness lives exactly where the scalar path is loud: :func:`_pow`
+#: raises ``OverflowError`` like ``pinned_pow``, and the batched
+#: solvers raise ``SolverConvergenceError`` like their scalar twins.
+_SCALAR_SILENCE = {"over": "ignore", "invalid": "ignore"}
+
+
+def _pow(
+    base: np.ndarray, exponent: np.ndarray, loud: np.ndarray | None = None
+) -> np.ndarray:
+    """Array twin of :func:`repro.amm.weighted.pinned_pow`: the same
+    ``np.power`` ufunc with the same loud-overflow contract — a
+    non-finite result from finite operands raises ``OverflowError``
+    instead of seeding silent NaN quotes.
+
+    ``loud`` restricts the overflow check to the rows whose *scalar*
+    twin is the loud ``pinned_pow`` — in a mixed hop column the
+    constant-product rows' twin is plain Python-float arithmetic
+    (``denom * denom`` overflowing silently to inf), so their lanes
+    must stay silent here too for exception parity.
+    """
+    out = np.power(base, exponent)
+    bad = ~np.isfinite(out)
+    if loud is not None:
+        bad &= loud
+    if bad.any():
+        bad &= np.isfinite(base) & np.isfinite(np.asarray(exponent))
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise OverflowError(
+                f"pow({float(np.ravel(base)[k])!r}, "
+                f"{float(np.ravel(np.broadcast_to(exponent, out.shape))[k])!r}) "
+                "overflows a float64"
+            )
+    return out
+
+
+class _ChainHops:
+    """Per-hop gathers of a (possibly mixed) rotation, with the
+    loop-invariant pieces of the chain-rule rate precomputed."""
+
+    def __init__(
+        self,
+        arrays: MarketArrays,
+        group: CompiledLoopGroup,
+        offsets: int | np.ndarray,
+    ):
+        pool_g, orient_g = gather_hops(group, offsets)
+        r0, r1, fee = arrays.reserve0, arrays.reserve1, arrays.fee
+        w0, w1 = arrays.weight0, arrays.weight1
+        cp_rows = arrays.constant_product
+        self.hops = []
+        for j in range(group.length):
+            pool_col = pool_g[:, j]
+            orient_col = orient_g[:, j]
+            pr0 = r0[pool_col]
+            pr1 = r1[pool_col]
+            x = np.where(orient_col, pr0, pr1)
+            y = np.where(orient_col, pr1, pr0)
+            gamma = 1.0 - fee[pool_col]
+            cp = cp_rows[pool_col]
+            mixed = not cp.all()
+            if mixed:
+                w_in = np.where(orient_col, w0[pool_col], w1[pool_col])
+                w_out = np.where(orient_col, w1[pool_col], w0[pool_col])
+                ratio = w_in / w_out  # one division, like weight_ratio
+                # loop-invariant factors of the G3M marginal rate
+                # y*r*γ*x^r / (x+γt)^(r+1): numerator and exponent
+                with np.errstate(**_SCALAR_SILENCE):
+                    w_num = y * ratio * gamma * _pow(x, ratio, loud=~cp)
+                w_exp = ratio + 1.0
+            else:
+                ratio = w_num = w_exp = None
+            self.hops.append((x, y, gamma, cp, mixed, ratio, w_num, w_exp))
+        self.x0 = self.hops[0][0]  # input-side reserve of hop 0
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        """Composed marginal rate at input ``t`` per loop — the product
+        of per-hop marginal rates along the simulated path, op-for-op
+        :func:`repro.optimize.chain.chain_rate`."""
+        rate = np.ones(t.shape[0], dtype=np.float64)
+        current = t
+        with np.errstate(**_SCALAR_SILENCE):
+            for x, y, gamma, cp, mixed, ratio, w_num, w_exp in self.hops:
+                eff = gamma * current
+                denom = x + eff
+                cp_rate = x * y * gamma / (denom * denom)
+                cp_out = y * eff / denom
+                if mixed:
+                    w_rate = w_num / _pow(denom, w_exp, loud=~cp)
+                    # x/denom <= 1, so this pow can only underflow
+                    w_out = y * (1.0 - np.power(x / denom, ratio))
+                    rate = rate * np.where(cp, cp_rate, w_rate)
+                    current = np.where(cp, cp_out, w_out)
+                else:
+                    rate = rate * cp_rate
+                    current = cp_out
+        return rate
+
+    def simulate(self, t: np.ndarray) -> np.ndarray:
+        """Hop-by-hop amounts matrix ``[in, after hop 1, ..., out]``."""
+        amounts = np.empty((t.shape[0], len(self.hops) + 1), dtype=np.float64)
+        amounts[:, 0] = t
+        current = t
+        with np.errstate(**_SCALAR_SILENCE):
+            for j, (x, y, gamma, cp, mixed, ratio, _w_num, _w_exp) in enumerate(
+                self.hops
+            ):
+                eff = gamma * current
+                denom = x + eff
+                cp_out = y * eff / denom
+                if mixed:
+                    w_out = y * (1.0 - np.power(x / denom, ratio))
+                    current = np.where(cp, cp_out, w_out)
+                else:
+                    current = cp_out
+                amounts[:, j + 1] = current
+        return amounts
+
+
+def weighted_quotes(
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    offsets: int | np.ndarray,
+) -> BatchQuotes:
+    """Quote one rotation of every weighted-containing loop at once.
+
+    The scalar twin is ``optimize_rotation_chain`` + ``simulate``:
+    bracket from the same reserve-scaled hint, bisect the chain rate to
+    the same tolerance, re-simulate the hop amounts — all rows in
+    lockstep.
+    """
+    hops = _ChainHops(arrays, group, offsets)
+    hint = np.maximum(hops.x0 * 1e-3, 1e-9)
+    t, iterations = batched_maximize_by_derivative(hops.rate, hint)
+    amounts = hops.simulate(t)
+    profit = amounts[:, group.length] - amounts[:, 0]
+    return BatchQuotes(
+        length=group.length,
+        amount_in=t,
+        profit=profit,
+        amounts=amounts,
+        iterations=iterations,
+    )
+
+
+def _cp_iterative(
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    offsets: int | np.ndarray,
+    solve: Callable[..., tuple[np.ndarray, np.ndarray]],
+) -> BatchQuotes:
+    a, b, c, xs, ys, gammas = compose_group(arrays, group, offsets)
+    t, iterations = solve(a, b, c, xs[0])
+    amounts = simulate_hops(t, xs, ys, gammas)
+    profit = amounts[:, group.length] - amounts[:, 0]
+    return BatchQuotes(
+        length=group.length,
+        amount_in=t,
+        profit=profit,
+        amounts=amounts,
+        iterations=iterations,
+    )
+
+
+def cp_bisection_quotes(
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    offsets: int | np.ndarray,
+) -> BatchQuotes:
+    """The paper's bisection method, array-wide: bisect the composed
+    derivative ``a*b/(b+c*t)^2`` crossing 1, bracketed from the same
+    reserve-scaled hint as the scalar ``optimize_rotation_by``."""
+
+    def solve(a, b, c, x0):
+        def rate(t: np.ndarray) -> np.ndarray:
+            with np.errstate(**_SCALAR_SILENCE):
+                denom = b + c * t
+                return a * b / (denom * denom)
+
+        hint = np.maximum(x0 * 1e-3, 1e-9)
+        return batched_maximize_by_derivative(rate, hint)
+
+    return _cp_iterative(arrays, group, offsets, solve)
+
+
+def cp_golden_quotes(
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    offsets: int | np.ndarray,
+) -> BatchQuotes:
+    """Derivative-free golden-section search, array-wide, on the same
+    ``[0, 4*t* + 1]`` bracket the scalar path uses (``t*`` from the
+    closed form, so the unimodal optimum is safely interior)."""
+
+    def solve(a, b, c, _x0):
+        count = a.shape[0]
+        active = a > b
+        hi = np.ones(count, dtype=np.float64)
+        rows = np.nonzero(active)[0]
+        if rows.size:
+            ar, br = a[rows], b[rows]
+            with np.errstate(**_SCALAR_SILENCE):
+                hi[rows] = (np.sqrt(ar * br) - br) / c[rows] * 4.0 + 1.0
+
+        def profit(t: np.ndarray) -> np.ndarray:
+            with np.errstate(**_SCALAR_SILENCE):
+                return np.where(t == 0.0, 0.0, a * t / (b + c * t)) - t
+
+        return batched_golden_section(profit, hi, active)
+
+    return _cp_iterative(arrays, group, offsets, solve)

@@ -105,8 +105,12 @@ def apply_block_events(
     dropped (the private pools record their mutations as they happen;
     nothing here reads those logs, so they must not mirror the whole
     input stream in memory), and — when the caller keeps a columnar
-    ``arrays`` mirror for the batch quote kernel — the dirty pools'
-    reserves are pulled into it.
+    ``arrays`` mirror for the batch quote kernels — the dirty pools'
+    reserves are pulled into it.  The pull copies reserves straight
+    off the mutated pool objects, so it is family-agnostic by
+    construction: a weighted pool's G3M swap arithmetic happened on
+    the object side, and the mirror can never re-apply CPMM math to
+    it (the weighted replay regression suite pins this).
     """
     dirty_pools: set[str] = set()
     dirty_tokens: set[Token] = set()

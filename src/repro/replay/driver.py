@@ -13,12 +13,14 @@ numbers:
   reserve-keyed cache entries are stale by construction), only loops
   holding ticked tokens are re-monetized, and every other loop's
   stored result is carried over untouched, costing zero.  Re-quotes go
-  through the cross-loop batch kernel (:mod:`repro.market`): the
+  through the cross-loop batch kernels (:mod:`repro.market`): the
   driver mirrors its private market in a columnar
   :class:`~repro.market.MarketArrays` (refreshed per block for the
-  dirty pools) and evaluates the whole dirty set in one vectorized
-  pass per strategy; small dirty sets, weighted loops, and
-  non-closed-form strategies fall back to the scalar cached path.
+  dirty pools — weighted rows included, so the mirror never drifts)
+  and evaluates the whole dirty set in one vectorized pass per
+  strategy, weighted loops through the batched chain-rule solver;
+  only small dirty sets and non-batchable strategies fall back to
+  the scalar cached path.
 * ``"full"`` — every loop re-evaluated from scratch each block, no
   cache.  The parity oracle: per-block reports must be bit-identical
   to incremental mode, which the property and golden tests assert.

@@ -3,8 +3,9 @@
 A :class:`ShardWorker` is the service's unit of parallelism: a private
 market copy of only its shard's pools, that slice mirrored as columnar
 :class:`~repro.market.MarketArrays` with the shard's loops compiled
-against it (the cross-loop batch kernel re-quotes a block's whole
-dirty set in one vectorized pass), a shard-local
+against it (the cross-loop batch kernels re-quote a block's whole
+dirty set in one vectorized pass — weighted-hop loops included, via
+the batched chain-rule solver), a shard-local
 :class:`~repro.engine.cache.PoolStateCache` for the scalar fallback,
 and the replay layer's dirty-set invalidation
 (:func:`~repro.replay.apply.apply_block_events` +
@@ -119,6 +120,13 @@ class ShardWorker:
             f"ShardWorker(shard={self.shard_id}, {len(self.loops)} loops, "
             f"{len(self.market.registry)} pools)"
         )
+
+    @property
+    def evaluator_stats(self):
+        """Kernel-vs-scalar routing counters of the shard's
+        :class:`~repro.market.BatchEvaluator` (tests assert weighted
+        loops are never forced onto the per-loop scalar path)."""
+        return self._evaluator.stats
 
     # ------------------------------------------------------------------
     # state

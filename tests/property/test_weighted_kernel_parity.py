@@ -1,0 +1,137 @@
+"""Hypothesis: batched weighted quotes ↔ the scalar G3M optimizer.
+
+The weighted kernel's contract has two tiers:
+
+* **documented tolerance** — across random weights, fees, reserves,
+  and loop lengths, the batched chain-rule solver
+  (:func:`repro.market.weighted_quotes`) agrees with the scalar
+  optimizer that :mod:`repro.amm.weighted` loops actually use
+  (:func:`repro.optimize.chain.optimize_rotation_chain`, reached via
+  ``rotation_quote``) within :data:`repro.market.WEIGHTED_PARITY_RTOL`
+  relative.  This is the *portable* contract: ``pow`` is not
+  IEEE-pinned, so the bound is what survives a platform whose array
+  and scalar pow paths differ by an ulp.
+
+* **per-platform lockstep** — on any one platform both paths route
+  every fractional power through the same ``np.power`` ufunc
+  (:func:`repro.amm.weighted.pinned_pow`) and iterate in lockstep, so
+  they agree *exactly*.  The suite asserts this stronger property too
+  (it is what the replay incremental-vs-full and service parity tests
+  rely on); if a future platform ever breaks it, this is the test
+  that should fail first — loosen it to the documented tolerance only
+  together with those parity suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import Pool, PoolRegistry
+from repro.amm.weighted import WeightedPool
+from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.market import (
+    WEIGHTED_PARITY_RTOL,
+    BatchEvaluator,
+    MarketArrays,
+)
+from repro.strategies import (
+    MaxMaxStrategy,
+    MaxPriceStrategy,
+    TraditionalStrategy,
+)
+from repro.strategies.traditional import rotation_quote
+
+TOKENS = tuple(Token(s) for s in ("A", "B", "C", "D"))
+
+reserve = st.floats(min_value=50.0, max_value=1e6)
+weight = st.floats(min_value=0.1, max_value=0.9)
+fee = st.floats(min_value=0.0, max_value=0.05)
+price = st.floats(min_value=0.01, max_value=1e4)
+length = st.integers(min_value=2, max_value=4)
+method = st.sampled_from(["closed_form", "bisection", "golden"])
+
+
+@st.composite
+def weighted_market(draw):
+    """A single loop of random length whose hops mix CPMM and G3M
+    pools (at least one weighted), plus prices for every token."""
+    n = draw(length)
+    tokens = list(TOKENS[:n])
+    registry = PoolRegistry()
+    pools = []
+    weighted_slots = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n).filter(any)
+    )
+    for j in range(n):
+        a, b = tokens[j], tokens[(j + 1) % n]
+        ra, rb = draw(reserve), draw(reserve)
+        f = draw(fee)
+        if weighted_slots[j]:
+            pool = WeightedPool(
+                a, b, ra, rb, draw(weight), draw(weight),
+                fee=f, pool_id=f"w{j}",
+            )
+        else:
+            pool = Pool(a, b, ra, rb, fee=f, pool_id=f"p{j}")
+        registry.add(pool)
+        pools.append(pool)
+    loop = ArbitrageLoop(tokens, pools)
+    prices = PriceMap({t: draw(price) for t in tokens})
+    return registry, loop, prices
+
+
+@settings(max_examples=60, deadline=None)
+@given(market=weighted_market(), m=method)
+def test_weighted_quotes_match_scalar_optimizer(market, m):
+    registry, loop, prices = market
+    evaluator = BatchEvaluator(
+        [loop], arrays=MarketArrays.from_registry(registry), min_batch=1
+    )
+    assert evaluator.fallback_positions == []
+    assert evaluator.groups[0].weighted
+    for strategy in (
+        TraditionalStrategy(method=m),
+        MaxPriceStrategy(method=m),
+        MaxMaxStrategy(method=m),
+    ):
+        got = evaluator.evaluate_many(strategy, prices)[0]
+        ref = strategy.evaluate_cached(loop, prices, None)
+        # portable contract: documented relative tolerance
+        assert got.amount_in == pytest.approx(
+            ref.amount_in, rel=WEIGHTED_PARITY_RTOL, abs=1e-12
+        )
+        assert got.monetized_profit == pytest.approx(
+            ref.monetized_profit, rel=WEIGHTED_PARITY_RTOL, abs=1e-9
+        )
+        # per-platform lockstep: same ufunc, same iteration sequence,
+        # same bits (see module docstring before weakening this)
+        assert got.amount_in == ref.amount_in
+        assert got.hop_amounts == ref.hop_amounts
+        assert got.monetized_profit == ref.monetized_profit
+        assert got.details == ref.details
+    assert evaluator.stats.scalar_loops == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(market=weighted_market())
+def test_every_rotation_quote_matches_chain_optimizer(market):
+    """Rotation-level parity, independent of any strategy: the kernel's
+    per-rotation quote equals ``rotation_quote`` (which routes weighted
+    rotations to the chain-rule bisection whatever the method)."""
+    from repro.market.weighted_kernel import weighted_quotes
+    from repro.market import compile_loops
+
+    registry, loop, _prices = market
+    arrays = MarketArrays.from_registry(registry)
+    groups, fallback = compile_loops([loop], arrays)
+    assert fallback == []
+    for offset in range(len(loop)):
+        quotes = weighted_quotes(arrays, groups[0], offset)
+        ref = rotation_quote(loop.rotations()[offset])
+        got = quotes.quote(0)
+        assert got.amount_in == pytest.approx(
+            ref.amount_in, rel=WEIGHTED_PARITY_RTOL, abs=1e-12
+        )
+        assert got == ref  # lockstep tier (iterations included)

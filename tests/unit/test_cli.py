@@ -104,6 +104,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "profitable length-3 loops" in out
 
+    def test_detect_scalar_oracle_identical_across_jobs(self, capsys, tmp_path):
+        """--scalar --jobs N is the correctness oracle under the process
+        pool: its ranked CSV must be byte-identical to --scalar --jobs 1
+        (deterministic chunking, order-preserving reassembly)."""
+        serial = tmp_path / "serial.csv"
+        pooled = tmp_path / "pooled.csv"
+        assert main(["detect", "--scalar", "--jobs", "1",
+                     "--csv", str(serial)]) == 0
+        assert main(["detect", "--scalar", "--jobs", "2",
+                     "--csv", str(pooled)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_detect_scalar_matches_kernel_path(self, capsys, tmp_path):
+        kernel = tmp_path / "kernel.csv"
+        scalar = tmp_path / "scalar.csv"
+        assert main(["detect", "--csv", str(kernel)]) == 0
+        assert main(["detect", "--scalar", "--csv", str(scalar)]) == 0
+        capsys.readouterr()
+        assert kernel.read_bytes() == scalar.read_bytes()
+
     def test_detect_csv_is_byte_stable_across_runs(self, capsys, tmp_path):
         first = tmp_path / "a.csv"
         second = tmp_path / "b.csv"

@@ -165,14 +165,48 @@ class TestMarketArrays:
                            amount_in=1.0, amount_out=1.0)]
             )
 
-    def test_weighted_pool_events_refused(self, registry):
-        registry.add(WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp"))
+    def test_weighted_swap_matches_object_path(self, registry):
+        """The columnar mirror must apply G3M (not CPMM) arithmetic to
+        weighted rows — bit-identical to WeightedPool.swap."""
+        pool = WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp")
+        registry.add(pool)
         arrays = MarketArrays.from_registry(registry)
-        with pytest.raises(TypeError, match="constant-product"):
-            arrays.apply_events(
-                [SwapEvent(pool_id="wp", token_in=Y, token_out=W,
-                           amount_in=1.0, amount_out=1.0)]
-            )
+        pool.swap(Y, 7.5)
+        pool.swap(W, 12.0)  # second swap sees the first one's reserves
+        dirty = arrays.apply_events(pool.events)
+        assert dirty == {"wp"}
+        assert arrays.reserves("wp") == (pool.reserve0, pool.reserve1)
+
+    def test_weighted_rows_in_distinct_batch_match_object_path(self, registry):
+        """A mixed distinct-pool batch: CPMM rows scatter vectorized,
+        weighted rows go through the scalar G3M mirror — all exact."""
+        wp = WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp")
+        registry.add(wp)
+        arrays = MarketArrays.from_registry(registry)
+        cp = registry["xy"]
+        cp.swap(X, 25.0)
+        wp.swap(W, 3.0)
+        wp_mint = WeightedPool(X, W, 50.0, 60.0, 0.3, 0.7, pool_id="wp2")
+        registry.add(wp_mint)
+        arrays2 = MarketArrays.from_registry(registry)
+        wp_mint.add_liquidity(6.0, 5.0)  # ratio-matched post-normalization
+        wp_mint.remove_liquidity(0.25)
+        arrays.apply_events([cp.events[-1], wp.events[-1]])
+        assert arrays.reserves("xy") == (cp.reserve0, cp.reserve1)
+        assert arrays.reserves("wp") == (wp.reserve0, wp.reserve1)
+        arrays2.apply_events(wp_mint.events)
+        assert arrays2.reserves("wp2") == (wp_mint.reserve0, wp_mint.reserve1)
+
+    def test_weighted_weights_live_in_columns(self, registry):
+        pool = WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp")
+        registry.add(pool)
+        arrays = MarketArrays.from_registry(registry)
+        i = arrays.pool_index["wp"]
+        assert arrays.weight0[i] == pool.weight_of(pool.token0)
+        assert arrays.weight1[i] == pool.weight_of(pool.token1)
+        # constant-product rows carry neutral weights
+        j = arrays.pool_index["xy"]
+        assert (arrays.weight0[j], arrays.weight1[j]) == (1.0, 1.0)
 
     def test_invalid_events_rejected_like_pools(self, registry):
         arrays = MarketArrays.from_registry(registry)
@@ -228,13 +262,39 @@ class TestCompileLoops:
         assert [g.length for g in groups] == [2, 3]
         assert [list(g.positions) for g in groups] == [[1], [0]]
 
-    def test_weighted_loops_fall_back(self, registry, prices):
+    def test_weighted_loops_compile_into_weighted_groups(self, registry, prices):
         registry.add(WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp"))
         mixed = ArbitrageLoop(
             [X, Y, W], [registry["xy"], registry["wp"], registry["xw"]]
         )
+        pure = ArbitrageLoop(
+            [X, Y, Z], [registry["xy"], registry["yz"], registry["zx"]]
+        )
         arrays = MarketArrays.from_registry(registry)
-        groups, fallback = compile_loops([mixed], arrays)
+        groups, fallback = compile_loops([mixed, pure], arrays)
+        assert fallback == []
+        assert [(g.length, g.weighted) for g in groups] == [(3, False), (3, True)]
+        assert [list(g.positions) for g in groups] == [[1], [0]]
+
+    def test_equal_weight_g3m_pools_stay_in_weighted_groups(self, registry):
+        """A 50/50 WeightedPool reduces to the V2 formula mathematically,
+        but the scalar path still routes it through the chain optimizer —
+        so must the compiled grouping."""
+        registry.add(WeightedPool(Y, W, 100.0, 400.0, 0.5, 0.5, pool_id="wp"))
+        mixed = ArbitrageLoop(
+            [X, Y, W], [registry["xy"], registry["wp"], registry["xw"]]
+        )
+        arrays = MarketArrays.from_registry(registry)
+        groups, _ = compile_loops([mixed], arrays)
+        assert [g.weighted for g in groups] == [True]
+
+    def test_foreign_pools_fall_back(self, registry):
+        foreign = Pool(Y, W, 10.0, 10.0, pool_id="elsewhere")
+        loop = ArbitrageLoop(
+            [X, Y, W], [registry["xy"], foreign, registry["xw"]]
+        )
+        arrays = MarketArrays.from_registry(registry)
+        groups, fallback = compile_loops([loop], arrays)
         assert groups == [] and fallback == [0]
 
     def test_orientation_and_pool_rows(self, registry, loop):
@@ -275,22 +335,35 @@ class TestBatchQuotes:
 
 
 class TestBatchKind:
-    def test_closed_form_fixed_start_strategies_qualify(self):
+    def test_fixed_start_strategies_qualify_on_every_solver(self):
         assert batch_kind(TraditionalStrategy()) == "traditional"
         assert batch_kind(TraditionalStrategy(start_token=X)) == "traditional"
         assert batch_kind(MaxPriceStrategy()) == "maxprice"
         assert batch_kind(MaxMaxStrategy()) == "maxmax"
+        assert batch_kind(TraditionalStrategy(method="bisection")) == "traditional"
+        assert batch_kind(TraditionalStrategy(method="golden")) == "traditional"
+        assert batch_kind(MaxPriceStrategy(method="bisection")) == "maxprice"
+        assert batch_kind(MaxMaxStrategy(method="golden")) == "maxmax"
 
-    def test_iterative_solvers_and_convex_stay_scalar(self):
-        assert batch_kind(TraditionalStrategy(method="bisection")) is None
-        assert batch_kind(MaxMaxStrategy(method="golden")) is None
+    def test_convex_and_unknown_solvers_stay_scalar(self):
         assert batch_kind(ConvexOptimizationStrategy()) is None
+        assert batch_kind(MaxMaxStrategy(method="sorcery")) is None
 
     def test_subclasses_stay_scalar(self):
         class Custom(MaxMaxStrategy):
             pass
 
         assert batch_kind(Custom()) is None
+
+
+def _strategy_id(s):
+    parts = [type(s).__name__]
+    if getattr(s, "start_token", None):
+        parts.append(s.start_token.symbol)
+    method = getattr(s, "method", None)
+    if method and method != "closed_form":
+        parts.append(method)
+    return "-".join(parts)
 
 
 class TestBatchEvaluator:
@@ -300,19 +373,36 @@ class TestBatchEvaluator:
             ArbitrageLoop([Z, Y, X], [registry["yz"], registry["xy"], registry["zx"]]),
         ]
 
+    def _mixed_loops(self, registry):
+        """Two CPMM loops plus two crossing a weighted (G3M) hop."""
+        if "wp" not in registry:
+            registry.add(
+                WeightedPool(Y, W, 100.0, 400.0, 0.8, 0.2, pool_id="wp")
+            )
+        return self._loops(registry) + [
+            ArbitrageLoop([X, Y, W], [registry["xy"], registry["wp"], registry["xw"]]),
+            ArbitrageLoop([W, Y, X], [registry["wp"], registry["xy"], registry["xw"]]),
+        ]
+
     @pytest.mark.parametrize(
         "strategy",
         [
             TraditionalStrategy(),
             TraditionalStrategy(start_token=Y),
+            TraditionalStrategy(method="bisection"),
+            TraditionalStrategy(method="golden"),
             MaxPriceStrategy(),
+            MaxPriceStrategy(method="bisection"),
+            MaxPriceStrategy(method="golden"),
             MaxMaxStrategy(),
+            MaxMaxStrategy(method="bisection"),
+            MaxMaxStrategy(method="golden"),
             ConvexOptimizationStrategy(),
         ],
-        ids=lambda s: type(s).__name__ + (s.start_token.symbol if getattr(s, "start_token", None) else ""),
+        ids=_strategy_id,
     )
     def test_bit_identical_to_scalar(self, registry, prices, strategy):
-        loops = self._loops(registry)
+        loops = self._mixed_loops(registry)
         evaluator = BatchEvaluator(loops, min_batch=1)
         batch = evaluator.evaluate_many(strategy, prices)
         for got, loop in zip(batch, loops):
@@ -388,3 +478,161 @@ class TestBatchEvaluator:
         for got, loop in zip(batch, loops):
             ref = strategy.evaluate_cached(loop, prices, None)
             assert got.monetized_profit == ref.monetized_profit
+
+    def test_weighted_loops_never_forced_scalar(self, registry, prices):
+        """The acceptance gate: mixed CPMM+weighted loop sets route
+        entirely through the kernels under every fixed-start strategy
+        and solver — zero scalar evaluations."""
+        loops = self._mixed_loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=1)
+        assert evaluator.fallback_positions == []
+        for strategy in (
+            TraditionalStrategy(),
+            TraditionalStrategy(method="bisection"),
+            MaxPriceStrategy(method="golden"),
+            MaxMaxStrategy(),
+        ):
+            evaluator.evaluate_many(strategy, prices)
+        assert evaluator.stats.scalar_loops == 0
+        assert evaluator.stats.kernel_loops == 4 * len(loops)
+        assert evaluator.stats.kernel_passes > 0
+
+    def test_stats_count_small_slice_and_convex_fallbacks(self, registry, prices):
+        loops = self._loops(registry)
+        evaluator = BatchEvaluator(loops, min_batch=10)
+        evaluator.evaluate_many(MaxMaxStrategy(), prices)  # below min_batch
+        assert evaluator.stats.scalar_loops == len(loops)
+        evaluator.stats.reset()
+        evaluator.min_batch = 1
+        evaluator.evaluate_many(ConvexOptimizationStrategy(), prices)
+        assert evaluator.stats.scalar_loops == len(loops)
+        assert evaluator.stats.kernel_loops == 0
+
+
+class TestKernelWarningHygiene:
+    """The market-layer modules run with RuntimeWarning escalated to
+    errors (see pyproject); the kernels must stay silent even on
+    degenerate reserves because the closed form is evaluated masked,
+    exactly like the scalar path that never computes the formula for
+    unprofitable rotations."""
+
+    def _degenerate_registry(self):
+        """Reserves so large that a*b overflows float64 in the dead
+        (unprofitable) branch of the closed form."""
+        registry = PoolRegistry()
+        registry.create(X, Y, 1e80, 1e80, pool_id="gxy")
+        registry.create(Y, Z, 1e80, 1e80, pool_id="gyz")
+        registry.create(Z, X, 1e80, 1e80, pool_id="gzx")
+        return registry
+
+    def test_closed_form_is_silent_on_degenerate_reserves(self):
+        import warnings
+
+        registry = self._degenerate_registry()
+        loop = ArbitrageLoop(
+            [X, Y, Z], [registry["gxy"], registry["gyz"], registry["gzx"]]
+        )
+        arrays = MarketArrays.from_registry(registry)
+        groups, _ = compile_loops([loop], arrays)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            quotes = batch_quotes(arrays, groups[0], 0)
+        # the fee makes the balanced giant loop unprofitable: the scalar
+        # path returns the zero quote without ever touching sqrt(a*b)
+        from repro.strategies.traditional import rotation_quote
+
+        assert quotes.quote(0) == rotation_quote(loop.rotations()[0])
+        assert quotes.amount_in[0] == 0.0
+
+    def test_evaluator_is_silent_on_degenerate_reserves(self):
+        import warnings
+
+        registry = self._degenerate_registry()
+        loop = ArbitrageLoop(
+            [X, Y, Z], [registry["gxy"], registry["gyz"], registry["gzx"]]
+        )
+        evaluator = BatchEvaluator([loop], min_batch=1)
+        prices = PriceMap({X: 1.0, Y: 1.0, Z: 1.0})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            results = evaluator.evaluate_many(MaxMaxStrategy(), prices)
+        ref = MaxMaxStrategy().evaluate_cached(loop, prices, None)
+        assert results[0].monetized_profit == ref.monetized_profit == 0.0
+
+    def test_iterative_kernels_mirror_scalar_on_degenerate_reserves(self):
+        """Where scalar Python-float arithmetic silently propagates
+        inf/NaN and then fails (or resolves) in the solver, the batch
+        kernels must do exactly the same — no RuntimeWarning, same
+        exception type or same zero quote."""
+        import warnings
+
+        from repro.core.errors import SolverConvergenceError
+
+        registry = self._degenerate_registry()
+        loop = ArbitrageLoop(
+            [X, Y, Z], [registry["gxy"], registry["gyz"], registry["gzx"]]
+        )
+        prices = PriceMap({X: 1.0, Y: 1.0, Z: 1.0})
+        # bisection: a*b overflows -> NaN rate -> both paths grind the
+        # bracket past max_iter and raise SolverConvergenceError
+        scalar = MaxMaxStrategy(method="bisection")
+        with pytest.raises(SolverConvergenceError):
+            scalar.evaluate_cached(loop, prices, None)
+        evaluator = BatchEvaluator([loop], min_batch=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            with pytest.raises(SolverConvergenceError):
+                evaluator.evaluate_many(scalar, prices)
+        # golden: the is_profitable pre-check masks the degenerate rows
+        # on both paths -> silent zero quotes
+        golden = MaxMaxStrategy(method="golden")
+        ref = golden.evaluate_cached(loop, prices, None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            got = BatchEvaluator([loop], min_batch=1).evaluate_many(
+                golden, prices
+            )
+        assert got[0].monetized_profit == ref.monetized_profit == 0.0
+
+    def test_weighted_kernel_overflow_fails_loudly_like_scalar(self):
+        """pow overflow at absurd weighted magnitudes raises
+        OverflowError on both paths (pinned_pow's contract), never a
+        silent NaN quote."""
+        registry = PoolRegistry()
+        registry.add(
+            WeightedPool(X, Y, 1e40, 1e40, 0.9, 0.1, pool_id="gw-xy")
+        )
+        registry.create(Y, Z, 1e3, 1e3, pool_id="gw-yz")
+        registry.create(Z, X, 1e3, 1e3, pool_id="gw-zx")
+        loop = ArbitrageLoop(
+            [X, Y, Z], [registry["gw-xy"], registry["gw-yz"], registry["gw-zx"]]
+        )
+        prices = PriceMap({X: 1.0, Y: 1.0, Z: 1.0})
+        with pytest.raises(OverflowError):
+            MaxMaxStrategy().evaluate_cached(loop, prices, None)
+        evaluator = BatchEvaluator([loop], min_batch=1)
+        with pytest.raises(OverflowError):
+            evaluator.evaluate_many(MaxMaxStrategy(), prices)
+
+    def test_giant_cp_hop_in_weighted_loop_mirrors_scalar(self):
+        """A mixed column's constant-product lanes must stay *silent*
+        where their scalar twin is plain Python-float math: here the
+        loud OverflowError comes from the weighted hop (pinned_pow on
+        both paths, same operands), not from the CP lane's denom²."""
+        import warnings
+
+        registry = PoolRegistry()
+        registry.create(X, Y, 1e155, 1e155, pool_id="big-xy")
+        registry.add(WeightedPool(Y, Z, 1e3, 1e3, 0.6, 0.4, pool_id="gw-yz"))
+        registry.create(Z, X, 1e3, 1e3, pool_id="g-zx")
+        loop = ArbitrageLoop(
+            [X, Y, Z], [registry["big-xy"], registry["gw-yz"], registry["g-zx"]]
+        )
+        prices = PriceMap({X: 1.0, Y: 1.0, Z: 1.0})
+        with pytest.raises(OverflowError):
+            MaxMaxStrategy().evaluate_cached(loop, prices, None)
+        evaluator = BatchEvaluator([loop], min_batch=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            with pytest.raises(OverflowError):
+                evaluator.evaluate_many(MaxMaxStrategy(), prices)

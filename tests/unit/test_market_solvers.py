@@ -1,0 +1,153 @@
+"""Unit tests for the batched lockstep solvers (:mod:`repro.market.solvers`).
+
+The contract is *exact* replication of the scalar optimizers row by
+row: same optimum bits, same iteration counts, same convergence
+failures — the masked iteration must be observationally identical to
+running the scalar solver once per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amm.composition import SwapComposition
+from repro.core.errors import SolverConvergenceError
+from repro.market import (
+    batched_golden_section,
+    batched_maximize_by_derivative,
+)
+from repro.optimize.bisection import maximize_by_derivative
+from repro.optimize.golden import golden_section_maximize
+
+
+def _compositions(seed: int, count: int) -> list[SwapComposition]:
+    """Random profitable-and-not linear-fractional round trips."""
+    rng = np.random.default_rng(seed)
+    comps = []
+    for _ in range(count):
+        b = float(rng.uniform(1e2, 1e6))
+        # a/b spans both sides of 1 so zero-optimum rows mix in
+        a = b * float(rng.uniform(0.9, 1.3))
+        c = float(rng.uniform(0.5, 1.0))
+        comps.append(SwapComposition(a=a, b=b, c=c))
+    return comps
+
+
+class TestBatchedBisection:
+    def test_lockstep_matches_scalar_rows(self):
+        comps = _compositions(11, 64)
+        a = np.array([comp.a for comp in comps])
+        b = np.array([comp.b for comp in comps])
+        c = np.array([comp.c for comp in comps])
+        hint = np.array(
+            [max(comp.b * 1e-3, 1e-9) for comp in comps]
+        )
+
+        def rate(t: np.ndarray) -> np.ndarray:
+            denom = b + c * t
+            return a * b / (denom * denom)
+
+        x, iterations = batched_maximize_by_derivative(rate, hint)
+        assert (x[a <= b] == 0.0).all()
+        assert (iterations[a <= b] == 0).all()
+        for k, comp in enumerate(comps):
+            ref = maximize_by_derivative(
+                profit=comp.profit,
+                rate=comp.derivative,
+                initial_hi=float(hint[k]),
+            )
+            assert x[k] == ref.x, f"row {k}"
+            assert iterations[k] == ref.iterations, f"row {k}"
+
+    def test_all_zero_rows_short_circuit(self):
+        def rate(t):
+            return np.full(t.shape, 0.5)
+
+        x, iterations = batched_maximize_by_derivative(rate, np.ones(5))
+        assert (x == 0.0).all() and (iterations == 0).all()
+
+    def test_unbracketable_rate_raises_like_scalar(self):
+        def rate(t):
+            return np.full(t.shape, 2.0)  # never drops below 1
+
+        with pytest.raises(SolverConvergenceError, match="bracket"):
+            batched_maximize_by_derivative(rate, np.ones(3))
+
+    def test_max_iter_boundary_matches_scalar_exactly(self):
+        """A row converging exactly at the iteration budget must raise
+        (or return) precisely when the scalar while-guard would — the
+        guard runs before the convergence check, never after."""
+
+        def scalar_outcome(hint, max_iter):
+            try:
+                r = maximize_by_derivative(
+                    lambda t: 0.0, lambda t: float("nan"),
+                    initial_hi=hint, max_iter=max_iter,
+                )
+                return ("x", r.x, r.iterations)
+            except SolverConvergenceError:
+                return ("raise",)
+
+        def batch_outcome(hint, max_iter):
+            try:
+                x, it = batched_maximize_by_derivative(
+                    lambda t: np.full(t.shape, np.nan),
+                    np.array([hint]),
+                    max_iter=max_iter,
+                )
+                return ("x", float(x[0]), int(it[0]))
+            except SolverConvergenceError:
+                return ("raise",)
+
+        # a NaN rate pins lo at 0 while hi halves, so the halving count
+        # to convergence is set by the hint's magnitude; scanning
+        # max_iter across that count crosses the exact boundary
+        for hint in (1.0, 2.0**40):
+            for max_iter in range(30, 120):
+                assert scalar_outcome(hint, max_iter) == batch_outcome(
+                    hint, max_iter
+                ), (hint, max_iter)
+
+
+class TestBatchedGolden:
+    def test_lockstep_matches_scalar_rows(self):
+        comps = [c for c in _compositions(23, 64) if c.is_profitable]
+        a = np.array([comp.a for comp in comps])
+        b = np.array([comp.b for comp in comps])
+        c = np.array([comp.c for comp in comps])
+        hi = np.array(
+            [comp.optimal_input() * 4.0 + 1.0 for comp in comps]
+        )
+
+        def profit(t: np.ndarray) -> np.ndarray:
+            return np.where(t == 0.0, 0.0, a * t / (b + c * t)) - t
+
+        x, iterations = batched_golden_section(
+            profit, hi, active=np.ones(len(comps), dtype=bool)
+        )
+        for k, comp in enumerate(comps):
+            ref = golden_section_maximize(comp.profit, 0.0, float(hi[k]))
+            assert x[k] == ref.x, f"row {k}"
+            assert iterations[k] == ref.iterations, f"row {k}"
+
+    def test_inactive_rows_stay_at_boundary(self):
+        def profit(t):
+            return -t
+
+        x, iterations = batched_golden_section(
+            profit, np.ones(4), active=np.zeros(4, dtype=bool)
+        )
+        assert (x == 0.0).all() and (iterations == 0).all()
+
+    def test_nonconvergence_raises(self):
+        def profit(t):
+            return np.zeros(t.shape)
+
+        with pytest.raises(SolverConvergenceError, match="golden-section"):
+            batched_golden_section(
+                profit,
+                np.full(2, 1e9),
+                active=np.ones(2, dtype=bool),
+                max_iter=3,
+            )

@@ -95,6 +95,13 @@ class TestWeightedPool:
         assert WeightedPool(X, Y, 1.0, 1.0).is_constant_product is False
         assert Pool(X, Y, 1.0, 1.0).is_constant_product is True
 
+    def test_overflow_magnitudes_fail_loudly(self):
+        """`pinned_pow` keeps `**`'s overflow contract: absurd reserve
+        magnitudes raise OverflowError instead of quoting silent NaNs."""
+        pool = WeightedPool(X, Y, 1e40, 1e40, weight0=0.9, weight1=0.1)
+        with pytest.raises(OverflowError):
+            pool.marginal_rate(X, 1.0)
+
 
 class TestChainOptimizer:
     def test_matches_closed_form_on_cpmm_loop(self, s5_loop):
