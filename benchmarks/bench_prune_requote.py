@@ -1,0 +1,301 @@
+"""Re-quote pruning benchmark: bound passes vs exact quotes.
+
+Three sections, one JSON report:
+
+* **ladder** — sparse-touch streams over markets of ~10³ → 10⁴
+  candidate loops.  For each rung the pruned service (``prune_top_k``)
+  is compared against the unpruned oracle: the top-K book must be
+  bit-identical, the pruned + exact counts must add up to exactly the
+  loops dirtied, and the exact-quote reduction must clear
+  ``MIN_QUOTE_REDUCTION`` (the headline claim: pruning makes re-quoting
+  sublinear in the dirty set).
+* **weighted** — the same comparison on a mixed CPMM/weighted market,
+  where exact quotes run the iterative chain-rule solver and the bound
+  pass is where wall-clock is actually won.  Wall-clock speedup is
+  asserted in full mode only (CI smoke machines are too noisy to gate
+  timings).
+* **replay** — :class:`~repro.replay.ReplayDriver` with ``prune=True``
+  against the unpruned driver: per-block reports bit-identical
+  (``same_numbers``), with a conservative evaluation-reduction gate
+  (replay prunes at threshold 0 — only provably-unprofitable loops).
+
+Run standalone (CI runs the smoke variant and uploads the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_prune_requote.py --smoke --json out.json
+
+or the full ladder::
+
+    PYTHONPATH=src python benchmarks/bench_prune_requote.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.amm import WeightedPool
+from repro.amm.registry import PoolRegistry
+from repro.data.snapshot import MarketSnapshot
+from repro.replay import ReplayDriver, generate_event_stream
+from repro.service import OpportunityService, log_source, make_workload
+
+#: ladder cases: (n_tokens, n_pools, n_blocks) — token counts are kept
+#: low relative to pools so the loop universe is dense (10³–10⁴ loops)
+FULL_LADDER = [(20, 150, 30), (30, 300, 15), (25, 400, 10)]
+SMOKE_LADDER = [(20, 150, 12), (30, 300, 8)]
+
+#: weighted wall-clock case: (n_tokens, n_pools, n_blocks)
+FULL_WEIGHTED = (25, 250, 25)
+SMOKE_WEIGHTED = (20, 150, 10)
+
+#: replay case: (n_tokens, n_pools, n_blocks)
+FULL_REPLAY = (15, 40, 40)
+SMOKE_REPLAY = (15, 40, 15)
+
+EVENTS_PER_BLOCK = 6
+POOLS_PER_BLOCK = 2  # sparse touch: the regime real blocks live in
+PRUNE_K = 10
+WEIGHTED_FRACTION = 0.4
+
+#: the headline gate: unpruned exact quotes (= loops dirtied) must be
+#: at least this multiple of the pruned run's exact quotes
+MIN_QUOTE_REDUCTION = 5.0
+#: replay prunes only provably-unprofitable loops, so its gate is modest
+MIN_REPLAY_REDUCTION = 1.3
+
+
+def with_weighted_pools(market, fraction, seed):
+    """Replace a seeded fraction of CPMM pools with 60/40 weighted
+    pools (same tokens, reserves, fee, and pool id) so exact quotes go
+    through the iterative solver."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    pools = sorted(market.registry, key=lambda p: p.pool_id)
+    convert = set(
+        rng.choice(len(pools), size=int(len(pools) * fraction), replace=False)
+    )
+    registry = PoolRegistry()
+    for index, pool in enumerate(pools):
+        if index in convert:
+            registry.add(
+                WeightedPool(
+                    pool.token0, pool.token1,
+                    pool.reserve0, pool.reserve1,
+                    weight0=0.6, weight1=0.4,
+                    fee=pool.fee, pool_id=pool.pool_id,
+                )
+            )
+        else:
+            registry.add(pool.copy())
+    return MarketSnapshot(
+        registry=registry, prices=market.prices, label=market.label
+    )
+
+
+def run_service(market, log, *, prune_top_k):
+    service = OpportunityService(
+        market, n_shards=1, backend="inline", prune_top_k=prune_top_k
+    )
+    t0 = time.perf_counter()
+    report = asyncio.run(service.run(log_source(log)))
+    wall_s = time.perf_counter() - t0
+    return {
+        "wall_s": wall_s,
+        "evaluations": report.evaluations,
+        "loops_pruned": report.loops_pruned,
+        "total_loops": service.total_loops,
+        "top": [(o.profit_usd, o.loop_id) for o in report.book.top(PRUNE_K)],
+    }
+
+
+def best_of(n, fn):
+    best = None
+    for _ in range(max(1, n)):
+        result = fn()
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    return best
+
+
+def compare_runs(market, log, repeats, label):
+    """Pruned vs unpruned service on the same workload; returns the
+    comparison row after the parity and accounting asserts."""
+    pruned = best_of(repeats, lambda: run_service(market, log, prune_top_k=PRUNE_K))
+    exact = best_of(repeats, lambda: run_service(market, log, prune_top_k=None))
+    assert pruned["top"] == exact["top"], (
+        f"{label}: pruned top-{PRUNE_K} book diverged from the unpruned oracle"
+    )
+    assert pruned["evaluations"] + pruned["loops_pruned"] == exact["evaluations"], (
+        f"{label}: exact + pruned ({pruned['evaluations']} + "
+        f"{pruned['loops_pruned']}) != loops dirtied ({exact['evaluations']})"
+    )
+    reduction = exact["evaluations"] / max(1, pruned["evaluations"])
+    speedup = exact["wall_s"] / pruned["wall_s"] if pruned["wall_s"] > 0 else 0.0
+    return {
+        "total_loops": pruned["total_loops"],
+        "loops_dirtied": exact["evaluations"],
+        "exact_quotes": pruned["evaluations"],
+        "loops_pruned": pruned["loops_pruned"],
+        "quote_reduction": reduction,
+        "wall_s_pruned": pruned["wall_s"],
+        "wall_s_unpruned": exact["wall_s"],
+        "wall_speedup": speedup,
+    }
+
+
+def run_ladder(cases, seed, repeats):
+    results = []
+    for n_tokens, n_pools, n_blocks in cases:
+        market, log = make_workload(
+            n_tokens, n_pools, n_blocks, EVENTS_PER_BLOCK, seed,
+            pools_per_block=POOLS_PER_BLOCK, price_ticks_per_block=0,
+        )
+        row = compare_runs(market, log, repeats, f"ladder {n_pools} pools")
+        row.update(n_tokens=n_tokens, n_pools=n_pools, n_blocks=n_blocks)
+        results.append(row)
+        print(
+            f"{n_pools:>5} pools / {row['total_loops']:>6} loops: "
+            f"{row['loops_dirtied']:>6} dirtied -> "
+            f"{row['exact_quotes']:>5} exact quotes "
+            f"({row['quote_reduction']:.1f}x fewer), "
+            f"wall {row['wall_s_unpruned']:.3f}s -> {row['wall_s_pruned']:.3f}s"
+        )
+        assert row["quote_reduction"] >= MIN_QUOTE_REDUCTION, (
+            f"ladder at {n_pools} pools: quote reduction "
+            f"{row['quote_reduction']:.2f}x below the "
+            f"{MIN_QUOTE_REDUCTION:.0f}x gate"
+        )
+    return results
+
+
+def run_weighted(case, seed, repeats, gate_wall):
+    n_tokens, n_pools, n_blocks = case
+    market, _ = make_workload(
+        n_tokens, n_pools, n_blocks, EVENTS_PER_BLOCK, seed,
+        pools_per_block=POOLS_PER_BLOCK, price_ticks_per_block=0,
+    )
+    market = with_weighted_pools(market, WEIGHTED_FRACTION, seed)
+    log = generate_event_stream(
+        market, n_blocks=n_blocks, events_per_block=EVENTS_PER_BLOCK,
+        seed=seed, pools_per_block=POOLS_PER_BLOCK, price_ticks_per_block=0,
+    )
+    row = compare_runs(market, log, repeats, "weighted")
+    row.update(n_tokens=n_tokens, n_pools=n_pools, n_blocks=n_blocks)
+    print(
+        f"weighted ({WEIGHTED_FRACTION:.0%} of {n_pools} pools, "
+        f"{row['total_loops']} loops): {row['loops_dirtied']} dirtied -> "
+        f"{row['exact_quotes']} exact quotes "
+        f"({row['quote_reduction']:.1f}x fewer), "
+        f"wall {row['wall_s_unpruned']:.3f}s -> {row['wall_s_pruned']:.3f}s "
+        f"({row['wall_speedup']:.2f}x)"
+    )
+    if gate_wall:
+        assert row["wall_speedup"] > 1.0, (
+            f"weighted: pruning did not win wall-clock "
+            f"({row['wall_speedup']:.2f}x)"
+        )
+    return row
+
+
+def run_replay(case, seed, repeats):
+    n_tokens, n_pools, n_blocks = case
+    market, log = make_workload(
+        n_tokens, n_pools, n_blocks, EVENTS_PER_BLOCK, seed,
+        pools_per_block=POOLS_PER_BLOCK, price_ticks_per_block=1,
+    )
+
+    def run(prune):
+        driver = ReplayDriver(market, prune=prune)
+        t0 = time.perf_counter()
+        result = driver.replay(log)
+        return result, time.perf_counter() - t0
+
+    best = None
+    for _ in range(max(1, repeats)):
+        pruned_result, t_pruned = run(True)
+        exact_result, t_exact = run(False)
+        if best is None or t_pruned < best[1]:
+            best = (pruned_result, t_pruned, exact_result, t_exact)
+    pruned_result, t_pruned, exact_result, t_exact = best
+
+    assert all(
+        a.same_numbers(b)
+        for a, b in zip(exact_result.reports, pruned_result.reports)
+    ), "replay: pruned reports diverged from the unpruned driver"
+    reduction = exact_result.evaluations() / max(1, pruned_result.evaluations())
+    print(
+        f"replay ({n_pools} pools, {n_blocks} blocks): "
+        f"{exact_result.evaluations()} -> {pruned_result.evaluations()} "
+        f"exact quotes ({reduction:.1f}x fewer), "
+        f"wall {t_exact:.3f}s -> {t_pruned:.3f}s"
+    )
+    assert reduction >= MIN_REPLAY_REDUCTION, (
+        f"replay: evaluation reduction {reduction:.2f}x below the "
+        f"{MIN_REPLAY_REDUCTION}x gate"
+    )
+    return {
+        "n_tokens": n_tokens,
+        "n_pools": n_pools,
+        "n_blocks": n_blocks,
+        "evaluations_unpruned": exact_result.evaluations(),
+        "evaluations_pruned": pruned_result.evaluations(),
+        "reduction": reduction,
+        "wall_s_pruned": t_pruned,
+        "wall_s_unpruned": t_exact,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI (seconds, not minutes)")
+    parser.add_argument("--json", help="write results to a JSON file")
+    parser.add_argument("--seed", type=int, default=20240601)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timings keep the best of N runs")
+    args = parser.parse_args(argv)
+
+    ladder = run_ladder(
+        SMOKE_LADDER if args.smoke else FULL_LADDER, args.seed, args.repeats
+    )
+    weighted = run_weighted(
+        SMOKE_WEIGHTED if args.smoke else FULL_WEIGHTED,
+        args.seed, args.repeats, gate_wall=not args.smoke,
+    )
+    replay = run_replay(
+        SMOKE_REPLAY if args.smoke else FULL_REPLAY, args.seed, args.repeats
+    )
+
+    if args.json:
+        payload = {
+            "benchmark": "prune_requote",
+            "smoke": args.smoke,
+            "prune_top_k": PRUNE_K,
+            "min_quote_reduction": MIN_QUOTE_REDUCTION,
+            "ladder": ladder,
+            "weighted": weighted,
+            "replay": replay,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    worst = min(row["quote_reduction"] for row in ladder)
+    print(
+        f"OK: quote reduction >= {worst:.1f}x across the ladder, "
+        f"books identical everywhere"
+    )
+    return 0
+
+
+# pytest entry point: the benchmark doubles as a slow regression test
+def test_prune_requote_smoke():
+    assert main(["--smoke", "--repeats", "2"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "slower, composable with --jobs)")
     p.add_argument("--csv", help="write the full ranked list to a CSV file "
                    "(deterministic: profit desc, canonical loop id asc)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="quote every loop exactly instead of pruning the "
+                   "ranking with profit upper bounds (identical top-K "
+                   "either way; pruning is auto-disabled by --scalar, "
+                   "--csv, and --jobs > 1)")
 
     p = sub.add_parser(
         "sweep", help="price sweep of the §V loop through the batched engine"
@@ -175,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scalar", action="store_true",
                    help="disable the cross-loop batch kernels for per-block "
                    "re-quotes (correctness oracle; identical numbers, slower)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable the two-phase bound pass that skips exact "
+                   "quotes for provably-unprofitable dirty loops (reports "
+                   "are bit-identical either way; pruning is auto-disabled "
+                   "by --scalar and --mode full)")
     p.add_argument("--save-events", help="write the replayed stream to a JSONL file")
     p.add_argument("--save-snapshot",
                    help="write the starting market to a JSON file "
@@ -209,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=0.0,
                    help="offered events/sec (0 = as fast as possible)")
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable bound-based re-quote pruning (by default "
+                   "shards skip exact quotes for dirty loops provably below "
+                   "the book's --top'th profit; the displayed book is "
+                   "identical either way)")
     p.add_argument("--json", help="write the full service report to a JSON file")
     p.add_argument("--csv", help="write the final book (top-K) to a CSV file")
 
@@ -231,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("inline", "process"), default="inline")
     p.add_argument("--policy", choices=("block", "drop"), default="block")
     p.add_argument("--queue-size", type=int, default=64, dest="queue_size")
+    p.add_argument("--prune-top-k", type=int, default=None, dest="prune_top_k",
+                   help="enable bound-based re-quote pruning with this "
+                   "book rank as the feedback threshold (default: off)")
     p.add_argument("--rates", default="0",
                    help="comma-separated offered rates (events/sec, 0 = "
                    "unthrottled); one run and one report row per rate")
@@ -342,23 +360,49 @@ def _cmd_detect(args) -> None:
     from .strategies.maxmax import MaxMaxStrategy
 
     _snapshot, loops = analysis.profitable_loops(snapshot, args.length)
-    engine = _make_engine(args.jobs)
-    if args.scalar:
-        engine.vectorize = False
-    results = engine.evaluate_strategy(MaxMaxStrategy(), loops, snapshot.prices)
-    # profit descending, canonical loop id ascending on ties: the same
-    # total order the opportunity book uses, so output (and any CSV
-    # golden file) is fully deterministic across runs
-    scored = sorted(
-        ((result.monetized_profit, loop) for result, loop in zip(results, loops)),
-        key=lambda pair: opportunity_sort_key(pair[0], pair[1].canonical_id),
-    )
+    # the bound-ordered pruned ranking only makes sense for the plain
+    # top-K table: --csv needs the full exact list, and --scalar /
+    # --jobs pick explicit evaluation paths of their own
+    prune = not (
+        args.no_prune or args.scalar or args.csv or args.jobs != 1
+    ) and bool(loops)
+    pruned = 0
+    if prune:
+        from .market import BatchEvaluator, MarketArrays
+
+        evaluator = BatchEvaluator(
+            loops, arrays=MarketArrays.from_registry(snapshot.registry)
+        )
+        topk, pruned = evaluator.evaluate_top_k(
+            MaxMaxStrategy(), snapshot.prices, k=args.top
+        )
+        scored = sorted(
+            ((profit, loops[position]) for profit, position in topk),
+            key=lambda pair: opportunity_sort_key(pair[0], pair[1].canonical_id),
+        )
+    else:
+        engine = _make_engine(args.jobs)
+        if args.scalar:
+            engine.vectorize = False
+        results = engine.evaluate_strategy(MaxMaxStrategy(), loops, snapshot.prices)
+        # profit descending, canonical loop id ascending on ties: the same
+        # total order the opportunity book uses, so output (and any CSV
+        # golden file) is fully deterministic across runs
+        scored = sorted(
+            ((result.monetized_profit, loop) for result, loop in zip(results, loops)),
+            key=lambda pair: opportunity_sort_key(pair[0], pair[1].canonical_id),
+        )
     print(f"{len(loops)} profitable length-{args.length} loops; top {args.top}:")
     rows = [
         (f"${profit:,.2f}", repr(loop))
         for profit, loop in scored[: args.top]
     ]
     print(report.format_table(["maxmax profit", "loop"], rows))
+    if prune:
+        print(
+            f"bound pruning skipped {pruned}/{len(loops)} exact quotes "
+            "(--no-prune for the exhaustive pass)"
+        )
     if args.csv:
         import csv
 
@@ -533,9 +577,12 @@ def _cmd_replay(args) -> None:
         from .engine import EvaluationEngine
 
         engine = EvaluationEngine(vectorize=False)
+    prune = (
+        args.mode == "incremental" and not args.scalar and not args.no_prune
+    )
     driver = ReplayDriver(
         market, strategies=strategies, length=args.length, mode=args.mode,
-        engine=engine,
+        engine=engine, prune=prune,
     )
     result = driver.replay(log)
 
@@ -568,6 +615,11 @@ def _cmd_replay(args) -> None:
         f"(full recompute would be {driver.total_loops * len(result.reports)}); "
         f"cache {driver.engine.cache!r}"
     )
+    if prune and driver.evaluator_stats is not None:
+        print(
+            f"bound pruning skipped {driver.evaluator_stats.pruned_loops} "
+            "exact quotes (--no-prune to disable; numbers are identical)"
+        )
     if args.csv:
         import csv
 
@@ -646,6 +698,7 @@ def _cmd_serve(args) -> None:
         backend=args.backend,
         queue_size=args.queue_size,
         ingest_policy=args.policy,
+        prune_top_k=None if args.no_prune else max(1, args.top),
     )
     print(
         f"serving {origin} over {service.total_loops} candidate "
@@ -665,7 +718,8 @@ def _cmd_serve(args) -> None:
     print(
         f"{result.events_ingested} events ({result.events_dropped} dropped) in "
         f"{result.duration_s:.3f}s -> {result.events_per_s:,.0f} ev/s; "
-        f"{result.evaluations} loop evaluations, "
+        f"{result.evaluations} loop evaluations "
+        f"({result.loops_pruned} pruned by bounds), "
         f"cache hit-rate {result.cache_hit_rate:.1%}; "
         f"end-to-end p50 {e2e.get('p50_ms', 0.0):.2f}ms / "
         f"p99 {e2e.get('p99_ms', 0.0):.2f}ms"
@@ -727,6 +781,7 @@ def _cmd_loadgen(args) -> None:
                 queue_size=args.queue_size,
                 n_tokens=args.tokens,
                 n_blocks=args.blocks,
+                prune_top_k=args.prune_top_k,
             )
         )
     rows = [
@@ -738,12 +793,13 @@ def _cmd_loadgen(args) -> None:
             f"{row['e2e_p99_ms']:.2f}",
             f"{row['cache_hit_rate']:.1%}",
             row["evaluations"],
+            row["loops_pruned"],
         )
         for row in (r.to_row() for r in reports)
     ]
     print(report.format_table(
         ["offered ev/s", "achieved ev/s", "dropped", "p50 ms", "p99 ms",
-         "cache hit %", "evals"],
+         "cache hit %", "evals", "pruned"],
         rows,
     ))
     if args.json:

@@ -28,9 +28,20 @@ step (:mod:`repro.engine`, :mod:`repro.replay`, :mod:`repro.service`):
 """
 
 from .arrays import MarketArrays
-from .batch import BatchEvaluator, EvaluatorStats, batch_kind
+from .batch import (
+    BatchEvaluator,
+    EvaluatorStats,
+    batch_kind,
+    pruned_zero_result,
+)
+from .bounds import (
+    BOUND_RATE_MARGIN,
+    below_threshold,
+    monetized_bounds,
+    rotation_profit_bounds,
+)
 from .compile import CompiledLoopGroup, compile_loops
-from .kernel import BatchQuotes, batch_quotes, monetize_quotes
+from .kernel import BatchQuotes, batch_quotes, monetize_quotes, oriented_reserves
 from .solvers import batched_golden_section, batched_maximize_by_derivative
 from .weighted_kernel import (
     WEIGHTED_PARITY_RTOL,
@@ -40,6 +51,7 @@ from .weighted_kernel import (
 )
 
 __all__ = [
+    "BOUND_RATE_MARGIN",
     "BatchEvaluator",
     "BatchQuotes",
     "CompiledLoopGroup",
@@ -50,9 +62,14 @@ __all__ = [
     "batch_quotes",
     "batched_golden_section",
     "batched_maximize_by_derivative",
+    "below_threshold",
     "compile_loops",
     "cp_bisection_quotes",
     "cp_golden_quotes",
     "monetize_quotes",
+    "monetized_bounds",
+    "oriented_reserves",
+    "pruned_zero_result",
+    "rotation_profit_bounds",
     "weighted_quotes",
 ]

@@ -38,6 +38,7 @@ so consumers can assert no loop is *forced* scalar.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -50,11 +51,14 @@ from ..strategies.base import Strategy, StrategyResult
 from ..strategies.maxmax import MaxMaxStrategy
 from ..strategies.maxprice import MaxPriceStrategy
 from ..strategies.traditional import (
+    RotationQuote,
     TraditionalStrategy,
     quote_profit_vector,
     result_from_quote,
 )
 from .arrays import MarketArrays
+from .bounds import below_threshold
+from .bounds import monetized_bounds as _group_monetized_bounds
 from .compile import CompiledLoopGroup, compile_loops
 from .kernel import BatchQuotes, batch_quotes, monetize_quotes
 from .weighted_kernel import (
@@ -63,7 +67,12 @@ from .weighted_kernel import (
     weighted_quotes,
 )
 
-__all__ = ["BatchEvaluator", "EvaluatorStats", "batch_kind"]
+__all__ = [
+    "BatchEvaluator",
+    "EvaluatorStats",
+    "batch_kind",
+    "pruned_zero_result",
+]
 
 #: Below this many loops per compiled group, the kernel's fixed numpy
 #: dispatch overhead outweighs the vectorization win; such slices run
@@ -118,15 +127,30 @@ class EvaluatorStats:
     ``kernel_loops`` / ``scalar_loops`` count loop evaluations answered
     by a batch kernel vs the per-loop object path (small-slice and
     non-batchable-strategy fallbacks land in the latter);
-    ``kernel_passes`` counts vectorized group passes.
+    ``kernel_passes`` counts vectorized group passes.  ``pruned_loops``
+    counts evaluations answered by the bound pass alone (no exact
+    quote ran) and ``bound_passes`` the vectorized bound computations
+    behind them.
     """
 
     kernel_loops: int = 0
     scalar_loops: int = 0
     kernel_passes: int = 0
+    pruned_loops: int = 0
+    bound_passes: int = 0
 
     def reset(self) -> None:
         self.kernel_loops = self.scalar_loops = self.kernel_passes = 0
+        self.pruned_loops = self.bound_passes = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel_loops": self.kernel_loops,
+            "scalar_loops": self.scalar_loops,
+            "kernel_passes": self.kernel_passes,
+            "pruned_loops": self.pruned_loops,
+            "bound_passes": self.bound_passes,
+        }
 
 
 class BatchEvaluator:
@@ -236,12 +260,60 @@ class BatchEvaluator:
     # evaluation
     # ------------------------------------------------------------------
 
+    def monetized_bounds(
+        self,
+        strategy: Strategy,
+        prices: PriceMap,
+        indices: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Sound upper bound on each loop's monetized profit under
+        ``strategy`` (see :mod:`repro.market.bounds`): entry ``i``
+        bounds ``indices[i]``.
+
+        ``+inf`` — the vacuous bound — where no cheap sound bound
+        exists: scalar-fallback loops and non-batchable strategies.
+        NaN rows (degenerate reserves / missing prices) are likewise
+        never prunable; callers must test ``bound < threshold`` (or
+        :func:`~repro.market.bounds.below_threshold`) so both fall
+        through to the exact path.
+        """
+        positions = (
+            list(indices) if indices is not None else list(range(len(self.loops)))
+        )
+        out = np.full(len(positions), np.inf, dtype=np.float64)
+        kind = batch_kind(strategy)
+        if kind is None:
+            return out
+        by_group: dict[int, list[tuple[int, int]]] = {}
+        for i, position in enumerate(positions):
+            where = self._where.get(position)
+            if where is not None:
+                by_group.setdefault(where[0], []).append((i, where[1]))
+        for gi, pairs in by_group.items():
+            group = self.groups[gi]
+            rows = [row for _, row in pairs]
+            sub = (
+                group
+                if rows == list(range(len(group)))
+                else group.rows(rows)
+            )
+            self.stats.bound_passes += 1
+            values = _group_monetized_bounds(
+                kind, strategy, self.arrays, sub, prices
+            )
+            for (i, _), value in zip(pairs, values):
+                out[i] = value
+        return out
+
     def evaluate_many(
         self,
         strategy: Strategy,
         prices: PriceMap,
         indices: Sequence[int] | None = None,
         cache=None,
+        *,
+        threshold: float | None = None,
+        stored: Sequence[float] | None = None,
     ) -> list[StrategyResult]:
         """Evaluate ``strategy`` on the loops at ``indices`` (all loops
         when ``None``); result ``i`` answers ``indices[i]``.
@@ -249,15 +321,40 @@ class BatchEvaluator:
         Bit-identical to ``[strategy.evaluate_cached(loops[i], prices,
         cache) for i in indices]`` — the kernels handle eligible
         slices, everything else falls back to exactly that call.
+
+        With ``threshold`` the evaluation is two-phase: a vectorized
+        bound pass first proves which loops cannot reach ``threshold``
+        (nor any positive profit), and only the surviving rows get an
+        exact quote — pruned rows return ``None``.  ``stored``
+        (aligned with ``indices``) additionally protects loops whose
+        *last known* profit still matters: a loop is pruned only when
+        its bound **and** its stored profit are both below (see
+        :func:`~repro.market.bounds.below_threshold`), so a formerly
+        profitable book entry is always re-quoted until its displaced
+        value is actually republished.
         """
         positions = (
             list(indices) if indices is not None else list(range(len(self.loops)))
         )
-        results: dict[int, StrategyResult] = {}
         kind = batch_kind(strategy)
+        pruned: set[int] = set()
+        if threshold is not None and kind is not None and positions:
+            bounds = self.monetized_bounds(strategy, prices, positions)
+            prunable = below_threshold(bounds, threshold)
+            if stored is not None:
+                stored_arr = np.asarray(list(stored), dtype=np.float64)
+                prunable &= below_threshold(stored_arr, threshold)
+            pruned = {
+                position
+                for position, out in zip(positions, prunable)
+                if out
+            }
+            self.stats.pruned_loops += len(pruned)
+        results: dict[int, StrategyResult] = {}
+        live = [p for p in positions if p not in pruned]
         if kind is not None:
             by_group: dict[int, list[int]] = {}
-            for position in positions:
+            for position in live:
                 where = self._where.get(position)
                 if where is not None:
                     by_group.setdefault(where[0], []).append(where[1])
@@ -276,13 +373,68 @@ class BatchEvaluator:
                 ):
                     results[int(position)] = result
         self.stats.kernel_loops += len(results)
-        self.stats.scalar_loops += len(positions) - len(results)
-        for position in positions:
+        self.stats.scalar_loops += len(live) - len(results)
+        for position in live:
             if position not in results:
                 results[position] = strategy.evaluate_cached(
                     self.loops[position], prices, cache
                 )
-        return [results[position] for position in positions]
+        return [results.get(position) for position in positions]
+
+    def evaluate_top_k(
+        self,
+        strategy: Strategy,
+        prices: PriceMap,
+        k: int,
+        cache=None,
+    ) -> tuple[list[tuple[float, int]], int]:
+        """Exact top-K selection with bound-ordered lazy re-quoting.
+
+        Quotes loops in descending bound order and stops as soon as
+        every remaining bound is *strictly* below the K-th exact
+        profit found so far (ties keep quoting: the book's loop-id
+        tie-break could still reorder them).  Returns ``(scored,
+        pruned)`` where ``scored`` lists ``(monetized_profit,
+        position)`` for every loop that *was* exactly quoted — a
+        superset of the true top-K whose best K entries are identical
+        to an exhaustive pass — and ``pruned`` counts the loops whose
+        bound proved they could not alter the top-K.
+        """
+        n = len(self.loops)
+        if n == 0:
+            return [], 0
+        bounds = self.monetized_bounds(strategy, prices)
+        # NaN is unprunable: surface those rows first so the exact
+        # pass decides (and raises) exactly like an unpruned run
+        keys = np.where(np.isnan(bounds), np.inf, bounds)
+        order = np.argsort(-keys, kind="stable")
+        chunk = max(k, self.min_batch, 64)
+        scored: list[tuple[float, int]] = []
+        top: list[float] = []  # min-heap of the best k exact profits
+        i = 0
+        while i < n:
+            if len(top) >= k > 0:
+                next_bound = keys[order[i]]
+                # strict: a tie with the K-th exact profit could still
+                # reorder by loop id, so only a strictly-lower bound
+                # (or a provably-unprofitable tail under a positive
+                # K-th) stops the scan
+                if next_bound < top[0] or (next_bound <= 0.0 < top[0]):
+                    break
+            batch = [int(p) for p in order[i : i + chunk]]
+            for position, result in zip(
+                batch, self.evaluate_many(strategy, prices, batch, cache)
+            ):
+                profit = result.monetized_profit
+                scored.append((profit, position))
+                if k > 0:
+                    if len(top) < k:
+                        heapq.heappush(top, profit)
+                    elif profit > top[0]:
+                        heapq.heapreplace(top, profit)
+            i += len(batch)
+        self.stats.pruned_loops += n - len(scored)
+        return scored, n - len(scored)
 
 
 # ----------------------------------------------------------------------
@@ -329,6 +481,61 @@ def _check_monetized(
     if bad.any():
         k = int(np.argmax(bad))
         _raise_missing_price(group, k, int(offsets[k]))
+
+
+def pruned_zero_result(
+    strategy: Strategy, loop: ArbitrageLoop, prices: PriceMap
+) -> StrategyResult:
+    """The result standing in for a loop the bound pass proved
+    unprofitable (bound exactly 0.0, so the exact monetized profit is
+    provably <= 0 and reports as 0).
+
+    Mirrors what the exact pass returns for such a loop — zero input,
+    zero profit, the same start rotation the strategy would pick —
+    with ``details["pruned"] = True`` marking that no solver ran (so
+    ``iterations`` is 0 whatever the method; report aggregates never
+    read either field).
+    """
+    kind = batch_kind(strategy)
+    if kind is None:
+        raise ValueError(
+            f"{strategy!r} has no batch kind, so nothing can have been "
+            "pruned for it"
+        )
+    extra: dict | None = {"pruned": True}
+    if kind == "traditional":
+        start = (
+            strategy.start_token
+            if strategy.start_token is not None
+            else loop.tokens[0]
+        )
+        if start not in loop.tokens:
+            raise StrategyError(
+                f"start token {start} is not in {loop!r}; the traditional "
+                "strategy needs a loop through its numeraire"
+            )
+        rotation = loop.rotation_from(start)
+    elif kind == "maxprice":
+        rotation = loop.rotation_from(prices.max_price_token(loop.tokens))
+    else:
+        rotation = Rotation(loop, 0)  # the scalar all-zero tie-break
+        extra = {
+            "per_rotation": {t.symbol: 0.0 for t in loop.tokens},
+            "pruned": True,
+        }
+    quote = RotationQuote(
+        amount_in=0.0, hop_amounts=(), profit=0.0, iterations=0
+    )
+    return result_from_quote(
+        rotation,
+        quote,
+        None,
+        strategy.name,
+        strategy.method,
+        profit=quote_profit_vector(rotation, quote),
+        monetized=0.0,
+        extra_details=extra,
+    )
 
 
 def _evaluate_group(

@@ -1,0 +1,238 @@
+"""Cheap, sound upper bounds on per-loop monetized profit.
+
+The pruning layer's contract is a one-sided inequality: for every
+compiled loop and every fixed-start strategy,
+
+    ``monetized_bounds(...)[k]  >=  exact monetized profit of loop k``
+
+whatever solver method produces the exact number.  The bound must be
+*sound* (never below the exact value, so pruning can never hide a
+book entry) but is free to be loose — it exists so the evaluator can
+skip the expensive kernel/solver pass for loops that provably cannot
+beat a threshold.
+
+Derivation.  Every hop map ``f_j`` (CPMM or G3M) is increasing,
+concave on ``[0, inf)``, and ``f_j(0) = 0``, so the composed
+round-trip output satisfies two global inequalities:
+
+* ``out(t) <= R * t`` where ``R = prod_j f_j'(0)
+  = prod_j gamma_j * r_j * y_j / x_j`` (``r_j = w_in/w_out``, 1 for
+  CPMM) — concavity puts every chord under the tangent at 0, and the
+  slope at 0 composes multiplicatively;
+* ``out(t) < y_last`` — no hop can emit more than its out-side
+  reserve.
+
+Hence ``profit(t) = out(t) - t <= y_last * (R - 1) / R`` for every
+``t`` (the two lines cross at ``t = y_last / R``), and ``R <= 1``
+means no rotation of the loop is profitable at all.  ``R`` is a
+*rotation invariant*: every rotation crosses the same hops in the
+same orientation, so one product serves all rotations, and only the
+out-side reserve feeding the start token (``y`` of the hop *before*
+the start) varies per rotation.
+
+For purely constant-product loops the composed map is exactly
+``t -> a*t/(b + c*t)`` with ``R = a/b`` and ``c >= a / y_last``
+(``c`` is a sum of positive terms of which ``gamma_1..gamma_n *
+y_1..y_{n-1} = a / y_last`` is one), so the closed-form optimum
+``(sqrt(a) - sqrt(b))^2 / c`` is itself bounded by
+
+    ``profit* <= y_last * (1 - 1/sqrt(R))^2``
+
+— quadratic in ``sqrt(R) - 1`` near the break-even point, far
+tighter than the generic chord bound where it matters most (the sea
+of barely-unprofitable loops).
+
+Float soundness.  The inequalities above hold in real arithmetic;
+two guards make them hold for the float64 numbers the kernels
+actually produce.  ``R`` is first inflated by ``BOUND_RATE_MARGIN``
+(the bound-side product and the kernel-side composed coefficients
+round differently; their relative divergence is orders of magnitude
+below the margin), and a loop is declared unprofitable — bound
+exactly 0.0 — only when even the inflated rate stays <= 1, in which
+case the kernel provably computes a non-positive profit and the
+scalar assembly reports exactly 0.  Positive bounds are then widened
+by ``BOUND_SLACK_RTOL`` relative + ``BOUND_SLACK_ABS`` absolute,
+dominating the rounding of the bound expression itself.  NaN bounds
+(degenerate reserves, missing prices) are *not* prunable: callers
+must write prune masks as ``bound < threshold`` so NaN always falls
+through to the exact path, which owns raising (or not) exactly like
+the unpruned run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.types import PriceMap
+from .arrays import MarketArrays
+from .compile import CompiledLoopGroup
+from .kernel import oriented_reserves
+
+__all__ = [
+    "BOUND_RATE_MARGIN",
+    "BOUND_SLACK_ABS",
+    "BOUND_SLACK_RTOL",
+    "below_threshold",
+    "group_rate_bound",
+    "monetized_bounds",
+    "rotation_profit_bounds",
+]
+
+#: Relative inflation of the spot-rate product before the ``R <= 1``
+#: unprofitability test.  The kernel derives its profitability test
+#: (``a > b``) from the same per-hop factors multiplied in a different
+#: order; the paths diverge by ~1 ulp per hop (~1e-15 relative for the
+#: longest loops we compile), so a 1e-9 margin makes "inflated rate
+#: <= 1" imply "kernel profit is exactly zero" with a wide moat.
+BOUND_RATE_MARGIN = 1e-9
+
+#: Slack widening every positive bound: the bound formulas round too,
+#: and soundness must survive their own float evaluation.
+BOUND_SLACK_RTOL = 1e-9
+BOUND_SLACK_ABS = 1e-12
+
+#: Arithmetic here mirrors the kernels' Python-float silence on
+#: degenerate magnitudes (overflow to inf, 0/0 NaN): a NaN/inf bound
+#: simply fails every prune test and the exact path decides.
+_SILENT = {"over": "ignore", "invalid": "ignore", "divide": "ignore"}
+
+
+def group_rate_bound(
+    arrays: MarketArrays, group: CompiledLoopGroup
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-loop spot-rate product and out-side reserve gathers.
+
+    Returns ``(rate, y_out)`` where ``rate[k] = prod_j gamma_j * r_j *
+    y_j / x_j`` over the base rotation's hops (a rotation invariant)
+    and ``y_out[k, j]`` is the oriented out-side reserve of base hop
+    ``j`` — the reserve capping the token that rotation ``j+1`` starts
+    from.
+    """
+    count = len(group)
+    n = group.length
+    rate = np.ones(count, dtype=np.float64)
+    y_out = np.empty((count, n), dtype=np.float64)
+    w0, w1 = arrays.weight0, arrays.weight1
+    with np.errstate(**_SILENT):
+        for j in range(n):
+            pool_col = group.pool_idx[:, j]
+            orient_col = group.orient[:, j]
+            x, y, gamma = oriented_reserves(arrays, pool_col, orient_col)
+            hop = gamma * y / x
+            if group.weighted:
+                # constant-product rows carry weights 1.0/1.0, so the
+                # ratio is an exact no-op for them
+                w_in = np.where(orient_col, w0[pool_col], w1[pool_col])
+                w_out = np.where(orient_col, w1[pool_col], w0[pool_col])
+                hop = hop * (w_in / w_out)
+            rate = rate * hop
+            y_out[:, j] = y
+    return rate, y_out
+
+
+def rotation_profit_bounds(
+    arrays: MarketArrays, group: CompiledLoopGroup
+) -> np.ndarray:
+    """Upper bound on the single-token profit of every rotation.
+
+    Returns a ``(len(group), length)`` matrix whose column ``o``
+    bounds the start-token profit of rotation ``o`` (the rotation
+    starting at ``loop.tokens[o]``).  Exactly 0.0 where the inflated
+    rate product proves no profitable input exists.
+    """
+    rate, y_out = group_rate_bound(arrays, group)
+    with np.errstate(**_SILENT):
+        r_eff = rate * (1.0 + BOUND_RATE_MARGIN)
+        if group.weighted:
+            # generic chord bound: y * (R - 1) / R
+            factor = (r_eff - 1.0) / r_eff
+        else:
+            # CPMM closed-form bound: y * (1 - 1/sqrt(R))^2
+            root = np.sqrt(np.maximum(r_eff, 1.0))
+            factor = np.square(1.0 - 1.0 / root)
+        factor = np.where(r_eff > 1.0, factor, 0.0)
+        # rotation o is fed by base hop (o - 1) mod n: its start token
+        # is capped by that hop's out-side reserve
+        y_into = np.roll(y_out, 1, axis=1)
+        bounds = factor[:, None] * y_into
+        positive = bounds > 0.0
+        bounds = np.where(
+            positive,
+            bounds * (1.0 + BOUND_SLACK_RTOL) + BOUND_SLACK_ABS,
+            bounds,
+        )
+    return bounds
+
+
+def monetized_bounds(
+    kind: str,
+    strategy,
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    prices: PriceMap,
+) -> np.ndarray:
+    """Per-loop upper bound on the *monetized* profit under ``kind``.
+
+    ``kind`` is the evaluator's dispatch kind (``"traditional"`` /
+    ``"maxprice"`` / ``"maxmax"``, see
+    :func:`repro.market.batch.batch_kind`); the bound covers the
+    rotation(s) that strategy would monetize.  NaN where a price the
+    strategy needs is missing — unprunable by construction, so the
+    exact path keeps ownership of raising ``MissingPriceError``.
+    """
+    count = len(group)
+    per_rotation = rotation_profit_bounds(arrays, group)
+    price_vec = arrays.price_vector(prices)
+    price_matrix = price_vec[group.token_idx]
+    with np.errstate(**_SILENT):
+        if kind == "traditional":
+            start = strategy.start_token
+            if start is None:
+                offsets = np.zeros(count, dtype=np.intp)
+            else:
+                # missing start tokens raise in the exact pass; bound
+                # those rows NaN so they always reach it
+                offsets = np.asarray(
+                    [offs.get(start, 0) for offs in group.token_offset],
+                    dtype=np.intp,
+                )
+                absent = np.asarray(
+                    [start not in offs for offs in group.token_offset]
+                )
+            rows = np.arange(count)
+            bounds = price_matrix[rows, offsets] * per_rotation[rows, offsets]
+            if start is not None and absent.any():
+                bounds = np.where(absent, np.nan, bounds)
+            return bounds
+        if kind == "maxprice":
+            # the exact pass raises on *any* missing loop price; a NaN
+            # anywhere in the row must make the row unprunable
+            row_max = price_matrix.max(axis=1)
+            ranked = np.where(
+                price_matrix == row_max[:, None],
+                group.symbol_rank,
+                group.length,
+            )
+            offsets = np.argmin(ranked, axis=1)
+            rows = np.arange(count)
+            bounds = price_matrix[rows, offsets] * per_rotation[rows, offsets]
+            any_nan = np.isnan(price_matrix).any(axis=1)
+            return np.where(any_nan, np.nan, bounds)
+        # maxmax: the best monetized rotation is below the best
+        # monetized per-rotation bound; NaN prices propagate through
+        # max() only when their rotation's bound is positive — the
+        # same rows where the exact pass would raise
+        return np.max(price_matrix * per_rotation, axis=1)
+
+
+def below_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
+    """The prune predicate: provably unable to enter a book whose
+    K-th profit is ``threshold``.
+
+    ``values <= 0`` is always prunable (the book only ranks strictly
+    positive profits); otherwise the value must be strictly under the
+    threshold.  Written so NaN compares False on both sides — NaN is
+    never prunable.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return (values < threshold) | (values <= 0.0)

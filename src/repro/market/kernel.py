@@ -47,8 +47,25 @@ __all__ = [
     "compose_group",
     "gather_hops",
     "monetize_quotes",
+    "oriented_reserves",
     "simulate_hops",
 ]
+
+
+def oriented_reserves(
+    arrays: MarketArrays, pool_col: np.ndarray, orient_col: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather one hop column's oriented ``(x, y, gamma)``: input-side
+    reserve, output-side reserve, and fee retention of each pool, with
+    the orientation flag selecting which physical reserve is which.
+    Shared by the composing kernels and the bounds layer so every
+    consumer reads reserves through the same gather."""
+    pr0 = arrays.reserve0[pool_col]
+    pr1 = arrays.reserve1[pool_col]
+    x = np.where(orient_col, pr0, pr1)
+    y = np.where(orient_col, pr1, pr0)
+    gamma = 1.0 - arrays.fee[pool_col]
+    return x, y, gamma
 
 
 @dataclass(frozen=True)
@@ -130,7 +147,6 @@ def compose_group(
     count = len(group)
     pool_g, orient_g = gather_hops(group, offsets)
 
-    r0, r1, fee = arrays.reserve0, arrays.reserve1, arrays.fee
     xs: list[np.ndarray] = []
     ys: list[np.ndarray] = []
     gammas: list[np.ndarray] = []
@@ -142,13 +158,7 @@ def compose_group(
     b = np.ones(count, dtype=np.float64)
     c = np.zeros(count, dtype=np.float64)
     for j in range(n):
-        pool_col = pool_g[:, j]
-        orient_col = orient_g[:, j]
-        pr0 = r0[pool_col]
-        pr1 = r1[pool_col]
-        x = np.where(orient_col, pr0, pr1)
-        y = np.where(orient_col, pr1, pr0)
-        gamma = 1.0 - fee[pool_col]
+        x, y, gamma = oriented_reserves(arrays, pool_g[:, j], orient_g[:, j])
         xs.append(x)
         ys.append(y)
         gammas.append(gamma)

@@ -56,7 +56,13 @@ import numpy as np
 
 from .arrays import MarketArrays
 from .compile import CompiledLoopGroup
-from .kernel import BatchQuotes, compose_group, gather_hops, simulate_hops
+from .kernel import (
+    BatchQuotes,
+    compose_group,
+    gather_hops,
+    oriented_reserves,
+    simulate_hops,
+)
 from .solvers import batched_golden_section, batched_maximize_by_derivative
 
 __all__ = [
@@ -125,18 +131,13 @@ class _ChainHops:
         offsets: int | np.ndarray,
     ):
         pool_g, orient_g = gather_hops(group, offsets)
-        r0, r1, fee = arrays.reserve0, arrays.reserve1, arrays.fee
         w0, w1 = arrays.weight0, arrays.weight1
         cp_rows = arrays.constant_product
         self.hops = []
         for j in range(group.length):
             pool_col = pool_g[:, j]
             orient_col = orient_g[:, j]
-            pr0 = r0[pool_col]
-            pr1 = r1[pool_col]
-            x = np.where(orient_col, pr0, pr1)
-            y = np.where(orient_col, pr1, pr0)
-            gamma = 1.0 - fee[pool_col]
+            x, y, gamma = oriented_reserves(arrays, pool_col, orient_col)
             cp = cp_rows[pool_col]
             mixed = not cp.all()
             if mixed:

@@ -43,6 +43,7 @@ from ..engine import EvaluationEngine
 from ..simulation.metrics import mispricing_index
 from ..strategies.base import Strategy, StrategyResult
 from ..strategies.maxmax import MaxMaxStrategy
+from ..market import pruned_zero_result
 from .apply import apply_block_events, build_loop_indices
 from .log import MarketEventLog
 
@@ -144,6 +145,14 @@ class ReplayDriver:
         Shared :class:`~repro.engine.EvaluationEngine`; a fresh one by
         default.  Incremental mode uses its ``PoolStateCache`` and
         topology-cached loop universe.
+    prune:
+        Two-phase re-quoting (incremental + vectorized only): before
+        the exact kernel pass, a vectorized bound pass skips every
+        dirty loop whose profit upper bound is non-positive — the
+        bound proves its exact profit could only contribute zero to
+        the block's sums — and stores a zero-profit placeholder
+        instead.  Reports stay bit-identical to ``prune=False``;
+        ``evaluated_loops`` then counts exact quotes only.
     """
 
     def __init__(
@@ -153,10 +162,12 @@ class ReplayDriver:
         length: int = 3,
         mode: str = "incremental",
         engine: EvaluationEngine | None = None,
+        prune: bool = False,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         self.mode = mode
+        self.prune = prune
         self.market = market.copy()
         self.prices: PriceMap = market.prices
         self.strategies: dict[str, Strategy] = (
@@ -181,6 +192,11 @@ class ReplayDriver:
             self._evaluator = BatchEvaluator(
                 self._loops,
                 arrays=MarketArrays.from_registry(self.market.registry),
+            )
+        if prune and self._evaluator is None:
+            raise ValueError(
+                "prune=True requires incremental mode with a vectorizing "
+                "engine (the bound pass runs on the columnar mirror)"
             )
 
         # Per-loop state carried across blocks (incremental mode reuses
@@ -214,6 +230,12 @@ class ReplayDriver:
     @property
     def reports(self) -> tuple[BlockReport, ...]:
         return tuple(self._block_reports)
+
+    @property
+    def evaluator_stats(self):
+        """Batch-evaluator counters (kernel/scalar routing, bound
+        passes, pruned loops); ``None`` on the scalar path."""
+        return self._evaluator.stats if self._evaluator is not None else None
 
     # ------------------------------------------------------------------
     # per-block evaluation
@@ -250,21 +272,38 @@ class ReplayDriver:
 
         for index in reserve_dirty:
             self._log_rates[index] = self._loops[index].log_rate_sum()
+        exact_quoted: set[int] = set()
         for label, strategy in self.strategies.items():
             results = self._results[label]
             if self._evaluator is not None:
+                # prune: threshold 0.0 skips the exact quote exactly
+                # when the bound proves the loop unprofitable — its
+                # contribution to every block total is zero, so the
+                # placeholder keeps the report sums bit-identical
+                threshold = 0.0 if self.prune else None
                 for index, result in zip(
                     reeval,
                     self._evaluator.evaluate_many(
-                        strategy, self.prices, indices=reeval, cache=cache
+                        strategy,
+                        self.prices,
+                        indices=reeval,
+                        cache=cache,
+                        threshold=threshold,
                     ),
                 ):
-                    results[index] = result
+                    if result is None:
+                        results[index] = pruned_zero_result(
+                            strategy, self._loops[index], self.prices
+                        )
+                    else:
+                        results[index] = result
+                        exact_quoted.add(index)
             else:
                 for index in reeval:
                     results[index] = strategy.evaluate_cached(
                         self._loops[index], self.prices, cache
                     )
+                exact_quoted.update(reeval)
 
         # Totals are always recomputed over every loop in index order,
         # so both modes sum identical values in an identical order —
@@ -287,7 +326,7 @@ class ReplayDriver:
             block=block,
             n_events=n_events,
             dirty_pools=tuple(sorted(dirty_pools)),
-            evaluated_loops=len(reeval),
+            evaluated_loops=len(exact_quoted) if self.prune else len(reeval),
             total_loops=len(self._loops),
             profitable_loops=sum(1 for r in self._log_rates if r > 0.0),
             mispricing_index=mispricing_index(self.market, self.prices),

@@ -31,7 +31,7 @@ __all__ = ["LoadReport", "make_workload", "run_load"]
 _CSV_FIELDS = [
     "n_pools", "n_tokens", "n_blocks", "n_shards", "backend", "rate",
     "events_ingested", "events_dropped", "blocks_dropped", "duration_s",
-    "events_per_s", "evaluations", "cache_hit_rate",
+    "events_per_s", "evaluations", "loops_pruned", "cache_hit_rate",
     "e2e_p50_ms", "e2e_p99_ms", "book_seq", "profitable_loops",
 ]
 
@@ -62,6 +62,7 @@ class LoadReport:
             "duration_s": s.duration_s,
             "events_per_s": s.events_per_s,
             "evaluations": s.evaluations,
+            "loops_pruned": s.loops_pruned,
             "cache_hit_rate": s.cache_hit_rate,
             "e2e_p50_ms": e2e.get("p50_ms", 0.0),
             "e2e_p99_ms": e2e.get("p99_ms", 0.0),
@@ -127,11 +128,14 @@ def run_load(
     queue_size: int = 64,
     n_tokens: int | None = None,
     n_blocks: int | None = None,
+    prune_top_k: int | None = None,
 ) -> LoadReport:
     """Drive one service run over ``log`` and flatten the result.
 
     ``rate`` throttles the offered stream (events/sec); 0 means "as
     fast as the pipeline accepts", which measures sustained capacity.
+    ``prune_top_k`` enables bound-based re-quote pruning with the
+    book's K-th profit as feedback (see :class:`OpportunityService`).
     """
     service = OpportunityService(
         market,
@@ -140,6 +144,7 @@ def run_load(
         backend=backend,
         ingest_policy=ingest_policy,
         queue_size=queue_size,
+        prune_top_k=prune_top_k,
     )
     source = log_source(log)
     if rate > 0:

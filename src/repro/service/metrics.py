@@ -51,14 +51,20 @@ class LatencyStat:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        """Mean latency; ``nan`` before any observation — an empty
+        stat has no latency, and 0.0 would read as "instant" in
+        reports and dashboards."""
+        return self.total / self.count if self.count else math.nan
 
     def quantile(self, q: float) -> float:
-        """Nearest-rank quantile over the stored samples (0 <= q <= 1)."""
+        """Nearest-rank quantile over the stored samples (0 <= q <= 1);
+        ``nan`` when no samples have been observed (consistent with
+        :attr:`mean` and the ``to_dict`` fields — never a raise, never
+        a fake zero)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
         if not self._samples:
-            return 0.0
+            return math.nan
         ordered = sorted(self._samples)
         rank = max(1, math.ceil(q * len(ordered)))
         return ordered[rank - 1]
@@ -75,13 +81,14 @@ class LatencyStat:
             self._samples.extend(other._samples[:room])
 
     def to_dict(self) -> dict:
+        empty = self.count == 0
         return {
             "count": self.count,
             "mean_ms": self.mean * 1e3,
             "p50_ms": self.quantile(0.50) * 1e3,
             "p99_ms": self.quantile(0.99) * 1e3,
-            "min_ms": (self.min if self.count else 0.0) * 1e3,
-            "max_ms": self.max * 1e3,
+            "min_ms": (math.nan if empty else self.min) * 1e3,
+            "max_ms": (math.nan if empty else self.max) * 1e3,
         }
 
     def __repr__(self) -> str:

@@ -40,6 +40,7 @@ from typing import AsyncIterator
 from ..amm.events import MarketEvent
 from ..data.snapshot import MarketSnapshot
 from ..engine import EvaluationEngine
+from ..replay.apply import build_loop_indices
 from ..strategies.base import Strategy
 from ..strategies.maxmax import MaxMaxStrategy
 from .book import BookSnapshot, Opportunity, OpportunityBook
@@ -107,6 +108,7 @@ class ServiceReport:
     loops_per_shard: tuple[int, ...]
     book: BookSnapshot
     metrics: dict
+    loops_pruned: int = 0
 
     @property
     def events_per_s(self) -> float:
@@ -130,6 +132,7 @@ class ServiceReport:
             "blocks_dropped": self.blocks_dropped,
             "events_per_s": self.events_per_s,
             "evaluations": self.evaluations,
+            "loops_pruned": self.loops_pruned,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -166,6 +169,16 @@ class OpportunityService:
         blocks under overload, counted).
     metrics:
         A :class:`ServiceMetrics` registry; fresh one by default.
+    prune_top_k:
+        When set, enable bound-based re-quote pruning: each dispatched
+        block carries the book's K-th profit (computed excluding every
+        loop with results still in flight) as a threshold, and shards
+        skip the exact quote for dirty loops whose profit upper bound
+        *and* currently published profit both sit below it.  The
+        quiesced top-``prune_top_k`` book is identical to the unpruned
+        run; entries below rank K may retain stale (provably
+        sub-threshold) values.  ``None`` (default) disables pruning —
+        the full-book parity mode.
     """
 
     def __init__(
@@ -180,6 +193,7 @@ class OpportunityService:
         ingest_policy: str = "block",
         metrics: ServiceMetrics | None = None,
         engine: EvaluationEngine | None = None,
+        prune_top_k: int | None = None,
     ):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -189,7 +203,10 @@ class OpportunityService:
             )
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if prune_top_k is not None and prune_top_k < 1:
+            raise ValueError(f"prune_top_k must be >= 1, got {prune_top_k}")
         self.backend = backend
+        self.prune_top_k = prune_top_k
         self.ingest_policy = ingest_policy
         self.queue_size = queue_size
         self.strategy = strategy if strategy is not None else MaxMaxStrategy()
@@ -215,6 +232,37 @@ class OpportunityService:
         for worker in self.workers:
             self.book.apply(-1, worker.shard_id, worker.initial_entries())
         self._process_spent = False
+        # global inverted indices (canonical loop ids, not positions):
+        # the ingest stage uses them to name every loop a block dirties,
+        # so the threshold it feeds back can exclude in-flight loops
+        self._pool_loop_ids: dict[str, tuple[str, ...]] = {}
+        self._token_loop_ids: dict = {}
+        if prune_top_k is not None:
+            pool_loops, token_loops = build_loop_indices(universe.candidates)
+            ids = [loop.canonical_id for loop in universe.candidates]
+            self._pool_loop_ids = {
+                pool_id: tuple(ids[i] for i in positions)
+                for pool_id, positions in pool_loops.items()
+            }
+            self._token_loop_ids = {
+                token: tuple(ids[i] for i in positions)
+                for token, positions in token_loops.items()
+            }
+
+    def _dirty_loop_ids(self, events) -> set[str]:
+        """Canonical ids of every loop the events dirty (pool events
+        dirty their pool's loops, price ticks their token's loops —
+        mirroring :func:`repro.replay.apply.apply_event`)."""
+        ids: set[str] = set()
+        for event in events:
+            pool_id = getattr(event, "pool_id", None)
+            if pool_id is not None:
+                ids.update(self._pool_loop_ids.get(pool_id, ()))
+                continue
+            token = getattr(event, "token", None)
+            if token is not None:
+                ids.update(self._token_loop_ids.get(token, ()))
+        return ids
 
     @property
     def n_shards(self) -> int:
@@ -239,6 +287,8 @@ class OpportunityService:
         source: AsyncIterator[MarketEvent],
         shard_queues: list[asyncio.Queue],
         metrics: ServiceMetrics,
+        inflight: dict | None = None,
+        pending: dict | None = None,
     ) -> None:
         """Group the stream into blocks, route, enqueue (or shed)."""
         current_block: int | None = None
@@ -260,6 +310,21 @@ class OpportunityService:
                 metrics.inc("blocks_dropped")
                 metrics.inc("events_dropped", len(buffer))
                 return
+            threshold = None
+            if inflight is not None and pending is not None:
+                # prune threshold: the book's K-th profit over entries
+                # whose value is final — every loop this block (or any
+                # block still in the pipeline) dirties is excluded, so
+                # a falling entry can never prop up the threshold
+                dirty_ids = self._dirty_loop_ids(buffer)
+                threshold = self.book.kth_profit(
+                    self.prune_top_k, exclude=dirty_ids | set(inflight)
+                )
+                for loop_id in dirty_ids:
+                    inflight[loop_id] = inflight.get(loop_id, 0) + 1
+                entry = pending.setdefault(current_block, [0, []])
+                entry[0] += len(routed)
+                entry[1].append(dirty_ids)
             for shard, events in routed.items():
                 queue = shard_queues[shard]
                 metrics.observe_gauge_max("shard_queue_depth_max", queue.qsize())
@@ -270,6 +335,7 @@ class OpportunityService:
                         events=tuple(events),
                         t_ingest=t_ingest,
                         t_dispatch=time.perf_counter(),
+                        threshold=threshold,
                     )
                 )
                 metrics.latency("ingest_backpressure").observe(
@@ -299,7 +365,9 @@ class OpportunityService:
         while True:
             work = await in_queue.get()
             if work is None:
-                await out_queue.put(("done", worker.shard_id))
+                await out_queue.put(
+                    ("done", (worker.shard_id, worker.evaluator_stats.to_dict()))
+                )
                 return
             update = worker.process_block(work)
             await out_queue.put(("update", update))
@@ -338,20 +406,46 @@ class OpportunityService:
                 await out_queue.put((kind, payload))
 
     async def _publish(
-        self, out_queue: asyncio.Queue, metrics: ServiceMetrics
+        self,
+        out_queue: asyncio.Queue,
+        metrics: ServiceMetrics,
+        inflight: dict | None = None,
+        pending: dict | None = None,
     ) -> None:
         """Apply shard updates to the book and record latencies."""
         remaining = self.n_shards
         while remaining:
             kind, payload = await out_queue.get()
             if kind == "done":
+                shard_id, stats = payload
+                # per-shard evaluator routing/pruning counters (lifetime
+                # totals — the worker's stats are never reset) surfaced
+                # as gauges so reports show where the quotes went
+                for name, value in stats.items():
+                    metrics.set_gauge(f"shard{shard_id}_{name}", float(value))
                 remaining -= 1
                 continue
             update: ShardUpdate = payload
             t_publish = time.perf_counter()
             self.book.apply(update.block, update.shard, update.entries)
+            if pending is not None and inflight is not None:
+                entry = pending.get(update.block)
+                if entry is not None:
+                    entry[0] -= 1
+                    if entry[0] == 0:
+                        # every shard has published this block: its dirty
+                        # loops' book values are final again
+                        for dirty_ids in entry[1]:
+                            for loop_id in dirty_ids:
+                                count = inflight.get(loop_id, 0) - 1
+                                if count > 0:
+                                    inflight[loop_id] = count
+                                else:
+                                    inflight.pop(loop_id, None)
+                        del pending[update.block]
             metrics.inc("updates_published")
             metrics.inc("evaluations", update.evaluated)
+            metrics.inc("loops_pruned", update.pruned)
             metrics.inc("cache_hits", update.cache_hits)
             metrics.inc("cache_misses", update.cache_misses)
             metrics.latency("shard_eval").observe(update.eval_s)
@@ -396,6 +490,11 @@ class OpportunityService:
         # cumulative self.metrics at the end — so a report's counters
         # AND latency quantiles are per-run, never mixed across runs
         window = ServiceMetrics()
+        # pruning bookkeeping shared by ingest (register + exclude) and
+        # publish (release): refcounts of loops with results in flight,
+        # and per-block outstanding shard-update counts
+        inflight: dict | None = {} if self.prune_top_k is not None else None
+        pending: dict | None = {} if self.prune_top_k is not None else None
         # a previous run closed the delta stream at quiescence; anyone
         # who subscribed since must see this run's deltas, not a
         # premature end-of-stream
@@ -413,26 +512,26 @@ class OpportunityService:
             pool.start()
             try:
                 await self._gather(
-                    self._ingest(source, shard_queues, window),
+                    self._ingest(source, shard_queues, window, inflight, pending),
                     *(
                         self._process_feeder(shard, shard_queues[shard], pool)
                         for shard in range(self.n_shards)
                     ),
                     self._process_collector(pool, out_queue),
-                    self._publish(out_queue, window),
+                    self._publish(out_queue, window, inflight, pending),
                 )
             finally:
                 pool.join()
         else:
             await self._gather(
-                self._ingest(source, shard_queues, window),
+                self._ingest(source, shard_queues, window, inflight, pending),
                 *(
                     self._inline_shard(
                         self.workers[shard], shard_queues[shard], out_queue
                     )
                     for shard in range(self.n_shards)
                 ),
-                self._publish(out_queue, window),
+                self._publish(out_queue, window, inflight, pending),
             )
         duration = time.perf_counter() - t_start
 
@@ -450,6 +549,7 @@ class OpportunityService:
             blocks_ingested=counters.get("blocks_ingested", 0),
             blocks_dropped=counters.get("blocks_dropped", 0),
             evaluations=counters.get("evaluations", 0),
+            loops_pruned=counters.get("loops_pruned", 0),
             cache_hits=counters.get("cache_hits", 0),
             cache_misses=counters.get("cache_misses", 0),
             n_shards=self.n_shards,

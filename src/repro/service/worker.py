@@ -27,12 +27,16 @@ its loops' pools.
 
 from __future__ import annotations
 
+import heapq
+import math
 import multiprocessing as mp
 import time
 import traceback
 from dataclasses import dataclass
 from queue import Empty, Full
 from typing import Sequence
+
+import numpy as np
 
 from ..amm.events import MarketEvent
 from ..amm.registry import PoolRegistry
@@ -48,17 +52,28 @@ __all__ = ["BlockWork", "ProcessShardPool", "ShardUpdate", "ShardWorker"]
 
 @dataclass(frozen=True)
 class BlockWork:
-    """One block's worth of events routed to one shard."""
+    """One block's worth of events routed to one shard.
+
+    ``threshold`` is the pruning feedback from the book: the K-th
+    profit among entries whose value is final for this block (``None``
+    disables pruning — every dirty loop gets an exact quote).
+    """
 
     block: int
     events: tuple[MarketEvent, ...]
     t_ingest: float  # perf_counter at ingest (monotonic across processes on Linux)
     t_dispatch: float
+    threshold: float | None = None
 
 
 @dataclass(frozen=True)
 class ShardUpdate:
-    """A shard's output for one block: changed entries + work stats."""
+    """A shard's output for one block: changed entries + work stats.
+
+    ``evaluated`` counts exact quotes; ``pruned`` counts dirty loops
+    answered by the bound pass alone (``evaluated + pruned`` = the
+    block's dirty-set size on this shard).
+    """
 
     shard: int
     block: int
@@ -69,6 +84,13 @@ class ShardUpdate:
     eval_s: float
     t_ingest: float
     t_dispatch: float
+    pruned: int = 0
+
+
+def _prunable(value: float, threshold: float) -> bool:
+    """Scalar twin of :func:`repro.market.bounds.below_threshold`:
+    NaN compares False on both sides, so it is never prunable."""
+    return value < threshold or value <= 0.0
 
 
 def _loop_path(loop) -> str:
@@ -114,6 +136,17 @@ class ShardWorker:
         self._results = self._evaluator.evaluate_many(
             strategy, self.prices, cache=self.cache
         )
+        # pruning state: last published monetized profit per loop (the
+        # "stored" side of the prune predicate) and a lazy max-heap of
+        # (-bound, version, index) candidates ordered by their latest
+        # profit upper bound.  A version bump invalidates every older
+        # heap tuple for that loop; NaN bounds are keyed +inf so they
+        # always surface (and always get an exact quote).
+        self._profits = np.array(
+            [result.monetized_profit for result in self._results], dtype=np.float64
+        )
+        self._bound_heap: list[tuple[float, int, int]] = []
+        self._bound_version = np.zeros(len(self.loops), dtype=np.int64)
 
     def __repr__(self) -> str:
         return (
@@ -172,26 +205,89 @@ class ShardWorker:
         for token in dirty_tokens:
             touched.update(self._token_loops.get(token, ()))
         reeval = sorted(touched)
+        if work.threshold is None:
+            requote = reeval
+        else:
+            requote = self._select_requotes(reeval, work.threshold)
         entries = []
         for index, result in zip(
-            reeval,
+            requote,
             self._evaluator.evaluate_many(
-                self.strategy, self.prices, indices=reeval, cache=self.cache
+                self.strategy, self.prices, indices=requote, cache=self.cache
             ),
         ):
             self._results[index] = result
+            self._profits[index] = result.monetized_profit
             entries.append(self._entry(index, work.block))
+        pruned = len(reeval) - len(requote)
+        self._evaluator.stats.pruned_loops += pruned
         return ShardUpdate(
             shard=self.shard_id,
             block=work.block,
             entries=tuple(entries),
-            evaluated=len(reeval),
+            evaluated=len(requote),
             cache_hits=self.cache.hits - hits0,
             cache_misses=self.cache.misses - misses0,
             eval_s=time.perf_counter() - t0,
             t_ingest=work.t_ingest,
             t_dispatch=work.t_dispatch,
+            pruned=pruned,
         )
+
+    def _select_requotes(self, reeval: list[int], threshold: float) -> list[int]:
+        """Bound-ordered selection of the dirty loops that need an
+        exact quote at the given threshold.
+
+        A dirty loop may keep its stale book entry only when *both* its
+        fresh profit upper bound and its currently published profit are
+        prunable (below the threshold or non-positive): the bound
+        proves the new exact value cannot reach the displayed top K,
+        and the stored check proves the entry it would replace is not
+        sitting in (or above) the top K either.  Everything else —
+        including every NaN bound — gets requoted.
+        """
+        if not reeval:
+            return []
+        bounds = self._evaluator.monetized_bounds(
+            self.strategy, self.prices, indices=reeval
+        )
+        for index, bound in zip(reeval, bounds):
+            self._bound_version[index] += 1
+            key = math.inf if math.isnan(bound) else bound
+            heapq.heappush(
+                self._bound_heap, (-key, int(self._bound_version[index]), index)
+            )
+        dirty = set(reeval)
+        requote: set[int] = set()
+        heap = self._bound_heap
+        while heap:
+            negkey, version, index = heap[0]
+            if _prunable(-negkey, threshold):
+                # max-heap order: every remaining bound is prunable too
+                break
+            heapq.heappop(heap)
+            if version != self._bound_version[index]:
+                continue  # invalidated by a later bound for this loop
+            if index not in dirty:
+                continue  # clean loop: its published result is exact
+            requote.add(index)
+        # the heap accumulates one stale tuple per invalidated bound;
+        # rebuild from live versions once they dominate (same ~2:1
+        # discipline as the book's lazy-deletion heap)
+        if len(heap) > 3 * max(64, len(self.loops)):
+            self._rebuild_bound_heap()
+        for index in reeval:
+            if not _prunable(float(self._profits[index]), threshold):
+                requote.add(index)
+        return sorted(requote)
+
+    def _rebuild_bound_heap(self) -> None:
+        self._bound_heap = [
+            (negkey, version, index)
+            for negkey, version, index in self._bound_heap
+            if version == self._bound_version[index]
+        ]
+        heapq.heapify(self._bound_heap)
 
 
 # ----------------------------------------------------------------------
@@ -212,7 +308,11 @@ def _shard_main(worker: ShardWorker, in_queue, out_queue) -> None:
     while True:
         item = in_queue.get()
         if item is None:
-            out_queue.put(("done", worker.shard_id))
+            # the stats dict rides along because the worker's counters
+            # live in this child; the parent turns them into gauges
+            out_queue.put(
+                ("done", (worker.shard_id, worker.evaluator_stats.to_dict()))
+            )
             return
         try:
             update = worker.process_block(item)

@@ -300,3 +300,56 @@ class TestReportShape:
         header, line = target.read_text().splitlines()
         assert header.startswith("n_pools,")
         assert line.split(",")[0] == str(row["n_pools"])
+
+
+class TestBoundPruning:
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    async def test_pruned_top_k_matches_unpruned(self, workload, n_shards):
+        market, log = workload
+        k = 5
+        exact = await OpportunityService(market, n_shards=n_shards).run(
+            log_source(log)
+        )
+        service = OpportunityService(market, n_shards=n_shards, prune_top_k=k)
+        pruned = await service.run(log_source(log))
+        assert [(o.profit_usd, o.loop_id) for o in pruned.book.top(k)] == [
+            (o.profit_usd, o.loop_id) for o in exact.book.top(k)
+        ]
+        # accounting closes: every dirtied loop was re-quoted or pruned
+        assert pruned.evaluations + pruned.loops_pruned == exact.evaluations
+        assert pruned.loops_pruned > 0  # the bound pass actually bit
+        assert exact.loops_pruned == 0
+
+    async def test_process_backend_prunes_identically(self, workload):
+        market, log = workload
+        k = 5
+        inline = await OpportunityService(
+            market, n_shards=2, prune_top_k=k
+        ).run(log_source(log))
+        service = OpportunityService(
+            market, n_shards=2, backend="process", prune_top_k=k
+        )
+        report = await service.run(log_source(log))
+        assert [(o.profit_usd, o.loop_id) for o in report.book.top(k)] == [
+            (o.profit_usd, o.loop_id) for o in inline.book.top(k)
+        ]
+        assert report.loops_pruned == inline.loops_pruned
+
+    async def test_per_shard_evaluator_gauges_are_published(self, workload):
+        market, log = workload
+        service = OpportunityService(market, n_shards=2, prune_top_k=3)
+        report = await service.run(log_source(log))
+        gauges = report.to_dict()["metrics"]["gauges"]
+        for shard in range(2):
+            for stat in ("kernel_loops", "kernel_passes", "scalar_loops",
+                         "pruned_loops", "bound_passes"):
+                assert f"shard{shard}_{stat}" in gauges
+        assert sum(
+            gauges[f"shard{s}_pruned_loops"] for s in range(2)
+        ) == report.loops_pruned
+        assert report.to_dict()["loops_pruned"] == report.loops_pruned
+
+    def test_prune_top_k_must_be_positive(self, workload):
+        market, _ = workload
+        with pytest.raises(ValueError, match="prune_top_k"):
+            OpportunityService(market, prune_top_k=0)

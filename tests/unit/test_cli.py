@@ -283,3 +283,59 @@ class TestCommands:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert header.startswith("price_X")
+
+    def test_detect_pruned_table_matches_no_prune(self, capsys):
+        """The bound-pruned default ranking is presentation-identical to
+        the exhaustive pass; only the pruning summary line differs."""
+        assert main(["detect", "--top", "3"]) == 0
+        pruned_out = capsys.readouterr().out
+        assert main(["detect", "--top", "3", "--no-prune"]) == 0
+        exact_out = capsys.readouterr().out
+        assert "bound pruning skipped" in pruned_out
+        assert "bound pruning skipped" not in exact_out
+        table = [
+            line for line in pruned_out.splitlines()
+            if "bound pruning" not in line
+        ]
+        assert table == exact_out.splitlines()
+
+    def test_replay_no_prune_same_numbers(self, capsys):
+        args = ["replay", "--blocks", "3", "--pools", "15", "--tokens", "8",
+                "--events-per-block", "4", "--seed", "5"]
+        assert main(args) == 0
+        pruned_out = capsys.readouterr().out
+        assert main(args + ["--no-prune"]) == 0
+        exact_out = capsys.readouterr().out
+        assert "bound pruning skipped" in pruned_out
+        assert "bound pruning skipped" not in exact_out
+
+        def profits(out):
+            # the evaluated/cache counters are the only allowed deltas:
+            # drop the summary lines and the per-row evaluated column
+            rows = []
+            for line in out.splitlines():
+                if "evaluations" in line or "bound pruning" in line:
+                    continue
+                fields = line.split()
+                if fields and fields[0].isdigit():
+                    del fields[3]  # evaluated N/M
+                rows.append(fields)
+            return rows
+
+        assert profits(pruned_out) == profits(exact_out)
+
+    def test_serve_no_prune_matches_pruned_book(self, capsys):
+        args = ["serve", "--pools", "15", "--tokens", "8", "--blocks", "3",
+                "--shards", "2", "--top", "3", "--seed", "7"]
+        assert main(args) == 0
+        pruned_out = capsys.readouterr().out
+        assert main(args + ["--no-prune"]) == 0
+        exact_out = capsys.readouterr().out
+        assert "pruned by bounds" in pruned_out
+        assert "(0 pruned by bounds)" in exact_out
+
+        def book(out):
+            lines = out.splitlines()
+            return [line for line in lines if "$" in line]
+
+        assert book(pruned_out) == book(exact_out)

@@ -1,0 +1,302 @@
+"""Unit tests for the monetized profit upper bounds
+(:mod:`repro.market.bounds`) and the pruning entry points they power
+(:meth:`BatchEvaluator.evaluate_many` two-phase mode,
+:meth:`BatchEvaluator.evaluate_top_k`, :func:`pruned_zero_result`).
+
+The soundness contract under test: a bound is *never* below the exact
+kernel profit, and a bound of exactly ``0.0`` proves the exact profit
+is non-positive.  The hypothesis suite in
+``tests/property/test_bound_soundness.py`` hammers the same contract
+on random mixed markets; here the cases are small and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.amm import PoolRegistry
+from repro.amm.weighted import WeightedPool
+from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.market import (
+    BatchEvaluator,
+    MarketArrays,
+    below_threshold,
+    pruned_zero_result,
+)
+from repro.strategies import (
+    ConvexOptimizationStrategy,
+    MaxMaxStrategy,
+    MaxPriceStrategy,
+    TraditionalStrategy,
+)
+
+X, Y, Z, W = Token("X"), Token("Y"), Token("Z"), Token("W")
+
+
+@pytest.fixture
+def registry():
+    registry = PoolRegistry()
+    # a profitable CP triangle, a flat CP triangle, and a weighted leg
+    registry.create(X, Y, 1_000.0, 2_000.0, pool_id="xy")
+    registry.create(Y, Z, 3_000.0, 1_500.0, pool_id="yz")
+    registry.create(Z, X, 900.0, 1_800.0, pool_id="zx")
+    registry.create(X, W, 5_000.0, 5_000.0, pool_id="xw")
+    registry.create(Y, W, 4_000.0, 4_000.0, pool_id="yw")
+    registry.add(
+        WeightedPool(Z, W, 2_000.0, 1_000.0, weight0=0.7, weight1=0.3,
+                     pool_id="zw")
+    )
+    return registry
+
+
+@pytest.fixture
+def loops(registry):
+    return [
+        ArbitrageLoop([X, Y, Z], [registry["xy"], registry["yz"], registry["zx"]]),
+        ArbitrageLoop([X, Y, W], [registry["xy"], registry["yw"], registry["xw"]]),
+        ArbitrageLoop([Y, Z, W], [registry["yz"], registry["zw"], registry["yw"]]),
+        ArbitrageLoop([X, W, Z], [registry["xw"], registry["zw"], registry["zx"]]),
+    ]
+
+
+@pytest.fixture
+def prices():
+    return PriceMap({X: 10.0, Y: 5.0, Z: 20.0, W: 1.0})
+
+
+def make_evaluator(registry, loops, **kwargs):
+    return BatchEvaluator(
+        loops, arrays=MarketArrays.from_registry(registry), **kwargs
+    )
+
+
+STRATEGIES = [
+    MaxMaxStrategy(),
+    MaxMaxStrategy(method="bisection"),
+    MaxMaxStrategy(method="golden"),
+    MaxPriceStrategy(),
+    TraditionalStrategy(start_token=X),
+]
+
+
+class TestBelowThreshold:
+    def test_prunable_means_below_threshold_or_nonpositive(self):
+        values = np.array([5.0, 2.0, 0.0, -1.0, 3.0])
+        out = below_threshold(values, 3.0)
+        assert out.tolist() == [False, True, True, True, False]
+
+    def test_zero_threshold_prunes_only_nonpositive(self):
+        values = np.array([1e-12, 0.0, -5.0])
+        assert below_threshold(values, 0.0).tolist() == [False, True, True]
+
+    def test_nan_is_never_prunable(self):
+        values = np.array([np.nan, 1.0])
+        assert below_threshold(values, 10.0).tolist() == [False, True]
+        assert below_threshold(values, 0.0).tolist() == [False, False]
+
+
+class TestBoundSoundness:
+    @pytest.mark.parametrize(
+        "strategy", STRATEGIES, ids=lambda s: type(s).__name__ + "-" + s.method
+    )
+    def test_bound_dominates_exact_profit(self, registry, loops, prices, strategy):
+        if isinstance(strategy, TraditionalStrategy):
+            # loops without the numeraire raise on exact evaluation
+            loops = [loop for loop in loops if strategy.start_token in loop.tokens]
+        evaluator = make_evaluator(registry, loops)
+        bounds = evaluator.monetized_bounds(strategy, prices)
+        results = evaluator.evaluate_many(strategy, prices)
+        for bound, result in zip(bounds, results):
+            exact = result.monetized_profit
+            if math.isnan(bound):
+                continue  # unprunable: the exact path owns this row
+            assert bound >= exact, f"bound {bound} < exact {exact}"
+            if bound == 0.0:
+                assert exact <= 0.0
+
+    def test_bounds_are_finite_for_batchable_loops(
+        self, registry, loops, prices
+    ):
+        evaluator = make_evaluator(registry, loops)
+        bounds = evaluator.monetized_bounds(MaxMaxStrategy(), prices)
+        assert np.isfinite(bounds).all()
+
+    def test_nonbatchable_strategy_gets_vacuous_bounds(
+        self, registry, loops, prices
+    ):
+        evaluator = make_evaluator(registry, loops)
+        bounds = evaluator.monetized_bounds(ConvexOptimizationStrategy(), prices)
+        assert np.isinf(bounds).all()
+        # +inf is never prunable at any threshold
+        assert not below_threshold(bounds, 1e12).any()
+
+    def test_traditional_absent_start_token_is_nan(
+        self, registry, loops, prices
+    ):
+        # loop [Y, Z, W] does not contain X: no traditional quote
+        # exists, so the bound must refuse to prune it
+        evaluator = make_evaluator(registry, loops)
+        bounds = evaluator.monetized_bounds(
+            TraditionalStrategy(start_token=X), prices
+        )
+        assert math.isnan(bounds[2])
+        assert not below_threshold(bounds, 1e12)[2]
+
+    def test_indices_subset_aligns_with_positions(self, registry, loops, prices):
+        evaluator = make_evaluator(registry, loops)
+        full = evaluator.monetized_bounds(MaxMaxStrategy(), prices)
+        sub = evaluator.monetized_bounds(MaxMaxStrategy(), prices, indices=[3, 1])
+        assert sub[0] == full[3]
+        assert sub[1] == full[1]
+
+
+class TestTwoPhaseEvaluateMany:
+    def test_threshold_none_returns_every_result(self, registry, loops, prices):
+        evaluator = make_evaluator(registry, loops)
+        results = evaluator.evaluate_many(MaxMaxStrategy(), prices)
+        assert all(r is not None for r in results)
+        assert evaluator.stats.pruned_loops == 0
+
+    def test_pruned_rows_are_none_and_provably_below(
+        self, registry, loops, prices
+    ):
+        strategy = MaxMaxStrategy()
+        oracle = make_evaluator(registry, loops).evaluate_many(strategy, prices)
+        threshold = sorted(
+            (r.monetized_profit for r in oracle), reverse=True
+        )[0]  # only the best survives
+        evaluator = make_evaluator(registry, loops)
+        results = evaluator.evaluate_many(
+            strategy, prices, threshold=threshold
+        )
+        assert evaluator.stats.pruned_loops == sum(
+            1 for r in results if r is None
+        )
+        for exact, pruned in zip(oracle, results):
+            if pruned is None:
+                assert (
+                    exact.monetized_profit < threshold
+                    or exact.monetized_profit <= 0.0
+                )
+            else:
+                assert pruned.monetized_profit == exact.monetized_profit
+
+    def test_stored_profit_protects_live_book_entries(
+        self, registry, loops, prices
+    ):
+        strategy = MaxMaxStrategy()
+        evaluator = make_evaluator(registry, loops)
+        huge = 1e18  # prune threshold far above every bound
+        all_pruned = evaluator.evaluate_many(
+            strategy, prices, threshold=huge,
+            stored=[0.0] * len(loops),
+        )
+        assert all(r is None for r in all_pruned)
+        # a stored profit at/above the threshold forces the re-quote
+        protected = evaluator.evaluate_many(
+            strategy, prices, threshold=huge,
+            stored=[0.0, huge, 0.0, 0.0],
+        )
+        assert protected[1] is not None
+        assert [r is None for r in protected] == [True, False, True, True]
+
+    def test_zero_threshold_keeps_profitable_loops(
+        self, registry, loops, prices
+    ):
+        strategy = MaxMaxStrategy()
+        oracle = make_evaluator(registry, loops).evaluate_many(strategy, prices)
+        evaluator = make_evaluator(registry, loops)
+        results = evaluator.evaluate_many(strategy, prices, threshold=0.0)
+        for exact, got in zip(oracle, results):
+            if exact.monetized_profit > 0.0:
+                assert got is not None
+                assert got.monetized_profit == exact.monetized_profit
+
+
+class TestEvaluateTopK:
+    def test_matches_exhaustive_ranking(self, registry, loops, prices):
+        strategy = MaxMaxStrategy()
+        oracle = make_evaluator(registry, loops).evaluate_many(strategy, prices)
+        expected = sorted(
+            ((r.monetized_profit, i) for i, r in enumerate(oracle)),
+            key=lambda pair: (-pair[0], loops[pair[1]].canonical_id),
+        )[:2]
+        evaluator = make_evaluator(registry, loops)
+        scored, pruned = evaluator.evaluate_top_k(strategy, prices, k=2)
+        got = sorted(
+            scored, key=lambda pair: (-pair[0], loops[pair[1]].canonical_id)
+        )[:2]
+        assert got == expected
+        assert pruned == len(loops) - len(scored)
+
+    def test_prunes_on_larger_market(self):
+        from repro.data.synthetic import SyntheticMarketGenerator
+        from repro.engine.core import LoopUniverse
+
+        market = SyntheticMarketGenerator(
+            n_tokens=12, n_pools=40, seed=3, price_noise=0.02
+        ).generate()
+        loops = LoopUniverse(market.registry, 3).candidates
+        strategy = MaxMaxStrategy()
+        oracle = BatchEvaluator(
+            loops, arrays=MarketArrays.from_registry(market.registry)
+        ).evaluate_many(strategy, market.prices)
+        expected = sorted(
+            ((r.monetized_profit, loops[i].canonical_id)
+             for i, r in enumerate(oracle)),
+            key=lambda pair: (-pair[0], pair[1]),
+        )[:5]
+        evaluator = BatchEvaluator(
+            loops, arrays=MarketArrays.from_registry(market.registry)
+        )
+        scored, pruned = evaluator.evaluate_top_k(strategy, market.prices, k=5)
+        got = sorted(
+            ((profit, loops[position].canonical_id)
+             for profit, position in scored),
+            key=lambda pair: (-pair[0], pair[1]),
+        )[:5]
+        assert got == expected
+        assert pruned > 0  # the bound ordering actually saved quotes
+        assert len(scored) + pruned == len(loops)
+
+    def test_k_zero_and_empty(self, registry, loops, prices):
+        evaluator = make_evaluator(registry, loops)
+        scored, pruned = evaluator.evaluate_top_k(MaxMaxStrategy(), prices, k=0)
+        assert len(scored) + pruned == len(loops)
+        empty = BatchEvaluator([], arrays=MarketArrays([]))
+        assert empty.evaluate_top_k(MaxMaxStrategy(), prices, k=3) == ([], 0)
+
+
+class TestPrunedZeroResult:
+    def test_maxmax_placeholder(self, registry, loops, prices):
+        result = pruned_zero_result(MaxMaxStrategy(), loops[0], prices)
+        assert result.monetized_profit == 0.0
+        assert result.amount_in == 0.0
+        assert result.details["pruned"] is True
+        assert set(result.details["per_rotation"]) == {"X", "Y", "Z"}
+        assert all(v == 0.0 for v in result.details["per_rotation"].values())
+
+    def test_traditional_placeholder_starts_at_the_start_token(
+        self, registry, loops, prices
+    ):
+        result = pruned_zero_result(
+            TraditionalStrategy(start_token=X), loops[0], prices
+        )
+        assert result.monetized_profit == 0.0
+        assert result.start_token == X
+        assert result.details["pruned"] is True
+
+    def test_maxprice_placeholder_uses_max_price_token(
+        self, registry, loops, prices
+    ):
+        result = pruned_zero_result(MaxPriceStrategy(), loops[0], prices)
+        assert result.monetized_profit == 0.0
+        # Z at $20 is the loop's max-price token
+        assert result.start_token == Z
+
+    def test_nonbatchable_strategy_rejected(self, registry, loops, prices):
+        with pytest.raises(ValueError, match="batch kind"):
+            pruned_zero_result(ConvexOptimizationStrategy(), loops[0], prices)

@@ -346,3 +346,44 @@ class TestReplayDriver:
         log = generate_event_stream(market, n_blocks=5, events_per_block=6, seed=17)
         _triangle, _full, ri, rf = _parity(market, log)
         assert ri.evaluations() <= rf.evaluations()
+
+
+class TestPrunedReplay:
+    """``prune=True``: skip exact quotes for loops the bound proves
+    unprofitable, with per-block reports bit-identical to the
+    exhaustive driver."""
+
+    def _market_and_log(self):
+        market = SyntheticMarketGenerator(
+            n_tokens=10, n_pools=24, seed=17, price_noise=0.02
+        ).generate()
+        log = generate_event_stream(
+            market, n_blocks=6, events_per_block=6, seed=17,
+            price_ticks_per_block=1,
+        )
+        return market, log
+
+    def test_reports_bit_identical_with_fewer_exact_quotes(self):
+        market, log = self._market_and_log()
+        pruned = ReplayDriver(market, prune=True)
+        exact = ReplayDriver(market, prune=False)
+        rp = pruned.replay(log)
+        rf = exact.replay(log)
+        assert len(rp.reports) == len(rf.reports)
+        for a, b in zip(rf.reports, rp.reports):
+            assert a.same_numbers(b), f"prune mismatch at block {a.block}"
+        assert rp.evaluations() < rf.evaluations()
+        assert pruned.evaluator_stats.pruned_loops > 0
+        assert exact.evaluator_stats.pruned_loops == 0
+
+    def test_prune_requires_the_batch_evaluator(self, triangle_market):
+        with pytest.raises(ValueError, match="prune"):
+            ReplayDriver(triangle_market, mode="full", prune=True)
+        from repro.engine import EvaluationEngine
+
+        with pytest.raises(ValueError, match="prune"):
+            ReplayDriver(
+                triangle_market,
+                engine=EvaluationEngine(vectorize=False),
+                prune=True,
+            )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.service import LatencyStat, ServiceMetrics
@@ -25,12 +27,29 @@ class TestLatencyStat:
         assert stat.mean == 3.0
         assert stat.min == 2.0 and stat.max == 4.0
 
-    def test_empty_stat_is_all_zero(self):
+    def test_empty_stat_is_all_nan(self):
+        # an empty stat has no latency: every summary field is nan, so
+        # a missing signal can never masquerade as "0 ms" in a report
         stat = LatencyStat("t")
-        assert stat.quantile(0.5) == 0.0
-        assert stat.mean == 0.0
-        assert stat.to_dict()["count"] == 0
-        assert stat.to_dict()["min_ms"] == 0.0
+        assert math.isnan(stat.quantile(0.5))
+        assert math.isnan(stat.quantile(0.0))
+        assert math.isnan(stat.quantile(1.0))
+        assert math.isnan(stat.mean)
+        data = stat.to_dict()
+        assert data["count"] == 0
+        for field in ("mean_ms", "p50_ms", "p99_ms", "min_ms", "max_ms"):
+            assert math.isnan(data[field]), field
+        assert "nan" in repr(stat)
+
+    def test_single_observation_leaves_nan_behind(self):
+        stat = LatencyStat("t")
+        stat.observe(0.5)
+        assert stat.quantile(0.5) == 0.5
+        assert stat.mean == 0.5
+        assert not any(
+            isinstance(v, float) and math.isnan(v)
+            for v in stat.to_dict().values()
+        )
 
     def test_reservoir_bound_keeps_counting(self):
         stat = LatencyStat("t", max_samples=10)
