@@ -1,13 +1,52 @@
-"""Ablation: exact integer (contract) arithmetic vs the float model.
+"""Ablation: exact integer (contract) arithmetic vs the float model,
+and the batched integer kernel vs its sequential twin.
 
-Quantifies both the speed of each kernel and the worst relative
-quoting discrepancy over a reserve grid — evidence that the float
-analysis layer is faithful to on-chain execution at 18-decimal scale.
+Two questions, one file:
+
+* **fidelity** — the worst relative quoting discrepancy between the
+  float hop map and floor-division contract arithmetic over a reserve
+  grid: evidence that the float analysis layer is faithful to on-chain
+  execution at 18-decimal scale (the pytest-benchmark cases at the
+  top).
+
+* **throughput** — scoring every loop's rotation in contract ints via
+  :func:`repro.market.integer_batch_quotes` (object-dtype columns, one
+  vectorized pass per hop) vs quoting loop by loop through
+  :func:`repro.market.integer_hops` + :func:`repro.amm.loop_quote_out`
+  (the sequential reference the parity suite pins the kernel to).
+  Parity is asserted with ``==`` on every row before a timing counts.
+  The acceptance criterion is **batch ≥ 3× sequential** at the largest
+  case.
+
+Run standalone (CI runs the smoke variant and uploads the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_integer_vs_float.py --smoke --json out.json
+
+or the full ladder::
+
+    PYTHONPATH=src python benchmarks/bench_integer_vs_float.py
 """
 
 from __future__ import annotations
 
-from repro.amm import amount_out, get_amount_out
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.amm import amount_out, get_amount_out, loop_quote_out
+from repro.amm.registry import PoolRegistry
+from repro.core.types import Token
+from repro.engine import LoopUniverse
+from repro.market import (
+    MarketArrays,
+    base_units,
+    compile_loops,
+    integer_batch_quotes,
+    integer_hops,
+)
 
 WAD = 10**18
 
@@ -37,3 +76,136 @@ def test_worst_case_discrepancy(benchmark):
 
     worst = benchmark.pedantic(scan, rounds=1, iterations=1)
     assert worst < 1e-9  # the float model is 1e-9-faithful at WAD scale
+
+
+# ----------------------------------------------------------------------
+# batched vs sequential integer quoting
+# ----------------------------------------------------------------------
+
+#: (n_tokens, pools_per_pair) — complete graphs, like bench_batch_quote.
+FULL_CASES = [(8, 1), (12, 1), (15, 1)]  # ~112 / ~440 / ~910 loops
+SMOKE_CASES = [(8, 1), (12, 1)]
+
+MIN_SPEEDUP = 3.0
+
+
+def make_market(n_tokens: int, pools_per_pair: int, seed: int):
+    rng = np.random.default_rng(seed)
+    tokens = [Token(f"T{i:02d}") for i in range(n_tokens)]
+    registry = PoolRegistry()
+    pid = 0
+    for i in range(n_tokens):
+        for j in range(i + 1, n_tokens):
+            for _ in range(pools_per_pair):
+                registry.create(
+                    tokens[i],
+                    tokens[j],
+                    float(rng.uniform(1e3, 5e4)),
+                    float(rng.uniform(1e3, 5e4)),
+                    pool_id=f"p{pid}",
+                )
+                pid += 1
+    return registry
+
+
+def run_case(n_tokens: int, pools_per_pair: int, repeats: int, seed: int = 7) -> dict:
+    registry = make_market(n_tokens, pools_per_pair, seed)
+    arrays = MarketArrays.from_registry(registry)
+    loops = list(LoopUniverse(registry, 3).candidates)
+    groups, fallback = compile_loops(loops, arrays)
+    assert not fallback and len(groups) == 1
+    group = groups[0]
+
+    # quote 0.1% of each loop's entry reserve — a realistic trade size
+    rotations = [loop.rotations()[0] for loop in loops]
+    amounts = [
+        base_units(pool.reserve_of(token_in) * 1e-3)
+        for rotation in rotations
+        for token_in, _token_out, pool in [next(iter(rotation.hops()))]
+    ]
+
+    def sequential():
+        return [
+            loop_quote_out(integer_hops(rotation), amount)
+            for rotation, amount in zip(rotations, amounts)
+        ]
+
+    def batched():
+        return integer_batch_quotes(arrays, group, 0, amounts)
+
+    def best_of(fn):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    seq_s, seq = best_of(sequential)
+    batch_s, batch = best_of(batched)
+
+    # bit-identity before any timing counts — integer parity is ==
+    for k, amounts_vec in enumerate(seq):
+        assert batch.row(k) == amounts_vec, f"parity at loop {k}"
+
+    return {
+        "n_tokens": n_tokens,
+        "pools_per_pair": pools_per_pair,
+        "n_pools": len(registry),
+        "n_loops": len(loops),
+        "sequential_s": seq_s,
+        "batch_s": batch_s,
+        "sequential_loops_per_s": len(loops) / seq_s if seq_s > 0 else float("inf"),
+        "batch_loops_per_s": len(loops) / batch_s if batch_s > 0 else float("inf"),
+        "speedup": seq_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes only (CI)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--json", help="write results to a JSON file")
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    results = []
+    for n_tokens, pools_per_pair in cases:
+        result = run_case(n_tokens, pools_per_pair, args.repeats)
+        results.append(result)
+        print(
+            f"{result['n_loops']:>6} loops ({result['n_pools']} pools): "
+            f"sequential {result['sequential_s'] * 1e3:8.1f} ms, "
+            f"batch {result['batch_s'] * 1e3:7.1f} ms -> "
+            f"{result['speedup']:.1f}x"
+        )
+
+    largest = results[-1]
+    ok = largest["speedup"] >= MIN_SPEEDUP
+    print(
+        f"acceptance: batch >= {MIN_SPEEDUP:.0f}x sequential at "
+        f"{largest['n_loops']} loops -> "
+        f"{'PASS' if ok else 'FAIL'} ({largest['speedup']:.1f}x)"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "integer_vs_float",
+            "smoke": args.smoke,
+            "min_speedup": MIN_SPEEDUP,
+            "cases": results,
+            "pass": ok,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+def test_integer_batch_smoke():
+    assert main(["--smoke", "--repeats", "2"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,11 @@ from .integer import (
     FEE_DENOMINATOR,
     FEE_NUMERATOR,
     IntegerPool,
+    execute_loop,
     get_amount_in,
     get_amount_out,
+    loop_quote_in,
+    loop_quote_out,
 )
 from .pool import DEFAULT_FEE, Pool, PoolSnapshot
 from .registry import PoolRegistry, RegistrySnapshot
@@ -59,8 +62,11 @@ __all__ = [
     "amount_out",
     "compose_hops",
     "effective_price",
+    "execute_loop",
     "get_amount_in",
     "get_amount_out",
+    "loop_quote_in",
+    "loop_quote_out",
     "marginal_rate",
     "max_amount_out",
     "spot_price",

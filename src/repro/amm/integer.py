@@ -17,12 +17,28 @@ by less than one base unit.  With 18-decimal tokens one unit is 1e-18
 of a token — negligible for profit estimates, but the property tests
 pin the direction and magnitude of the discrepancy.
 
+Fees generalize beyond the V2 constant: every function accepts a
+``fee_numerator / fee_denominator`` pair (the *retained*-input
+fraction, ``gamma`` as a rational), so V3-style parts-per-million
+fee tiers — and the per-pool quantized fees the columnar integer
+kernel (:mod:`repro.market.integer_kernel`) carries — use the same
+arithmetic.  The defaults stay 997/1000.
+
 :class:`IntegerPool` is a minimal stateful pair contract on this
 arithmetic, mirroring :class:`~repro.amm.pool.Pool` closely enough for
-the differential tests in ``tests/unit/test_integer_amm.py``.
+the differential tests in ``tests/unit/test_integer_amm.py``.  Both
+swap directions exist in both quoting modes: exact-in
+(:meth:`IntegerPool.quote_out` / :meth:`IntegerPool.swap`) and
+exact-out (:meth:`IntegerPool.quote_in` / :meth:`IntegerPool.swap_out`).
+Multi-hop loops are quoted chain-exactly end-to-end by
+:func:`loop_quote_out` / :func:`loop_quote_in` and executed (with
+reserve mutation) by :func:`execute_loop` — the sequential reference
+the batched integer kernel is asserted bit-identical against.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from ..core.errors import InsufficientLiquidityError, InvalidReserveError
 
@@ -32,6 +48,9 @@ __all__ = [
     "get_amount_out",
     "get_amount_in",
     "IntegerPool",
+    "loop_quote_out",
+    "loop_quote_in",
+    "execute_loop",
 ]
 
 #: The V2 fee as the contract encodes it: input is scaled by 997/1000.
@@ -46,18 +65,39 @@ def _validate_reserves(reserve_in: int, reserve_out: int) -> None:
         )
 
 
-def get_amount_out(amount_in: int, reserve_in: int, reserve_out: int) -> int:
+def _validate_fee(fee_numerator: int, fee_denominator: int) -> None:
+    if not 0 < fee_numerator <= fee_denominator:
+        raise ValueError(
+            "fee must satisfy 0 < numerator <= denominator, got "
+            f"{fee_numerator}/{fee_denominator}"
+        )
+
+
+def get_amount_out(
+    amount_in: int,
+    reserve_in: int,
+    reserve_out: int,
+    fee_numerator: int = FEE_NUMERATOR,
+    fee_denominator: int = FEE_DENOMINATOR,
+) -> int:
     """``UniswapV2Library.getAmountOut`` — exact integer semantics."""
     if amount_in <= 0:
         raise ValueError(f"INSUFFICIENT_INPUT_AMOUNT: {amount_in}")
     _validate_reserves(reserve_in, reserve_out)
-    amount_in_with_fee = amount_in * FEE_NUMERATOR
+    _validate_fee(fee_numerator, fee_denominator)
+    amount_in_with_fee = amount_in * fee_numerator
     numerator = amount_in_with_fee * reserve_out
-    denominator = reserve_in * FEE_DENOMINATOR + amount_in_with_fee
+    denominator = reserve_in * fee_denominator + amount_in_with_fee
     return numerator // denominator
 
 
-def get_amount_in(amount_out: int, reserve_in: int, reserve_out: int) -> int:
+def get_amount_in(
+    amount_out: int,
+    reserve_in: int,
+    reserve_out: int,
+    fee_numerator: int = FEE_NUMERATOR,
+    fee_denominator: int = FEE_DENOMINATOR,
+) -> int:
     """``UniswapV2Library.getAmountIn`` — exact integer semantics.
 
     The ``+ 1`` makes the quote conservative: paying the returned
@@ -66,12 +106,13 @@ def get_amount_in(amount_out: int, reserve_in: int, reserve_out: int) -> int:
     if amount_out <= 0:
         raise ValueError(f"INSUFFICIENT_OUTPUT_AMOUNT: {amount_out}")
     _validate_reserves(reserve_in, reserve_out)
+    _validate_fee(fee_numerator, fee_denominator)
     if amount_out >= reserve_out:
         raise InsufficientLiquidityError(
             f"cannot withdraw {amount_out} from a reserve of {reserve_out}"
         )
-    numerator = reserve_in * amount_out * FEE_DENOMINATOR
-    denominator = (reserve_out - amount_out) * FEE_NUMERATOR
+    numerator = reserve_in * amount_out * fee_denominator
+    denominator = (reserve_out - amount_out) * fee_numerator
     return numerator // denominator + 1
 
 
@@ -81,31 +122,66 @@ class IntegerPool:
     Reserves are plain ints (base units, e.g. wei for 18-decimal
     tokens).  Only the swap path is modeled — no LP shares, no oracle
     accumulators — because that is all the arbitrage analysis touches.
+    The fee is a per-pool rational (retained-input fraction), default
+    the V2 constant 997/1000.
     """
 
-    __slots__ = ("_reserve0", "_reserve1")
+    __slots__ = ("_reserve0", "_reserve1", "_fee_numerator", "_fee_denominator")
 
-    def __init__(self, reserve0: int, reserve1: int):
+    def __init__(
+        self,
+        reserve0: int,
+        reserve1: int,
+        fee_numerator: int = FEE_NUMERATOR,
+        fee_denominator: int = FEE_DENOMINATOR,
+    ):
         if reserve0 <= 0 or reserve1 <= 0:
             raise InvalidReserveError(
                 f"reserves must be positive ints, got ({reserve0}, {reserve1})"
             )
+        _validate_fee(fee_numerator, fee_denominator)
         self._reserve0 = int(reserve0)
         self._reserve1 = int(reserve1)
+        self._fee_numerator = int(fee_numerator)
+        self._fee_denominator = int(fee_denominator)
 
     @property
     def reserves(self) -> tuple[int, int]:
         return (self._reserve0, self._reserve1)
 
     @property
+    def fee_fraction(self) -> tuple[int, int]:
+        """``(numerator, denominator)`` of the retained-input fraction."""
+        return (self._fee_numerator, self._fee_denominator)
+
+    @property
     def k(self) -> int:
         return self._reserve0 * self._reserve1
 
+    def _oriented(self, zero_for_one: bool) -> tuple[int, int]:
+        if zero_for_one:
+            return self._reserve0, self._reserve1
+        return self._reserve1, self._reserve0
+
     def quote_out(self, amount_in: int, zero_for_one: bool = True) -> int:
         """Exact-in quote; ``zero_for_one`` selects the direction."""
-        if zero_for_one:
-            return get_amount_out(amount_in, self._reserve0, self._reserve1)
-        return get_amount_out(amount_in, self._reserve1, self._reserve0)
+        reserve_in, reserve_out = self._oriented(zero_for_one)
+        return get_amount_out(
+            amount_in, reserve_in, reserve_out,
+            self._fee_numerator, self._fee_denominator,
+        )
+
+    def quote_in(self, amount_out: int, zero_for_one: bool = True) -> int:
+        """Exact-out quote: the input that guarantees ``amount_out``.
+
+        ``zero_for_one`` names the direction of the *input* token, like
+        :meth:`quote_out` — ``True`` pays token0 to withdraw token1.
+        """
+        reserve_in, reserve_out = self._oriented(zero_for_one)
+        return get_amount_in(
+            amount_out, reserve_in, reserve_out,
+            self._fee_numerator, self._fee_denominator,
+        )
 
     def swap(self, amount_in: int, zero_for_one: bool = True) -> int:
         """Execute an exact-in swap and mutate reserves."""
@@ -118,5 +194,98 @@ class IntegerPool:
             self._reserve0 -= amount_out
         return amount_out
 
+    def swap_out(self, amount_out: int, zero_for_one: bool = True) -> int:
+        """Execute an exact-out swap; returns the input paid.
+
+        The input is :meth:`quote_in`'s conservative quote, so the
+        pool's ``k`` never decreases (the ``+ 1`` rounds in the pool's
+        favor, exactly like the contract).
+        """
+        amount_in = self.quote_in(amount_out, zero_for_one)
+        if zero_for_one:
+            self._reserve0 += amount_in
+            self._reserve1 -= amount_out
+        else:
+            self._reserve1 += amount_in
+            self._reserve0 -= amount_out
+        return amount_in
+
     def __repr__(self) -> str:
         return f"IntegerPool({self._reserve0}, {self._reserve1})"
+
+
+# ----------------------------------------------------------------------
+# multi-hop loops
+# ----------------------------------------------------------------------
+
+#: One loop hop: the pool plus the input direction through it.
+Hop = tuple
+
+
+def loop_quote_out(
+    hops: Sequence[tuple[IntegerPool, bool]], amount_in: int
+) -> list[int]:
+    """Chain-exact exact-in quote of a multi-hop loop.
+
+    Returns the amounts vector ``[in, after hop 1, ..., out]`` —
+    integer twin of :meth:`repro.core.loop.Rotation.simulate`.  An
+    ``amount_in`` of 0 yields all zeros, and a hop whose floor-divided
+    output hits 0 zeroes the rest of the path (there is nothing left
+    to swap) — both cases mirror the float kernels' zero rows instead
+    of raising like a single-hop :func:`get_amount_out` would.
+    """
+    if amount_in < 0:
+        raise ValueError(f"input amount must be >= 0, got {amount_in}")
+    amounts = [int(amount_in)]
+    current = int(amount_in)
+    for pool, zero_for_one in hops:
+        current = (
+            pool.quote_out(current, zero_for_one) if current > 0 else 0
+        )
+        amounts.append(current)
+    return amounts
+
+
+def loop_quote_in(
+    hops: Sequence[tuple[IntegerPool, bool]], amount_out: int
+) -> list[int]:
+    """Chain-exact exact-out quote of a multi-hop loop.
+
+    Walks the hops backwards with :func:`get_amount_in`, so
+    ``amounts[0]`` is an input that guarantees at least ``amount_out``
+    from the final hop (each hop's ``+ 1`` compounds conservatively —
+    the property suite pins that paying ``amounts[0]`` forward yields
+    ``>= amount_out``).  Raises
+    :class:`~repro.core.errors.InsufficientLiquidityError` when any
+    intermediate amount meets or exceeds its hop's out-side reserve.
+    """
+    if amount_out <= 0:
+        raise ValueError(f"output amount must be > 0, got {amount_out}")
+    amounts = [int(amount_out)]
+    current = int(amount_out)
+    for pool, zero_for_one in reversed(hops):
+        current = pool.quote_in(current, zero_for_one)
+        amounts.append(current)
+    amounts.reverse()
+    return amounts
+
+
+def execute_loop(
+    hops: Sequence[tuple[IntegerPool, bool]], amount_in: int
+) -> list[int]:
+    """Execute a loop's swaps in sequence, mutating every pool.
+
+    Same amounts vector as :func:`loop_quote_out` when every pool
+    appears at most once in ``hops``; with a repeated pool the later
+    hop sees the earlier hop's post-swap reserves — exactly the
+    on-chain semantics.  This is the sequential reference the batched
+    integer kernel is asserted bit-identical against.
+    """
+    if amount_in < 0:
+        raise ValueError(f"input amount must be >= 0, got {amount_in}")
+    amounts = [int(amount_in)]
+    current = int(amount_in)
+    for pool, zero_for_one in hops:
+        current = pool.swap(current, zero_for_one) if current > 0 else 0
+        amounts.append(current)
+    return amounts

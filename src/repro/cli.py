@@ -127,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "ranking with profit upper bounds (identical top-K "
                    "either way; pruning is auto-disabled by --scalar, "
                    "--csv, and --jobs > 1)")
+    p.add_argument("--exact", action="store_true",
+                   help="audit every quote in contract integer arithmetic "
+                   "(floor division, 18-decimal base units): adds the "
+                   "base-unit profit the chain would actually pay next to "
+                   "the float estimate; runs serial whatever --jobs says, "
+                   "so output is byte-stable across job counts")
 
     p = sub.add_parser(
         "sweep", help="price sweep of the §V loop through the batched engine"
@@ -360,13 +366,20 @@ def _cmd_detect(args) -> None:
     from .strategies.maxmax import MaxMaxStrategy
 
     _snapshot, loops = analysis.profitable_loops(snapshot, args.length)
+    if args.exact and args.scalar:
+        raise SystemExit(
+            "--exact needs the batch evaluator; it cannot combine with "
+            "--scalar"
+        )
     # the bound-ordered pruned ranking only makes sense for the plain
-    # top-K table: --csv needs the full exact list, and --scalar /
-    # --jobs pick explicit evaluation paths of their own
+    # top-K table: --csv needs the full exact list, --exact audits every
+    # loop, and --scalar / --jobs pick explicit evaluation paths
     prune = not (
         args.no_prune or args.scalar or args.csv or args.jobs != 1
+        or args.exact
     ) and bool(loops)
     pruned = 0
+    exact_details: dict[int, dict | None] = {}
     if prune:
         from .market import BatchEvaluator, MarketArrays
 
@@ -378,6 +391,26 @@ def _cmd_detect(args) -> None:
         )
         scored = sorted(
             ((profit, loops[position]) for profit, position in topk),
+            key=lambda pair: opportunity_sort_key(pair[0], pair[1].canonical_id),
+        )
+    elif args.exact:
+        from .market import BatchEvaluator, MarketArrays
+
+        # exact quotes are integer statements: evaluate on the serial
+        # batch evaluator whatever --jobs says, so the ranked output
+        # (and any CSV) is byte-stable across job counts
+        evaluator = BatchEvaluator(
+            loops,
+            arrays=MarketArrays.from_registry(snapshot.registry),
+            exact=True,
+        )
+        results = evaluator.evaluate_many(MaxMaxStrategy(), snapshot.prices)
+        exact_details = {
+            id(loop): result.details.get("exact")
+            for result, loop in zip(results, loops)
+        }
+        scored = sorted(
+            ((result.monetized_profit, loop) for result, loop in zip(results, loops)),
             key=lambda pair: opportunity_sort_key(pair[0], pair[1].canonical_id),
         )
     else:
@@ -393,11 +426,26 @@ def _cmd_detect(args) -> None:
             key=lambda pair: opportunity_sort_key(pair[0], pair[1].canonical_id),
         )
     print(f"{len(loops)} profitable length-{args.length} loops; top {args.top}:")
-    rows = [
-        (f"${profit:,.2f}", repr(loop))
-        for profit, loop in scored[: args.top]
-    ]
-    print(report.format_table(["maxmax profit", "loop"], rows))
+    if args.exact:
+        # integer base-unit profit next to the float estimate ("-" for
+        # weighted loops, which have no floor-arithmetic twin)
+        def _units(loop) -> str:
+            detail = exact_details.get(id(loop))
+            return str(detail["profit"]) if detail is not None else "-"
+
+        rows = [
+            (f"${profit:,.2f}", _units(loop), repr(loop))
+            for profit, loop in scored[: args.top]
+        ]
+        print(report.format_table(
+            ["maxmax profit", "exact profit (base units)", "loop"], rows
+        ))
+    else:
+        rows = [
+            (f"${profit:,.2f}", repr(loop))
+            for profit, loop in scored[: args.top]
+        ]
+        print(report.format_table(["maxmax profit", "loop"], rows))
     if prune:
         print(
             f"bound pruning skipped {pruned}/{len(loops)} exact quotes "
@@ -408,12 +456,25 @@ def _cmd_detect(args) -> None:
 
         with open(args.csv, "w", newline="") as fh:
             writer = csv.writer(fh)
-            writer.writerow(["rank", "profit_usd", "loop_id", "path"])
+            header = ["rank", "profit_usd", "loop_id", "path"]
+            if args.exact:
+                header += [
+                    "exact_scale", "exact_amount_in", "exact_amount_out",
+                    "exact_profit_units",
+                ]
+            writer.writerow(header)
             for rank, (profit, loop) in enumerate(scored, start=1):
-                writer.writerow(
-                    [rank, repr(profit), loop.canonical_id,
-                     " -> ".join(t.symbol for t in loop.tokens)]
-                )
+                row = [rank, repr(profit), loop.canonical_id,
+                       " -> ".join(t.symbol for t in loop.tokens)]
+                if args.exact:
+                    detail = exact_details.get(id(loop))
+                    row += (
+                        [detail["scale"], detail["amount_in"],
+                         detail["amount_out"], detail["profit"]]
+                        if detail is not None
+                        else ["", "", "", ""]
+                    )
+                writer.writerow(row)
         print(f"wrote {args.csv}")
 
 

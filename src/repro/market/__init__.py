@@ -27,7 +27,7 @@ step (:mod:`repro.engine`, :mod:`repro.replay`, :mod:`repro.service`):
   sets.
 """
 
-from .arrays import MarketArrays
+from .arrays import FEE_PPM_DENOMINATOR, MarketArrays, quantize_fee
 from .batch import (
     BatchEvaluator,
     EvaluatorStats,
@@ -41,7 +41,23 @@ from .bounds import (
     rotation_profit_bounds,
 )
 from .compile import CompiledLoopGroup, compile_loops
+from .integer_kernel import (
+    WAD,
+    IntegerBatchQuotes,
+    base_units,
+    exact_loop_quote,
+    integer_batch_quotes,
+    integer_hops,
+)
 from .kernel import BatchQuotes, batch_quotes, monetize_quotes, oriented_reserves
+from .oracle import (
+    ORACLE_DPS,
+    OracleQuote,
+    have_mpmath,
+    oracle_monetized,
+    oracle_quote,
+    rel_error,
+)
 from .solvers import batched_golden_section, batched_maximize_by_derivative
 from .weighted_kernel import (
     WEIGHTED_PARITY_RTOL,
@@ -56,8 +72,14 @@ __all__ = [
     "BatchQuotes",
     "CompiledLoopGroup",
     "EvaluatorStats",
+    "FEE_PPM_DENOMINATOR",
+    "IntegerBatchQuotes",
     "MarketArrays",
+    "ORACLE_DPS",
+    "OracleQuote",
+    "WAD",
     "WEIGHTED_PARITY_RTOL",
+    "base_units",
     "batch_kind",
     "batch_quotes",
     "batched_golden_section",
@@ -66,10 +88,18 @@ __all__ = [
     "compile_loops",
     "cp_bisection_quotes",
     "cp_golden_quotes",
+    "exact_loop_quote",
+    "have_mpmath",
+    "integer_batch_quotes",
+    "integer_hops",
     "monetize_quotes",
     "monetized_bounds",
+    "oracle_monetized",
+    "oracle_quote",
     "oriented_reserves",
     "pruned_zero_result",
+    "quantize_fee",
+    "rel_error",
     "rotation_profit_bounds",
     "weighted_quotes",
 ]

@@ -56,7 +56,32 @@ from ..core.errors import (
 )
 from ..core.types import Token
 
-__all__ = ["MarketArrays"]
+__all__ = ["FEE_PPM_DENOMINATOR", "MarketArrays", "quantize_fee"]
+
+#: Denominator of the integer fee column: per-pool fees are quantized
+#: to parts-per-million.  The V2 constant 0.003 maps to a retained
+#: numerator of 997_000 / 1_000_000, which floor-divides identically to
+#: the contract's 997/1000 (numerator and denominator share the factor
+#: 1000, and ``(k*a) // (k*b) == a // b``).
+FEE_PPM_DENOMINATOR = 10**6
+
+
+def quantize_fee(fee: float) -> int:
+    """Retained-input (gamma) ppm numerator for a float fee fraction.
+
+    ``0.003 → 997_000``.  Fees that are not exactly representable in
+    parts-per-million are rounded to the nearest ppm — the integer
+    backend is then exact *for the quantized fee*, which the precision
+    policy documents as part of the ``--exact`` contract.
+    """
+    if not 0.0 <= fee < 1.0:
+        raise ValueError(f"fee must be in [0, 1), got {fee}")
+    gamma_num = FEE_PPM_DENOMINATOR - round(fee * FEE_PPM_DENOMINATOR)
+    # a 100% quantized fee would make every integer quote zero and the
+    # integer pool arithmetic reject the pool; clamp to the smallest
+    # non-degenerate numerator instead (fees this close to 1 are
+    # rejected by Pool's own validation anyway)
+    return max(gamma_num, 1)
 
 
 class MarketArrays:
@@ -75,6 +100,7 @@ class MarketArrays:
         "reserve0",
         "reserve1",
         "fee",
+        "fee_num",
         "weight0",
         "weight1",
         "token0_idx",
@@ -103,6 +129,7 @@ class MarketArrays:
         self.reserve0 = np.empty(n, dtype=np.float64)
         self.reserve1 = np.empty(n, dtype=np.float64)
         self.fee = np.empty(n, dtype=np.float64)
+        self.fee_num = np.empty(n, dtype=np.int64)
         self.weight0 = np.ones(n, dtype=np.float64)
         self.weight1 = np.ones(n, dtype=np.float64)
         self.token0_idx = np.empty(n, dtype=np.intp)
@@ -111,7 +138,7 @@ class MarketArrays:
         for i, pool in enumerate(pool_list):
             self.reserve0[i] = pool.reserve_of(pool.token0)
             self.reserve1[i] = pool.reserve_of(pool.token1)
-            self.fee[i] = pool.fee
+            self._write_fee(i, pool.fee)
             self.token0_idx[i] = tokens[pool.token0]
             self.token1_idx[i] = tokens[pool.token1]
             is_cp = bool(getattr(pool, "is_constant_product", True))
@@ -146,6 +173,29 @@ class MarketArrays:
         """Current ``(reserve0, reserve1)`` of one pool, as floats."""
         i = self._index(pool_id)
         return (float(self.reserve0[i]), float(self.reserve1[i]))
+
+    def _write_fee(self, i: int, fee: float) -> None:
+        """Set both fee columns of one row in lockstep.
+
+        The float column feeds the float kernels; the int64 column is
+        the ppm-quantized gamma numerator the integer kernel divides
+        by.  Writing them together is the invariant that keeps the
+        exact backend from silently desyncing when a fee changes.
+        """
+        self.fee[i] = fee
+        self.fee_num[i] = quantize_fee(float(fee))
+
+    def set_fee(self, pool_id: str, fee: float) -> None:
+        """Update one pool's fee (both float and integer columns).
+
+        The per-event-batch refresh hook for array-driven markets: a
+        fee-tier change lands here instead of requiring a rebuild, so
+        compiled hop matrices stay valid while kernel quotes pick up
+        the new gamma on the next batch.
+        """
+        if not 0.0 <= fee < 1.0:
+            raise ValueError(f"fee must be in [0, 1), got {fee}")
+        self._write_fee(self._index(pool_id), fee)
 
     def _index(self, pool_id: str) -> int:
         try:
@@ -198,12 +248,15 @@ class MarketArrays:
         registry: PoolRegistry,
         pool_ids: Iterable[str] | None = None,
     ) -> None:
-        """Copy reserves from live pool objects into the arrays.
+        """Copy reserves *and fees* from live pool objects into the arrays.
 
         ``pool_ids`` limits the copy to the named pools (the dirty set
         of a block); ``None`` refreshes every row.  Pools the arrays do
         not know are ignored — a registry may hold pools outside the
-        compiled loop set.
+        compiled loop set.  Fees refresh alongside reserves (they used
+        to be baked at build time) so a fee-tier change on the object
+        side can never silently desync kernel quotes from the scalar
+        path.
         """
         if pool_ids is None:
             pool_ids = self.pool_ids
@@ -214,6 +267,8 @@ class MarketArrays:
             pool = registry[pool_id]
             self.reserve0[i] = pool.reserve_of(pool.token0)
             self.reserve1[i] = pool.reserve_of(pool.token1)
+            if pool.fee != self.fee[i]:
+                self._write_fee(i, pool.fee)
 
     # ------------------------------------------------------------------
     # event application

@@ -60,6 +60,12 @@ from .arrays import MarketArrays
 from .bounds import below_threshold
 from .bounds import monetized_bounds as _group_monetized_bounds
 from .compile import CompiledLoopGroup, compile_loops
+from .integer_kernel import (
+    WAD,
+    base_units,
+    exact_loop_quote,
+    integer_batch_quotes,
+)
 from .kernel import BatchQuotes, batch_quotes, monetize_quotes
 from .weighted_kernel import (
     cp_bisection_quotes,
@@ -168,6 +174,18 @@ class BatchEvaluator:
         :meth:`pull`).
     min_batch:
         Smallest per-group slice worth a kernel pass.
+    exact:
+        Audit every float result in contract integer arithmetic: each
+        returned result gains ``details["exact"]`` — the base-unit
+        amounts the chain would actually pay and return for the
+        float-optimal input, computed by the columnar integer kernel
+        (:mod:`repro.market.integer_kernel`) for compiled loops and
+        the sequential :class:`~repro.amm.integer.IntegerPool` path
+        for fallbacks.  Exact mode also disables bound pruning — the
+        bounds are float statements, so every row gets the ``+inf``
+        vacuous bound and is always quoted in full.
+    exact_scale:
+        Base units per token in exact mode (default ``10**18``, wei).
     """
 
     def __init__(
@@ -175,6 +193,9 @@ class BatchEvaluator:
         loops: Sequence[ArbitrageLoop],
         arrays: MarketArrays | None = None,
         min_batch: int = DEFAULT_MIN_BATCH,
+        *,
+        exact: bool = False,
+        exact_scale: int = WAD,
     ):
         self.loops: tuple[ArbitrageLoop, ...] = tuple(loops)
         self._source_pools: list | None = None
@@ -189,6 +210,8 @@ class BatchEvaluator:
             self._source_pools = list(pools.values())
         self.arrays = arrays
         self.min_batch = min_batch
+        self.exact = exact
+        self.exact_scale = exact_scale
         self.stats = EvaluatorStats()
         self.groups, self.fallback_positions = compile_loops(
             self.loops, arrays
@@ -281,6 +304,11 @@ class BatchEvaluator:
             list(indices) if indices is not None else list(range(len(self.loops)))
         )
         out = np.full(len(positions), np.inf, dtype=np.float64)
+        if self.exact:
+            # the monotone bounds are float statements; integer rows
+            # keep the +inf vacuous bound so pruning can never skip a
+            # quote that exact mode must audit
+            return out
         kind = batch_kind(strategy)
         if kind is None:
             return out
@@ -379,7 +407,71 @@ class BatchEvaluator:
                 results[position] = strategy.evaluate_cached(
                     self.loops[position], prices, cache
                 )
+        if self.exact:
+            self._annotate_exact(results)
         return [results.get(position) for position in positions]
+
+    def _annotate_exact(self, results: dict[int, StrategyResult]) -> None:
+        """Attach ``details["exact"]`` to every fixed-start result.
+
+        Compiled loops go through the columnar integer kernel in one
+        pass per group (per-row rotation offsets recovered from each
+        result's start token); fallback loops take the sequential
+        :class:`IntegerPool` path.  Both read the same conversions
+        (:func:`base_units`, ppm fee quantization), so the two routes
+        are bit-identical — the integer parity suite pins that.
+        Results without a fixed start (convex strategy) are left
+        unannotated: there is no single rotation to audit.
+        """
+        scale = self.exact_scale
+        by_group: dict[int, list[int]] = {}
+        scalar_positions: list[int] = []
+        for position, result in results.items():
+            if result.amount_in is None or result.start_token is None:
+                continue
+            # weighted (G3M) hops have no on-chain floor-arithmetic
+            # twin — fractional pow is not integer math — so weighted
+            # loops keep the float quote with the oracle error bar
+            if any(
+                not getattr(pool, "is_constant_product", True)
+                for pool in result.loop.pools
+            ):
+                continue
+            where = self._where.get(position)
+            if where is not None:
+                by_group.setdefault(where[0], []).append(position)
+            else:
+                scalar_positions.append(position)
+        for gi, group_positions in by_group.items():
+            group = self.groups[gi]
+            rows = [self._where[p][1] for p in group_positions]
+            sub = (
+                group
+                if rows == list(range(len(group)))
+                else group.rows(rows)
+            )
+            offsets = np.asarray(
+                [
+                    sub.token_offset[k][results[p].start_token]
+                    for k, p in enumerate(group_positions)
+                ],
+                dtype=np.intp,
+            )
+            amounts_in = [
+                base_units(results[p].amount_in, scale)
+                for p in group_positions
+            ]
+            quotes = integer_batch_quotes(
+                self.arrays, sub, offsets, amounts_in, scale=scale
+            )
+            for k, position in enumerate(group_positions):
+                results[position].details["exact"] = quotes.detail(k)
+        for position in scalar_positions:
+            result = results[position]
+            rotation = result.loop.rotation_from(result.start_token)
+            result.details["exact"] = exact_loop_quote(
+                rotation, result.amount_in, scale=scale
+            )
 
     def evaluate_top_k(
         self,

@@ -1,0 +1,245 @@
+"""Columnar integer (contract-arithmetic) quote kernel.
+
+:mod:`repro.amm.integer` reproduces the UniswapV2Library's
+floor-division swap math one pool at a time.  This module lifts it
+into the batched market layer: object-dtype numpy arrays hold
+arbitrary-precision Python ints (reserves in base units, ppm fee
+numerators from :attr:`MarketArrays.fee_num`), and one pass over the
+hop axis floor-divides every compiled loop's rotation at once —
+the integer twin of :func:`repro.market.kernel.simulate_hops`.
+
+Bit-identity with the sequential path is by construction: per element
+the kernel evaluates
+
+    eff = t * fee_num
+    out = (eff * y) // (x * FEE_PPM_DENOMINATOR + eff)
+
+which is the exact expression :func:`repro.amm.integer.get_amount_out`
+computes (numerator and denominator orderings included), on the same
+Python ints.  Integer arithmetic is associative and exact, so unlike
+the float kernels there is no IEEE-754 op-ordering to pin — the
+parity suite asserts ``==`` against :func:`repro.amm.integer
+.execute_loop` on fresh pools and it can never be a tolerance.
+
+There is no closed-form *optimum* in integer arithmetic (the real
+optimum is irrational); the kernel quotes the float-optimal input,
+converted to base units by :func:`base_units`, and reports what the
+chain would actually pay and return for it.  That is the ``--exact``
+contract: float finds the candidate, integers audit it.
+
+Integer rows are never pruned: the bound layer's monotone profit
+bounds are float statements, so in exact mode every loop gets the
+``+inf`` vacuous bound and flows through to a full quote (see
+:meth:`repro.market.batch.BatchEvaluator.monetized_bounds`).
+
+Weighted (G3M) hops have no on-chain integer twin here — fractional
+``pow`` is not floor arithmetic — so exact annotations cover
+constant-product hops only; weighted loops keep the float quote with
+the oracle-measured error bar (:mod:`repro.market.oracle`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..amm.integer import IntegerPool
+from ..core.loop import Rotation
+from .arrays import FEE_PPM_DENOMINATOR, MarketArrays, quantize_fee
+from .compile import CompiledLoopGroup
+from .kernel import gather_hops
+
+__all__ = [
+    "WAD",
+    "IntegerBatchQuotes",
+    "base_units",
+    "integer_batch_quotes",
+    "integer_hops",
+    "exact_loop_quote",
+]
+
+#: Default base-unit scale: 18 decimals, like ETH/wei and most ERC-20s.
+WAD = 10**18
+
+
+def base_units(value: float, scale: int = WAD) -> int:
+    """Convert a float token amount to integer base units (truncating).
+
+    Truncation (not rounding) keeps the conversion conservative for
+    input amounts — you can never be quoted for more than you hold —
+    and both the batched kernel and the sequential reference use this
+    exact conversion, so they always agree on the integers they start
+    from.  Raises :class:`OverflowError` when ``value * scale`` leaves
+    the float range (the same degenerate-magnitude seam as
+    :func:`repro.amm.weighted.pinned_pow`).
+    """
+    if value < 0:
+        raise ValueError(f"amount must be >= 0, got {value}")
+    units = value * float(scale)
+    if not math.isfinite(units):
+        raise OverflowError(
+            f"{value!r} at scale {scale} exceeds the float range"
+        )
+    return int(units)
+
+
+@dataclass(frozen=True)
+class IntegerBatchQuotes:
+    """Chain-exact amounts for one rotation of each compiled loop.
+
+    The integer sibling of :class:`repro.market.kernel.BatchQuotes`:
+    row ``k`` holds the base-unit amounts vector ``[in, after hop 1,
+    ..., out]`` of the ``k``-th loop's requested rotation at the
+    requested input, all Python ints in object-dtype arrays.
+    ``profit`` is ``out - in`` and may be negative — floor rounding
+    can erase a float-marginal profit, which is exactly what the
+    exact backend exists to reveal.
+    """
+
+    length: int
+    scale: int
+    amount_in: np.ndarray
+    amounts: np.ndarray
+    profit: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.amount_in)
+
+    def row(self, k: int) -> list[int]:
+        """Row ``k``'s amounts vector as plain ints."""
+        return [int(v) for v in self.amounts[k]]
+
+    def detail(self, k: int) -> dict:
+        """Row ``k`` as the ``details["exact"]`` annotation dict."""
+        amount_in = int(self.amount_in[k])
+        amount_out = int(self.amounts[k, self.length])
+        return {
+            "scale": self.scale,
+            "amount_in": amount_in,
+            "amount_out": amount_out,
+            "profit": amount_out - amount_in,
+        }
+
+
+def _object_column(values) -> np.ndarray:
+    """1-D object array of Python ints (``tolist`` launders np.int64 —
+    object-array arithmetic must never wrap at 64 bits)."""
+    out = np.empty(len(values), dtype=object)
+    out[:] = values
+    return out
+
+
+def integer_reserve_columns(
+    arrays: MarketArrays, scale: int = WAD
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pool ``(reserve0, reserve1, fee_num)`` as object int columns.
+
+    Reserves convert through :func:`base_units`; the fee numerators
+    come straight from the arrays' int64 column (as Python ints).
+    """
+    res0 = _object_column([base_units(v, scale) for v in arrays.reserve0.tolist()])
+    res1 = _object_column([base_units(v, scale) for v in arrays.reserve1.tolist()])
+    fee_num = _object_column(arrays.fee_num.tolist())
+    return res0, res1, fee_num
+
+
+def integer_batch_quotes(
+    arrays: MarketArrays,
+    group: CompiledLoopGroup,
+    offsets: "int | np.ndarray",
+    amounts_in: Sequence[int],
+    scale: int = WAD,
+) -> IntegerBatchQuotes:
+    """Quote one rotation of every loop in ``group`` in contract ints.
+
+    ``offsets`` selects the rotation per loop exactly like the float
+    kernels; ``amounts_in`` gives each row's input in base units
+    (typically ``base_units`` of the float-optimal input).  A zero
+    input — or a hop flooring to zero — zeroes the rest of the row,
+    matching :func:`repro.amm.integer.loop_quote_out`.
+    """
+    n = group.length
+    count = len(group)
+    if len(amounts_in) != count:
+        raise ValueError(
+            f"need one input per loop: {len(amounts_in)} != {count}"
+        )
+    pool_g, orient_g = gather_hops(group, offsets)
+    res0, res1, fee_num = integer_reserve_columns(arrays, scale)
+
+    amounts = np.empty((count, n + 1), dtype=object)
+    current = _object_column([int(a) for a in amounts_in])
+    if (current < 0).any():
+        raise ValueError("input amounts must be >= 0")
+    amounts[:, 0] = current
+    den = FEE_PPM_DENOMINATOR
+    for j in range(n):
+        pool_col = pool_g[:, j]
+        x = np.where(orient_g[:, j], res0[pool_col], res1[pool_col])
+        y = np.where(orient_g[:, j], res1[pool_col], res0[pool_col])
+        eff = current * fee_num[pool_col]
+        # rows with nothing left to swap (or a reserve that floors to
+        # zero base units) stay 0 without dividing — `0 // 0` raises
+        live = (eff > 0) & (x > 0)
+        out = np.zeros(count, dtype=object)
+        if live.any():
+            eff_l = eff[live]
+            out[live] = (eff_l * y[live]) // (x[live] * den + eff_l)
+        current = out
+        amounts[:, j + 1] = current
+    profit = amounts[:, n] - amounts[:, 0]
+    return IntegerBatchQuotes(
+        length=n,
+        scale=scale,
+        amount_in=amounts[:, 0],
+        amounts=amounts,
+        profit=profit,
+    )
+
+
+def integer_hops(
+    rotation: Rotation, scale: int = WAD
+) -> list[tuple[IntegerPool, bool]]:
+    """Fresh :class:`IntegerPool` hops snapshotting a rotation's pools.
+
+    Reserves convert through :func:`base_units` and fees through
+    :func:`~repro.market.arrays.quantize_fee` — the same conversions
+    the batched kernel applies to :class:`MarketArrays` columns, so
+    quoting these hops with :func:`~repro.amm.integer.loop_quote_out`
+    (or executing them with :func:`~repro.amm.integer.execute_loop`)
+    is the sequential reference for the kernel's rows.
+    """
+    hops: list[tuple[IntegerPool, bool]] = []
+    for token_in, _token_out, pool in rotation.hops():
+        pool_int = IntegerPool(
+            base_units(pool.reserve_of(pool.token0), scale),
+            base_units(pool.reserve_of(pool.token1), scale),
+            quantize_fee(pool.fee),
+            FEE_PPM_DENOMINATOR,
+        )
+        hops.append((pool_int, token_in == pool.token0))
+    return hops
+
+
+def exact_loop_quote(
+    rotation: Rotation, amount_in: float, scale: int = WAD
+) -> dict:
+    """Sequentially quote a rotation in contract ints; returns the
+    ``details["exact"]`` annotation dict (scale, base-unit input and
+    output, signed integer profit)."""
+    from ..amm.integer import loop_quote_out
+
+    units = base_units(amount_in, scale)
+    if units <= 0:
+        return {"scale": scale, "amount_in": units, "amount_out": 0,
+                "profit": -units}
+    amounts = loop_quote_out(integer_hops(rotation, scale), units)
+    return {
+        "scale": scale,
+        "amount_in": amounts[0],
+        "amount_out": amounts[-1],
+        "profit": amounts[-1] - amounts[0],
+    }

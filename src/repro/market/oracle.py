@@ -1,0 +1,314 @@
+"""High-precision reference evaluator (mpmath, ``mp.dps = 50``).
+
+The float layer's parity story has two tiers: the constant-product
+kernels are bit-identical to the scalar path *by construction*, and
+the weighted kernels match within ``WEIGHTED_PARITY_RTOL``.  Neither
+statement says which implementation is *accurate* — a tolerance
+between two float paths could hide a shared error.  This module is
+the referee: every hop map, loop quote, and fixed-start optimum is
+re-derived in 50-significant-digit arithmetic (the HydraDX-simulations
+approach of running AMM math against an ``mp.dps = 50`` twin), so a
+parity check can become a three-way comparison —
+
+    |kernel - oracle|  <=  |scalar - oracle| (+ eps)
+
+demoting the documented rtol from an article of faith to a measured
+error bound.
+
+At 50 digits the oracle's own truncation error (~1e-50 relative) sits
+forty orders of magnitude below double precision's (~1e-16), so for
+the purpose of refereeing doubles its values are exact.  Optima are
+resolved to ~1e-40 relative — the profit functions are concave with a
+unique interior optimum, so bracketed bisection on ``rate(t) = 1`` in
+mpf converges unconditionally.
+
+mpmath is an *optional* backend: the package does not depend on it,
+so the import is gated.  Call :func:`have_mpmath` to test, or let
+:func:`require_mpmath` raise with an actionable message; the oracle
+parity suites ``pytest.importorskip`` it and carry the ``slow``
+marker (50-digit arithmetic is ~1000x float).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import StrategyError
+from ..core.loop import ArbitrageLoop, Rotation
+from ..core.types import PriceMap, Token
+
+try:  # pragma: no cover - exercised via have_mpmath() both ways in CI
+    from mpmath import mp, mpf
+
+    _HAVE_MPMATH = True
+except ImportError:  # pragma: no cover
+    mp = None
+    mpf = None
+    _HAVE_MPMATH = False
+
+__all__ = [
+    "ORACLE_DPS",
+    "OracleQuote",
+    "have_mpmath",
+    "require_mpmath",
+    "oracle_amount_out",
+    "oracle_simulate",
+    "oracle_optimal_input",
+    "oracle_quote",
+    "oracle_monetized",
+    "rel_error",
+]
+
+#: Working precision (significant decimal digits) of every oracle
+#: computation — the HydraDX exemplar's setting, forty digits past
+#: what IEEE-754 doubles can express.
+ORACLE_DPS = 50
+
+#: Relative width at which the optimum bisection stops: ten digits of
+#: headroom under the working precision.
+_OPT_TOL_EXP = -(ORACLE_DPS - 10)
+
+
+def have_mpmath() -> bool:
+    """Whether the optional mpmath backend is importable."""
+    return _HAVE_MPMATH
+
+
+def require_mpmath() -> None:
+    if not _HAVE_MPMATH:
+        raise RuntimeError(
+            "the precision oracle needs the optional mpmath package; "
+            "install mpmath or skip oracle-backed checks"
+        )
+
+
+# ----------------------------------------------------------------------
+# hop maps
+# ----------------------------------------------------------------------
+
+
+def _hop_params(rotation: Rotation) -> list[tuple]:
+    """Per hop: ``(x, y, gamma, ratio)`` as exact mpf conversions of
+    the pool's floats; ``ratio`` is ``w_in/w_out`` for weighted (G3M)
+    hops and ``None`` for constant-product ones.  ``mpf(float)`` is
+    exact (binary to binary), so the oracle evaluates the *same*
+    market the float paths see — only the arithmetic differs."""
+    params = []
+    for token_in, token_out, pool in rotation.hops():
+        x = mpf(pool.reserve_of(token_in))
+        y = mpf(pool.reserve_of(token_out))
+        gamma = 1 - mpf(pool.fee)
+        if getattr(pool, "is_constant_product", True):
+            ratio = None
+        else:
+            ratio = mpf(pool.weight_of(token_in)) / mpf(pool.weight_of(token_out))
+        params.append((x, y, gamma, ratio))
+    return params
+
+
+def oracle_amount_out(x, y, fee, amount_in, ratio=None):
+    """One hop's exact-in output in mpf: the CPMM formula when
+    ``ratio`` is None, the G3M formula for ``ratio = w_in/w_out``.
+    Scalars may be floats (converted exactly) or mpf."""
+    require_mpmath()
+    with mp.workdps(ORACLE_DPS):
+        x, y = mpf(x), mpf(y)
+        gamma = 1 - mpf(fee)
+        t = mpf(amount_in)
+        if ratio is None:
+            eff = gamma * t
+            return y * eff / (x + eff)
+        return y * (1 - (x / (x + gamma * t)) ** mpf(ratio))
+
+
+def _simulate(params: Sequence[tuple], t):
+    amounts = [t]
+    current = t
+    for x, y, gamma, ratio in params:
+        eff = gamma * current
+        if ratio is None:
+            current = y * eff / (x + eff)
+        else:
+            current = y * (1 - (x / (x + eff)) ** ratio)
+        amounts.append(current)
+    return amounts
+
+
+def _rate(params: Sequence[tuple], t):
+    """Composed marginal rate at input ``t`` — the chain-rule product
+    of per-hop derivatives along the simulated path, mirroring
+    :func:`repro.optimize.chain.chain_rate` in mpf."""
+    rate = mpf(1)
+    current = t
+    for x, y, gamma, ratio in params:
+        eff = gamma * current
+        if ratio is None:
+            rate *= y * gamma * x / (x + eff) ** 2
+            current = y * eff / (x + eff)
+        else:
+            rate *= y * ratio * gamma * x**ratio / (x + eff) ** (ratio + 1)
+            current = y * (1 - (x / (x + eff)) ** ratio)
+    return rate
+
+
+def oracle_simulate(rotation: Rotation, amount_in) -> list:
+    """The rotation's amounts vector ``[in, after hop 1, ..., out]``
+    at ``amount_in``, all mpf at :data:`ORACLE_DPS` digits."""
+    require_mpmath()
+    with mp.workdps(ORACLE_DPS):
+        return _simulate(_hop_params(rotation), mpf(amount_in))
+
+
+# ----------------------------------------------------------------------
+# optima
+# ----------------------------------------------------------------------
+
+
+def _closed_form_input(params: Sequence[tuple]):
+    """All-CPMM optimum via the composition algebra in mpf:
+    compose ``t -> a*t/(b + c*t)`` over the hops, then
+    ``t* = (sqrt(a*b) - b)/c`` iff ``a > b``."""
+    a, b, c = mpf(1), mpf(1), mpf(0)
+    for x, y, gamma, _ratio in params:
+        c = x * c + gamma * a
+        a = a * (y * gamma)
+        b = b * x
+    if a <= b:
+        return mpf(0)
+    return (mp.sqrt(a * b) - b) / c
+
+
+def _bisect_input(params: Sequence[tuple], hint):
+    """Mixed-loop optimum: bracketed bisection on ``rate(t) = 1``.
+
+    ``rate`` is strictly decreasing (every hop map is concave
+    increasing), so if ``rate(0) > 1`` a unique positive root exists;
+    expand the bracket by doubling, then halve to ~1e-40 relative."""
+    if _rate(params, mpf(0)) <= 1:
+        return mpf(0)
+    lo = mpf(0)
+    hi = hint if hint > 0 else mpf(1)
+    for _ in range(2000):
+        if _rate(params, hi) < 1:
+            break
+        lo = hi
+        hi = hi * 2
+    else:  # pragma: no cover - 2^2000 dwarfs any finite market
+        raise ArithmeticError("rate(t) = 1 bracket expansion diverged")
+    tol = mpf(10) ** _OPT_TOL_EXP
+    while hi - lo > tol * max(mpf(1), hi):
+        mid = (lo + hi) / 2
+        if _rate(params, mid) > 1:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def oracle_optimal_input(rotation: Rotation):
+    """The rotation's profit-optimal input as mpf: exact closed form
+    for all-CPMM rotations, ~1e-40-relative bisection otherwise."""
+    require_mpmath()
+    with mp.workdps(ORACLE_DPS):
+        params = _hop_params(rotation)
+        if all(ratio is None for _x, _y, _g, ratio in params):
+            return _closed_form_input(params)
+        hint = params[0][0] * mpf("1e-3")
+        return _bisect_input(params, hint)
+
+
+@dataclass(frozen=True)
+class OracleQuote:
+    """High-precision twin of the float paths' ``RotationQuote``:
+    optimal input, amounts vector, and round-trip profit, all mpf."""
+
+    amount_in: object
+    amounts: tuple
+    profit: object
+
+    def hop_amounts(self) -> tuple:
+        return tuple(
+            (self.amounts[j], self.amounts[j + 1])
+            for j in range(len(self.amounts) - 1)
+        )
+
+
+def oracle_quote(rotation: Rotation) -> OracleQuote:
+    """Optimize and re-simulate one rotation entirely in mpf."""
+    require_mpmath()
+    with mp.workdps(ORACLE_DPS):
+        params = _hop_params(rotation)
+        if all(ratio is None for _x, _y, _g, ratio in params):
+            t = _closed_form_input(params)
+        else:
+            t = _bisect_input(params, params[0][0] * mpf("1e-3"))
+        if t <= 0:
+            zero = mpf(0)
+            return OracleQuote(amount_in=zero, amounts=(zero,), profit=zero)
+        amounts = _simulate(params, t)
+        return OracleQuote(
+            amount_in=t, amounts=tuple(amounts), profit=amounts[-1] - t
+        )
+
+
+def oracle_monetized(
+    kind: str,
+    loop: ArbitrageLoop,
+    prices: PriceMap,
+    start_token: Token | None = None,
+) -> tuple[Rotation, OracleQuote, object]:
+    """Strategy-level optimum in mpf, mirroring the fixed-start
+    strategies' rotation selection.
+
+    ``kind`` is ``"traditional"`` (start at ``start_token``, default
+    the loop's first token), ``"maxprice"`` (start at the price map's
+    max-price token with the symbol tie-break), or ``"maxmax"`` (best
+    monetized rotation, first-maximum tie-break — the scalar strict-``>``
+    scan).  Returns ``(rotation, quote, monetized)`` with ``monetized
+    = mpf(P_start) * profit``.
+    """
+    require_mpmath()
+    with mp.workdps(ORACLE_DPS):
+        if kind == "traditional":
+            start = start_token if start_token is not None else loop.tokens[0]
+            if start not in loop.tokens:
+                raise StrategyError(
+                    f"start token {start} is not in {loop!r}"
+                )
+            rotation = loop.rotation_from(start)
+        elif kind == "maxprice":
+            rotation = loop.rotation_from(prices.max_price_token(loop.tokens))
+        elif kind == "maxmax":
+            best = None
+            for rotation in loop.rotations():
+                quote = oracle_quote(rotation)
+                monetized = (
+                    mpf(prices[rotation.start_token]) * quote.profit
+                    if quote.amount_in > 0
+                    else mpf(0)
+                )
+                if best is None or monetized > best[2]:
+                    best = (rotation, quote, monetized)
+            return best
+        else:
+            raise ValueError(f"unknown strategy kind {kind!r}")
+        quote = oracle_quote(rotation)
+        monetized = (
+            mpf(prices[rotation.start_token]) * quote.profit
+            if quote.amount_in > 0
+            else mpf(0)
+        )
+        return rotation, quote, monetized
+
+
+def rel_error(value, reference) -> float:
+    """``|value - reference| / max(|reference|, 1e-300)`` as a float —
+    the measured-error metric of the three-way parity assertions.
+    ``value`` is typically a float path's output, ``reference`` an
+    oracle mpf."""
+    require_mpmath()
+    with mp.workdps(ORACLE_DPS):
+        ref = mpf(reference)
+        err = abs(mpf(value) - ref) / max(abs(ref), mpf("1e-300"))
+        return float(err)

@@ -1,0 +1,236 @@
+"""Differential: float model vs integer kernel vs the mpmath oracle.
+
+The integer backend's contract is *floor semantics*: every hop output
+is the floor of the real-valued V2 quote over the same integer market
+(base-unit reserves, ppm fee).  Flooring can therefore only ever
+reduce an output, and by strictly less than one base unit — the suite
+pins both directions of that inequality per hop and per loop, with the
+real value computed by the 50-digit oracle so the bound is against
+truth, not against another float.
+
+The float model rides along as the third lane: at 18-decimal (WAD)
+scale its distance from the same truth is ~1e-9 relative, which is the
+measured content behind the README's "float for search, integers for
+settlement" policy.
+
+Degenerate-magnitude lanes cover the conversion seams PR 5's pinned
+helpers left: :func:`base_units` must raise ``OverflowError`` exactly
+when ``value * scale`` is non-finite, never wrap or return garbage.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+pytest.importorskip("mpmath")
+
+from mpmath import mp, mpf
+
+from repro.amm import PoolRegistry, amount_out as float_amount_out
+from repro.amm.integer import get_amount_out
+from repro.core import ArbitrageLoop, Token
+from repro.market import (
+    FEE_PPM_DENOMINATOR,
+    WAD,
+    base_units,
+    exact_loop_quote,
+    integer_hops,
+    quantize_fee,
+)
+from repro.market.oracle import ORACLE_DPS
+from repro.strategies.traditional import rotation_quote
+
+pytestmark = pytest.mark.slow
+
+TOKENS = tuple(Token(s) for s in ("A", "B", "C"))
+
+int_reserve = st.integers(min_value=10**3, max_value=10**27)
+int_amount = st.integers(min_value=1, max_value=10**24)
+fee_ppm = st.integers(min_value=1, max_value=FEE_PPM_DENOMINATOR)
+
+
+def _real_out(amount_in: int, reserve_in: int, reserve_out: int, fee_num: int):
+    """One hop's real-valued output over the *integer* market, in mpf:
+    the quantity the integer kernel floors."""
+    with mp.workdps(ORACLE_DPS):
+        eff = mpf(amount_in) * fee_num
+        return eff * reserve_out / (mpf(reserve_in) * FEE_PPM_DENOMINATOR + eff)
+
+
+class TestHopFloorSemantics:
+    @given(
+        reserve_in=int_reserve,
+        reserve_out=int_reserve,
+        amount_in=int_amount,
+        fee_num=fee_ppm,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_floor_brackets_real_value(
+        self, reserve_in, reserve_out, amount_in, fee_num
+    ):
+        """real - 1 < integer <= real: flooring only reduces, by less
+        than one base unit."""
+        out = get_amount_out(
+            amount_in, reserve_in, reserve_out, fee_num, FEE_PPM_DENOMINATOR
+        )
+        real = _real_out(amount_in, reserve_in, reserve_out, fee_num)
+        with mp.workdps(ORACLE_DPS):
+            assert mpf(out) <= real
+            assert real - mpf(out) < 1
+
+    @given(
+        reserve_in=st.integers(min_value=10**20, max_value=10**27),
+        reserve_out=st.integers(min_value=10**20, max_value=10**27),
+        amount_in=st.integers(min_value=10**15, max_value=10**24),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_float_model_within_1e9_of_truth_at_wad_scale(
+        self, reserve_in, reserve_out, amount_in
+    ):
+        """The float hop map's oracle distance at settlement scale —
+        the number the precision policy quotes."""
+        approx = float_amount_out(
+            float(reserve_in), float(reserve_out), float(amount_in), 0.003
+        )
+        real = _real_out(amount_in, reserve_in, reserve_out, 997_000)
+        with mp.workdps(ORACLE_DPS):
+            assert abs(mpf(approx) - real) <= real * mpf("1e-9") + 1
+
+
+@st.composite
+def cpmm_loop(draw):
+    """A triangle of CPMM pools whose fees sit *on* the ppm grid, so
+    the float and integer markets price the same gamma — off-grid fees
+    are quantized by the integer backend and would fold a deliberate
+    ~5e-7 fee-rounding gap into the floor-semantics measurements."""
+    tokens = list(TOKENS)
+    registry = PoolRegistry()
+    pools = []
+    reserve = st.floats(min_value=50.0, max_value=1e6)
+    fee = st.integers(min_value=0, max_value=50_000).map(
+        lambda ppm: ppm / FEE_PPM_DENOMINATOR
+    )
+    for j in range(len(tokens)):
+        a, b = tokens[j], tokens[(j + 1) % len(tokens)]
+        pools.append(
+            registry.create(
+                a, b, draw(reserve), draw(reserve),
+                fee=draw(fee), pool_id=f"p{j}",
+            )
+        )
+    return ArbitrageLoop(tokens, pools)
+
+
+class TestLoopFloorSemantics:
+    @given(loop=cpmm_loop())
+    @settings(max_examples=50, deadline=None)
+    def test_exact_loop_brackets_oracle_per_hop(self, loop):
+        """Execute the float-optimal input through the integer market
+        and bracket every hop against the oracle run over the *same*
+        integer market: each integer amount is the floor of the real
+        hop map fed the integer upstream value, and never exceeds the
+        all-real cascade (the hop map is monotone increasing)."""
+        rotation = loop.rotations()[0]
+        ref = rotation_quote(rotation)
+        units = base_units(ref.amount_in, WAD)
+        if units <= 0:
+            detail = exact_loop_quote(rotation, ref.amount_in, WAD)
+            assert detail["amount_out"] == 0
+            return
+        hops = integer_hops(rotation, WAD)
+        with mp.workdps(ORACLE_DPS):
+            current_int = units
+            current_real = mpf(units)
+            for pool, zero_for_one in hops:
+                fee_num, fee_den = pool.fee_fraction
+                assert fee_den == FEE_PPM_DENOMINATOR
+                if zero_for_one:
+                    x, y = pool.reserves
+                else:
+                    y, x = pool.reserves
+                next_int = (
+                    pool.quote_out(current_int, zero_for_one)
+                    if current_int > 0
+                    else 0
+                )
+                next_real = (
+                    current_real * fee_num * y
+                    / (mpf(x) * FEE_PPM_DENOMINATOR + current_real * fee_num)
+                )
+                # per-hop contract: floor of the real map at the
+                # *integer* upstream value — reduces by < 1 base unit
+                exact_here = _real_out(current_int, x, y, fee_num)
+                assert mpf(next_int) <= exact_here
+                assert exact_here - mpf(next_int) < 1
+                # monotone: never overtakes the all-real cascade
+                assert mpf(next_int) <= next_real
+                current_int, current_real = next_int, next_real
+        detail = exact_loop_quote(rotation, ref.amount_in, WAD)
+        assert detail["amount_out"] == current_int
+        assert detail["profit"] == current_int - units
+
+    @given(loop=cpmm_loop())
+    @settings(max_examples=30, deadline=None)
+    def test_integer_profit_tracks_float_profit(self, loop):
+        """At WAD scale the integer settlement profit agrees with the
+        float search profit to ~1e-9 relative plus the per-hop floor
+        allowance — the gap the detect --exact column exists to show."""
+        rotation = loop.rotations()[0]
+        ref = rotation_quote(rotation)
+        detail = exact_loop_quote(rotation, ref.amount_in, WAD)
+        if detail["amount_in"] == 0:
+            return
+        float_profit_units = ref.profit * float(WAD)
+        # profit is a difference of turnover-sized numbers, so the
+        # float model's ~1e-9 accuracy applies to the turnover
+        turnover = abs(ref.amount_in) * float(WAD)
+        allowance = 1e-9 * turnover + len(loop) + 1
+        assert abs(detail["profit"] - float_profit_units) <= allowance
+
+
+class TestDegenerateMagnitudes:
+    def test_base_units_overflow_is_loud(self):
+        with pytest.raises(OverflowError):
+            base_units(1e300, WAD)
+        # the same value is representable at scale 1
+        assert base_units(1e300, 1) == int(1e300)
+
+    def test_base_units_truncates_toward_zero(self):
+        assert base_units(1.9999999999, 1) == 1
+        assert base_units(0.0, WAD) == 0
+        with pytest.raises(ValueError):
+            base_units(-1.5, 1)
+
+    @given(
+        value=st.floats(
+            min_value=0.0, max_value=1e308, allow_nan=False, allow_infinity=False
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_base_units_never_wraps(self, value):
+        """Across the full float range the conversion either raises
+        OverflowError (product non-finite) or returns the true floor —
+        mirroring the pinned-pow policy of loud, not wrapped, overflow."""
+        if math.isinf(value * float(WAD)):
+            with pytest.raises(OverflowError):
+                base_units(value, WAD)
+        else:
+            units = base_units(value, WAD)
+            prod = value * float(WAD)
+            # truncation toward zero, never rounding up, never wrapping
+            assert 0 <= units <= prod
+            assert prod - units < 1 or prod == float(units)
+
+    def test_quantize_fee_degenerate_edges(self):
+        assert quantize_fee(0.0) == FEE_PPM_DENOMINATOR
+        # a fee so close to 1 the ppm grid would hit zero: clamped to
+        # the smallest non-zero gamma rather than a divide-by-zero fee
+        assert quantize_fee(0.9999999) == 1
+        with pytest.raises(ValueError):
+            quantize_fee(1.0)
+        with pytest.raises(ValueError):
+            quantize_fee(-0.1)

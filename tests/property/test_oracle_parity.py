@@ -1,0 +1,202 @@
+"""Three-way parity: batch kernel vs scalar twin vs the mpmath oracle.
+
+The existing parity suites compare two float implementations with each
+other — bit-identity for constant-product, ``WEIGHTED_PARITY_RTOL``
+for weighted.  Neither says which one is *right*.  Here every quote is
+also re-derived at 50 significant digits (:mod:`repro.market.oracle`),
+turning parity into an accuracy ordering:
+
+    |kernel - oracle|  <=  |scalar - oracle| + eps
+
+i.e. the batched kernel is never *less* accurate than the scalar path
+it mirrors (eps absorbs only double rounding of the error metric
+itself).  On top of the ordering, measured absolute bounds pin both
+paths to the oracle:
+
+* constant-product loops: the closed form is algebraically exact, so
+  both paths sit within ~1e-12 relative of truth;
+* mixed CPMM/G3M loops: accuracy degrades to ~1e-6 in the worst corner
+  — when the optimal trade is tiny relative to a G3M reserve
+  (``u = gamma*t/x ~ 1e-9``), ``1 - (x/(x+eff))**r`` cancels and the
+  ~2e-16 error in the base is amplified by ``1/u``.  Both paths share
+  this seam bit-for-bit (they evaluate the same expression), so the
+  ordering still holds with zero slack; the bound documents the shared
+  distance from truth that ``WEIGHTED_PARITY_RTOL`` alone cannot see.
+
+mpmath is optional (the package does not depend on it) and 50-digit
+arithmetic is ~1000x float, so the suite importorskips and carries the
+``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+pytest.importorskip("mpmath")
+
+from repro.amm import Pool, PoolRegistry
+from repro.amm.weighted import WeightedPool
+from repro.core import ArbitrageLoop, PriceMap, Token
+from repro.market import BatchEvaluator, MarketArrays
+from repro.market.oracle import oracle_monetized, oracle_quote, rel_error
+from repro.strategies import (
+    MaxMaxStrategy,
+    MaxPriceStrategy,
+    TraditionalStrategy,
+)
+from repro.strategies.traditional import rotation_quote
+
+pytestmark = pytest.mark.slow
+
+TOKENS = tuple(Token(s) for s in ("A", "B", "C", "D"))
+
+reserve = st.floats(min_value=50.0, max_value=1e6)
+weight = st.floats(min_value=0.1, max_value=0.9)
+fee = st.floats(min_value=0.0, max_value=0.05)
+price = st.floats(min_value=0.01, max_value=1e4)
+length = st.integers(min_value=2, max_value=4)
+
+#: Slack on the accuracy ordering — double rounding of the error
+#: metric only; the kernel and scalar paths are lockstep, so their
+#: oracle distances are identical up to how the mpf difference rounds.
+ORDERING_EPS = 1e-15
+
+#: Measured oracle distance of the all-CPMM closed form (worst
+#: observed across strategies and magnitudes: ~2.4e-12 relative).
+CPMM_ORACLE_RTOL = 1e-9
+
+#: Measured oracle distance for mixed loops in the standard reserve
+#: band, dominated by the G3M small-trade cancellation seam.
+MIXED_ORACLE_RTOL = 1e-6
+
+
+@st.composite
+def cpmm_market(draw):
+    """One all-constant-product loop plus prices."""
+    n = draw(length)
+    tokens = list(TOKENS[:n])
+    registry = PoolRegistry()
+    pools = []
+    for j in range(n):
+        a, b = tokens[j], tokens[(j + 1) % n]
+        pools.append(
+            registry.create(
+                a, b, draw(reserve), draw(reserve),
+                fee=draw(fee), pool_id=f"p{j}",
+            )
+        )
+    loop = ArbitrageLoop(tokens, pools)
+    prices = PriceMap({t: draw(price) for t in tokens})
+    return registry, loop, prices
+
+
+@st.composite
+def mixed_market(draw):
+    """One loop mixing CPMM and G3M hops (at least one weighted)."""
+    n = draw(length)
+    tokens = list(TOKENS[:n])
+    registry = PoolRegistry()
+    pools = []
+    weighted_slots = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n).filter(any)
+    )
+    for j in range(n):
+        a, b = tokens[j], tokens[(j + 1) % n]
+        ra, rb = draw(reserve), draw(reserve)
+        f = draw(fee)
+        if weighted_slots[j]:
+            pool = WeightedPool(
+                a, b, ra, rb, draw(weight), draw(weight),
+                fee=f, pool_id=f"w{j}",
+            )
+        else:
+            pool = Pool(a, b, ra, rb, fee=f, pool_id=f"p{j}")
+        registry.add(pool)
+        pools.append(pool)
+    loop = ArbitrageLoop(tokens, pools)
+    prices = PriceMap({t: draw(price) for t in tokens})
+    return registry, loop, prices
+
+
+def _kind(strategy) -> str:
+    return {
+        TraditionalStrategy: "traditional",
+        MaxPriceStrategy: "maxprice",
+        MaxMaxStrategy: "maxmax",
+    }[type(strategy)]
+
+
+def _three_way(registry, loop, prices, strategy, profit_rtol):
+    """Run kernel + scalar + oracle for one strategy and assert the
+    ordering and the measured bounds."""
+    evaluator = BatchEvaluator(
+        [loop], arrays=MarketArrays.from_registry(registry), min_batch=1
+    )
+    kernel = evaluator.evaluate_many(strategy, prices)[0]
+    scalar = strategy.evaluate_cached(loop, prices, None)
+    rotation, quote, monetized = oracle_monetized(_kind(strategy), loop, prices)
+
+    om = float(monetized)
+    ek = abs(kernel.monetized_profit - om)
+    es = abs(scalar.monetized_profit - om)
+    # the acceptance ordering: batching never costs accuracy
+    assert ek <= es + ORDERING_EPS * (1.0 + abs(om))
+
+    # measured bound vs truth, cancellation-aware: profit error scales
+    # with the monetized *turnover* P*t (the two big numbers whose
+    # difference the profit is), not just the profit itself
+    t_star = float(quote.amount_in)
+    start_price = float(prices[rotation.start_token])
+    scale = 1.0 + abs(om) + start_price * t_star
+    assert ek <= profit_rtol * scale
+    assert es <= profit_rtol * scale
+
+    # amount_in accuracy, scaled by the input magnitude itself plus
+    # the start reserve (the natural unit when t* underflows); only
+    # when the float path picked the oracle's rotation — a MaxMax
+    # near-tie may legitimately select a different start token
+    if (
+        kernel.amount_in is not None
+        and kernel.start_token == rotation.start_token
+    ):
+        token_in, _token_out, pool = next(iter(rotation.hops()))
+        x0 = pool.reserve_of(token_in)
+        assert abs(kernel.amount_in - t_star) <= 1e-9 * (x0 + t_star)
+
+
+@settings(max_examples=25, deadline=None)
+@given(market=cpmm_market())
+def test_cpmm_strategies_match_oracle(market):
+    registry, loop, prices = market
+    for strategy in (TraditionalStrategy(), MaxPriceStrategy(), MaxMaxStrategy()):
+        _three_way(registry, loop, prices, strategy, CPMM_ORACLE_RTOL)
+
+
+@settings(max_examples=25, deadline=None)
+@given(market=mixed_market())
+def test_mixed_strategies_match_oracle(market):
+    registry, loop, prices = market
+    for strategy in (TraditionalStrategy(), MaxPriceStrategy(), MaxMaxStrategy()):
+        _three_way(registry, loop, prices, strategy, MIXED_ORACLE_RTOL)
+
+
+@settings(max_examples=20, deadline=None)
+@given(market=cpmm_market())
+def test_cpmm_rotation_quotes_match_oracle(market):
+    """Rotation-level: every rotation's scalar quote sits within the
+    closed-form oracle distance — amounts vector included."""
+    _registry, loop, _prices = market
+    for rotation in loop.rotations():
+        ref = oracle_quote(rotation)
+        got = rotation_quote(rotation)
+        if ref.amount_in == 0:
+            assert got.amount_in == pytest.approx(0.0, abs=1e-9)
+            continue
+        assert rel_error(got.amount_in, ref.amount_in) <= CPMM_ORACLE_RTOL
+        for (g_in, g_out), (r_in, r_out) in zip(
+            got.hop_amounts, ref.hop_amounts()
+        ):
+            assert rel_error(g_in, r_in) <= CPMM_ORACLE_RTOL
+            assert rel_error(g_out, r_out) <= CPMM_ORACLE_RTOL

@@ -138,6 +138,50 @@ class TestCommands:
         profits = [float(row.split(",")[1]) for row in rows]
         assert profits == sorted(profits, reverse=True)
 
+    def test_detect_exact_prints_base_unit_column(self, capsys):
+        assert main(["detect", "--top", "2", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "exact profit (base units)" in out
+
+    def test_detect_exact_csv_columns_and_float_parity(self, capsys, tmp_path):
+        """--exact appends integer columns without disturbing the float
+        ranking: stripping them recovers the plain detect CSV byte for
+        byte, and every exact row is internally consistent."""
+        plain = tmp_path / "plain.csv"
+        exact = tmp_path / "exact.csv"
+        assert main(["detect", "--csv", str(plain)]) == 0
+        assert main(["detect", "--exact", "--csv", str(exact)]) == 0
+        capsys.readouterr()
+        plain_lines = plain.read_text().splitlines()
+        exact_lines = exact.read_text().splitlines()
+        assert exact_lines[0] == (
+            "rank,profit_usd,loop_id,path,exact_scale,exact_amount_in,"
+            "exact_amount_out,exact_profit_units"
+        )
+        assert len(plain_lines) == len(exact_lines)
+        for plain_row, exact_row in zip(plain_lines[1:], exact_lines[1:]):
+            cells = exact_row.split(",")
+            assert ",".join(cells[:4]) == plain_row
+            scale, a_in, a_out, profit_units = cells[4:]
+            assert scale == str(10**18)
+            assert int(a_out) - int(a_in) == int(profit_units)
+
+    def test_detect_exact_byte_stable_across_jobs(self, capsys, tmp_path):
+        """Integer quotes are statements about contract arithmetic, so
+        --exact output must not depend on the worker count."""
+        serial = tmp_path / "serial.csv"
+        pooled = tmp_path / "pooled.csv"
+        assert main(["detect", "--exact", "--jobs", "1",
+                     "--csv", str(serial)]) == 0
+        assert main(["detect", "--exact", "--jobs", "4",
+                     "--csv", str(pooled)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_detect_exact_rejects_scalar(self):
+        with pytest.raises(SystemExit, match="--exact"):
+            main(["detect", "--exact", "--scalar"])
+
     def test_efficiency(self, capsys):
         assert main(["efficiency", "--blocks", "2"]) == 0
         out = capsys.readouterr().out

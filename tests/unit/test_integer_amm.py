@@ -9,8 +9,11 @@ from hypothesis import strategies as st
 from repro.amm import (
     IntegerPool,
     amount_out as float_amount_out,
+    execute_loop,
     get_amount_in,
     get_amount_out,
+    loop_quote_in,
+    loop_quote_out,
 )
 from repro.core import InsufficientLiquidityError, InvalidReserveError
 
@@ -92,6 +95,173 @@ class TestIntegerPool:
     def test_validation(self):
         with pytest.raises(InvalidReserveError):
             IntegerPool(0, 100)
+
+
+class TestCustomFees:
+    def test_default_matches_v2_constant(self):
+        assert get_amount_out(10**18, 100 * WAD, 200 * WAD) == get_amount_out(
+            10**18, 100 * WAD, 200 * WAD, 997, 1000
+        )
+
+    def test_ppm_fee_equals_permille_fee(self):
+        # 997000/1e6 and 997/1000 share the factor 1000, so the floors
+        # are identical on every input — the property the MarketArrays
+        # ppm fee column relies on
+        for amount in (1, 17, 10**9, 10**18, 10**24):
+            assert get_amount_out(
+                amount, 100 * WAD, 200 * WAD, 997_000, 1_000_000
+            ) == get_amount_out(amount, 100 * WAD, 200 * WAD, 997, 1000)
+
+    def test_fee_free_pool(self):
+        # gamma = 1: pure constant-product floor math
+        out = get_amount_out(10, 1000, 1000, 1, 1)
+        assert out == (10 * 1000) // 1010
+
+    def test_invalid_fee_rejected(self):
+        with pytest.raises(ValueError, match="fee"):
+            get_amount_out(1, 1000, 1000, 0, 1000)
+        with pytest.raises(ValueError, match="fee"):
+            get_amount_in(1, 1000, 1000, 1001, 1000)
+        with pytest.raises(ValueError, match="fee"):
+            IntegerPool(1000, 1000, -1, 1000)
+
+    def test_pool_carries_fee(self):
+        default = IntegerPool(100 * WAD, 200 * WAD)
+        custom = IntegerPool(100 * WAD, 200 * WAD, 997_000, 1_000_000)
+        assert default.fee_fraction == (997, 1000)
+        assert custom.fee_fraction == (997_000, 1_000_000)
+        assert default.quote_out(WAD) == custom.quote_out(WAD)
+
+
+class TestExactOutPath:
+    def test_quote_in_guarantees_output(self):
+        pool = IntegerPool(5_000 * WAD, 3_000 * WAD)
+        desired = 17 * WAD
+        needed = pool.quote_in(desired)
+        assert pool.quote_out(needed) >= desired
+
+    def test_quote_in_directions(self):
+        pool = IntegerPool(100 * WAD, 200 * WAD)
+        # withdrawing the scarce token0 must cost more token1 than the
+        # mirror trade costs token0
+        cost_for_token0 = pool.quote_in(WAD, zero_for_one=False)
+        cost_for_token1 = pool.quote_in(WAD, zero_for_one=True)
+        assert cost_for_token0 > cost_for_token1
+
+    def test_swap_out_mutates_and_preserves_k(self):
+        pool = IntegerPool(100 * WAD, 200 * WAD)
+        k0 = pool.k
+        paid = pool.swap_out(10 * WAD)
+        assert pool.reserves == (100 * WAD + paid, 190 * WAD)
+        assert pool.k >= k0
+
+    def test_swap_out_reverse_direction(self):
+        pool = IntegerPool(100 * WAD, 200 * WAD)
+        paid = pool.swap_out(10 * WAD, zero_for_one=False)
+        assert pool.reserves == (90 * WAD, 200 * WAD + paid)
+
+    def test_draining_rejected(self):
+        pool = IntegerPool(1000, 1000)
+        with pytest.raises(InsufficientLiquidityError):
+            pool.quote_in(1000)
+
+    @given(
+        reserve0=st.integers(min_value=10**15, max_value=10**27),
+        reserve1=st.integers(min_value=10**15, max_value=10**27),
+        amount_out=st.integers(min_value=1, max_value=10**14),
+    )
+    @settings(max_examples=100)
+    def test_quote_in_is_tight(self, reserve0, reserve1, amount_out):
+        """quote_in is the *minimal* sufficient input: paying one base
+        unit less yields strictly less than the desired output."""
+        pool = IntegerPool(reserve0, reserve1)
+        needed = pool.quote_in(amount_out)
+        assert pool.quote_out(needed) >= amount_out
+        if needed > 1:
+            assert pool.quote_out(needed - 1) < amount_out
+
+
+class TestLoopHelpers:
+    def _triangle(self):
+        return [
+            (IntegerPool(100 * WAD, 200 * WAD), True),
+            (IntegerPool(300 * WAD, 150 * WAD), True),
+            (IntegerPool(80 * WAD, 120 * WAD), False),
+        ]
+
+    def test_loop_quote_out_chains_hops(self):
+        hops = self._triangle()
+        amounts = loop_quote_out(hops, 5 * WAD)
+        assert len(amounts) == 4
+        assert amounts[0] == 5 * WAD
+        current = 5 * WAD
+        for (pool, zero_for_one), expected in zip(hops, amounts[1:]):
+            current = pool.quote_out(current, zero_for_one)
+            assert current == expected
+
+    def test_zero_input_yields_zeros(self):
+        assert loop_quote_out(self._triangle(), 0) == [0, 0, 0, 0]
+
+    def test_dust_floors_to_zero_and_stays_zero(self):
+        # 1 base unit in a deep pool floors to 0 out; the rest of the
+        # chain must carry the 0 instead of raising
+        hops = [
+            (IntegerPool(10**27, 10**18), True),
+            (IntegerPool(100 * WAD, 100 * WAD), True),
+        ]
+        assert loop_quote_out(hops, 1) == [1, 0, 0]
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            loop_quote_out(self._triangle(), -1)
+
+    def test_loop_quote_in_round_trips_conservatively(self):
+        hops = self._triangle()
+        desired = 3 * WAD
+        amounts = loop_quote_in(hops, desired)
+        assert amounts[-1] == desired
+        # paying the quoted input forward must deliver at least the
+        # desired output (every hop's +1 compounds in our favor)
+        forward = loop_quote_out(hops, amounts[0])
+        assert forward[-1] >= desired
+
+    def test_loop_quote_in_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loop_quote_in(self._triangle(), 0)
+
+    def test_execute_loop_matches_quote_on_distinct_pools(self):
+        hops = self._triangle()
+        quoted = loop_quote_out(hops, 5 * WAD)
+        executed = execute_loop(self._triangle(), 5 * WAD)
+        assert executed == quoted
+
+    def test_execute_loop_mutates_reserves(self):
+        hops = self._triangle()
+        before = [pool.reserves for pool, _ in hops]
+        amounts = execute_loop(hops, 5 * WAD)
+        for (pool, zero_for_one), prev, a_in, a_out in zip(
+            hops, before, amounts[:-1], amounts[1:]
+        ):
+            if zero_for_one:
+                assert pool.reserves == (prev[0] + a_in, prev[1] - a_out)
+            else:
+                assert pool.reserves == (prev[0] - a_out, prev[1] + a_in)
+
+    def test_execute_loop_sees_earlier_swaps_on_repeated_pool(self):
+        # the same pool twice: execution must thread the mutated
+        # reserves, so it differs from the static chain quote
+        pool = IntegerPool(100 * WAD, 100 * WAD)
+        hops = [(pool, True), (pool, False)]
+        executed = execute_loop(hops, 10 * WAD)
+        quoted = loop_quote_out(
+            [(IntegerPool(100 * WAD, 100 * WAD), True),
+             (IntegerPool(100 * WAD, 100 * WAD), False)],
+            10 * WAD,
+        )
+        assert executed != quoted
+        # round-tripping through the same pool pays the fee twice and
+        # can never profit
+        assert executed[-1] < 10 * WAD
 
 
 class TestDifferentialFloatVsInteger:

@@ -123,6 +123,57 @@ class TestMarketArrays:
         arrays.pull(registry, ["extra"])  # silently skipped
         assert "extra" not in arrays
 
+    def test_fee_columns_quantized_at_build(self, registry):
+        from repro.market import FEE_PPM_DENOMINATOR, quantize_fee
+
+        arrays = MarketArrays.from_registry(registry)
+        for pool in registry:
+            i = arrays.pool_index[pool.pool_id]
+            assert arrays.fee[i] == pool.fee
+            assert arrays.fee_num[i] == quantize_fee(pool.fee)
+        # the V2 default 0.003 quantizes to the 997/1000-equivalent
+        assert (arrays.fee_num == FEE_PPM_DENOMINATOR - 3_000).all()
+
+    def test_pull_refreshes_fee_columns(self, registry):
+        """Fees are live state, not baked at build: a registry whose
+        pool carries a new fee tier must land in *both* fee columns on
+        the next pull, so kernel quotes can never silently desync."""
+        from repro.market import quantize_fee
+
+        arrays = MarketArrays.from_registry(registry)
+        fresh = PoolRegistry()
+        fresh.create(X, Y, 1_000.0, 2_000.0, fee=0.01, pool_id="xy")
+        for pool_id in ("yz", "zx", "xw"):
+            fresh.add(registry[pool_id])
+        arrays.pull(fresh, ["xy"])
+        i = arrays.pool_index["xy"]
+        assert arrays.fee[i] == 0.01
+        assert arrays.fee_num[i] == quantize_fee(0.01)
+        # kernel quotes through the arrays now price the new gamma:
+        # oriented_reserves reads the float column directly
+        from repro.market import oriented_reserves
+
+        _x, _y, gamma = oriented_reserves(
+            arrays, np.array([i]), np.array([True])
+        )
+        assert gamma[0] == 1.0 - 0.01
+
+    def test_set_fee_updates_both_columns(self, registry):
+        from repro.market import quantize_fee
+
+        arrays = MarketArrays.from_registry(registry)
+        arrays.set_fee("yz", 0.0005)
+        i = arrays.pool_index["yz"]
+        assert arrays.fee[i] == 0.0005
+        assert arrays.fee_num[i] == quantize_fee(0.0005)
+
+    def test_set_fee_validates(self, registry):
+        arrays = MarketArrays.from_registry(registry)
+        with pytest.raises(ValueError, match="fee"):
+            arrays.set_fee("yz", 1.0)
+        with pytest.raises(UnknownPoolError):
+            arrays.set_fee("nope", 0.003)
+
     def test_apply_swap_matches_object_path(self, registry):
         arrays = MarketArrays.from_registry(registry)
         pool = registry["xy"]
