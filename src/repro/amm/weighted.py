@@ -31,6 +31,7 @@ platform (see ``pinned_pow`` for why ``**`` would not).
 from __future__ import annotations
 
 import itertools
+import logging
 import math
 
 import numpy as np
@@ -41,6 +42,8 @@ from .events import BurnEvent, MarketEvent, MintEvent, SwapEvent
 from .swap import validate_fee, validate_reserves
 
 __all__ = ["WeightedPool", "WeightedPoolSnapshot", "pinned_pow"]
+
+logger = logging.getLogger("repro.amm.weighted")
 
 _weighted_counter = itertools.count()
 
@@ -78,6 +81,12 @@ def pinned_pow(base: float, exponent: float) -> float:
     with np.errstate(over="ignore"):
         result = float(np.power(base, exponent))
     if not math.isfinite(result) and math.isfinite(base) and math.isfinite(exponent):
+        logger.warning(
+            "pinned_pow(%r, %r) overflowed a float64; "
+            "degenerate-magnitude market state fails loudly",
+            base,
+            exponent,
+        )
         raise OverflowError(
             f"pow({base!r}, {exponent!r}) overflows a float64"
         )

@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {package_version()}"
     )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured 'repro.*' logging at this level "
+        "(queue shedding, subscriber gaps, solver fallbacks, ...)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("section5", help="the §V worked-example numbers")
@@ -133,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "base-unit profit the chain would actually pay next to "
                    "the float estimate; runs serial whatever --jobs says, "
                    "so output is byte-stable across job counts")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record pipeline spans and write a trace on exit "
+                   "(.jsonl = span lines, anything else = Chrome/Perfetto "
+                   "JSON)")
 
     p = sub.add_parser(
         "sweep", help="price sweep of the §V loop through the batched engine"
@@ -196,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the starting market to a JSON file "
                    "(a stream is only replayable together with its snapshot)")
     p.add_argument("--csv", help="write the per-block report to a CSV file")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record pipeline spans and write a trace on exit "
+                   "(.jsonl = span lines, anything else = Chrome/Perfetto "
+                   "JSON)")
 
     p = sub.add_parser(
         "serve",
@@ -232,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
                    "identical either way)")
     p.add_argument("--json", help="write the full service report to a JSON file")
     p.add_argument("--csv", help="write the final book (top-K) to a CSV file")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record pipeline spans and write a trace on exit "
+                   "(.jsonl = span lines, anything else = Chrome/Perfetto "
+                   "JSON)")
+    p.add_argument("--metrics-port", type=int, default=None, dest="metrics_port",
+                   metavar="PORT",
+                   help="serve a live Prometheus /metrics (and /json) "
+                   "endpoint on this port for the duration of the run "
+                   "(0 = ephemeral; the bound port is printed)")
 
     p = sub.add_parser(
         "loadgen",
@@ -260,14 +283,47 @@ def build_parser() -> argparse.ArgumentParser:
                    "unthrottled); one run and one report row per rate")
     p.add_argument("--json", help="write the reports to a JSON file")
     p.add_argument("--csv", help="write one CSV row per run")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record pipeline spans and write a trace on exit "
+                   "(.jsonl = span lines, anything else = Chrome/Perfetto "
+                   "JSON)")
 
     return parser
 
 
+def _configure_logging(level: str) -> None:
+    """Root handler + threshold for the ``repro.*`` logger hierarchy."""
+    import logging
+
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        _configure_logging(args.log_level)
     handler = _HANDLERS[args.command]
-    handler(args)
+    trace_file = getattr(args, "trace", None)
+    if not trace_file:
+        handler(args)
+        return 0
+
+    from .telemetry import trace
+    from .telemetry.export import write_trace
+
+    trace.clear()
+    trace.enable()
+    try:
+        handler(args)
+    finally:
+        trace.disable()
+        recorded = trace.spans()
+        path = write_trace(recorded, trace_file)
+        trace.clear()
+        print(f"wrote {path} ({len(recorded)} spans)")
     return 0
 
 
@@ -766,7 +822,21 @@ def _cmd_serve(args) -> None:
         f"length-{args.length} loops, {args.shards} shard(s) "
         f"[{args.backend}], loops per shard {service.plan.loops_per_shard()}"
     )
-    result = asyncio.run(service.run(source))
+
+    async def _run():
+        if args.metrics_port is None:
+            return await service.run(source)
+        from .telemetry.server import MetricsServer
+
+        # scrapes hit the live run (window metrics + process registry);
+        # the endpoint lives exactly as long as the stream
+        async with MetricsServer(
+            service.scrape_registry, port=args.metrics_port
+        ) as server:
+            print(f"metrics endpoint: http://{server.host}:{server.port}/metrics")
+            return await service.run(source)
+
+    result = asyncio.run(_run())
 
     top = result.top(args.top)
     rows = [
@@ -851,6 +921,7 @@ def _cmd_loadgen(args) -> None:
             f"{row['events_per_s']:,.0f}",
             row["events_dropped"],
             f"{row['e2e_p50_ms']:.2f}",
+            f"{row['e2e_p95_ms']:.2f}",
             f"{row['e2e_p99_ms']:.2f}",
             f"{row['cache_hit_rate']:.1%}",
             row["evaluations"],
@@ -859,8 +930,8 @@ def _cmd_loadgen(args) -> None:
         for row in (r.to_row() for r in reports)
     ]
     print(report.format_table(
-        ["offered ev/s", "achieved ev/s", "dropped", "p50 ms", "p99 ms",
-         "cache hit %", "evals", "pruned"],
+        ["offered ev/s", "achieved ev/s", "dropped", "p50 ms", "p95 ms",
+         "p99 ms", "cache hit %", "evals", "pruned"],
         rows,
     ))
     if args.json:

@@ -132,6 +132,15 @@ class PoolStateCache:
             "hit_rate": self.hit_rate,
         }
 
+    def publish(self, registry, **labels) -> None:
+        """Mirror the counters into a telemetry registry
+        (``cache_hits`` / ``cache_misses`` counters plus a
+        ``cache_entries`` gauge).  The hot path keeps the plain int
+        attributes; syncing happens at publish points."""
+        registry.counter("cache_hits", **labels).set(self.hits)
+        registry.counter("cache_misses", **labels).set(self.misses)
+        registry.gauge("cache_entries", **labels).set(len(self._entries))
+
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0

@@ -44,6 +44,7 @@ from ..core.types import PriceMap, Token
 from ..graph.build import build_token_graph
 from ..graph.cycles import enumerate_token_cycles, expand_cycle_to_loops
 from ..strategies.base import Strategy, StrategyResult
+from ..telemetry import trace
 from .cache import PoolStateCache
 from .executors import Executor, SerialExecutor
 from .request import BatchResult, EvaluationBatch
@@ -200,6 +201,17 @@ class EvaluationEngine:
         The batch evaluator (arrays + compiled hop matrices) is built
         once and shared across all labels.
         """
+        with trace.span(
+            "engine.evaluate_loops", loops=len(loops), strategies=len(strategies)
+        ):
+            return self._evaluate_loops(strategies, loops, prices)
+
+    def _evaluate_loops(
+        self,
+        strategies: Mapping[str, Strategy],
+        loops: Sequence[ArbitrageLoop],
+        prices: PriceMap,
+    ) -> dict[str, list[StrategyResult]]:
         if isinstance(self.executor, SerialExecutor):
             picked = self._batch_evaluator(strategies.values(), loops)
             if picked is not None:

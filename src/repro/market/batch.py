@@ -47,6 +47,7 @@ import numpy as np
 from ..core.errors import MissingPriceError, StrategyError
 from ..core.loop import ArbitrageLoop, Rotation
 from ..core.types import PriceMap
+from ..telemetry import trace
 from ..strategies.base import Strategy, StrategyResult
 from ..strategies.maxmax import MaxMaxStrategy
 from ..strategies.maxprice import MaxPriceStrategy
@@ -157,6 +158,14 @@ class EvaluatorStats:
             "pruned_loops": self.pruned_loops,
             "bound_passes": self.bound_passes,
         }
+
+    def publish(self, registry, **labels) -> None:
+        """Mirror these lifetime totals into ``registry`` counters
+        (``evaluator_kernel_loops`` etc.).  The hot path keeps plain
+        int attributes; syncing happens at publish points — scrapes,
+        report generation — via :meth:`~repro.telemetry.Counter.set`."""
+        for name, value in self.to_dict().items():
+            registry.counter(f"evaluator_{name}", **labels).set(value)
 
 
 class BatchEvaluator:
@@ -317,20 +326,23 @@ class BatchEvaluator:
             where = self._where.get(position)
             if where is not None:
                 by_group.setdefault(where[0], []).append((i, where[1]))
-        for gi, pairs in by_group.items():
-            group = self.groups[gi]
-            rows = [row for _, row in pairs]
-            sub = (
-                group
-                if rows == list(range(len(group)))
-                else group.rows(rows)
-            )
-            self.stats.bound_passes += 1
-            values = _group_monetized_bounds(
-                kind, strategy, self.arrays, sub, prices
-            )
-            for (i, _), value in zip(pairs, values):
-                out[i] = value
+        with trace.span(
+            "kernel.bounds", loops=len(positions), groups=len(by_group)
+        ):
+            for gi, pairs in by_group.items():
+                group = self.groups[gi]
+                rows = [row for _, row in pairs]
+                sub = (
+                    group
+                    if rows == list(range(len(group)))
+                    else group.rows(rows)
+                )
+                self.stats.bound_passes += 1
+                values = _group_monetized_bounds(
+                    kind, strategy, self.arrays, sub, prices
+                )
+                for (i, _), value in zip(pairs, values):
+                    out[i] = value
         return out
 
     def evaluate_many(
@@ -380,33 +392,37 @@ class BatchEvaluator:
             self.stats.pruned_loops += len(pruned)
         results: dict[int, StrategyResult] = {}
         live = [p for p in positions if p not in pruned]
-        if kind is not None:
-            by_group: dict[int, list[int]] = {}
-            for position in live:
-                where = self._where.get(position)
-                if where is not None:
-                    by_group.setdefault(where[0], []).append(where[1])
-            for gi, rows in by_group.items():
-                if len(rows) < self.min_batch:
-                    continue  # scalar fallback below
-                group = self.groups[gi]
-                sub = group if len(rows) == len(group) else group.rows(rows)
-                quote_fn = _quote_fn(group, strategy.method)
-                self.stats.kernel_passes += 1
-                for position, result in zip(
-                    sub.positions,
-                    _evaluate_group(
-                        kind, strategy, self.arrays, sub, prices, quote_fn
-                    ),
-                ):
-                    results[int(position)] = result
+        if kind is not None and live:
+            with trace.span("kernel.batch_quotes", loops=len(live)) as sp:
+                by_group: dict[int, list[int]] = {}
+                for position in live:
+                    where = self._where.get(position)
+                    if where is not None:
+                        by_group.setdefault(where[0], []).append(where[1])
+                for gi, rows in by_group.items():
+                    if len(rows) < self.min_batch:
+                        continue  # scalar fallback below
+                    group = self.groups[gi]
+                    sub = group if len(rows) == len(group) else group.rows(rows)
+                    quote_fn = _quote_fn(group, strategy.method)
+                    self.stats.kernel_passes += 1
+                    for position, result in zip(
+                        sub.positions,
+                        _evaluate_group(
+                            kind, strategy, self.arrays, sub, prices, quote_fn
+                        ),
+                    ):
+                        results[int(position)] = result
+                sp.set(kernel=len(results), passes=len(by_group))
         self.stats.kernel_loops += len(results)
-        self.stats.scalar_loops += len(live) - len(results)
-        for position in live:
-            if position not in results:
-                results[position] = strategy.evaluate_cached(
-                    self.loops[position], prices, cache
-                )
+        n_scalar = len(live) - len(results)
+        self.stats.scalar_loops += n_scalar
+        with trace.span("kernel.scalar_quotes", loops=n_scalar) if n_scalar else trace.NOOP:
+            for position in live:
+                if position not in results:
+                    results[position] = strategy.evaluate_cached(
+                        self.loops[position], prices, cache
+                    )
         if self.exact:
             self._annotate_exact(results)
         return [results.get(position) for position in positions]

@@ -40,6 +40,7 @@ the oracle-measured error bar (:mod:`repro.market.oracle`).
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import Sequence
@@ -61,6 +62,8 @@ __all__ = [
     "exact_loop_quote",
 ]
 
+logger = logging.getLogger("repro.market.integer_kernel")
+
 #: Default base-unit scale: 18 decimals, like ETH/wei and most ERC-20s.
 WAD = 10**18
 
@@ -80,6 +83,12 @@ def base_units(value: float, scale: int = WAD) -> int:
         raise ValueError(f"amount must be >= 0, got {value}")
     units = value * float(scale)
     if not math.isfinite(units):
+        logger.warning(
+            "base-unit conversion overflowed: %r at scale %d leaves the "
+            "float range; the exact audit for this quote cannot run",
+            value,
+            scale,
+        )
         raise OverflowError(
             f"{value!r} at scale {scale} exceeds the float range"
         )

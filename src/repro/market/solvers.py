@@ -31,14 +31,18 @@ absolute below it, so tiny and huge reserve scales behave alike.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable
 
 import numpy as np
 
 from ..core.errors import SolverConvergenceError
 from ..optimize.bisection import DEFAULT_MAX_ITER, DEFAULT_TOL
+from ..telemetry import trace
 
 __all__ = ["batched_maximize_by_derivative", "batched_golden_section"]
+
+logger = logging.getLogger("repro.market.solvers")
 
 _INV_PHI = (np.sqrt(5.0) - 1.0) / 2.0  # 1/phi ~ 0.618
 _INV_PHI_SQ = (3.0 - np.sqrt(5.0)) / 2.0  # 1/phi^2 ~ 0.382
@@ -73,7 +77,18 @@ def batched_maximize_by_derivative(
     active = ~(rate(np.zeros(count, dtype=np.float64)) <= 1.0)
     if not active.any():
         return x, iterations
+    with trace.span("solver.bisection", rows=count) as sp:
+        x, iterations = _bisection_solve(
+            rate, hi, x, iterations, active, count, tol, max_iter
+        )
+        sp.set(iterations=int(iterations.max()))
+    return x, iterations
 
+
+def _bisection_solve(
+    rate, hi, x, iterations, active, count, tol, max_iter
+) -> tuple[np.ndarray, np.ndarray]:
+    """The bracket + bisect body of :func:`batched_maximize_by_derivative`."""
     # -- bracket: double hi until rate(hi) < 1, per row ----------------
     expansions = np.zeros(count, dtype=np.intp)
     expanding = active.copy()
@@ -85,6 +100,14 @@ def batched_maximize_by_derivative(
         expansions += expanding
         if (expansions > _MAX_EXPANSIONS).any():
             worst = float(hi[expansions.argmax()])
+            logger.warning(
+                "batched bisection failed to bracket: rate stays >= 1 "
+                "at input %s after %d doublings (%d of %d rows active)",
+                worst,
+                _MAX_EXPANSIONS,
+                int(expanding.sum()),
+                count,
+            )
             raise SolverConvergenceError(
                 "could not bracket the optimum: rate stays >= 1 "
                 f"even at input {worst}"
@@ -99,6 +122,13 @@ def batched_maximize_by_derivative(
         # iterations < max_iter`: a row that has spent its budget
         # raises without being granted one more convergence check
         if (steps[solving] >= max_iter).any():
+            logger.warning(
+                "batched bisection hit the %d-iteration budget with %d "
+                "of %d rows unconverged",
+                max_iter,
+                int(solving.sum()),
+                count,
+            )
             raise SolverConvergenceError(
                 f"bisection did not converge in {max_iter} iterations"
             )
@@ -138,7 +168,18 @@ def batched_golden_section(
     iterations = np.zeros(count, dtype=np.intp)
     if not active.any():
         return x, iterations
+    with trace.span("solver.golden", rows=count) as sp:
+        x, iterations = _golden_solve(
+            fn, hi, x, iterations, active, count, tol, max_iter
+        )
+        sp.set(iterations=int(iterations.max()))
+    return x, iterations
 
+
+def _golden_solve(
+    fn, hi, x, iterations, active, count, tol, max_iter
+) -> tuple[np.ndarray, np.ndarray]:
+    """The probe-shrink body of :func:`batched_golden_section`."""
     a = np.zeros(count, dtype=np.float64)
     b = np.array(hi, dtype=np.float64, copy=True)
     h = b - a
@@ -178,6 +219,13 @@ def batched_golden_section(
         fc = np.where(solving, new_fc, fc)
         fd = np.where(solving, new_fd, fd)
     if solving.any():
+        logger.warning(
+            "batched golden-section hit the %d-iteration budget with %d "
+            "of %d rows unconverged",
+            max_iter,
+            int(solving.sum()),
+            count,
+        )
         raise SolverConvergenceError(
             f"golden-section search did not converge in {max_iter} iterations"
         )

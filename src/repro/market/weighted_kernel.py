@@ -50,6 +50,7 @@ float64 cannot meaningfully represent in the first place.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable
 
 import numpy as np
@@ -71,6 +72,8 @@ __all__ = [
     "cp_golden_quotes",
     "weighted_quotes",
 ]
+
+logger = logging.getLogger("repro.market.weighted_kernel")
 
 #: Documented batch-vs-scalar tolerance for quotes crossing a weighted
 #: hop.  On one platform the two paths share every operation (including
@@ -112,6 +115,14 @@ def _pow(
         bad &= np.isfinite(base) & np.isfinite(np.asarray(exponent))
         if bad.any():
             k = int(np.argmax(bad))
+            logger.warning(
+                "weighted-kernel pow overflowed in %d of %d lanes "
+                "(first at row %d); degenerate-magnitude reserves fail "
+                "loudly instead of seeding NaN quotes",
+                int(bad.sum()),
+                bad.size,
+                k,
+            )
             raise OverflowError(
                 f"pow({float(np.ravel(base)[k])!r}, "
                 f"{float(np.ravel(np.broadcast_to(exponent, out.shape))[k])!r}) "

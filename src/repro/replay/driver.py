@@ -44,6 +44,8 @@ from ..simulation.metrics import mispricing_index
 from ..strategies.base import Strategy, StrategyResult
 from ..strategies.maxmax import MaxMaxStrategy
 from ..market import pruned_zero_result
+from ..telemetry import trace
+from ..telemetry.metrics import MetricRegistry, get_registry
 from .apply import apply_block_events, build_loop_indices
 from .log import MarketEventLog
 
@@ -237,6 +239,22 @@ class ReplayDriver:
         passes, pruned loops); ``None`` on the scalar path."""
         return self._evaluator.stats if self._evaluator is not None else None
 
+    def publish_metrics(self, registry: MetricRegistry | None = None) -> MetricRegistry:
+        """Mirror the driver's lifetime counters into a telemetry
+        registry (the process-wide one by default): blocks replayed,
+        loop evaluations, batch-evaluator routing stats, and the
+        engine cache counters.  Safe to call repeatedly — mirrored
+        totals are ``set``, not re-added."""
+        registry = registry if registry is not None else get_registry()
+        registry.counter("replay_blocks", mode=self.mode).set(len(self._block_reports))
+        registry.counter("replay_evaluations", mode=self.mode).set(
+            sum(r.evaluated_loops for r in self._block_reports)
+        )
+        if self._evaluator is not None:
+            self._evaluator.stats.publish(registry, layer="replay")
+        self.engine.cache.publish(registry, layer="replay")
+        return registry
+
     # ------------------------------------------------------------------
     # per-block evaluation
     # ------------------------------------------------------------------
@@ -248,12 +266,15 @@ class ReplayDriver:
         re-optimized and only loops whose tokens ticked are
         re-monetized; everything else reuses its stored result.
         """
-        self.prices, dirty_pools, dirty_tokens, n_events = apply_block_events(
-            self.market.registry,
-            self.prices,
-            events,
-            arrays=self._evaluator.arrays if self._evaluator is not None else None,
-        )
+        with trace.span("replay.apply", block=block):
+            self.prices, dirty_pools, dirty_tokens, n_events = apply_block_events(
+                self.market.registry,
+                self.prices,
+                events,
+                arrays=(
+                    self._evaluator.arrays if self._evaluator is not None else None
+                ),
+            )
 
         if self.mode == "full":
             reserve_dirty = range(len(self._loops))
@@ -273,37 +294,38 @@ class ReplayDriver:
         for index in reserve_dirty:
             self._log_rates[index] = self._loops[index].log_rate_sum()
         exact_quoted: set[int] = set()
-        for label, strategy in self.strategies.items():
-            results = self._results[label]
-            if self._evaluator is not None:
-                # prune: threshold 0.0 skips the exact quote exactly
-                # when the bound proves the loop unprofitable — its
-                # contribution to every block total is zero, so the
-                # placeholder keeps the report sums bit-identical
-                threshold = 0.0 if self.prune else None
-                for index, result in zip(
-                    reeval,
-                    self._evaluator.evaluate_many(
-                        strategy,
-                        self.prices,
-                        indices=reeval,
-                        cache=cache,
-                        threshold=threshold,
-                    ),
-                ):
-                    if result is None:
-                        results[index] = pruned_zero_result(
-                            strategy, self._loops[index], self.prices
+        with trace.span("replay.quote", block=block, loops=len(reeval)):
+            for label, strategy in self.strategies.items():
+                results = self._results[label]
+                if self._evaluator is not None:
+                    # prune: threshold 0.0 skips the exact quote exactly
+                    # when the bound proves the loop unprofitable — its
+                    # contribution to every block total is zero, so the
+                    # placeholder keeps the report sums bit-identical
+                    threshold = 0.0 if self.prune else None
+                    for index, result in zip(
+                        reeval,
+                        self._evaluator.evaluate_many(
+                            strategy,
+                            self.prices,
+                            indices=reeval,
+                            cache=cache,
+                            threshold=threshold,
+                        ),
+                    ):
+                        if result is None:
+                            results[index] = pruned_zero_result(
+                                strategy, self._loops[index], self.prices
+                            )
+                        else:
+                            results[index] = result
+                            exact_quoted.add(index)
+                else:
+                    for index in reeval:
+                        results[index] = strategy.evaluate_cached(
+                            self._loops[index], self.prices, cache
                         )
-                    else:
-                        results[index] = result
-                        exact_quoted.add(index)
-            else:
-                for index in reeval:
-                    results[index] = strategy.evaluate_cached(
-                        self._loops[index], self.prices, cache
-                    )
-                exact_quoted.update(reeval)
+                    exact_quoted.update(reeval)
 
         # Totals are always recomputed over every loop in index order,
         # so both modes sum identical values in an identical order —

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import logging
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -34,6 +35,8 @@ __all__ = [
     "opportunity_sort_key",
     "rank_opportunities",
 ]
+
+logger = logging.getLogger("repro.service.book")
 
 
 def opportunity_sort_key(profit_usd: float, loop_id: str) -> tuple:
@@ -125,6 +128,11 @@ class BookSubscription:
 
     def resync(self) -> BookSnapshot:
         """Acknowledge a gap: clear the flag and take a fresh snapshot."""
+        if self.gapped:
+            logger.info(
+                "subscriber resyncing after gap (%d deltas dropped so far)",
+                self.dropped,
+            )
         self.gapped = False
         return self._book.snapshot()
 
@@ -194,6 +202,14 @@ class OpportunityBook:
                 sub.queue.put_nowait(delta)
             except asyncio.QueueFull:
                 sub.dropped += 1
+                if not sub.gapped:
+                    # log the transition, not every dropped delta — a
+                    # slow consumer would otherwise flood the log
+                    logger.warning(
+                        "subscriber queue full at seq %d: delta dropped, "
+                        "subscription gapped until resync",
+                        delta.seq,
+                    )
                 sub.gapped = True
 
     def close(self) -> None:

@@ -32,7 +32,7 @@ _CSV_FIELDS = [
     "n_pools", "n_tokens", "n_blocks", "n_shards", "backend", "rate",
     "events_ingested", "events_dropped", "blocks_dropped", "duration_s",
     "events_per_s", "evaluations", "loops_pruned", "cache_hit_rate",
-    "e2e_p50_ms", "e2e_p99_ms", "book_seq", "profitable_loops",
+    "e2e_p50_ms", "e2e_p95_ms", "e2e_p99_ms", "book_seq", "profitable_loops",
 ]
 
 
@@ -65,6 +65,7 @@ class LoadReport:
             "loops_pruned": s.loops_pruned,
             "cache_hit_rate": s.cache_hit_rate,
             "e2e_p50_ms": e2e.get("p50_ms", 0.0),
+            "e2e_p95_ms": e2e.get("p95_ms", 0.0),
             "e2e_p99_ms": e2e.get("p99_ms", 0.0),
             "book_seq": s.book.seq,
             "profitable_loops": len(s.book.entries),

@@ -1,167 +1,103 @@
 """Service observability: counters, gauges, and latency quantiles.
 
 A :class:`ServiceMetrics` registry is threaded through every stage of
-the streaming pipeline.  It is deliberately dependency-free (no
-prometheus client in the image) but keeps the same shape — named
-counters, gauges, and histogram-like latency stats — so the report it
-renders (`to_dict`) can be scraped, uploaded as a CI artifact, or
-printed as a table.
+the streaming pipeline.  Since the telemetry layer landed it is a thin
+view over a private :class:`~repro.telemetry.MetricRegistry` — the
+same instruments the Prometheus endpoint scrapes — while keeping the
+original accessors (``inc`` / ``set_gauge`` / ``latency`` /
+``to_dict``) every call site and report already uses.
 
-Latency stats keep a bounded reservoir of samples (the first
-``max_samples`` observations; overflow keeps counting and tracking
-min/max/sum but stops storing).  Quantiles are computed on demand with
-the nearest-rank method — exact for the sample sizes the service and
-its benchmark produce.
+:class:`LatencyStat` is the service-facing name for the registry's
+reservoir-sampled :class:`~repro.telemetry.Histogram`: exact count /
+sum / min / max over every observation, a bounded uniform reservoir
+(default 4096 samples) for nearest-rank quantiles, so week-long
+``serve`` runs hold constant memory instead of one float per block.
 """
 
 from __future__ import annotations
 
-import math
+from ..telemetry.metrics import DEFAULT_RESERVOIR, Histogram, MetricRegistry
 
 __all__ = ["LatencyStat", "ServiceMetrics"]
 
 
-class LatencyStat:
-    """Streaming latency accumulator with on-demand quantiles."""
+class LatencyStat(Histogram):
+    """Streaming latency accumulator with on-demand quantiles.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples", "max_samples")
+    A name-only construction shim over the telemetry histogram (the
+    service never labels its latency stats).  Memory is bounded by
+    reservoir sampling: aggregates stay exact for every observation,
+    quantiles come from a uniform ``max_samples``-sized reservoir.
+    """
 
-    def __init__(self, name: str, max_samples: int = 100_000):
-        if max_samples <= 0:
-            raise ValueError(f"max_samples must be positive, got {max_samples}")
-        self.name = name
-        self.count = 0
-        self.total = 0.0
-        self.min = math.inf
-        self.max = 0.0
-        self._samples: list[float] = []
-        self.max_samples = max_samples
+    __slots__ = ()
 
-    def observe(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError(f"latency cannot be negative, got {seconds}")
-        self.count += 1
-        self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
-        if len(self._samples) < self.max_samples:
-            self._samples.append(seconds)
-
-    @property
-    def mean(self) -> float:
-        """Mean latency; ``nan`` before any observation — an empty
-        stat has no latency, and 0.0 would read as "instant" in
-        reports and dashboards."""
-        return self.total / self.count if self.count else math.nan
-
-    def quantile(self, q: float) -> float:
-        """Nearest-rank quantile over the stored samples (0 <= q <= 1);
-        ``nan`` when no samples have been observed (consistent with
-        :attr:`mean` and the ``to_dict`` fields — never a raise, never
-        a fake zero)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"q must be in [0, 1], got {q}")
-        if not self._samples:
-            return math.nan
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(q * len(ordered)))
-        return ordered[rank - 1]
-
-    def merge(self, other: "LatencyStat") -> None:
-        """Absorb another stat's observations (same units assumed)."""
-        self.count += other.count
-        self.total += other.total
-        if other.count:
-            self.min = min(self.min, other.min)
-            self.max = max(self.max, other.max)
-        room = self.max_samples - len(self._samples)
-        if room > 0:
-            self._samples.extend(other._samples[:room])
-
-    def to_dict(self) -> dict:
-        empty = self.count == 0
-        return {
-            "count": self.count,
-            "mean_ms": self.mean * 1e3,
-            "p50_ms": self.quantile(0.50) * 1e3,
-            "p99_ms": self.quantile(0.99) * 1e3,
-            "min_ms": (math.nan if empty else self.min) * 1e3,
-            "max_ms": (math.nan if empty else self.max) * 1e3,
-        }
-
-    def __repr__(self) -> str:
-        return (
-            f"LatencyStat({self.name}: n={self.count}, "
-            f"p50={self.quantile(0.5) * 1e3:.3f}ms, "
-            f"p99={self.quantile(0.99) * 1e3:.3f}ms)"
-        )
+    def __init__(self, name: str, max_samples: int = DEFAULT_RESERVOIR):
+        super().__init__(name, max_samples=max_samples)
 
 
 class ServiceMetrics:
-    """Named counters + gauges + latency stats for one service run."""
+    """Named counters + gauges + latency stats for one service run.
 
-    def __init__(self):
-        self.counters: dict[str, int] = {}
-        self.gauges: dict[str, float] = {}
-        self._latencies: dict[str, LatencyStat] = {}
+    Each instance owns a private registry, so per-run windows stay
+    isolated from the lifetime totals until :meth:`merge` folds them
+    in.  The registry itself is exposed (:attr:`registry`) for the
+    exporters; labeled instruments created through it render in
+    :meth:`to_dict` with ``name{label=value}`` keys.
+    """
+
+    def __init__(self, registry: MetricRegistry | None = None):
+        self.registry = registry if registry is not None else MetricRegistry()
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> int:
-        value = self.counters.get(name, 0) + amount
-        self.counters[name] = value
-        return value
+        return self.registry.counter(name).inc(amount)
 
     def set_gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        self.registry.gauge(name).set(value)
 
     def observe_gauge_max(self, name: str, value: float) -> None:
         """Track the high-water mark of a sampled quantity (queue depth)."""
-        if value > self.gauges.get(name, 0.0):
-            self.gauges[name] = value
+        self.registry.gauge(name).max(value)
 
-    def latency(self, name: str) -> LatencyStat:
-        stat = self._latencies.get(name)
-        if stat is None:
-            stat = self._latencies[name] = LatencyStat(name)
-        return stat
+    def latency(self, name: str) -> Histogram:
+        return self.registry.histogram(name)
 
     def merge(self, other: "ServiceMetrics") -> None:
         """Fold another registry into this one (lifetime accumulation:
         the service merges each run's window into its cumulative
         registry).  Counters add, ``*_max`` gauges keep the high-water
-        mark, other gauges take the newer value, latencies absorb the
-        window's samples."""
-        for name, value in other.counters.items():
-            self.inc(name, value)
-        for name, value in other.gauges.items():
-            if name.endswith("_max"):
-                self.observe_gauge_max(name, value)
-            else:
-                self.gauges[name] = value
-        for name, stat in other._latencies.items():
-            self.latency(name).merge(stat)
+        mark, other gauges take the newer value, latencies merge
+        reservoirs."""
+        self.registry.merge(other.registry)
 
     # ------------------------------------------------------------------
-    # reporting
+    # views
     # ------------------------------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Unlabeled counters as a plain name → value dict."""
+        return self.registry.counters()
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return self.registry.gauges()
 
     def to_dict(self) -> dict:
+        snap = self.registry.snapshot()
         return {
-            "counters": dict(sorted(self.counters.items())),
-            "gauges": dict(sorted(self.gauges.items())),
-            "latencies": {
-                name: stat.to_dict()
-                for name, stat in sorted(self._latencies.items())
-            },
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "latencies": snap["histograms"],
         }
 
     def __repr__(self) -> str:
+        latencies = self.registry.histograms()
         return (
             f"ServiceMetrics({len(self.counters)} counters, "
-            f"{len(self.gauges)} gauges, {len(self._latencies)} latency stats)"
+            f"{len(self.gauges)} gauges, {len(latencies)} latency stats)"
         )

@@ -33,6 +33,7 @@ for both backends and any shard count.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass
 from typing import AsyncIterator
@@ -43,12 +44,20 @@ from ..engine import EvaluationEngine
 from ..replay.apply import build_loop_indices
 from ..strategies.base import Strategy
 from ..strategies.maxmax import MaxMaxStrategy
+from ..telemetry import trace
+from ..telemetry.metrics import MetricRegistry, get_registry
 from .book import BookSnapshot, Opportunity, OpportunityBook
 from .metrics import ServiceMetrics
 from .sharding import ShardPlan
 from .worker import BlockWork, ProcessShardPool, ShardUpdate, ShardWorker
 
 __all__ = ["OpportunityService", "ServiceReport", "batch_detect_ranking"]
+
+logger = logging.getLogger("repro.service.pipeline")
+
+#: Seconds between samples of the per-shard queue-depth and
+#: event-loop-lag gauges while a run is live.
+GAUGE_SAMPLE_INTERVAL_S = 0.05
 
 
 def batch_detect_ranking(
@@ -232,6 +241,10 @@ class OpportunityService:
         for worker in self.workers:
             self.book.apply(-1, worker.shard_id, worker.initial_entries())
         self._process_spent = False
+        # the in-flight run's metric window, exposed so a live scrape
+        # (--metrics-port) sees this run's numbers before they are
+        # merged into the cumulative registry at quiescence
+        self._window: ServiceMetrics | None = None
         # global inverted indices (canonical loop ids, not positions):
         # the ingest stage uses them to name every loop a block dirties,
         # so the threshold it feeds back can exclude in-flight loops
@@ -299,6 +312,12 @@ class OpportunityService:
                 return
             t_ingest = time.perf_counter()
             metrics.inc("blocks_ingested")
+            with trace.span(
+                "ingest.block", block=current_block, events=len(buffer)
+            ) as sp:
+                await route_and_dispatch(t_ingest, sp)
+
+        async def route_and_dispatch(t_ingest: float, sp) -> None:
             routed = self.plan.route_block(buffer)
             if not routed:
                 return  # block touched nothing any shard evaluates
@@ -309,6 +328,13 @@ class OpportunityService:
                 # same events, so cross-shard state stays consistent
                 metrics.inc("blocks_dropped")
                 metrics.inc("events_dropped", len(buffer))
+                sp.set(shed=True)
+                logger.warning(
+                    "shed block %d (%d events): shard queue full under "
+                    "drop policy",
+                    current_block,
+                    len(buffer),
+                )
                 return
             threshold = None
             if inflight is not None and pending is not None:
@@ -365,8 +391,13 @@ class OpportunityService:
         while True:
             work = await in_queue.get()
             if work is None:
+                # inline shards record spans straight into the process
+                # tracer, so the done message ships an empty span list
                 await out_queue.put(
-                    ("done", (worker.shard_id, worker.evaluator_stats.to_dict()))
+                    (
+                        "done",
+                        (worker.shard_id, worker.evaluator_stats.to_dict(), []),
+                    )
                 )
                 return
             update = worker.process_block(work)
@@ -417,17 +448,28 @@ class OpportunityService:
         while remaining:
             kind, payload = await out_queue.get()
             if kind == "done":
-                shard_id, stats = payload
+                shard_id, stats, shard_spans = payload
                 # per-shard evaluator routing/pruning counters (lifetime
                 # totals — the worker's stats are never reset) surfaced
                 # as gauges so reports show where the quotes went
                 for name, value in stats.items():
                     metrics.set_gauge(f"shard{shard_id}_{name}", float(value))
+                if shard_spans:
+                    # spans recorded inside a shard child process: merge
+                    # them into the parent tracer on the shard's display
+                    # lane (tid 0 is the parent pipeline itself)
+                    trace.ingest(shard_spans, tid=shard_id + 1)
                 remaining -= 1
                 continue
             update: ShardUpdate = payload
             t_publish = time.perf_counter()
-            self.book.apply(update.block, update.shard, update.entries)
+            with trace.span(
+                "publish.book",
+                shard=update.shard,
+                block=update.block,
+                entries=len(update.entries),
+            ):
+                self.book.apply(update.block, update.shard, update.entries)
             if pending is not None and inflight is not None:
                 entry = pending.get(update.block)
                 if entry is not None:
@@ -456,6 +498,48 @@ class OpportunityService:
                 max(0.0, t_publish - update.t_ingest)
             )
         self.book.close()
+
+    async def _sample_gauges(
+        self,
+        shard_queues: list[asyncio.Queue],
+        metrics: ServiceMetrics,
+        interval_s: float = GAUGE_SAMPLE_INTERVAL_S,
+    ) -> None:
+        """Timer-driven gauges: per-shard queue depth and event-loop
+        lag (how late the timer itself fires — the scheduling delay
+        every coroutine on this loop is experiencing).  Runs until
+        cancelled at quiescence; the ``*_max`` variants survive the
+        run-end merge as high-water marks."""
+        registry = metrics.registry
+        loop = asyncio.get_running_loop()
+        while True:
+            t0 = loop.time()
+            await asyncio.sleep(interval_s)
+            lag_ms = max(0.0, loop.time() - t0 - interval_s) * 1e3
+            registry.gauge("event_loop_lag_ms").set(lag_ms)
+            registry.gauge("event_loop_lag_ms_max").max(lag_ms)
+            for shard, queue in enumerate(shard_queues):
+                depth = queue.qsize()
+                registry.gauge("shard_queue_depth", shard=shard).set(depth)
+                metrics.observe_gauge_max("shard_queue_depth_max", depth)
+
+    def scrape_registry(self) -> MetricRegistry:
+        """A merged snapshot for live exporters (``--metrics-port``):
+        the process-wide registry (engine/evaluator publishes), the
+        service's cumulative run history, and — while a run is in
+        flight — its live window.  Inline-backend evaluator routing
+        counters are synced in at scrape time; process-backend shards
+        report theirs in their done message instead."""
+        merged = MetricRegistry()
+        merged.merge(get_registry())
+        merged.merge(self.metrics.registry)
+        window = self._window
+        if window is not None:
+            merged.merge(window.registry)
+        if self.backend == "inline":
+            for worker in self.workers:
+                worker.evaluator_stats.publish(merged, shard=worker.shard_id)
+        return merged
 
     @staticmethod
     async def _gather(*coros) -> None:
@@ -490,6 +574,7 @@ class OpportunityService:
         # cumulative self.metrics at the end — so a report's counters
         # AND latency quantiles are per-run, never mixed across runs
         window = ServiceMetrics()
+        self._window = window
         # pruning bookkeeping shared by ingest (register + exclude) and
         # publish (release): refcounts of loops with results in flight,
         # and per-block outstanding shard-update counts
@@ -499,40 +584,49 @@ class OpportunityService:
         # who subscribed since must see this run's deltas, not a
         # premature end-of-stream
         self.book.reopen()
+        sampler = asyncio.ensure_future(
+            self._sample_gauges(shard_queues, window)
+        )
         t_start = time.perf_counter()
-        if self.backend == "process":
-            if self._process_spent:
-                raise RuntimeError(
-                    "a process-backed service is single-shot: the shard "
-                    "processes (and their advanced state) are gone after "
-                    "run(); build a new service for another stream"
-                )
-            self._process_spent = True
-            pool = ProcessShardPool(self.workers, maxsize=self.queue_size)
-            pool.start()
-            try:
+        try:
+            if self.backend == "process":
+                if self._process_spent:
+                    raise RuntimeError(
+                        "a process-backed service is single-shot: the shard "
+                        "processes (and their advanced state) are gone after "
+                        "run(); build a new service for another stream"
+                    )
+                self._process_spent = True
+                pool = ProcessShardPool(self.workers, maxsize=self.queue_size)
+                pool.start()
+                try:
+                    await self._gather(
+                        self._ingest(
+                            source, shard_queues, window, inflight, pending
+                        ),
+                        *(
+                            self._process_feeder(shard, shard_queues[shard], pool)
+                            for shard in range(self.n_shards)
+                        ),
+                        self._process_collector(pool, out_queue),
+                        self._publish(out_queue, window, inflight, pending),
+                    )
+                finally:
+                    pool.join()
+            else:
                 await self._gather(
                     self._ingest(source, shard_queues, window, inflight, pending),
                     *(
-                        self._process_feeder(shard, shard_queues[shard], pool)
+                        self._inline_shard(
+                            self.workers[shard], shard_queues[shard], out_queue
+                        )
                         for shard in range(self.n_shards)
                     ),
-                    self._process_collector(pool, out_queue),
                     self._publish(out_queue, window, inflight, pending),
                 )
-            finally:
-                pool.join()
-        else:
-            await self._gather(
-                self._ingest(source, shard_queues, window, inflight, pending),
-                *(
-                    self._inline_shard(
-                        self.workers[shard], shard_queues[shard], out_queue
-                    )
-                    for shard in range(self.n_shards)
-                ),
-                self._publish(out_queue, window, inflight, pending),
-            )
+        finally:
+            sampler.cancel()
+            await asyncio.gather(sampler, return_exceptions=True)
         duration = time.perf_counter() - t_start
 
         counters = window.counters
@@ -542,6 +636,7 @@ class OpportunityService:
             if duration > 0 else 0.0
         ))
         self.metrics.merge(window)
+        self._window = None  # merged above: scrapes read self.metrics now
         return ServiceReport(
             duration_s=duration,
             events_ingested=counters.get("events_ingested", 0),

@@ -45,6 +45,7 @@ from ..engine.cache import PoolStateCache
 from ..market import BatchEvaluator, MarketArrays
 from ..replay.apply import apply_block_events, build_loop_indices, rebind_loops
 from ..strategies.base import Strategy
+from ..telemetry import trace
 from .book import Opportunity
 
 __all__ = ["BlockWork", "ProcessShardPool", "ShardUpdate", "ShardWorker"]
@@ -191,36 +192,60 @@ class ShardWorker:
     def process_block(self, work: BlockWork) -> ShardUpdate:
         """Apply one routed block and re-evaluate only the dirty loops."""
         t0 = time.perf_counter()
-        hits0, misses0 = self.cache.hits, self.cache.misses
-        self.prices, dirty_pools, dirty_tokens, _ = apply_block_events(
-            self.market.registry,
-            self.prices,
-            work.events,
-            arrays=self._evaluator.arrays,
-        )
+        if trace.is_enabled():
+            # retroactive span for the time this block spent queued
+            # between the pipeline's dispatch and this worker picking
+            # it up (perf_counter is system-wide on Linux, so the two
+            # stamps are comparable even across the process backend)
+            trace.record(
+                "shard.queue_wait",
+                int(work.t_dispatch * 1e9),
+                int((t0 - work.t_dispatch) * 1e9),
+                shard=self.shard_id,
+                block=work.block,
+            )
+        with trace.span(
+            "shard.block",
+            shard=self.shard_id,
+            block=work.block,
+            events=len(work.events),
+        ) as sp:
+            hits0, misses0 = self.cache.hits, self.cache.misses
+            with trace.span("shard.apply", events=len(work.events)):
+                self.prices, dirty_pools, dirty_tokens, _ = apply_block_events(
+                    self.market.registry,
+                    self.prices,
+                    work.events,
+                    arrays=self._evaluator.arrays,
+                )
 
-        touched: set[int] = set()
-        for pool_id in dirty_pools:
-            touched.update(self._pool_loops.get(pool_id, ()))
-        for token in dirty_tokens:
-            touched.update(self._token_loops.get(token, ()))
-        reeval = sorted(touched)
-        if work.threshold is None:
-            requote = reeval
-        else:
-            requote = self._select_requotes(reeval, work.threshold)
-        entries = []
-        for index, result in zip(
-            requote,
-            self._evaluator.evaluate_many(
-                self.strategy, self.prices, indices=requote, cache=self.cache
-            ),
-        ):
-            self._results[index] = result
-            self._profits[index] = result.monetized_profit
-            entries.append(self._entry(index, work.block))
-        pruned = len(reeval) - len(requote)
-        self._evaluator.stats.pruned_loops += pruned
+            touched: set[int] = set()
+            for pool_id in dirty_pools:
+                touched.update(self._pool_loops.get(pool_id, ()))
+            for token in dirty_tokens:
+                touched.update(self._token_loops.get(token, ()))
+            reeval = sorted(touched)
+            if work.threshold is None:
+                requote = reeval
+            else:
+                requote = self._select_requotes(reeval, work.threshold)
+            entries = []
+            with trace.span("shard.quote", loops=len(requote)):
+                for index, result in zip(
+                    requote,
+                    self._evaluator.evaluate_many(
+                        self.strategy,
+                        self.prices,
+                        indices=requote,
+                        cache=self.cache,
+                    ),
+                ):
+                    self._results[index] = result
+                    self._profits[index] = result.monetized_profit
+                    entries.append(self._entry(index, work.block))
+            pruned = len(reeval) - len(requote)
+            self._evaluator.stats.pruned_loops += pruned
+            sp.set(dirty=len(reeval), quoted=len(requote), pruned=pruned)
         return ShardUpdate(
             shard=self.shard_id,
             block=work.block,
@@ -248,9 +273,10 @@ class ShardWorker:
         """
         if not reeval:
             return []
-        bounds = self._evaluator.monetized_bounds(
-            self.strategy, self.prices, indices=reeval
-        )
+        with trace.span("shard.bounds", loops=len(reeval)):
+            bounds = self._evaluator.monetized_bounds(
+                self.strategy, self.prices, indices=reeval
+            )
         for index, bound in zip(reeval, bounds):
             self._bound_version[index] += 1
             key = math.inf if math.isnan(bound) else bound
@@ -303,7 +329,15 @@ def _shard_main(worker: ShardWorker, in_queue, out_queue) -> None:
     with warm results and a warm cache.  A failing block is reported
     as an ``("error", ...)`` message — never a silent death that would
     leave the parent blocked on the result queue.
+
+    Tracing: a forked child inherits the parent tracer's enabled flag
+    *and* its ring buffer, so the buffer is cleared here — the parent
+    already owns those spans — and the child's own spans ship back as
+    plain dicts in the ``done`` message for the parent to re-ingest.
+    (On spawn platforms the tracer state is not inherited and child
+    spans are simply absent.)
     """
+    trace.clear()
     out_queue.put(("ready", worker.shard_id))
     while True:
         item = in_queue.get()
@@ -311,7 +345,14 @@ def _shard_main(worker: ShardWorker, in_queue, out_queue) -> None:
             # the stats dict rides along because the worker's counters
             # live in this child; the parent turns them into gauges
             out_queue.put(
-                ("done", (worker.shard_id, worker.evaluator_stats.to_dict()))
+                (
+                    "done",
+                    (
+                        worker.shard_id,
+                        worker.evaluator_stats.to_dict(),
+                        trace.drain(),
+                    ),
+                )
             )
             return
         try:

@@ -24,6 +24,8 @@ optimum.  The ``details`` dict records when the floor was applied.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..core.errors import InfeasibleProgramError, OptimizationError
@@ -36,6 +38,8 @@ from .base import Strategy, StrategyResult
 from .maxmax import MaxMaxStrategy
 
 __all__ = ["ConvexOptimizationStrategy"]
+
+logger = logging.getLogger("repro.strategies.convexopt")
 
 _BACKENDS = ("barrier", "slsqp")
 
@@ -153,6 +157,12 @@ class ConvexOptimizationStrategy(Strategy):
                 return result.x, "barrier", {"iterations": result.iterations}
             except OptimizationError as exc:
                 # Fall back to SLSQP rather than fail the evaluation.
+                logger.warning(
+                    "barrier solver failed on loop %s (%s); "
+                    "falling back to SLSQP",
+                    loop_program.loop.canonical_id,
+                    exc,
+                )
                 fallback = solve_slsqp(
                     program, initial_point=self._warm_start(loop_program, maxmax)
                 )

@@ -1,0 +1,63 @@
+"""Unified telemetry: metric registry, span tracing, exporters.
+
+The observability layer every other package records into:
+
+* :mod:`~repro.telemetry.metrics` — a process-wide
+  :class:`MetricRegistry` of named, optionally labeled counters,
+  gauges, and reservoir-sampled histograms.  The service's
+  :class:`~repro.service.metrics.ServiceMetrics`, the market layer's
+  :class:`~repro.market.EvaluatorStats`, the replay driver, and the
+  engine's :class:`~repro.engine.cache.PoolStateCache` all surface
+  their numbers here (their original accessors remain as thin views).
+* :mod:`~repro.telemetry.trace` — low-overhead span tracing over
+  monotonic clocks: ``with trace.span("kernel.batch_quotes",
+  loops=n):`` nests via a context variable, finished spans land in a
+  bounded ring buffer, and the disabled path is a single attribute
+  check returning a shared no-op.  Child-process spans (service
+  shards) are drained and shipped back through the worker's done
+  message.
+* :mod:`~repro.telemetry.export` — JSONL and Chrome/Perfetto
+  ``trace_event`` span dumps, plus a Prometheus text-format snapshot
+  of any registry.
+* :mod:`~repro.telemetry.server` — a dependency-free asyncio HTTP
+  endpoint serving live Prometheus scrapes (``repro-arb serve
+  --metrics-port``).
+
+Everything here is stdlib + the numbers already being computed; when
+tracing is disabled and nobody scrapes, the hot path pays one branch.
+"""
+
+from .export import (
+    chrome_trace_events,
+    prometheus_text,
+    spans_to_chrome,
+    spans_to_jsonl,
+    write_prometheus,
+    write_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    get_registry,
+)
+from .server import MetricsServer
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricsServer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "get_registry",
+    "prometheus_text",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "write_prometheus",
+    "write_trace",
+]

@@ -1,0 +1,196 @@
+"""Exporters: span dumps (JSONL, Chrome/Perfetto) and Prometheus text.
+
+Span files
+----------
+* :func:`spans_to_jsonl` — one span dict per line, sorted by start
+  time; the lossless machine-readable form.
+* :func:`spans_to_chrome` — the Chrome ``trace_event`` JSON object
+  format (``{"traceEvents": [...]}``, complete ``"X"`` events with
+  microsecond timestamps), loadable directly in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+* :func:`write_trace` — suffix dispatch: ``.jsonl`` writes JSONL,
+  anything else Chrome JSON.
+
+Metrics
+-------
+* :func:`prometheus_text` — a registry snapshot in the Prometheus text
+  exposition format (version 0.0.4): counters and gauges as single
+  samples, histograms as summaries (``{quantile="..."}`` samples plus
+  ``_sum`` / ``_count``).  Metric and label names are sanitized to the
+  legal charset; NaN quantiles (empty histograms) are omitted rather
+  than rendered.
+
+All output is deterministically ordered (the registry collects sorted;
+spans sort by start time then lane) so golden-file tests can assert
+byte equality.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .metrics import Histogram, MetricRegistry
+from .trace import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "prometheus_lines",
+    "prometheus_text",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "write_prometheus",
+    "write_trace",
+]
+
+#: Quantiles a histogram exports as summary samples.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sorted_spans(spans: Iterable[Span]) -> list[Span]:
+    return sorted(spans, key=lambda s: (s.start_ns, s.pid, s.tid, s.name))
+
+
+# ----------------------------------------------------------------------
+# span dumps
+# ----------------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
+    path = Path(path)
+    with open(path, "w") as fh:
+        for item in _sorted_spans(spans):
+            fh.write(json.dumps(item.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
+    """Complete (``"ph": "X"``) trace events, microsecond timestamps.
+
+    Nesting is positional, the way the format defines it: events on
+    the same ``(pid, tid)`` lane nest by time containment, which is
+    exactly what the context-var parenting produced.
+    """
+    events = []
+    for item in _sorted_spans(spans):
+        events.append(
+            {
+                "name": item.name,
+                "ph": "X",
+                "ts": item.start_ns / 1e3,
+                "dur": item.dur_ns / 1e3,
+                "pid": item.pid,
+                "tid": item.tid,
+                "args": dict(item.attrs),
+            }
+        )
+    return events
+
+
+def spans_to_chrome(spans: Iterable[Span], path: str | Path) -> Path:
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return path
+
+
+def write_trace(spans: Iterable[Span], path: str | Path) -> Path:
+    """Suffix dispatch: ``*.jsonl`` → JSONL, else Chrome/Perfetto JSON."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return spans_to_jsonl(spans, path)
+    return spans_to_chrome(spans, path)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _label_pairs(labels, extra: Sequence[tuple[str, str]] = ()) -> str:
+    pairs = [
+        (_LABEL_NAME_OK.sub("_", k), v) for k, v in (*labels, *extra)
+    ]
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(
+            k,
+            v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
+        for k, v in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_lines(registry: MetricRegistry) -> list[str]:
+    """The scrape body, line by line (no trailing newline)."""
+    lines: list[str] = []
+    typed: set[tuple[str, str]] = set()
+    for instrument in registry.collect():
+        name = _metric_name(instrument.name)
+        if instrument.kind == "histogram":
+            assert isinstance(instrument, Histogram)
+            if (name, "summary") not in typed:
+                typed.add((name, "summary"))
+                lines.append(f"# TYPE {name} summary")
+            for q in SUMMARY_QUANTILES:
+                value = instrument.quantile(q)
+                if math.isnan(value):
+                    continue
+                labels = _label_pairs(
+                    instrument.labels, extra=(("quantile", str(q)),)
+                )
+                lines.append(f"{name}{labels} {_format_value(value)}")
+            labels = _label_pairs(instrument.labels)
+            lines.append(
+                f"{name}_sum{labels} {_format_value(instrument.total)}"
+            )
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        else:
+            if (name, instrument.kind) not in typed:
+                typed.add((name, instrument.kind))
+                lines.append(f"# TYPE {name} {instrument.kind}")
+            labels = _label_pairs(instrument.labels)
+            lines.append(
+                f"{name}{labels} {_format_value(instrument.value)}"
+            )
+    return lines
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """The full scrape payload (trailing newline included)."""
+    lines = prometheus_lines(registry)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricRegistry, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path

@@ -1,0 +1,127 @@
+"""A dependency-free asyncio HTTP endpoint for live metric scrapes.
+
+``repro-arb serve --metrics-port 9100`` starts one of these next to the
+pipeline; Prometheus (or ``curl``) hits ``/metrics`` for the text
+exposition and ``/json`` for the raw registry snapshot.  It speaks just
+enough HTTP/1.0 for a scraper: one request per connection, GET only.
+
+The registry may be passed directly or as a zero-arg callable — the
+service uses the callable form so each scrape sees the *live* window
+metrics (merged cumulative + in-flight run) rather than only totals
+from completed runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Union
+
+from .export import prometheus_text
+from .metrics import MetricRegistry
+
+__all__ = ["MetricsServer"]
+
+RegistrySource = Union[MetricRegistry, Callable[[], MetricRegistry]]
+
+
+class MetricsServer:
+    """Serve ``/metrics`` (Prometheus text) and ``/json`` (snapshot).
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` — that is how the tests (and the CI smoke) find it.
+    """
+
+    def __init__(
+        self,
+        registry: RegistrySource,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._source = registry
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    def _registry(self) -> MetricRegistry:
+        if callable(self._source):
+            return self._source()
+        return self._source
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("metrics server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "MetricsServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readline()
+            # Drain the header block; scrapers send little, but leaving
+            # it unread can stall the close handshake.
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1] if len(parts) > 1 else "/"
+            path = path.split("?", 1)[0]
+            if method != "GET":
+                status, ctype, body = (
+                    "405 Method Not Allowed",
+                    "text/plain",
+                    b"method not allowed\n",
+                )
+            elif path == "/metrics":
+                body = prometheus_text(self._registry()).encode("utf-8")
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/json":
+                body = (
+                    json.dumps(self._registry().snapshot(), sort_keys=True)
+                    + "\n"
+                ).encode("utf-8")
+                status = "200 OK"
+                ctype = "application/json"
+            else:
+                status, ctype, body = "404 Not Found", "text/plain", b"not found\n"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass

@@ -1,0 +1,358 @@
+"""Low-overhead span tracing for the block-processing hot path.
+
+Usage, at the call sites::
+
+    from ..telemetry import trace
+
+    with trace.span("shard.quote", shard=3, loops=len(requote)) as sp:
+        ...
+        sp.set(kernel=n_kernel)          # attrs may be added mid-span
+
+* **Disabled is the default and costs one attribute check**: ``span``
+  returns a shared no-op context manager whose ``__enter__`` /
+  ``__exit__`` / ``set`` do nothing, so instrumentation can stay in
+  the code permanently.  (Call sites are block- and pass-granular,
+  never per-loop, which is what keeps even the *enabled* path cheap.)
+* **Monotonic clocks**: spans are stamped with
+  ``time.perf_counter_ns()`` — system-wide monotonic on Linux, so
+  spans recorded in shard child processes (forked from the parent)
+  line up with the parent's on one timeline.
+* **Context-var nesting**: the active span id lives in a
+  ``contextvars.ContextVar``, so nesting is correct across ``await``
+  points and per-asyncio-task, without thread-locals.
+* **Ring-buffer storage**: finished spans land in a bounded deque;
+  a run that outlives the capacity keeps the most recent spans
+  (oldest evicted), so memory is fixed no matter how long the trace
+  runs.
+* **Cross-process shipping**: a shard child calls :func:`drain` and
+  sends the plain-dict spans back in its done message; the parent
+  :func:`ingest`\\ s them with the shard's thread-id lane.  Forked
+  children inherit the parent's buffer, so child mains :func:`clear`
+  first.
+
+Module-level functions drive the process-wide tracer; tests construct
+private :class:`Tracer` instances.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "NOOP",
+    "Span",
+    "Tracer",
+    "clear",
+    "disable",
+    "drain",
+    "enable",
+    "ingest",
+    "is_enabled",
+    "record",
+    "span",
+    "spans",
+]
+
+#: Default ring-buffer capacity: ~100 bytes/span dict keeps worst-case
+#: storage around a few tens of MB, far beyond any benchmarked run.
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span on the monotonic timeline.
+
+    ``tid`` is the display lane: 0 for the main process, ``shard + 1``
+    for spans ingested from shard workers (inline or child-process).
+    """
+
+    name: str
+    start_ns: int
+    dur_ns: int
+    span_id: int
+    parent_id: int | None
+    pid: int
+    tid: int
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            start_ns=data["start_ns"],
+            dur_ns=data["dur_ns"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            pid=data.get("pid", 0),
+            tid=data.get("tid", 0),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class _NoopSpan:
+    """The shared disabled-path context manager: does nothing, fast."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+#: The shared do-nothing span, public for call sites that want to skip
+#: even span creation on an empty path (``with trace.span(...) if n
+#: else trace.NOOP:``).
+NOOP = _NOOP
+
+
+class _LiveSpan:
+    """An open span: records itself into the tracer on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start_ns", "_id", "_parent", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        tracer = self._tracer
+        self._id = tracer._next_id()
+        self._parent = tracer._current.get()
+        self._token = tracer._current.set(self._id)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __exit__(self, *exc) -> bool:
+        end_ns = time.perf_counter_ns()
+        tracer = self._tracer
+        tracer._current.reset(self._token)
+        # raw tuple, not a Span: materialization is deferred to the
+        # readers so the hot path pays one append (see Tracer._buffer)
+        tracer._buffer.append(
+            (
+                self.name,
+                self._start_ns,
+                end_ns - self._start_ns,
+                self._id,
+                self._parent,
+                os.getpid(),
+                tracer.tid,
+                self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Span recorder: ring buffer + context-var nesting + on/off.
+
+    The ring holds raw ``(name, start_ns, dur_ns, span_id, parent_id,
+    pid, tid, attrs)`` tuples — building a :class:`Span` costs ~10x a
+    tuple, so the enabled hot path appends tuples and the readers
+    (:meth:`spans`, :meth:`drain`) materialize lazily.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, tid: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.enabled = False
+        self.tid = tid
+        self._buffer: deque[tuple] = deque(maxlen=capacity)
+        self._current: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+            "repro_trace_span", default=None
+        )
+        self._id_counter = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self, capacity: int | None = None) -> None:
+        if capacity is not None:
+            if capacity <= 0:
+                raise ValueError(f"capacity must be positive, got {capacity}")
+            if capacity != self._buffer.maxlen:
+                self._buffer = deque(self._buffer, maxlen=capacity)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    @property
+    def capacity(self) -> int:
+        return self._buffer.maxlen or 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._id_counter += 1
+        return self._id_counter
+
+    def span(self, name: str, **attrs):
+        """Open a span context; the shared no-op when disabled."""
+        if not self.enabled:
+            return _NOOP
+        return _LiveSpan(self, name, attrs)
+
+    def record(
+        self, name: str, start_ns: int, dur_ns: int, **attrs
+    ) -> None:
+        """Record a retroactive span from explicit timestamps (e.g. a
+        block's queue wait, measured between two perf-counter stamps
+        taken before the span could be opened)."""
+        if not self.enabled:
+            return
+        self._buffer.append(
+            (
+                name,
+                start_ns,
+                max(0, dur_ns),
+                self._next_id(),
+                None,
+                os.getpid(),
+                self.tid,
+                attrs,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # reading / shipping
+    # ------------------------------------------------------------------
+
+    def spans(self) -> tuple[Span, ...]:
+        """Snapshot of the buffered spans in recording order (i.e. by
+        *end* time; exporters sort by start), materialized from the
+        raw ring tuples."""
+        return tuple(
+            Span(
+                name=name,
+                start_ns=start_ns,
+                dur_ns=dur_ns,
+                span_id=span_id,
+                parent_id=parent_id,
+                pid=pid,
+                tid=tid,
+                attrs=attrs,
+            )
+            for name, start_ns, dur_ns, span_id, parent_id, pid, tid, attrs
+            in self._buffer
+        )
+
+    def drain(self) -> list[dict]:
+        """Remove and return every buffered span as plain dicts — the
+        picklable form a shard child ships back in its done message."""
+        out = [s.to_dict() for s in self.spans()]
+        self._buffer.clear()
+        return out
+
+    def ingest(
+        self, span_dicts: Iterable[dict], tid: int | None = None
+    ) -> int:
+        """Re-add spans drained elsewhere (shard children).  ``tid``
+        reassigns the display lane; span/parent ids keep their
+        child-local values, which stay unambiguous per ``(pid, tid)``.
+        Works while disabled — the spans were already paid for."""
+        n = 0
+        for data in span_dicts:
+            loaded = Span.from_dict(data)
+            self._buffer.append(
+                (
+                    loaded.name,
+                    loaded.start_ns,
+                    loaded.dur_ns,
+                    loaded.span_id,
+                    loaded.parent_id,
+                    loaded.pid,
+                    loaded.tid if tid is None else tid,
+                    loaded.attrs,
+                )
+            )
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"Tracer({state}, {len(self._buffer)}/{self.capacity} spans, "
+            f"tid={self.tid})"
+        )
+
+
+#: The process-wide tracer every instrumented call site records into.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs):
+    """``with trace.span("stage", key=value):`` — see module docstring."""
+    tracer = TRACER
+    if not tracer.enabled:
+        return _NOOP
+    return _LiveSpan(tracer, name, attrs)
+
+
+def record(name: str, start_ns: int, dur_ns: int, **attrs) -> None:
+    TRACER.record(name, start_ns, dur_ns, **attrs)
+
+
+def enable(capacity: int | None = None) -> None:
+    TRACER.enable(capacity)
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled
+
+
+def clear() -> None:
+    TRACER.clear()
+
+
+def drain() -> list[dict]:
+    return TRACER.drain()
+
+
+def ingest(span_dicts: Sequence[dict], tid: int | None = None) -> int:
+    return TRACER.ingest(span_dicts, tid=tid)
+
+
+def spans() -> tuple[Span, ...]:
+    return TRACER.spans()

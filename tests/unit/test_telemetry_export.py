@@ -1,0 +1,132 @@
+"""Golden-file tests for the exporters.
+
+Output is deterministically ordered by construction, so these assert
+**byte equality** against inline goldens — any formatting drift in the
+Prometheus or Chrome renderings is a deliberate, reviewed change.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    prometheus_text,
+    spans_to_chrome,
+    spans_to_jsonl,
+    write_prometheus,
+    write_trace,
+)
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.trace import Span
+
+
+def _spans():
+    return [
+        Span(name="ingest.block", start_ns=1_000, dur_ns=5_000, span_id=1,
+             parent_id=None, pid=7, tid=0, attrs={"block": 3, "events": 2}),
+        Span(name="shard.quote", start_ns=2_000, dur_ns=1_500, span_id=2,
+             parent_id=1, pid=7, tid=1, attrs={"loops": 4}),
+    ]
+
+
+def _registry():
+    reg = MetricRegistry()
+    reg.counter("events_ingested").inc(12)
+    reg.counter("kernel_loops", shard=0).inc(44)
+    reg.counter("kernel_loops", shard=1).inc(24)
+    reg.gauge("queue_depth", shard=0).set(2)
+    h = reg.histogram("end_to_end", max_samples=8)
+    for v in (0.001, 0.002, 0.004):
+        h.observe(v)
+    reg.histogram("empty_lat")  # empty: quantiles omitted, not NaN
+    return reg
+
+
+PROM_GOLDEN = """\
+# TYPE events_ingested counter
+events_ingested 12
+# TYPE kernel_loops counter
+kernel_loops{shard="0"} 44
+kernel_loops{shard="1"} 24
+# TYPE queue_depth gauge
+queue_depth{shard="0"} 2.0
+# TYPE empty_lat summary
+empty_lat_sum 0.0
+empty_lat_count 0
+# TYPE end_to_end summary
+end_to_end{quantile="0.5"} 0.002
+end_to_end{quantile="0.95"} 0.004
+end_to_end{quantile="0.99"} 0.004
+end_to_end_sum 0.007
+end_to_end_count 3
+"""
+
+CHROME_GOLDEN = [
+    {"name": "ingest.block", "ph": "X", "ts": 1.0, "dur": 5.0,
+     "pid": 7, "tid": 0, "args": {"block": 3, "events": 2}},
+    {"name": "shard.quote", "ph": "X", "ts": 2.0, "dur": 1.5,
+     "pid": 7, "tid": 1, "args": {"loops": 4}},
+]
+
+
+class TestPrometheus:
+    def test_text_matches_golden_exactly(self):
+        assert prometheus_text(_registry()) == PROM_GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricRegistry()) == ""
+
+    def test_name_and_label_sanitization(self):
+        reg = MetricRegistry()
+        reg.counter("shard0.evals", **{"loop-id": 'a"b'}).inc()
+        (line,) = [
+            ln for ln in prometheus_text(reg).splitlines()
+            if not ln.startswith("#")
+        ]
+        assert line == 'shard0_evals{loop_id="a\\"b"} 1'
+
+    def test_write_prometheus_round_trips(self, tmp_path):
+        path = write_prometheus(_registry(), tmp_path / "metrics.prom")
+        assert path.read_text() == PROM_GOLDEN
+
+
+class TestChromeTrace:
+    def test_events_match_golden_exactly(self):
+        assert chrome_trace_events(_spans()) == CHROME_GOLDEN
+
+    def test_chrome_file_shape(self, tmp_path):
+        path = spans_to_chrome(_spans(), tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload == {
+            "traceEvents": CHROME_GOLDEN,
+            "displayTimeUnit": "ms",
+        }
+
+    def test_events_sorted_by_start_time(self):
+        spans = list(reversed(_spans()))
+        assert chrome_trace_events(spans) == CHROME_GOLDEN
+
+
+class TestJsonl:
+    def test_jsonl_lines_sorted_and_exact(self, tmp_path):
+        path = spans_to_jsonl(_spans(), tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == [
+            "ingest.block",
+            "shard.quote",
+        ]
+        assert json.loads(lines[1]) == {
+            "name": "shard.quote", "start_ns": 2000, "dur_ns": 1500,
+            "span_id": 2, "parent_id": 1, "pid": 7, "tid": 1,
+            "attrs": {"loops": 4},
+        }
+
+
+class TestWriteTrace:
+    def test_suffix_dispatch(self, tmp_path):
+        jsonl = write_trace(_spans(), tmp_path / "t.jsonl")
+        chrome = write_trace(_spans(), tmp_path / "t.json")
+        assert jsonl.read_text().startswith("{")
+        assert json.loads(jsonl.read_text().splitlines()[0])["name"]
+        assert "traceEvents" in json.loads(chrome.read_text())

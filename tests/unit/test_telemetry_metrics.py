@@ -1,0 +1,174 @@
+"""Unit tests for the metric registry (counters/gauges/histograms)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_RESERVOIR,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    get_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_inc_and_set(self):
+        c = Counter("events")
+        assert c.inc() == 1
+        assert c.inc(4) == 5
+        c.set(100)  # mirrored lifetime total
+        assert c.value == 100
+
+    def test_gauge_set_and_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        assert g.value == 3.0
+        g.max(1)  # below the mark: unchanged
+        assert g.value == 3.0
+        g.max(7)
+        assert g.value == 7.0
+
+    def test_histogram_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in (0.2, 0.1, 0.4):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(0.7)
+        assert h.min == 0.1
+        assert h.max == 0.4
+        assert h.mean == pytest.approx(0.7 / 3)
+
+    def test_histogram_empty_reads_nan_not_zero(self):
+        h = Histogram("lat")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.quantile(0.5))
+        d = h.to_dict()
+        assert d["count"] == 0
+        assert math.isnan(d["p99_ms"])
+
+    def test_histogram_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").observe(-1e-9)
+
+
+class TestReservoir:
+    def test_storage_bounded_aggregates_exact(self):
+        h = Histogram("lat", max_samples=64)
+        n = 10_000
+        for i in range(n):
+            h.observe(i / n)
+        assert h.samples_stored == 64  # bounded no matter the stream
+        assert h.count == n  # aggregates still exact
+        assert h.max == (n - 1) / n
+
+    def test_default_reservoir_size(self):
+        assert Histogram("lat").max_samples == DEFAULT_RESERVOIR
+
+    def test_quantiles_representative_of_whole_stream(self):
+        # uniform [0, 1) stream: reservoir quantiles must track the
+        # true ones, not the most recent window
+        h = Histogram("lat", max_samples=512)
+        rng = random.Random(7)
+        for _ in range(50_000):
+            h.observe(rng.random())
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.08)
+        assert h.quantile(0.95) == pytest.approx(0.95, abs=0.05)
+
+    def test_deterministic_across_runs(self):
+        # the RNG is seeded from the metric name: same name + same
+        # stream -> bit-identical quantiles
+        def fill(name):
+            h = Histogram(name, max_samples=16)
+            for i in range(1000):
+                h.observe(i * 1e-4)
+            return h
+
+        assert fill("a")._samples == fill("a")._samples
+        assert fill("a")._samples != fill("b")._samples
+
+    def test_merge_combines_exact_and_reservoir(self):
+        a, b = Histogram("lat", max_samples=8), Histogram("lat", max_samples=8)
+        for v in (0.1, 0.2):
+            a.observe(v)
+        for v in (0.3, 0.9):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(1.5)
+        assert a.min == 0.1 and a.max == 0.9
+        assert a.samples_stored == 4
+
+
+class TestRegistry:
+    def test_accessors_memoize(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g", shard=1) is reg.gauge("g", shard=1)
+        assert reg.gauge("g", shard=1) is not reg.gauge("g", shard=2)
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricRegistry()
+        assert reg.counter("a", x=1, y=2) is reg.counter("a", y=2, x=1)
+
+    def test_label_cardinality_cap(self):
+        reg = MetricRegistry(max_label_sets=4)
+        for i in range(4):
+            reg.counter("a", loop=i)
+        with pytest.raises(ValueError, match="label"):
+            reg.counter("a", loop=99)
+        # other families are unaffected
+        reg.counter("b", loop=99)
+
+    def test_merge_semantics(self):
+        base, window = MetricRegistry(), MetricRegistry()
+        base.counter("events").inc(10)
+        base.gauge("depth_max").set(5)
+        base.gauge("rate").set(1.0)
+        base.histogram("lat").observe(0.1)
+        window.counter("events").inc(3)
+        window.gauge("depth_max").set(2)  # below: high-water survives
+        window.gauge("rate").set(9.0)  # newer sample wins
+        window.histogram("lat").observe(0.2)
+        base.merge(window)
+        assert base.counter("events").value == 13
+        assert base.gauge("depth_max").value == 5.0
+        assert base.gauge("rate").value == 9.0
+        assert base.histogram("lat").count == 2
+
+    def test_views_skip_labeled_children(self):
+        reg = MetricRegistry()
+        reg.counter("plain").inc()
+        reg.counter("sharded", shard=0).inc()
+        assert reg.counters() == {"plain": 1}
+        reg.gauge("g").set(2)
+        reg.gauge("g", shard=1).set(9)
+        assert reg.gauges() == {"g": 2.0}
+
+    def test_snapshot_shape_and_label_rendering(self):
+        reg = MetricRegistry()
+        reg.counter("events").inc(2)
+        reg.gauge("depth", shard=3).set(1)
+        reg.histogram("lat").observe(0.001)
+        snap = reg.snapshot()
+        assert sorted(snap) == ["counters", "gauges", "histograms"]
+        assert snap["counters"] == {"events": 2}
+        assert snap["gauges"] == {"depth{shard=3}": 1.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_collect_order_deterministic(self):
+        reg = MetricRegistry()
+        reg.gauge("z").set(1)
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        names = [i.name for i in reg.collect()]
+        assert names == ["a", "b", "z"]
+
+    def test_process_wide_registry_is_shared(self):
+        assert get_registry() is get_registry()

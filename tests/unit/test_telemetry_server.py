@@ -1,0 +1,75 @@
+"""Unit tests for the asyncio metrics endpoint."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.server import MetricsServer
+
+
+def _registry():
+    reg = MetricRegistry()
+    reg.counter("events_ingested").inc(5)
+    reg.gauge("shard_queue_depth", shard=0).set(2)
+    return reg
+
+
+async def _get(port: int, path: str) -> tuple[str, str]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.decode().partition("\r\n\r\n")
+    return head, body
+
+
+class TestMetricsServer:
+    async def test_metrics_endpoint_serves_prometheus_text(self):
+        async with MetricsServer(_registry()) as server:
+            head, body = await _get(server.port, "/metrics")
+        assert "200" in head.splitlines()[0]
+        assert "text/plain; version=0.0.4" in head
+        assert "# TYPE events_ingested counter" in body
+        assert "events_ingested 5" in body.splitlines()
+        assert 'shard_queue_depth{shard="0"} 2.0' in body.splitlines()
+
+    async def test_json_endpoint_serves_snapshot(self):
+        async with MetricsServer(_registry()) as server:
+            _, body = await _get(server.port, "/json")
+        snap = json.loads(body)
+        assert snap["counters"] == {"events_ingested": 5}
+        assert snap["gauges"] == {"shard_queue_depth{shard=0}": 2.0}
+
+    async def test_callable_source_scrapes_live_state(self):
+        # the serve CLI passes service.scrape_registry: every scrape
+        # must re-resolve, not freeze the registry at start time
+        reg = _registry()
+        calls = []
+
+        def source():
+            calls.append(1)
+            return reg
+
+        async with MetricsServer(source) as server:
+            await _get(server.port, "/metrics")
+            reg.counter("events_ingested").inc(5)
+            _, body = await _get(server.port, "/metrics")
+        assert len(calls) == 2
+        assert "events_ingested 10" in body.splitlines()
+
+    async def test_unknown_path_is_404(self):
+        async with MetricsServer(_registry()) as server:
+            head, _ = await _get(server.port, "/nope")
+        assert "404" in head.splitlines()[0]
+
+    async def test_ephemeral_port_is_bound_and_reported(self):
+        server = MetricsServer(_registry(), port=0)
+        await server.start()
+        try:
+            assert server.port > 0
+        finally:
+            await server.stop()

@@ -1,0 +1,141 @@
+"""Unit tests for span tracing: nesting, ring buffer, no-op path,
+cross-process shipping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import trace
+from repro.telemetry.trace import Span, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(capacity=16)
+    t.enable()
+    return t
+
+
+class TestSpanRecording:
+    def test_span_records_name_attrs_and_duration(self, tracer):
+        with tracer.span("work", loops=3) as sp:
+            sp.set(quoted=2)
+        (span,) = tracer.spans()
+        assert span.name == "work"
+        assert span.attrs == {"loops": 3, "quoted": 2}
+        assert span.dur_ns >= 0
+        assert span.parent_id is None
+
+    def test_nesting_links_parent_ids(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        inner, sibling, outer = tracer.spans()  # recorded by end time
+        assert outer.name == "outer" and outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert inner.span_id != sibling.span_id
+
+    def test_time_containment(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert outer.start_ns <= inner.start_ns
+        assert inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns
+
+    def test_retroactive_record(self, tracer):
+        tracer.record("queue_wait", start_ns=100, dur_ns=50, shard=2)
+        (span,) = tracer.spans()
+        assert (span.start_ns, span.dur_ns) == (100, 50)
+        assert span.attrs == {"shard": 2}
+
+    def test_record_clamps_negative_duration(self, tracer):
+        tracer.record("w", start_ns=100, dur_ns=-5)
+        assert tracer.spans()[0].dur_ns == 0
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_most_recent(self):
+        t = Tracer(capacity=4)
+        t.enable()
+        for i in range(10):
+            with t.span(f"s{i}"):
+                pass
+        assert [s.name for s in t.spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDisabledPath:
+    def test_disabled_returns_the_shared_noop(self):
+        t = Tracer()
+        assert t.span("a", k=1) is t.span("b")  # no allocation at all
+        assert t.span("a") is trace.NOOP
+
+    def test_noop_supports_the_span_protocol(self):
+        with trace.NOOP as sp:
+            sp.set(anything=1)  # silently dropped
+
+    def test_disabled_records_nothing(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        t.record("b", 0, 1)
+        assert len(t) == 0
+
+    def test_module_level_disabled_by_default(self):
+        # instrumentation is permanent in the hot path; the default
+        # must be the free path
+        assert not trace.is_enabled()
+        assert trace.span("x") is trace.NOOP
+
+
+class TestShipping:
+    def test_drain_empties_and_round_trips(self, tracer):
+        with tracer.span("a", shard=1):
+            pass
+        shipped = tracer.drain()
+        assert len(tracer) == 0
+        assert shipped[0]["name"] == "a"
+        assert Span.from_dict(shipped[0]).attrs == {"shard": 1}
+
+    def test_ingest_reassigns_lane_and_works_disabled(self, tracer):
+        child = Tracer(tid=0)
+        child.enable()
+        with child.span("shard.block"):
+            pass
+        parent = Tracer()  # disabled: spans were already paid for
+        assert parent.ingest(child.drain(), tid=3) == 1
+        (span,) = parent.spans()
+        assert span.tid == 3
+        assert span.name == "shard.block"
+
+    def test_cross_process_merge_orders_by_start_time(self):
+        # parent at tid 0, two "children" shipped in arrival order;
+        # the exporter view must interleave by monotonic start stamp
+        from repro.telemetry.export import chrome_trace_events
+
+        parent = Tracer()
+        parent.ingest(
+            [
+                {"name": "b", "start_ns": 2000, "dur_ns": 10, "span_id": 1,
+                 "parent_id": None, "pid": 42, "tid": 0},
+            ]
+        )
+        parent.ingest(
+            [
+                {"name": "c", "start_ns": 3000, "dur_ns": 10, "span_id": 1,
+                 "parent_id": None, "pid": 43, "tid": 0},
+                {"name": "a", "start_ns": 1000, "dur_ns": 10, "span_id": 2,
+                 "parent_id": None, "pid": 43, "tid": 0},
+            ],
+            tid=2,
+        )
+        events = chrome_trace_events(parent.spans())
+        assert [e["name"] for e in events] == ["a", "b", "c"]
+        assert [e["tid"] for e in events] == [2, 0, 2]
