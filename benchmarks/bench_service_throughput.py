@@ -1,6 +1,6 @@
 """Throughput / latency benchmark for the streaming opportunity service.
 
-Two sections, one JSON report:
+Three sections, one JSON report:
 
 * **ladder** — sustained events/sec and end-to-end p50/p99 latency of
   a 1-shard inline service over sparse-touch streams at 10² → 10⁴
@@ -14,6 +14,17 @@ Two sections, one JSON report:
   reported but not asserted (there is nothing to parallelize onto).
   Shard counts never change the numbers — parity is asserted either
   way.
+* **memory** — private-copy vs shared-memory market state, both
+  process-backed, at 10³ → 10⁵ pools (smoke stops at 10³).  Each rung
+  runs the same stream under both models and asserts (a) bit-identical
+  books, (b) aggregate per-shard market state ≥ ``MEMORY_MIN_RATIO``×
+  smaller under the shared model, and (c) throughput within
+  ``MEMORY_MIN_THROUGHPUT_RATIO`` of the private model.  The ratio
+  gates the *per-shard duplicated* state — what grows with shard
+  count; the one shared segment is a non-scaling singleton, reported
+  separately (``segment_nbytes``, ``total_ratio``).  Per-shard RSS
+  high-water and seqlock epoch-wait / torn-read-retry counts land in
+  the JSON artifact.
 
 Run standalone (CI runs the smoke variant and uploads the JSON)::
 
@@ -54,18 +65,38 @@ LADDER_TICKS_PER_BLOCK = 1  # ticks exercise the cache-hit re-monetize path
 SCALING_EVENTS_PER_BLOCK = 24
 SCALING_POOLS_PER_BLOCK = 12
 
+#: memory cases: (n_tokens, n_pools, n_blocks), sparse touch
+FULL_MEMORY = [(300, 1_000, 6), (2_500, 10_000, 3), (20_000, 100_000, 2)]
+SMOKE_MEMORY = [(120, 1_000, 3)]
+MEMORY_EVENTS_PER_BLOCK = 8
+MEMORY_POOLS_PER_BLOCK = 4
+#: shared model must shrink aggregate per-shard market state this much
+MEMORY_MIN_RATIO = 5.0
+#: ...without costing throughput.  0.7 leaves noise headroom on a
+#: multi-core runner (measured parity is ~0.95); on a single core the
+#: shared model's one writer serializes with every shard on the only
+#: CPU, so the floor relaxes — matching the scaling section's
+#: single-core treatment.
+MEMORY_MIN_THROUGHPUT_RATIO = 0.7
+MEMORY_MIN_THROUGHPUT_RATIO_1CPU = 0.55
 
-def run_service(market, log, *, n_shards, backend):
+
+def run_service(market, log, *, n_shards, backend, shared=False):
     service = OpportunityService(
-        market, n_shards=n_shards, backend=backend, queue_size=64
+        market, n_shards=n_shards, backend=backend, queue_size=64, shared=shared
     )
     t0 = time.perf_counter()
-    report = asyncio.run(service.run(log_source(log)))
+    try:
+        report = asyncio.run(service.run(log_source(log)))
+    finally:
+        service.close()
     wall_s = time.perf_counter() - t0
     e2e = report.metrics["latencies"].get("end_to_end", {})
+    counters = report.metrics["counters"]
     return {
         "n_shards": n_shards,
         "backend": backend,
+        "shared": shared,
         "wall_s": wall_s,
         "events": report.events_ingested,
         "events_per_s": report.events_per_s,
@@ -73,6 +104,9 @@ def run_service(market, log, *, n_shards, backend):
         "cache_hit_rate": report.cache_hit_rate,
         "e2e_p50_ms": e2e.get("p50_ms", 0.0),
         "e2e_p99_ms": e2e.get("p99_ms", 0.0),
+        "shm_epoch_waits": counters.get("shm_epoch_waits", 0),
+        "shm_torn_retries": counters.get("shm_torn_retries", 0),
+        "memory": report.memory,
         "book": [(o.profit_usd, o.loop_id) for o in report.book.entries],
     }
 
@@ -101,7 +135,7 @@ def run_ladder(cases, seed, repeats):
         assert best["book"] == expected, (
             f"ladder parity violation at {n_pools} pools"
         )
-        row = {k: v for k, v in best.items() if k != "book"}
+        row = {k: v for k, v in best.items() if k not in ("book", "memory")}
         row.update(n_tokens=n_tokens, n_pools=n_pools, n_blocks=n_blocks)
         results.append(row)
         print(
@@ -150,10 +184,87 @@ def run_scaling(case, seed, repeats, n_shards_multi):
         "n_pools": n_pools,
         "n_blocks": n_blocks,
         "n_shards_multi": n_shards_multi,
-        "single": {k: v for k, v in single.items() if k != "book"},
-        "multi": {k: v for k, v in multi.items() if k != "book"},
+        "single": {k: v for k, v in single.items() if k not in ("book", "memory")},
+        "multi": {k: v for k, v in multi.items() if k not in ("book", "memory")},
         "speedup": speedup,
     }
+
+
+def run_memory(cases, seed, repeats, n_shards):
+    """Shared vs private market state, same stream, both process-backed."""
+    results = []
+    for n_tokens, n_pools, n_blocks in cases:
+        market, log = make_workload(
+            n_tokens, n_pools, n_blocks, MEMORY_EVENTS_PER_BLOCK, seed,
+            pools_per_block=MEMORY_POOLS_PER_BLOCK, price_ticks_per_block=1,
+        )
+        private = best_of(
+            repeats,
+            lambda: run_service(
+                market, log, n_shards=n_shards, backend="process", shared=False
+            ),
+        )
+        shared = best_of(
+            repeats,
+            lambda: run_service(
+                market, log, n_shards=n_shards, backend="process", shared=True
+            ),
+        )
+        assert shared["book"] == private["book"], (
+            f"memory-section parity violation at {n_pools} pools: "
+            "shared book != private book"
+        )
+        if n_pools <= 10_000:  # batch oracle is O(loops) per block
+            expected = batch_detect_ranking(market, log)
+            assert private["book"] == expected, (
+                f"memory-section parity violation at {n_pools} pools: "
+                "private book != batch detection"
+            )
+        agg_private = private["memory"]["aggregate_shard_market_bytes"]
+        agg_shared = shared["memory"]["aggregate_shard_market_bytes"]
+        segment = shared["memory"].get("segment_nbytes", 0)
+        agg_ratio = agg_private / agg_shared if agg_shared else float("inf")
+        total = agg_shared + segment
+        total_ratio = agg_private / total if total else float("inf")
+        throughput_ratio = (
+            shared["events_per_s"] / private["events_per_s"]
+            if private["events_per_s"] > 0
+            else float("inf")
+        )
+        row = {
+            "n_tokens": n_tokens,
+            "n_pools": n_pools,
+            "n_blocks": n_blocks,
+            "n_shards": n_shards,
+            "private": {k: v for k, v in private.items() if k != "book"},
+            "shared": {k: v for k, v in shared.items() if k != "book"},
+            "agg_ratio": agg_ratio,
+            "total_ratio": total_ratio,
+            "throughput_ratio": throughput_ratio,
+        }
+        results.append(row)
+        print(
+            f"memory at {n_pools:>6} pools x {n_shards} shards: "
+            f"private {agg_private:>12,}B vs shared {agg_shared:>10,}B "
+            f"(+{segment:,}B segment, once) -> {agg_ratio:.2f}x smaller, "
+            f"throughput {throughput_ratio:.2f}x, "
+            f"epoch waits {shared['shm_epoch_waits']}, "
+            f"torn retries {shared['shm_torn_retries']}"
+        )
+        assert agg_ratio >= MEMORY_MIN_RATIO, (
+            f"memory gate: shared model only {agg_ratio:.2f}x smaller at "
+            f"{n_pools} pools (need >= {MEMORY_MIN_RATIO}x)"
+        )
+        floor = (
+            MEMORY_MIN_THROUGHPUT_RATIO
+            if (os.cpu_count() or 1) >= 2
+            else MEMORY_MIN_THROUGHPUT_RATIO_1CPU
+        )
+        assert throughput_ratio >= floor, (
+            f"memory gate: shared throughput {throughput_ratio:.2f}x of "
+            f"private at {n_pools} pools (need >= {floor}x)"
+        )
+    return results
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -183,6 +294,12 @@ def main(argv: list[str] | None = None) -> int:
         args.repeats,
         n_shards_multi,
     )
+    memory = run_memory(
+        SMOKE_MEMORY if args.smoke else FULL_MEMORY,
+        args.seed,
+        args.repeats,
+        n_shards_multi,
+    )
 
     multi_core = cpus >= 2
     if args.json:
@@ -192,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
             "cpu_count": cpus,
             "ladder": ladder,
             "scaling": scaling,
+            "memory": memory,
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

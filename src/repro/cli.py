@@ -233,6 +233,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--backend", choices=("inline", "process"), default="inline",
                    help="process = one worker process per shard (multi-core)")
+    shared = p.add_mutually_exclusive_group()
+    shared.add_argument("--shared", action="store_true", default=None,
+                        dest="shared",
+                        help="back the market with one read-only shared-memory "
+                        "segment instead of per-shard private copies (default: "
+                        "auto — on for the process backend whenever the "
+                        "strategy has a batch kernel)")
+    shared.add_argument("--no-shared", action="store_false", default=None,
+                        dest="shared",
+                        help="force per-shard private market copies")
+    p.add_argument("--start-method", choices=("fork", "spawn"), default=None,
+                   dest="start_method",
+                   help="multiprocessing start method for --backend process "
+                   "(default: platform default)")
     p.add_argument("--policy", choices=("block", "drop"), default="block",
                    help="full-queue behaviour: backpressure or shed blocks")
     p.add_argument("--queue-size", type=int, default=64, dest="queue_size")
@@ -273,6 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=3)
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--backend", choices=("inline", "process"), default="inline")
+    shared = p.add_mutually_exclusive_group()
+    shared.add_argument("--shared", action="store_true", default=None,
+                        dest="shared",
+                        help="one shared-memory market segment for all shards "
+                        "(default: auto — on for the process backend whenever "
+                        "the strategy has a batch kernel)")
+    shared.add_argument("--no-shared", action="store_false", default=None,
+                        dest="shared",
+                        help="force per-shard private market copies")
+    p.add_argument("--start-method", choices=("fork", "spawn"), default=None,
+                   dest="start_method",
+                   help="multiprocessing start method for --backend process")
     p.add_argument("--policy", choices=("block", "drop"), default="block")
     p.add_argument("--queue-size", type=int, default=64, dest="queue_size")
     p.add_argument("--prune-top-k", type=int, default=None, dest="prune_top_k",
@@ -756,6 +782,45 @@ def _cmd_replay(args) -> None:
         print(f"wrote {args.csv}")
 
 
+def _resolve_shared(shared: bool | None, backend: str, strategy) -> bool:
+    """``--shared``/``--no-shared`` tri-state: None = auto.
+
+    Auto enables the zero-copy segment exactly where it pays: the
+    process backend (private copies cost one market per shard) with a
+    strategy the batch kernels cover (shared shards evaluate
+    kernel-only).  Inline runs and scalar-only strategies stay on
+    private copies unless forced.
+    """
+    if shared is not None:
+        return shared
+    if backend != "process":
+        return False
+    from .market import batch_kind
+
+    return batch_kind(strategy) is not None
+
+
+def _install_sigterm_exit() -> None:
+    """Make SIGTERM unwind as SystemExit so ``finally`` blocks run.
+
+    The serve/loadgen paths own a shared-memory segment; a default
+    SIGTERM would kill the process without running the cleanup that
+    unlinks it from /dev/shm.  Raising SystemExit routes termination
+    through the normal ``finally``/atexit path instead.  Main thread
+    only; harmless to call twice.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _exit(signum, frame):
+        raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, _exit)
+
+
 def _cmd_serve(args) -> None:
     import asyncio
 
@@ -807,20 +872,28 @@ def _cmd_serve(args) -> None:
     if args.rate > 0:
         source = paced(source, args.rate)
 
-    service = OpportunityService(
-        market,
-        n_shards=args.shards,
-        length=args.length,
-        strategy=strategy,
-        backend=args.backend,
-        queue_size=args.queue_size,
-        ingest_policy=args.policy,
-        prune_top_k=None if args.no_prune else max(1, args.top),
-    )
+    shared = _resolve_shared(args.shared, args.backend, strategy)
+    _install_sigterm_exit()
+    try:
+        service = OpportunityService(
+            market,
+            n_shards=args.shards,
+            length=args.length,
+            strategy=strategy,
+            backend=args.backend,
+            queue_size=args.queue_size,
+            ingest_policy=args.policy,
+            prune_top_k=None if args.no_prune else max(1, args.top),
+            shared=shared,
+            start_method=args.start_method,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     print(
         f"serving {origin} over {service.total_loops} candidate "
         f"length-{args.length} loops, {args.shards} shard(s) "
-        f"[{args.backend}], loops per shard {service.plan.loops_per_shard()}"
+        f"[{args.backend}{', shared memory' if shared else ''}], "
+        f"loops per shard {service.plan.loops_per_shard()}"
     )
 
     async def _run():
@@ -836,7 +909,10 @@ def _cmd_serve(args) -> None:
             print(f"metrics endpoint: http://{server.host}:{server.port}/metrics")
             return await service.run(source)
 
-    result = asyncio.run(_run())
+    try:
+        result = asyncio.run(_run())
+    finally:
+        service.close()
 
     top = result.top(args.top)
     rows = [
@@ -855,6 +931,22 @@ def _cmd_serve(args) -> None:
         f"end-to-end p50 {e2e.get('p50_ms', 0.0):.2f}ms / "
         f"p99 {e2e.get('p99_ms', 0.0):.2f}ms"
     )
+    memory = result.memory
+    if memory.get("shared"):
+        counters = result.metrics.get("counters", {})
+        print(
+            f"shared market: segment {memory['segment_name']} "
+            f"({memory['segment_nbytes']:,}B), per-shard private state "
+            f"{memory['aggregate_shard_market_bytes']:,}B total; "
+            f"seqlock epoch waits {counters.get('shm_epoch_waits', 0)}, "
+            f"torn-read retries {counters.get('shm_torn_retries', 0)}"
+        )
+    elif memory:
+        print(
+            f"market state: {memory['aggregate_shard_market_bytes']:,}B "
+            f"across {result.n_shards} private shard cop"
+            f"{'y' if result.n_shards == 1 else 'ies'}"
+        )
     if args.json:
         import json
 
@@ -895,9 +987,14 @@ def _cmd_loadgen(args) -> None:
         args.tokens, args.pools, args.blocks, args.events_per_block, args.seed,
         pools_per_block=args.pools_per_block,
     )
+    from .strategies.maxmax import MaxMaxStrategy
+
+    shared = _resolve_shared(args.shared, args.backend, MaxMaxStrategy())
+    _install_sigterm_exit()
     print(
         f"loadgen: {len(log)} events over {args.blocks} blocks, "
-        f"{args.pools} pools, {args.shards} shard(s) [{args.backend}]"
+        f"{args.pools} pools, {args.shards} shard(s) "
+        f"[{args.backend}{', shared memory' if shared else ''}]"
     )
     reports = []
     for rate in rates:
@@ -913,6 +1010,8 @@ def _cmd_loadgen(args) -> None:
                 n_tokens=args.tokens,
                 n_blocks=args.blocks,
                 prune_top_k=args.prune_top_k,
+                shared=shared,
+                start_method=args.start_method,
             )
         )
     rows = [

@@ -24,7 +24,11 @@ step (:mod:`repro.engine`, :mod:`repro.replay`, :mod:`repro.service`):
 * :class:`BatchEvaluator` — strategy dispatch (traditional / MaxPrice
   / MaxMax on any of the three solvers) with built-in scalar fallback
   only for non-batchable strategies, foreign pools, and tiny dirty
-  sets.
+  sets;
+* :class:`SharedMarketArrays` / :class:`SharedMarketView` — the same
+  columns backed by a named ``multiprocessing.shared_memory`` segment
+  under a single-writer seqlock, so N process shards map one market
+  instead of copying it N times (see :mod:`repro.market.shm`).
 """
 
 from .arrays import FEE_PPM_DENOMINATOR, MarketArrays, quantize_fee
@@ -58,6 +62,12 @@ from .oracle import (
     oracle_quote,
     rel_error,
 )
+from .shm import (
+    PoolHandle,
+    SharedMarketArrays,
+    SharedMarketView,
+    pool_handles,
+)
 from .solvers import batched_golden_section, batched_maximize_by_derivative
 from .weighted_kernel import (
     WEIGHTED_PARITY_RTOL,
@@ -77,6 +87,9 @@ __all__ = [
     "MarketArrays",
     "ORACLE_DPS",
     "OracleQuote",
+    "PoolHandle",
+    "SharedMarketArrays",
+    "SharedMarketView",
     "WAD",
     "WEIGHTED_PARITY_RTOL",
     "base_units",
@@ -97,6 +110,7 @@ __all__ = [
     "oracle_monetized",
     "oracle_quote",
     "oriented_reserves",
+    "pool_handles",
     "pruned_zero_result",
     "quantize_fee",
     "rel_error",

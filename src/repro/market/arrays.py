@@ -159,6 +159,27 @@ class MarketArrays:
     def __len__(self) -> int:
         return len(self.pool_ids)
 
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes of the nine columns.
+
+        The index maps (``pool_index`` / ``token_index``) are excluded
+        on purpose: this is the number the memory reports compare
+        across private-copy and shared-memory backends, and only the
+        columns are what gets duplicated or mapped.
+        """
+        return (
+            self.reserve0.nbytes
+            + self.reserve1.nbytes
+            + self.fee.nbytes
+            + self.fee_num.nbytes
+            + self.weight0.nbytes
+            + self.weight1.nbytes
+            + self.token0_idx.nbytes
+            + self.token1_idx.nbytes
+            + self.constant_product.nbytes
+        )
+
     def __contains__(self, pool_id: str) -> bool:
         return pool_id in self.pool_index
 

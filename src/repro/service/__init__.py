@@ -40,7 +40,14 @@ from .metrics import LatencyStat, ServiceMetrics
 from .pipeline import OpportunityService, ServiceReport, batch_detect_ranking
 from .sharding import ShardPlan
 from .sources import jsonl_source, log_source, paced, simulation_source
-from .worker import BlockWork, ProcessShardPool, ShardUpdate, ShardWorker
+from .worker import (
+    BlockWork,
+    ProcessShardPool,
+    SharedBlockWork,
+    SharedShardWorker,
+    ShardUpdate,
+    ShardWorker,
+)
 
 __all__ = [
     "BlockWork",
@@ -58,6 +65,8 @@ __all__ = [
     "ShardPlan",
     "ShardUpdate",
     "ShardWorker",
+    "SharedBlockWork",
+    "SharedShardWorker",
     "batch_detect_ranking",
     "jsonl_source",
     "log_source",

@@ -130,13 +130,18 @@ def run_load(
     n_tokens: int | None = None,
     n_blocks: int | None = None,
     prune_top_k: int | None = None,
+    shared: bool = False,
+    start_method: str | None = None,
 ) -> LoadReport:
     """Drive one service run over ``log`` and flatten the result.
 
     ``rate`` throttles the offered stream (events/sec); 0 means "as
     fast as the pipeline accepts", which measures sustained capacity.
     ``prune_top_k`` enables bound-based re-quote pruning with the
-    book's K-th profit as feedback (see :class:`OpportunityService`).
+    book's K-th profit as feedback (see :class:`OpportunityService`);
+    ``shared`` backs the market with one shared-memory segment instead
+    of per-shard copies (the zero-copy model the memory benchmark
+    compares against this private-copy default).
     """
     service = OpportunityService(
         market,
@@ -146,11 +151,16 @@ def run_load(
         ingest_policy=ingest_policy,
         queue_size=queue_size,
         prune_top_k=prune_top_k,
+        shared=shared,
+        start_method=start_method,
     )
-    source = log_source(log)
-    if rate > 0:
-        source = paced(source, rate)
-    report = asyncio.run(service.run(source))
+    try:
+        source = log_source(log)
+        if rate > 0:
+            source = paced(source, rate)
+        report = asyncio.run(service.run(source))
+    finally:
+        service.close()
     return LoadReport(
         n_pools=len(market.registry),
         n_tokens=n_tokens if n_tokens is not None else len(market.registry.tokens),

@@ -35,21 +35,36 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import AsyncIterator
 
-from ..amm.events import MarketEvent
+from ..amm.events import (
+    BurnEvent,
+    MarketEvent,
+    MintEvent,
+    PriceTickEvent,
+    SwapEvent,
+)
 from ..data.snapshot import MarketSnapshot
 from ..engine import EvaluationEngine
+from ..market import SharedMarketArrays, batch_kind, pool_handles
 from ..replay.apply import build_loop_indices
 from ..strategies.base import Strategy
 from ..strategies.maxmax import MaxMaxStrategy
 from ..telemetry import trace
+from ..telemetry.memory import peak_rss_bytes
 from ..telemetry.metrics import MetricRegistry, get_registry
 from .book import BookSnapshot, Opportunity, OpportunityBook
 from .metrics import ServiceMetrics
 from .sharding import ShardPlan
-from .worker import BlockWork, ProcessShardPool, ShardUpdate, ShardWorker
+from .worker import (
+    BlockWork,
+    ProcessShardPool,
+    SharedBlockWork,
+    SharedShardWorker,
+    ShardUpdate,
+    ShardWorker,
+)
 
 __all__ = ["OpportunityService", "ServiceReport", "batch_detect_ranking"]
 
@@ -118,6 +133,10 @@ class ServiceReport:
     book: BookSnapshot
     metrics: dict
     loops_pruned: int = 0
+    #: Memory accounting: per-shard market-state bytes, the shared
+    #: segment (if any), and RSS high-water marks (see
+    #: ``OpportunityService._memory_report``).
+    memory: dict = field(default_factory=dict)
 
     @property
     def events_per_s(self) -> float:
@@ -150,6 +169,7 @@ class ServiceReport:
             "loops_per_shard": list(self.loops_per_shard),
             "book_seq": self.book.seq,
             "profitable_loops": len(self.book.entries),
+            "memory": self.memory,
             "metrics": self.metrics,
         }
 
@@ -188,6 +208,26 @@ class OpportunityService:
         run; entries below rank K may retain stale (provably
         sub-threshold) values.  ``None`` (default) disables pruning —
         the full-book parity mode.
+    shared:
+        ``True`` backs the market with one shared-memory segment
+        (:class:`~repro.market.SharedMarketArrays`) that every shard
+        maps instead of copying: ingest becomes the single seqlock
+        writer, shards hold only reserve-less pool handles (kernels
+        read the mapped columns directly), and process-backend work
+        items shrink to (block, epoch, dirty rows).  Requires a
+        kernel-batchable strategy (the paper's three, on any solver
+        method).  On a quiesced stream the book parity guarantee is
+        unchanged; mid-stream, shards may quote *fresher* committed
+        state than the block that dirtied a loop (never torn state —
+        the seqlock retries those reads), so per-run pruning counters
+        can differ from the private-copy model while the quiesced
+        top-K cannot.  Default ``False`` (private copies — the
+        oracle); the ``serve``/``loadgen`` CLI auto-enables it for the
+        process backend.
+    start_method:
+        Multiprocessing start method for the process backend
+        (``"fork"``, ``"spawn"``, ``"forkserver"``; ``None`` =
+        platform default).
     """
 
     def __init__(
@@ -203,6 +243,8 @@ class OpportunityService:
         metrics: ServiceMetrics | None = None,
         engine: EvaluationEngine | None = None,
         prune_top_k: int | None = None,
+        shared: bool = False,
+        start_method: str | None = None,
     ):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -221,6 +263,14 @@ class OpportunityService:
         self.strategy = strategy if strategy is not None else MaxMaxStrategy()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.engine = engine if engine is not None else EvaluationEngine()
+        self.shared = bool(shared)
+        self.start_method = start_method
+        if self.shared and batch_kind(self.strategy) is None:
+            raise ValueError(
+                "shared=True requires a kernel-batchable strategy "
+                "(Traditional/MaxPrice/MaxMax on closed_form, bisection, "
+                f"or golden); got {type(self.strategy).__name__!r}"
+            )
 
         universe = self.engine.loop_universe(market.registry, length)
         self.plan = ShardPlan(
@@ -228,15 +278,34 @@ class OpportunityService:
             universe.candidates,
             n_shards,
         )
-        self.workers = [
-            ShardWorker(
-                shard,
-                market,
-                [universe.candidates[i] for i in self.plan.shard_loops[shard]],
-                self.strategy,
-            )
-            for shard in range(n_shards)
-        ]
+        self._shared_arrays: SharedMarketArrays | None = None
+        if self.shared:
+            # one segment for the whole market; each shard gets its own
+            # zero-copy view and reserve-less handles for loop
+            # topology — no registry copies anywhere
+            self._shared_arrays = SharedMarketArrays(market.registry)
+            handles = pool_handles(market.registry)
+            self.workers: list = [
+                SharedShardWorker(
+                    shard,
+                    self._shared_arrays.view(),
+                    [universe.candidates[i] for i in self.plan.shard_loops[shard]],
+                    self.strategy,
+                    handles,
+                    market.prices,
+                )
+                for shard in range(n_shards)
+            ]
+        else:
+            self.workers = [
+                ShardWorker(
+                    shard,
+                    market,
+                    [universe.candidates[i] for i in self.plan.shard_loops[shard]],
+                    self.strategy,
+                )
+                for shard in range(n_shards)
+            ]
         self.book = OpportunityBook()
         for worker in self.workers:
             self.book.apply(-1, worker.shard_id, worker.initial_entries())
@@ -276,6 +345,96 @@ class OpportunityService:
             if token is not None:
                 ids.update(self._token_loop_ids.get(token, ()))
         return ids
+
+    def _write_shared_block(self, events, block: int) -> int:
+        """Apply one (non-shed) block's routed pool events to the
+        shared segment under the seqlock; return the committed epoch.
+
+        The single-writer half of the shared-memory protocol: the
+        epoch goes odd, the events apply through the same
+        :meth:`~repro.market.MarketArrays.apply_events` arithmetic the
+        columnar parity suite pins against the object path, and the
+        epoch goes even.  Only events that route to at least one shard
+        are applied — identical semantics to the private model, where
+        a pool no loop crosses never has its events applied anywhere.
+        """
+        if self._shared_arrays is None:
+            return 0
+        writes = [
+            event
+            for event in events
+            if isinstance(event, (SwapEvent, MintEvent, BurnEvent))
+            and self.plan.shards_for_pool(event.pool_id)
+        ]
+        if writes:
+            with trace.span("ingest.shm_write", block=block, events=len(writes)):
+                with self._shared_arrays.write_block():
+                    self._shared_arrays.apply_events(writes)
+        return self._shared_arrays.epoch
+
+    def _shared_work(
+        self, block: int, epoch: int, events, t_ingest: float, threshold
+    ) -> SharedBlockWork:
+        """One shard's zero-copy work item: dirty segment rows (ordered,
+        deduplicated) plus the block's price ticks."""
+        pool_index = self._shared_arrays.pool_index
+        rows: list[int] = []
+        seen: set[int] = set()
+        ticks: list[tuple] = []
+        for event in events:
+            if isinstance(event, PriceTickEvent):
+                ticks.append((event.token, event.price))
+                continue
+            row = pool_index[event.pool_id]
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return SharedBlockWork(
+            block=block,
+            epoch=epoch,
+            rows=tuple(rows),
+            ticks=tuple(ticks),
+            t_ingest=t_ingest,
+            t_dispatch=time.perf_counter(),
+            threshold=threshold,
+        )
+
+    def _memory_report(self, window: ServiceMetrics) -> dict:
+        """The report's ``memory`` block: accounted market-state bytes
+        per shard (what the shared-vs-private benchmark gates on) plus
+        RSS high-water marks (observational — RSS includes the whole
+        interpreter)."""
+        shard_bytes = [worker.market_state_bytes() for worker in self.workers]
+        segment = self._shared_arrays
+        return {
+            "shared": self.shared,
+            "segment_name": segment.segment_name if segment is not None else None,
+            "segment_nbytes": segment.segment_nbytes if segment is not None else 0,
+            "shard_market_bytes": shard_bytes,
+            "aggregate_shard_market_bytes": sum(shard_bytes),
+            "total_market_bytes": sum(shard_bytes)
+            + (segment.segment_nbytes if segment is not None else 0),
+            "shard_rss_bytes_max": {
+                name: int(value)
+                for name, value in window.gauges.items()
+                if name.endswith("rss_bytes_max")
+            },
+            "parent_rss_bytes_max": peak_rss_bytes(),
+        }
+
+    def close(self) -> None:
+        """Release shared-memory state: detach every worker view and
+        unlink the segment (idempotent; a no-op for private-copy
+        services).  The process backend calls this automatically from
+        the pool's cleanup path; inline shared services should close
+        when done — though a leaked segment is still swept by the
+        module's ``atexit`` guard and, ultimately, the stdlib resource
+        tracker."""
+        if self._shared_arrays is None:
+            return
+        for worker in self.workers:
+            worker.close()
+        self._shared_arrays.unlink()
 
     @property
     def n_shards(self) -> int:
@@ -351,19 +510,24 @@ class OpportunityService:
                 entry = pending.setdefault(current_block, [0, []])
                 entry[0] += len(routed)
                 entry[1].append(dirty_ids)
+            epoch = self._write_shared_block(buffer, current_block)
             for shard, events in routed.items():
                 queue = shard_queues[shard]
                 metrics.observe_gauge_max("shard_queue_depth_max", queue.qsize())
-                t0 = time.perf_counter()
-                await queue.put(
-                    BlockWork(
+                if self.shared:
+                    work: BlockWork | SharedBlockWork = self._shared_work(
+                        current_block, epoch, events, t_ingest, threshold
+                    )
+                else:
+                    work = BlockWork(
                         block=current_block,
                         events=tuple(events),
                         t_ingest=t_ingest,
                         t_dispatch=time.perf_counter(),
                         threshold=threshold,
                     )
-                )
+                t0 = time.perf_counter()
+                await queue.put(work)
                 metrics.latency("ingest_backpressure").observe(
                     time.perf_counter() - t0
                 )
@@ -394,10 +558,7 @@ class OpportunityService:
                 # inline shards record spans straight into the process
                 # tracer, so the done message ships an empty span list
                 await out_queue.put(
-                    (
-                        "done",
-                        (worker.shard_id, worker.evaluator_stats.to_dict(), []),
-                    )
+                    ("done", (worker.shard_id, worker.stats_snapshot(), []))
                 )
                 return
             update = worker.process_block(work)
@@ -490,6 +651,12 @@ class OpportunityService:
             metrics.inc("loops_pruned", update.pruned)
             metrics.inc("cache_hits", update.cache_hits)
             metrics.inc("cache_misses", update.cache_misses)
+            if self.shared:
+                # seqlock retry accounting (zero-valued incs still
+                # materialize the counters, so shared-run reports and
+                # the bench artifact always carry them)
+                metrics.inc("shm_epoch_waits", update.shm_epoch_waits)
+                metrics.inc("shm_torn_retries", update.shm_torn_retries)
             metrics.latency("shard_eval").observe(update.eval_s)
             metrics.latency("dispatch_wait").observe(
                 max(0.0, update.t_dispatch - update.t_ingest)
@@ -597,7 +764,17 @@ class OpportunityService:
                         "run(); build a new service for another stream"
                     )
                 self._process_spent = True
-                pool = ProcessShardPool(self.workers, maxsize=self.queue_size)
+                pool = ProcessShardPool(
+                    self.workers,
+                    maxsize=self.queue_size,
+                    start_method=self.start_method,
+                    # a process-backed service is single-shot, so the
+                    # segment can be unlinked as soon as the pool winds
+                    # down — on *every* exit path, including errors and
+                    # KeyboardInterrupt, which is what keeps /dev/shm
+                    # clean after killed runs
+                    cleanup=self.close if self.shared else None,
+                )
                 pool.start()
                 try:
                     await self._gather(
@@ -612,7 +789,7 @@ class OpportunityService:
                         self._publish(out_queue, window, inflight, pending),
                     )
                 finally:
-                    pool.join()
+                    pool.close()
             else:
                 await self._gather(
                     self._ingest(source, shard_queues, window, inflight, pending),
@@ -652,4 +829,5 @@ class OpportunityService:
             loops_per_shard=self.plan.loops_per_shard(),
             book=self.book.snapshot(),
             metrics=window.to_dict(),
+            memory=self._memory_report(window),
         )

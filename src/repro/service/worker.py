@@ -1,28 +1,43 @@
 """Per-shard evaluation state and the process-shard host.
 
-A :class:`ShardWorker` is the service's unit of parallelism: a private
-market copy of only its shard's pools, that slice mirrored as columnar
-:class:`~repro.market.MarketArrays` with the shard's loops compiled
-against it (the cross-loop batch kernels re-quote a block's whole
-dirty set in one vectorized pass — weighted-hop loops included, via
-the batched chain-rule solver), a shard-local
-:class:`~repro.engine.cache.PoolStateCache` for the scalar fallback,
-and the replay layer's dirty-set invalidation
-(:func:`~repro.replay.apply.apply_block_events` +
-:func:`~repro.replay.apply.build_loop_indices` — the same code paths
-whose incremental/full parity the replay tests pin down).
+A shard worker is the service's unit of parallelism, in one of two
+memory models:
+
+* :class:`ShardWorker` — the **private-copy** model (and the parity
+  oracle): a private market copy of only its shard's pools, that
+  slice mirrored as columnar :class:`~repro.market.MarketArrays` with
+  the shard's loops compiled against it, a shard-local
+  :class:`~repro.engine.cache.PoolStateCache` for the scalar
+  fallback, and the replay layer's dirty-set invalidation
+  (:func:`~repro.replay.apply.apply_block_events` +
+  :func:`~repro.replay.apply.build_loop_indices`).
+* :class:`SharedShardWorker` — the **zero-copy** model: loops rebound
+  onto reserve-less :class:`~repro.market.PoolHandle` stand-ins and
+  compiled against a :class:`~repro.market.SharedMarketView` of the
+  single shared-memory segment the ingest stage writes.  Per block it
+  waits for the block's seqlock epoch and re-quotes through the batch
+  kernels exclusively (``min_batch=1`` — the kernels are
+  bit-identical to the scalar path, which is what preserves the
+  parity guarantee without any reserve-carrying pool objects in the
+  shard).  Every kernel pass reads the mapped columns directly under
+  :meth:`~repro.market.SharedMarketView.read_consistent`, which
+  discards and retries passes the writer committed underneath — the
+  shard holds zero bytes of reserve state.
 
 Workers are plain synchronous objects, so the pipeline can run them
 
 * **inline** — called directly from an asyncio task (deterministic,
   zero IPC; the default and the test configuration), or
-* **in a process** — :class:`ProcessShardHost` moves the worker into a
+* **in a process** — :class:`ProcessShardPool` moves the worker into a
   long-lived child process fed over queues, which is what buys real
   multi-core throughput (each shard burns its own interpreter).
 
 Either way the numbers are identical: evaluation is a pure function of
 the shard's market state, and the shard sees every event that touches
-its loops' pools.
+its loops' pools.  In the shared model the per-block work item is
+:class:`SharedBlockWork` — (block id, epoch, dirty row indices, price
+ticks) — so nothing resembling market state crosses the process
+boundary after construction.
 """
 
 from __future__ import annotations
@@ -30,25 +45,35 @@ from __future__ import annotations
 import heapq
 import math
 import multiprocessing as mp
+import sys
 import time
 import traceback
 from dataclasses import dataclass
 from queue import Empty, Full
-from typing import Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..amm.events import MarketEvent
 from ..amm.registry import PoolRegistry
+from ..core.types import Token
 from ..data.snapshot import MarketSnapshot
 from ..engine.cache import PoolStateCache
-from ..market import BatchEvaluator, MarketArrays
+from ..market import BatchEvaluator, MarketArrays, SharedMarketView, batch_kind
 from ..replay.apply import apply_block_events, build_loop_indices, rebind_loops
 from ..strategies.base import Strategy
 from ..telemetry import trace
+from ..telemetry.memory import estimate_object_bytes, peak_rss_bytes
 from .book import Opportunity
 
-__all__ = ["BlockWork", "ProcessShardPool", "ShardUpdate", "ShardWorker"]
+__all__ = [
+    "BlockWork",
+    "ProcessShardPool",
+    "SharedBlockWork",
+    "SharedShardWorker",
+    "ShardUpdate",
+    "ShardWorker",
+]
 
 
 @dataclass(frozen=True)
@@ -68,12 +93,35 @@ class BlockWork:
 
 
 @dataclass(frozen=True)
+class SharedBlockWork:
+    """One routed block in the shared-memory model.
+
+    No market state crosses the process boundary: ``epoch`` names the
+    seqlock epoch at which the writer committed this block, ``rows``
+    the segment rows the block dirtied on this shard, and ``ticks``
+    the block's price updates (stream data, not market state — prices
+    feed the monetization map each shard tracks locally).  A work item
+    pickles to a few hundred bytes regardless of market size.
+    """
+
+    block: int
+    epoch: int
+    rows: tuple[int, ...]
+    ticks: tuple[tuple[Token, float], ...]
+    t_ingest: float
+    t_dispatch: float
+    threshold: float | None = None
+
+
+@dataclass(frozen=True)
 class ShardUpdate:
     """A shard's output for one block: changed entries + work stats.
 
     ``evaluated`` counts exact quotes; ``pruned`` counts dirty loops
     answered by the bound pass alone (``evaluated + pruned`` = the
-    block's dirty-set size on this shard).
+    block's dirty-set size on this shard).  The ``shm_*`` counters are
+    the shared-memory seqlock's retry accounting for this block (zero
+    in the private-copy model).
     """
 
     shard: int
@@ -86,6 +134,8 @@ class ShardUpdate:
     t_ingest: float
     t_dispatch: float
     pruned: int = 0
+    shm_epoch_waits: int = 0
+    shm_torn_retries: int = 0
 
 
 def _prunable(value: float, threshold: float) -> bool:
@@ -98,44 +148,31 @@ def _loop_path(loop) -> str:
     return " -> ".join(t.symbol for t in loop.tokens) + f" -> {loop.tokens[0].symbol}"
 
 
-class ShardWorker:
-    """Dirty-set incremental evaluation over one shard's loops."""
+class _ShardWorkerBase:
+    """The evaluation machinery both memory models share.
 
-    def __init__(
-        self,
-        shard_id: int,
-        market: MarketSnapshot,
-        loops: Sequence,
-        strategy: Strategy,
-        cache: PoolStateCache | None = None,
-    ):
-        self.shard_id = shard_id
-        # private copy of only the pools this shard's loops cross: the
-        # router guarantees no other pool's event ever reaches it, and
-        # restricting keeps N-shard memory (and process-backend pickle
-        # size) proportional to the shard, not the whole market
-        needed = sorted({pool.pool_id for loop in loops for pool in loop.pools})
-        registry = PoolRegistry()
-        for pool_id in needed:
-            registry.add(market.registry[pool_id].copy())
-        self.market = MarketSnapshot(
-            registry=registry, prices=market.prices, label=market.label
-        )
-        self.prices = market.prices
-        self.strategy = strategy
-        self.cache = cache if cache is not None else PoolStateCache()
-        # re-point the globally enumerated loops at this shard's pools
-        self.loops = rebind_loops(loops, self.market.registry)
+    Subclasses own state acquisition — how a block's events become
+    (updated prices, touched loop positions) — via :meth:`_apply_work`;
+    everything downstream (bound-ordered pruning, kernel re-quoting,
+    entry assembly, stats) is identical, which is precisely why the
+    two models stay bit-compatible.
+    """
+
+    shard_id: int
+    strategy: Strategy
+    cache: PoolStateCache | None
+    loops: tuple
+
+    def _finish_init(self, prices) -> None:
+        """Prime results/pruning state once loops+evaluator exist."""
+        self.prices = prices
         self._pool_loops, self._token_loops = build_loop_indices(self.loops)
         self._loop_ids = tuple(loop.canonical_id for loop in self.loops)
         self._paths = tuple(_loop_path(loop) for loop in self.loops)
-        # the shard's array slice: columnar reserves of exactly its
-        # pools, with its loop slice compiled against them once
-        self._evaluator = BatchEvaluator(
-            self.loops, arrays=MarketArrays.from_registry(self.market.registry)
-        )
-        self._results = self._evaluator.evaluate_many(
-            strategy, self.prices, cache=self.cache
+        self._results = self._consistent(
+            lambda: self._evaluator.evaluate_many(
+                self.strategy, self.prices, cache=self.cache
+            )
         )
         # pruning state: last published monetized profit per loop (the
         # "stored" side of the prune predicate) and a lazy max-heap of
@@ -149,18 +186,28 @@ class ShardWorker:
         self._bound_heap: list[tuple[float, int, int]] = []
         self._bound_version = np.zeros(len(self.loops), dtype=np.int64)
 
-    def __repr__(self) -> str:
-        return (
-            f"ShardWorker(shard={self.shard_id}, {len(self.loops)} loops, "
-            f"{len(self.market.registry)} pools)"
-        )
-
     @property
     def evaluator_stats(self):
         """Kernel-vs-scalar routing counters of the shard's
         :class:`~repro.market.BatchEvaluator` (tests assert weighted
         loops are never forced onto the per-loop scalar path)."""
         return self._evaluator.stats
+
+    def stats_snapshot(self) -> dict:
+        """Lifetime counters for the done message: evaluator routing,
+        this process's RSS high-water (``*_max`` so the registry merge
+        keeps the peak), and — in the shared model — seqlock totals."""
+        stats = self._evaluator.stats.to_dict()
+        stats["rss_bytes_max"] = peak_rss_bytes()
+        return stats
+
+    def market_state_bytes(self) -> int:
+        """Accounted bytes of market state this worker privately holds
+        (the number the shared-vs-private memory gate compares)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any mapped resources (no-op for private copies)."""
 
     # ------------------------------------------------------------------
     # state
@@ -189,7 +236,26 @@ class ShardWorker:
     # work
     # ------------------------------------------------------------------
 
-    def process_block(self, work: BlockWork) -> ShardUpdate:
+    def _work_size(self, work) -> int:
+        raise NotImplementedError
+
+    def _apply_work(self, work) -> set[int]:
+        """Advance shard state to ``work``'s block; return the touched
+        loop positions."""
+        raise NotImplementedError
+
+    def _consistent(self, fn):
+        """Run one side-effect-free read of market state (a kernel
+        pass).  The private-copy model owns its state, so this is just
+        ``fn()``; the shared model brackets it with the seqlock's
+        epoch check and retries torn passes."""
+        return fn()
+
+    def _shm_counters(self) -> tuple[int, int]:
+        """Lifetime (epoch_waits, torn_retries); zero when private."""
+        return (0, 0)
+
+    def process_block(self, work) -> ShardUpdate:
         """Apply one routed block and re-evaluate only the dirty loops."""
         t0 = time.perf_counter()
         if trace.is_enabled():
@@ -208,22 +274,14 @@ class ShardWorker:
             "shard.block",
             shard=self.shard_id,
             block=work.block,
-            events=len(work.events),
+            events=self._work_size(work),
         ) as sp:
-            hits0, misses0 = self.cache.hits, self.cache.misses
-            with trace.span("shard.apply", events=len(work.events)):
-                self.prices, dirty_pools, dirty_tokens, _ = apply_block_events(
-                    self.market.registry,
-                    self.prices,
-                    work.events,
-                    arrays=self._evaluator.arrays,
-                )
-
-            touched: set[int] = set()
-            for pool_id in dirty_pools:
-                touched.update(self._pool_loops.get(pool_id, ()))
-            for token in dirty_tokens:
-                touched.update(self._token_loops.get(token, ()))
+            if self.cache is not None:
+                hits0, misses0 = self.cache.hits, self.cache.misses
+            else:
+                hits0 = misses0 = 0
+            waits0, torn0 = self._shm_counters()
+            touched = self._apply_work(work)
             reeval = sorted(touched)
             if work.threshold is None:
                 requote = reeval
@@ -231,32 +289,38 @@ class ShardWorker:
                 requote = self._select_requotes(reeval, work.threshold)
             entries = []
             with trace.span("shard.quote", loops=len(requote)):
-                for index, result in zip(
-                    requote,
-                    self._evaluator.evaluate_many(
+                results = self._consistent(
+                    lambda: self._evaluator.evaluate_many(
                         self.strategy,
                         self.prices,
                         indices=requote,
                         cache=self.cache,
-                    ),
-                ):
+                    )
+                )
+                for index, result in zip(requote, results):
                     self._results[index] = result
                     self._profits[index] = result.monetized_profit
                     entries.append(self._entry(index, work.block))
             pruned = len(reeval) - len(requote)
             self._evaluator.stats.pruned_loops += pruned
+            waits1, torn1 = self._shm_counters()
+            waits, retries = waits1 - waits0, torn1 - torn0
             sp.set(dirty=len(reeval), quoted=len(requote), pruned=pruned)
         return ShardUpdate(
             shard=self.shard_id,
             block=work.block,
             entries=tuple(entries),
             evaluated=len(requote),
-            cache_hits=self.cache.hits - hits0,
-            cache_misses=self.cache.misses - misses0,
+            cache_hits=self.cache.hits - hits0 if self.cache is not None else 0,
+            cache_misses=(
+                self.cache.misses - misses0 if self.cache is not None else 0
+            ),
             eval_s=time.perf_counter() - t0,
             t_ingest=work.t_ingest,
             t_dispatch=work.t_dispatch,
             pruned=pruned,
+            shm_epoch_waits=waits,
+            shm_torn_retries=retries,
         )
 
     def _select_requotes(self, reeval: list[int], threshold: float) -> list[int]:
@@ -274,8 +338,10 @@ class ShardWorker:
         if not reeval:
             return []
         with trace.span("shard.bounds", loops=len(reeval)):
-            bounds = self._evaluator.monetized_bounds(
-                self.strategy, self.prices, indices=reeval
+            bounds = self._consistent(
+                lambda: self._evaluator.monetized_bounds(
+                    self.strategy, self.prices, indices=reeval
+                )
             )
         for index, bound in zip(reeval, bounds):
             self._bound_version[index] += 1
@@ -316,15 +382,202 @@ class ShardWorker:
         heapq.heapify(self._bound_heap)
 
 
+class ShardWorker(_ShardWorkerBase):
+    """Dirty-set incremental evaluation over one shard's loops
+    (private-copy memory model)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        market: MarketSnapshot,
+        loops: Sequence,
+        strategy: Strategy,
+        cache: PoolStateCache | None = None,
+    ):
+        self.shard_id = shard_id
+        # private copy of only the pools this shard's loops cross: the
+        # router guarantees no other pool's event ever reaches it, and
+        # restricting keeps N-shard memory (and process-backend pickle
+        # size) proportional to the shard, not the whole market
+        needed = sorted({pool.pool_id for loop in loops for pool in loop.pools})
+        registry = PoolRegistry()
+        for pool_id in needed:
+            registry.add(market.registry[pool_id].copy())
+        self.market = MarketSnapshot(
+            registry=registry, prices=market.prices, label=market.label
+        )
+        self.strategy = strategy
+        self.cache = cache if cache is not None else PoolStateCache()
+        # re-point the globally enumerated loops at this shard's pools
+        self.loops = rebind_loops(loops, self.market.registry)
+        # the shard's array slice: columnar reserves of exactly its
+        # pools, with its loop slice compiled against them once
+        self._evaluator = BatchEvaluator(
+            self.loops, arrays=MarketArrays.from_registry(self.market.registry)
+        )
+        self._finish_init(market.prices)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWorker(shard={self.shard_id}, {len(self.loops)} loops, "
+            f"{len(self.market.registry)} pools)"
+        )
+
+    def market_state_bytes(self) -> int:
+        """Columns + duplicated pool-state objects (lower-bound
+        estimate; the number the shared-vs-private memory gate sums
+        per shard).
+
+        Counts what a private copy *owns*: its column slice, each pool
+        object with its id string and (block-locally drained) event
+        list, and the reserve/fee boxes — which become per-copy heap
+        allocations as soon as events apply.  Loop-topology objects
+        (tokens, the loops themselves) are excluded on both sides:
+        each model carries them identically.
+        """
+        total = self._evaluator.arrays.nbytes
+        for pool in self.market.registry:
+            events = getattr(pool, "_events", ())
+            total += estimate_object_bytes(pool, pool.pool_id, events, *events)
+            for slot in getattr(type(pool), "__slots__", ()):
+                value = getattr(pool, slot, None)
+                if isinstance(value, float):
+                    total += sys.getsizeof(value)
+        return total
+
+    def _work_size(self, work: BlockWork) -> int:
+        return len(work.events)
+
+    def _apply_work(self, work: BlockWork) -> set[int]:
+        with trace.span("shard.apply", events=len(work.events)):
+            self.prices, dirty_pools, dirty_tokens, _ = apply_block_events(
+                self.market.registry,
+                self.prices,
+                work.events,
+                arrays=self._evaluator.arrays,
+            )
+        touched: set[int] = set()
+        for pool_id in dirty_pools:
+            touched.update(self._pool_loops.get(pool_id, ()))
+        for token in dirty_tokens:
+            touched.update(self._token_loops.get(token, ()))
+        return touched
+
+
+class SharedShardWorker(_ShardWorkerBase):
+    """Dirty-set incremental evaluation over a shared-memory market.
+
+    Holds no reserve state: loops are rebound onto
+    :class:`~repro.market.PoolHandle` stand-ins and every quote runs
+    through the batch kernels (``min_batch=1``) against the shard's
+    :class:`~repro.market.SharedMarketView`.  Requires a
+    kernel-batchable strategy — the scalar fallback reads pool
+    objects, which this model deliberately does not have.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        view: SharedMarketView,
+        loops: Sequence,
+        strategy: Strategy,
+        handles: Mapping[str, object],
+        prices,
+    ):
+        if batch_kind(strategy) is None:
+            raise ValueError(
+                "shared-memory shards evaluate through the batch kernels "
+                f"only; strategy {type(strategy).__name__!r} has no batch "
+                "kind (use the private-copy model for scalar strategies)"
+            )
+        if view.pool_index is None:
+            raise ValueError(
+                "shared shard construction needs a view with pool_index "
+                "(build workers in the parent, before pickling)"
+            )
+        self.shard_id = shard_id
+        self.strategy = strategy
+        self.cache = None  # scalar path (the cache's only reader) is off
+        self._view = view
+        self.loops = rebind_loops(loops, handles)
+        self._evaluator = BatchEvaluator(self.loops, arrays=view, min_batch=1)
+        if self._evaluator.fallback_positions:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"{len(self._evaluator.fallback_positions)} loops did not "
+                "compile against the shared segment"
+            )
+        # segment row -> this shard's loop positions (the shared-model
+        # twin of the pool-id index; SharedBlockWork routes by row)
+        pool_loops, _ = build_loop_indices(self.loops)
+        self._row_loops: dict[int, tuple[int, ...]] = {
+            view.pool_index[pool_id]: positions
+            for pool_id, positions in pool_loops.items()
+        }
+        self._finish_init(prices)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedShardWorker(shard={self.shard_id}, {len(self.loops)} "
+            f"loops, segment={self._view.segment_name!r})"
+        )
+
+    def stats_snapshot(self) -> dict:
+        stats = super().stats_snapshot()
+        stats["shm_epoch_waits"] = self._view.epoch_waits
+        stats["shm_torn_retries"] = self._view.torn_retries
+        return stats
+
+    def market_state_bytes(self) -> int:
+        """Reserve-less handles only — the columns are views of the
+        segment, which is shared and counted once by the service."""
+        total = self._view.private_nbytes
+        seen: set[str] = set()
+        for loop in self.loops:
+            for handle in loop.pools:
+                if handle.pool_id not in seen:
+                    seen.add(handle.pool_id)
+                    total += sys.getsizeof(handle)
+        return total
+
+    def close(self) -> None:
+        self._view.close()
+
+    def _consistent(self, fn):
+        return self._view.read_consistent(fn)
+
+    def _shm_counters(self) -> tuple[int, int]:
+        return (self._view.epoch_waits, self._view.torn_retries)
+
+    def _work_size(self, work: SharedBlockWork) -> int:
+        return len(work.rows) + len(work.ticks)
+
+    def _apply_work(self, work: SharedBlockWork) -> set[int]:
+        with trace.span(
+            "shard.sync", rows=len(work.rows), epoch=work.epoch
+        ) as sp:
+            waits = self._view.wait_for_epoch(work.epoch)
+            if waits:
+                sp.set(waits=waits)
+        for token, price in work.ticks:
+            self.prices = self.prices.with_price(token, price)
+        touched: set[int] = set()
+        for row in work.rows:
+            touched.update(self._row_loops.get(row, ()))
+        for token, _ in work.ticks:
+            touched.update(self._token_loops.get(token, ()))
+        return touched
+
+
 # ----------------------------------------------------------------------
 # process backend
 # ----------------------------------------------------------------------
 
 
-def _shard_main(worker: ShardWorker, in_queue, out_queue) -> None:
+def _shard_main(worker: _ShardWorkerBase, in_queue, out_queue) -> None:
     """Child-process loop: pull work until the ``None`` sentinel.
 
-    The worker arrives by fork (Linux) or pickle (spawn platforms);
+    The worker arrives by fork (Linux) or pickle (spawn contexts —
+    shared-model workers re-attach their segment by name on unpickle);
     the priming pass already ran in the parent, so the child starts
     with warm results and a warm cache.  A failing block is reported
     as an ``("error", ...)`` message — never a silent death that would
@@ -339,28 +592,34 @@ def _shard_main(worker: ShardWorker, in_queue, out_queue) -> None:
     """
     trace.clear()
     out_queue.put(("ready", worker.shard_id))
-    while True:
-        item = in_queue.get()
-        if item is None:
-            # the stats dict rides along because the worker's counters
-            # live in this child; the parent turns them into gauges
-            out_queue.put(
-                (
-                    "done",
+    try:
+        while True:
+            item = in_queue.get()
+            if item is None:
+                # the stats dict rides along because the worker's
+                # counters live in this child; the parent turns them
+                # into gauges
+                out_queue.put(
                     (
-                        worker.shard_id,
-                        worker.evaluator_stats.to_dict(),
-                        trace.drain(),
-                    ),
+                        "done",
+                        (
+                            worker.shard_id,
+                            worker.stats_snapshot(),
+                            trace.drain(),
+                        ),
+                    )
                 )
-            )
-            return
-        try:
-            update = worker.process_block(item)
-        except BaseException:
-            out_queue.put(("error", (worker.shard_id, traceback.format_exc())))
-            return
-        out_queue.put(("update", update))
+                return
+            try:
+                update = worker.process_block(item)
+            except BaseException:
+                out_queue.put(("error", (worker.shard_id, traceback.format_exc())))
+                return
+            out_queue.put(("update", update))
+    finally:
+        # detach shared mappings before exit so the resource tracker
+        # never sees a reader holding a segment it did not create
+        worker.close()
 
 
 class ProcessShardPool:
@@ -369,10 +628,26 @@ class ProcessShardPool:
     Input queues are bounded to ``maxsize`` so the pipeline's
     backpressure reaches across the process boundary instead of
     piling unbounded work into IPC buffers.
+
+    ``start_method`` selects the multiprocessing context (``"fork"``,
+    ``"spawn"``, ``"forkserver"``; ``None`` = platform default) —
+    shared-model workers pickle to segment names either way.
+    ``cleanup`` is invoked exactly once from :meth:`close`'s
+    ``finally`` path (the service passes the shared segment's unlink
+    there, so even an aborted run leaves ``/dev/shm`` clean).
     """
 
-    def __init__(self, workers: Sequence[ShardWorker], maxsize: int = 64):
-        self._ctx = mp.get_context()
+    def __init__(
+        self,
+        workers: Sequence[_ShardWorkerBase],
+        maxsize: int = 64,
+        *,
+        start_method: str | None = None,
+        cleanup: Callable[[], None] | None = None,
+    ):
+        self._ctx = mp.get_context(start_method)
+        self._cleanup = cleanup
+        self._closed = False
         # the result path is bounded too (the pipeline's backpressure
         # must reach the children): a slow publish stage blocks shard
         # puts instead of letting updates pile up in IPC buffers
@@ -419,7 +694,7 @@ class ProcessShardPool:
                         "with work still pending"
                     )
 
-    def submit(self, shard: int, work: BlockWork) -> None:
+    def submit(self, shard: int, work) -> None:
         self._put(shard, work)
 
     def finish(self, shard: int) -> None:
@@ -449,6 +724,23 @@ class ProcessShardPool:
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join(timeout=1.0)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Tear the pool down and run the cleanup hook, exactly once.
+
+        Safe on every exit path — normal quiescence, a raising stage,
+        KeyboardInterrupt — and the hook runs even if joining children
+        raises, so a shared segment is unlinked no matter how the run
+        ended.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.join(timeout=timeout)
+        finally:
+            if self._cleanup is not None:
+                self._cleanup()
 
     def __len__(self) -> int:
         return len(self.processes)

@@ -35,6 +35,7 @@ from .export import (
     write_prometheus,
     write_trace,
 )
+from .memory import current_rss_bytes, peak_rss_bytes
 from .metrics import (
     Counter,
     Gauge,
@@ -54,7 +55,9 @@ __all__ = [
     "Span",
     "Tracer",
     "chrome_trace_events",
+    "current_rss_bytes",
     "get_registry",
+    "peak_rss_bytes",
     "prometheus_text",
     "spans_to_chrome",
     "spans_to_jsonl",

@@ -75,11 +75,14 @@ class TestQuiescedParity:
 
 
 class TestProcessBackend:
-    async def test_process_shards_match_inline(self, workload):
+    @pytest.mark.parametrize("start_method", [None, "fork", "spawn"])
+    async def test_process_shards_match_inline(self, workload, start_method):
         market, log = workload
         inline = OpportunityService(market, n_shards=2)
         expected = book_pairs(await inline.run(log_source(log)))
-        service = OpportunityService(market, n_shards=2, backend="process")
+        service = OpportunityService(
+            market, n_shards=2, backend="process", start_method=start_method
+        )
         report = await service.run(log_source(log))
         assert book_pairs(report) == expected
         assert report.backend == "process"
@@ -90,6 +93,111 @@ class TestProcessBackend:
         await service.run(log_source(log))
         with pytest.raises(RuntimeError, match="single-shot"):
             await service.run(log_source(log))
+
+
+def _market_segments():
+    import os
+
+    from repro.market.shm import SEGMENT_PREFIX
+
+    try:
+        return {n for n in os.listdir("/dev/shm") if SEGMENT_PREFIX in n}
+    except FileNotFoundError:  # non-Linux: nothing to leak-check
+        return set()
+
+
+class TestSharedMemory:
+    """The zero-copy model: one segment, per-shard views, no pickled
+    market state — and bit-identical books regardless."""
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    async def test_shared_inline_matches_batch_detect(self, workload, n_shards):
+        market, log = workload
+        service = OpportunityService(market, n_shards=n_shards, shared=True)
+        try:
+            report = await service.run(log_source(log))
+        finally:
+            service.close()
+        assert book_pairs(report) == batch_book(market, log)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    async def test_shared_process_matches_batch_detect(
+        self, workload, start_method
+    ):
+        market, log = workload
+        before = _market_segments()
+        service = OpportunityService(
+            market, n_shards=2, backend="process", shared=True,
+            start_method=start_method,
+        )
+        try:
+            report = await service.run(log_source(log))
+        finally:
+            service.close()
+        assert book_pairs(report) == batch_book(market, log)
+        # seqlock accounting reaches the report in the shared model
+        counters = report.metrics["counters"]
+        assert "shm_epoch_waits" in counters
+        assert "shm_torn_retries" in counters
+        # memory block: shards hold handles, the segment is counted once
+        memory = report.memory
+        assert memory["shared"] is True
+        assert memory["segment_nbytes"] > 0
+        assert len(memory["shard_market_bytes"]) == 2
+        # and close() unlinked the segment — no /dev/shm leak
+        assert _market_segments() <= before
+
+    async def test_shared_pruning_matches_private(self, workload):
+        market, log = workload
+        k = 5
+        exact = await OpportunityService(market, n_shards=2).run(
+            log_source(log)
+        )
+        service = OpportunityService(
+            market, n_shards=2, backend="process", shared=True, prune_top_k=k
+        )
+        try:
+            pruned = await service.run(log_source(log))
+        finally:
+            service.close()
+        assert [(o.profit_usd, o.loop_id) for o in pruned.book.top(k)] == [
+            (o.profit_usd, o.loop_id) for o in exact.book.top(k)
+        ]
+        assert pruned.loops_pruned > 0
+
+    async def test_shared_requires_batchable_strategy(self, workload):
+        from repro.strategies import ConvexOptimizationStrategy
+
+        market, _ = workload
+        with pytest.raises(ValueError, match="shared"):
+            OpportunityService(
+                market, shared=True, strategy=ConvexOptimizationStrategy()
+            )
+
+    async def test_abnormal_worker_exit_still_unlinks_segment(self, workload):
+        from repro.amm.events import SwapEvent
+        from repro.core.errors import UnknownPoolError
+
+        market, _ = workload
+        pool = next(iter(market.registry))
+        bogus = SwapEvent(
+            pool_id="no-such-pool", token_in=pool.token0,
+            token_out=pool.token1, amount_in=1.0, amount_out=0.9, block=0,
+        )
+
+        async def corrupt_source():
+            yield bogus
+
+        before = _market_segments()
+        service = OpportunityService(
+            market, n_shards=2, backend="process", shared=True
+        )
+        try:
+            with pytest.raises(UnknownPoolError):
+                await service.run(corrupt_source())
+        finally:
+            service.close()
+        assert _market_segments() <= before
 
 
 class TestBackpressureAndDrops:
