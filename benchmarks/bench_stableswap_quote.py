@@ -1,0 +1,189 @@
+"""Throughput benchmark: per-loop scalar chain optimization vs the
+batched stableswap quote kernel.
+
+Builds complete token graphs of Curve-style amplified-invariant pools
+(random amplifications, reserves near balance, stable fees) whose
+length-3 loop universes ladder from ~10² to ~10³ loops — every loop
+crosses stableswap hops, so every quote needs the iterative
+chain-rule solver with the batched lockstep D/Y Newton iterations
+(:func:`~repro.market.batched_stableswap_d` /
+:func:`~repro.market.batched_stableswap_y`) rather than the closed
+form.  Each universe is scored with MaxMax twice: loop by loop on the
+scalar object path (per-hop ``calculate_d`` / ``calculate_y`` in
+Python), and through :class:`~repro.market.BatchEvaluator`, whose
+:func:`~repro.market.stableswap_quotes` kernel runs the same
+bracketing and bisection on the whole loop array at once with a
+converged mask.
+
+Parity is checked before a timing counts.  Stableswap arithmetic is
+``+ - * /`` only, so scalar and batch agree bit for bit on IEEE-754
+float64; the check still allows the documented portable tolerance
+(:data:`repro.market.STABLESWAP_PARITY_RTOL`) so the benchmark runs
+on exotic FMA-contracting platforms too.  The acceptance criterion is
+**batch ≥ 3× scalar at ~2×10³ stableswap loops** (the smoke ladder CI
+runs ends on the same gate rung).
+
+Run standalone (CI runs the smoke variant and uploads the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_stableswap_quote.py --smoke --json out.json
+
+or the full ladder::
+
+    PYTHONPATH=src python benchmarks/bench_stableswap_quote.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.amm.registry import PoolRegistry
+from repro.amm.stableswap import StableSwapPool
+from repro.core.types import PriceMap, Token
+from repro.engine import LoopUniverse
+from repro.market import STABLESWAP_PARITY_RTOL, BatchEvaluator, MarketArrays
+from repro.strategies import MaxMaxStrategy
+
+#: n_tokens — complete stableswap graphs; loop count is C(n,3) * 2.
+#: The inner Newton solves give the batch path a higher fixed dispatch
+#: cost per probe than the weighted kernel's pow, so the kernel-vs-
+#: scalar crossover sits around ~10³ loops and the gate rung is sized
+#: past it.
+FULL_CASES = [12, 20, 24]  # ~440 / ~2280 / ~4048 loops
+SMOKE_CASES = [12, 20]
+
+MIN_SPEEDUP = 3.0
+
+
+def make_market(n_tokens: int, seed: int):
+    """Complete graph of stableswap pools: near-balanced reserves (the
+    pegged-pair regime the family models) with enough imbalance spread
+    to make loops profitable, random amplifications across Curve's
+    mainnet range, and stable-pool fees."""
+    rng = np.random.default_rng(seed)
+    tokens = [Token(f"S{i:02d}") for i in range(n_tokens)]
+    registry = PoolRegistry()
+    pid = 0
+    for i in range(n_tokens):
+        for j in range(i + 1, n_tokens):
+            base = float(rng.uniform(1e4, 5e5))
+            registry.add(
+                StableSwapPool(
+                    tokens[i],
+                    tokens[j],
+                    base,
+                    base * float(rng.uniform(0.9, 1.1)),
+                    amplification=float(rng.uniform(10.0, 400.0)),
+                    fee=float(rng.uniform(0.0001, 0.002)),
+                    pool_id=f"s{pid}",
+                )
+            )
+            pid += 1
+    prices = PriceMap({t: float(rng.uniform(0.98, 1.02)) for t in tokens})
+    return registry, prices
+
+
+def _assert_parity(scalar, batch):
+    for k, (ref, got) in enumerate(zip(scalar, batch)):
+        ok = got.monetized_profit == ref.monetized_profit or abs(
+            got.monetized_profit - ref.monetized_profit
+        ) <= STABLESWAP_PARITY_RTOL * max(1.0, abs(ref.monetized_profit))
+        assert ok, f"parity at loop {k}: {got.monetized_profit} vs {ref.monetized_profit}"
+        ok = got.amount_in == ref.amount_in or abs(
+            got.amount_in - ref.amount_in
+        ) <= STABLESWAP_PARITY_RTOL * max(1.0, abs(ref.amount_in))
+        assert ok, f"parity at loop {k}: {got.amount_in} vs {ref.amount_in}"
+
+
+def run_case(n_tokens: int, repeats: int, seed: int = 11) -> dict:
+    registry, prices = make_market(n_tokens, seed)
+    loops = list(LoopUniverse(registry, 3).candidates)
+    strategy = MaxMaxStrategy()
+
+    t0 = time.perf_counter()
+    evaluator = BatchEvaluator(
+        loops, arrays=MarketArrays.from_registry(registry)
+    )
+    compile_s = time.perf_counter() - t0
+    assert evaluator.fallback_positions == []
+    assert all(g.mixed for g in evaluator.groups)
+
+    def best_of(fn):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    scalar_s, scalar = best_of(lambda: strategy.evaluate_many(loops, prices))
+    batch_s, batch = best_of(lambda: evaluator.evaluate_many(strategy, prices))
+    _assert_parity(scalar, batch)
+    assert evaluator.stats.scalar_loops == 0  # every quote was kernel-routed
+
+    return {
+        "n_tokens": n_tokens,
+        "n_pools": len(registry),
+        "n_loops": len(loops),
+        "compile_s": compile_s,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_loops_per_s": len(loops) / scalar_s if scalar_s > 0 else float("inf"),
+        "batch_loops_per_s": len(loops) / batch_s if batch_s > 0 else float("inf"),
+        "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes only (CI)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--json", help="write results to a JSON file")
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    results = []
+    for n_tokens in cases:
+        result = run_case(n_tokens, args.repeats)
+        results.append(result)
+        print(
+            f"{result['n_loops']:>6} stableswap loops ({result['n_pools']} pools): "
+            f"scalar {result['scalar_s'] * 1e3:8.1f} ms, "
+            f"batch {result['batch_s'] * 1e3:7.1f} ms "
+            f"(compile {result['compile_s'] * 1e3:.1f} ms) -> "
+            f"{result['speedup']:.1f}x"
+        )
+
+    largest = results[-1]
+    ok = largest["speedup"] >= MIN_SPEEDUP
+    print(
+        f"acceptance: batch >= {MIN_SPEEDUP:.0f}x scalar at "
+        f"{largest['n_loops']} stableswap loops -> "
+        f"{'PASS' if ok else 'FAIL'} ({largest['speedup']:.1f}x)"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "stableswap_quote",
+            "smoke": args.smoke,
+            "min_speedup": MIN_SPEEDUP,
+            "cases": results,
+            "pass": ok,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+def test_stableswap_quote_smoke():
+    assert main(["--smoke", "--repeats", "2"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

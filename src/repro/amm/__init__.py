@@ -28,8 +28,16 @@ from .integer import (
     loop_quote_in,
     loop_quote_out,
 )
+from .families import (
+    FAMILY_CPMM,
+    FAMILY_G3M,
+    FAMILY_NAMES,
+    FAMILY_STABLESWAP,
+    pool_family,
+)
 from .pool import DEFAULT_FEE, Pool, PoolSnapshot
 from .registry import PoolRegistry, RegistrySnapshot
+from .stableswap import StableSwapPool
 from .weighted import WeightedPool
 from .swap import (
     amount_in,
@@ -44,6 +52,10 @@ __all__ = [
     "BlockEvent",
     "BurnEvent",
     "DEFAULT_FEE",
+    "FAMILY_CPMM",
+    "FAMILY_G3M",
+    "FAMILY_NAMES",
+    "FAMILY_STABLESWAP",
     "FEE_DENOMINATOR",
     "FEE_NUMERATOR",
     "IDENTITY",
@@ -55,6 +67,7 @@ __all__ = [
     "PoolRegistry",
     "PoolSnapshot",
     "RegistrySnapshot",
+    "StableSwapPool",
     "SwapComposition",
     "SwapEvent",
     "WeightedPool",
@@ -69,5 +82,6 @@ __all__ = [
     "loop_quote_out",
     "marginal_rate",
     "max_amount_out",
+    "pool_family",
     "spot_price",
 ]

@@ -1,0 +1,455 @@
+"""Curve-style amplified-invariant stableswap pools (two-asset).
+
+The paper's strategies only need each hop's swap map to be increasing
+and concave; that also holds for Curve's *stableswap* family, which
+interpolates between constant-sum (``x + y = const``, ideal for pegged
+assets) and constant-product as reserves drift off balance.  For two
+assets with amplification ``A`` (``ann = A * n**n = 4A``) the invariant
+``D`` satisfies
+
+    4A * (x + y) + D  =  4A * D + D**3 / (4 * x * y)
+
+``D`` is found by the classic fixed-point/Newton iteration
+(:func:`calculate_d`); the out-side reserve on the curve, given the new
+in-side reserve, by the companion iteration :func:`calculate_y`.  An
+exact-in swap is then ``dy = y - Y(x + gamma * dx)`` and the marginal
+rate is ``gamma`` times the curve slope
+
+    -dy/dx  =  (4A + D^3/(4 x^2 y)) / (4A + D^3/(4 x y^2))
+
+(:func:`invariant_rate`).
+
+Parity contract with the columnar kernel
+----------------------------------------
+Both iterations use **only** ``+ - * /`` — correctly-rounded IEEE-754
+operations — and the batched lockstep twins in
+:mod:`repro.market.solvers` replay the *same operation order* per row,
+freezing converged rows with the PR-5 converged-mask pattern.  Unlike
+the weighted family (whose ``pow`` is not correctly rounded), scalar
+and batched stableswap quotes therefore agree bit for bit wherever
+float64 arithmetic is IEEE-compliant; ``STABLESWAP_PARITY_RTOL`` in
+:mod:`repro.market.weighted_kernel` documents the portable contract.
+Keep every expression here in lockstep with
+``batched_stableswap_d`` / ``batched_stableswap_y`` — reordering an
+operand is a parity break, not a style fix.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from ..core.errors import InvalidReserveError, SolverConvergenceError, UnknownTokenError
+from ..core.types import Token
+from .events import BurnEvent, MarketEvent, MintEvent, SwapEvent
+from .families import FAMILY_STABLESWAP
+from .swap import validate_fee, validate_reserves
+
+__all__ = [
+    "DEFAULT_AMPLIFICATION",
+    "DEFAULT_STABLESWAP_FEE",
+    "STABLESWAP_MAX_ITER",
+    "STABLESWAP_TOL",
+    "StableSwapPool",
+    "StableSwapSnapshot",
+    "calculate_d",
+    "calculate_y",
+    "invariant_rate",
+]
+
+_stable_counter = itertools.count()
+
+#: Curve mainnet stable pools commonly run A in the tens-to-hundreds.
+DEFAULT_AMPLIFICATION = 80.0
+#: Curve's classic stable-pool fee (4 bps) — lower than CPMM's 30 bps.
+DEFAULT_STABLESWAP_FEE = 0.0004
+
+#: Relative convergence tolerance shared by the scalar and batched
+#: solvers (the iterations are Newton-quadratic; a handful of steps
+#: reach it from the ``x + y`` / ``D`` warm starts).
+STABLESWAP_TOL = 1e-14
+#: Iteration cap shared by the scalar and batched solvers.
+STABLESWAP_MAX_ITER = 256
+
+
+def calculate_d(x: float, y: float, amp: float) -> float:
+    """Invariant ``D`` of a two-asset stableswap pool.
+
+    Fixed-point iteration on ``D`` (Curve's ``get_D``, specialized to
+    ``n = 2`` so ``ann = 4 * amp``), starting from the constant-sum
+    solution ``x + y``.  Operation order is pinned — the batched twin
+    ``repro.market.solvers.batched_stableswap_d`` replays it per row.
+    """
+    s = x + y
+    if s == 0.0:
+        return 0.0
+    ann = 4.0 * amp
+    d = s
+    for _ in range(STABLESWAP_MAX_ITER):
+        d_p = d * d / (2.0 * x) * d / (2.0 * y)
+        d_prev = d
+        d = (ann * s + 2.0 * d_p) * d / ((ann - 1.0) * d + 3.0 * d_p)
+        if abs(d - d_prev) <= STABLESWAP_TOL * max(1.0, d):
+            return d
+    raise SolverConvergenceError(
+        f"stableswap D iteration did not converge for "
+        f"x={x!r}, y={y!r}, amp={amp!r}"
+    )
+
+
+def calculate_y(x: float, d: float, amp: float) -> float:
+    """Out-side reserve on the invariant curve, given in-side ``x``.
+
+    Newton iteration on ``y**2 + (b - D) * y = c`` with
+    ``b = x + D/ann`` and ``c = D**3 / (4 * x * ann)`` (Curve's
+    ``get_y``, ``n = 2``), starting from ``D``.  Operation order is
+    pinned — ``repro.market.solvers.batched_stableswap_y`` replays it.
+    """
+    ann = 4.0 * amp
+    c = d * d / (2.0 * x) * d / (2.0 * ann)
+    b = x + d / ann
+    y = d
+    for _ in range(STABLESWAP_MAX_ITER):
+        y_prev = y
+        y = (y * y + c) / (2.0 * y + b - d)
+        if abs(y - y_prev) <= STABLESWAP_TOL * max(1.0, y):
+            return y
+    raise SolverConvergenceError(
+        f"stableswap Y iteration did not converge for "
+        f"x={x!r}, d={d!r}, amp={amp!r}"
+    )
+
+
+def invariant_rate(x: float, y: float, d: float, amp: float) -> float:
+    """Curve slope ``-dy/dx`` at ``(x, y)`` on the invariant ``d``.
+
+    ``(4A + D^3/(4 x^2 y)) / (4A + D^3/(4 x y^2))`` — implicit
+    differentiation of the invariant.  The shared factor is computed as
+    ``d/x * d/y * d/4`` so magnitudes stay near the reserve scale
+    instead of cubing ``d`` (which overflows first); the batched twin
+    uses the identical grouping.
+    """
+    ann = 4.0 * amp
+    term = d / x * d / y * d / 4.0
+    return (ann + term / x) / (ann + term / y)
+
+
+class StableSwapSnapshot:
+    """Frozen reserves of a stableswap pool (atomic revert support)."""
+
+    __slots__ = ("pool_id", "reserve0", "reserve1", "amplification", "fee")
+
+    def __init__(self, pool_id, reserve0, reserve1, amplification, fee):
+        self.pool_id = pool_id
+        self.reserve0 = reserve0
+        self.reserve1 = reserve1
+        self.amplification = amplification
+        self.fee = fee
+
+
+class StableSwapPool:
+    """A two-token amplified-invariant (Curve-style) pool.
+
+    Implements the same duck interface as
+    :class:`~repro.amm.pool.Pool` / :class:`~repro.amm.weighted.WeightedPool`
+    (``quote_out``, ``spot_price``, ``marginal_rate``,
+    ``reserves_oriented``, ``swap``, events, snapshot/restore), so
+    loops, strategies, replay, and the columnar market layer take it
+    without special cases; the linear-fractional composition algebra is
+    constant-product-specific and refuses it (``is_constant_product``
+    stays ``False``), routing scalar optimization through the generic
+    chain-rule path.
+
+    Parameters
+    ----------
+    token0, token1:
+        The pooled tokens (normalized so token0.symbol < token1.symbol).
+    reserve0, reserve1:
+        Reserves matching the argument order before normalization.
+    amplification:
+        Curve's ``A`` (>= 1); higher values hug constant-sum longer.
+        ``A -> inf`` is constant-sum, ``A`` small approaches
+        constant-product behaviour.
+    fee:
+        Swap fee on the input side, default 4 bps.
+    """
+
+    is_constant_product = False
+    family = FAMILY_STABLESWAP
+
+    __slots__ = (
+        "_token0", "_token1", "_reserve0", "_reserve1",
+        "_amplification", "_fee", "_pool_id", "_events",
+    )
+
+    def __init__(
+        self,
+        token0: Token,
+        token1: Token,
+        reserve0: float,
+        reserve1: float,
+        amplification: float = DEFAULT_AMPLIFICATION,
+        fee: float = DEFAULT_STABLESWAP_FEE,
+        pool_id: str | None = None,
+    ):
+        if token0 == token1:
+            raise InvalidReserveError(
+                f"a pool needs two distinct tokens, got {token0} twice"
+            )
+        validate_reserves(reserve0, reserve1)
+        validate_fee(fee)
+        if not (math.isfinite(amplification) and amplification >= 1.0):
+            raise InvalidReserveError(
+                f"amplification must be finite and >= 1, got {amplification}"
+            )
+        if token1.symbol < token0.symbol:
+            token0, token1 = token1, token0
+            reserve0, reserve1 = reserve1, reserve0
+        self._token0 = token0
+        self._token1 = token1
+        self._reserve0 = float(reserve0)
+        self._reserve1 = float(reserve1)
+        self._amplification = float(amplification)
+        self._fee = float(fee)
+        self._pool_id = (
+            pool_id if pool_id is not None else f"spool-{next(_stable_counter)}"
+        )
+        self._events: list[MarketEvent] = []
+
+    # ------------------------------------------------------------------
+    # identity & orientation
+    # ------------------------------------------------------------------
+
+    @property
+    def pool_id(self) -> str:
+        return self._pool_id
+
+    @property
+    def token0(self) -> Token:
+        return self._token0
+
+    @property
+    def token1(self) -> Token:
+        return self._token1
+
+    @property
+    def tokens(self) -> tuple[Token, Token]:
+        return (self._token0, self._token1)
+
+    @property
+    def fee(self) -> float:
+        return self._fee
+
+    @property
+    def amplification(self) -> float:
+        return self._amplification
+
+    @property
+    def reserve0(self) -> float:
+        """Current reserve of ``token0`` (duck-parity with ``Pool``)."""
+        return self._reserve0
+
+    @property
+    def reserve1(self) -> float:
+        """Current reserve of ``token1``."""
+        return self._reserve1
+
+    @property
+    def events(self) -> tuple[MarketEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    @property
+    def last_event(self) -> MarketEvent | None:
+        return self._events[-1] if self._events else None
+
+    def events_after(self, count: int) -> tuple[MarketEvent, ...]:
+        return tuple(self._events[count:])
+
+    def discard_events_after(self, count: int) -> None:
+        """Drop events recorded after the first ``count`` (revert support)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        del self._events[count:]
+
+    def __contains__(self, token: Token) -> bool:
+        return token == self._token0 or token == self._token1
+
+    def other(self, token: Token) -> Token:
+        if token == self._token0:
+            return self._token1
+        if token == self._token1:
+            return self._token0
+        raise UnknownTokenError(f"{token} is not in {self!r}")
+
+    def reserve_of(self, token: Token) -> float:
+        if token == self._token0:
+            return self._reserve0
+        if token == self._token1:
+            return self._reserve1
+        raise UnknownTokenError(f"{token} is not in {self!r}")
+
+    def reserves_oriented(self, token_in: Token) -> tuple[float, float]:
+        return (self.reserve_of(token_in), self.reserve_of(self.other(token_in)))
+
+    def __repr__(self) -> str:
+        return (
+            f"StableSwapPool({self._pool_id}: {self._reserve0:g} "
+            f"{self._token0.symbol} / {self._reserve1:g} {self._token1.symbol}, "
+            f"A={self._amplification:g}, fee={self._fee})"
+        )
+
+    # ------------------------------------------------------------------
+    # quotes
+    # ------------------------------------------------------------------
+
+    def invariant(self) -> float:
+        """Current invariant ``D`` of the pool."""
+        return calculate_d(self._reserve0, self._reserve1, self._amplification)
+
+    def quote_out(self, token_in: Token, amount_in: float) -> float:
+        """Exact-in: ``dy = y - Y(x + gamma * dx)`` on the invariant.
+
+        ``amount_in == 0`` short-circuits to exactly ``0.0`` — the
+        Newton residual (~``STABLESWAP_TOL * y``) would otherwise make
+        a zero-size quote nonzero; the batched kernel replicates the
+        guard with a ``where`` mask so the paths stay in lockstep.
+        """
+        if not math.isfinite(amount_in) or amount_in < 0:
+            raise ValueError(f"input amount must be >= 0 and finite, got {amount_in}")
+        if amount_in == 0.0:
+            return 0.0
+        x, y = self.reserves_oriented(token_in)
+        gamma = 1.0 - self._fee
+        d = calculate_d(x, y, self._amplification)
+        y_new = calculate_y(x + gamma * amount_in, d, self._amplification)
+        return y - y_new
+
+    def spot_price(self, token_in: Token) -> float:
+        """Fee-adjusted marginal price at zero size: ``gamma * (-dy/dx)``."""
+        x, y = self.reserves_oriented(token_in)
+        d = calculate_d(x, y, self._amplification)
+        return (1.0 - self._fee) * invariant_rate(x, y, d, self._amplification)
+
+    def marginal_rate(self, token_in: Token, amount_in: float) -> float:
+        """``d(amount_out)/d(amount_in)`` at trade size ``amount_in``:
+        ``gamma`` times the curve slope at ``(x + gamma*t, Y(x + gamma*t))``.
+        """
+        if not math.isfinite(amount_in) or amount_in < 0:
+            raise ValueError(f"input amount must be >= 0 and finite, got {amount_in}")
+        x, y = self.reserves_oriented(token_in)
+        gamma = 1.0 - self._fee
+        d = calculate_d(x, y, self._amplification)
+        x_cur = x + gamma * amount_in
+        if amount_in == 0.0:
+            y_cur = y
+        else:
+            y_cur = calculate_y(x_cur, d, self._amplification)
+        return gamma * invariant_rate(x_cur, y_cur, d, self._amplification)
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+
+    def swap(self, token_in: Token, amount_in: float) -> float:
+        """Execute an exact-in swap; mutates reserves, logs an event."""
+        token_out = self.other(token_in)
+        amount_out = self.quote_out(token_in, amount_in)
+        if token_in == self._token0:
+            self._reserve0 += amount_in
+            self._reserve1 -= amount_out
+        else:
+            self._reserve1 += amount_in
+            self._reserve0 -= amount_out
+        self._events.append(
+            SwapEvent(
+                pool_id=self._pool_id,
+                token_in=token_in,
+                token_out=token_out,
+                amount_in=amount_in,
+                amount_out=amount_out,
+            )
+        )
+        return amount_out
+
+    def copy(self) -> "StableSwapPool":
+        return StableSwapPool(
+            self._token0,
+            self._token1,
+            self._reserve0,
+            self._reserve1,
+            amplification=self._amplification,
+            fee=self._fee,
+            pool_id=self._pool_id,
+        )
+
+    def add_liquidity(self, amount0: float, amount1: float) -> None:
+        """Proportional deposit (ratio-matched, like Pool.add_liquidity).
+
+        ``D`` is homogeneous of degree 1 (scaling both reserves by
+        ``k`` scales ``D`` by ``k``), so a ratio-matched deposit keeps
+        the pool's balance point — the same protocol the other
+        families use, and what replay's Mint events encode.
+        """
+        if amount0 <= 0 or amount1 <= 0:
+            raise InvalidReserveError(
+                f"liquidity amounts must be positive, got ({amount0}, {amount1})"
+            )
+        ratio_pool = self._reserve0 / self._reserve1
+        ratio_in = amount0 / amount1
+        if abs(ratio_in - ratio_pool) > 1e-3 * ratio_pool:
+            raise InvalidReserveError(
+                f"deposit ratio {ratio_in:g} does not match pool ratio "
+                f"{ratio_pool:g} in {self._pool_id}"
+            )
+        self._reserve0 += amount0
+        self._reserve1 += amount1
+        self._events.append(
+            MintEvent(pool_id=self._pool_id, amount0=amount0, amount1=amount1)
+        )
+
+    def remove_liquidity(self, fraction: float) -> tuple[float, float]:
+        """Withdraw a fraction of both reserves."""
+        if not 0.0 < fraction < 1.0:
+            raise InvalidReserveError(f"fraction must be in (0, 1), got {fraction}")
+        out0 = self._reserve0 * fraction
+        out1 = self._reserve1 * fraction
+        self._reserve0 -= out0
+        self._reserve1 -= out1
+        self._events.append(
+            BurnEvent(
+                pool_id=self._pool_id, fraction=fraction, amount0=out0, amount1=out1
+            )
+        )
+        return (out0, out1)
+
+    def tvl(self, prices) -> float:
+        """Total value locked under a price map."""
+        return (
+            prices[self._token0] * self._reserve0
+            + prices[self._token1] * self._reserve1
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (atomicity protocol shared with Pool)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> StableSwapSnapshot:
+        return StableSwapSnapshot(
+            pool_id=self._pool_id,
+            reserve0=self._reserve0,
+            reserve1=self._reserve1,
+            amplification=self._amplification,
+            fee=self._fee,
+        )
+
+    def restore(self, snap: StableSwapSnapshot) -> None:
+        if snap.pool_id != self._pool_id:
+            raise ValueError(
+                f"snapshot of {snap.pool_id} cannot restore {self._pool_id}"
+            )
+        self._reserve0 = snap.reserve0
+        self._reserve1 = snap.reserve1

@@ -39,6 +39,7 @@ import numpy as np
 from ..core.errors import InvalidReserveError, UnknownTokenError
 from ..core.types import Token
 from .events import BurnEvent, MarketEvent, MintEvent, SwapEvent
+from .families import FAMILY_G3M
 from .swap import validate_fee, validate_reserves
 
 __all__ = ["WeightedPool", "WeightedPoolSnapshot", "pinned_pow"]
@@ -124,6 +125,7 @@ class WeightedPool:
     """
 
     is_constant_product = False
+    family = FAMILY_G3M
 
     __slots__ = (
         "_token0", "_token1", "_reserve0", "_reserve1",

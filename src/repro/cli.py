@@ -117,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("detect", help="list profitable loops in a snapshot")
     p.add_argument("--seed", type=int, default=20230901)
+    p.add_argument("--stableswap-fraction", type=float, default=0.0,
+                   dest="stableswap_fraction", metavar="FRAC",
+                   help="fraction of synthetic pools built as amplified-"
+                   "invariant stableswap pools (default 0 = pure "
+                   "constant-product, byte-identical to older builds)")
     p.add_argument("--length", type=int, default=3)
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--jobs", type=int, default=1,
@@ -189,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--blocks", type=int, default=None, help="default 12")
     p.add_argument("--events-per-block", type=int, default=None,
                    dest="events_per_block", help="default 6")
+    p.add_argument("--stableswap-fraction", type=float, default=None,
+                   dest="stableswap_fraction", metavar="FRAC",
+                   help="fraction of synthetic pools built as stableswap "
+                   "pools (default 0)")
     p.add_argument("--length", type=int, default=3, help="candidate loop length")
     p.add_argument("--strategies", default="maxmax",
                    help="comma-separated registry names to score loops with")
@@ -227,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--blocks", type=int, default=12)
     p.add_argument("--events-per-block", type=int, default=6,
                    dest="events_per_block")
+    p.add_argument("--stableswap-fraction", type=float, default=0.0,
+                   dest="stableswap_fraction", metavar="FRAC",
+                   help="fraction of synthetic pools built as stableswap "
+                   "pools (default 0)")
     p.add_argument("--length", type=int, default=3, help="candidate loop length")
     p.add_argument("--strategy", default="maxmax",
                    help="registry name of the book's scoring strategy")
@@ -284,6 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pools-per-block", type=int, default=None,
                    dest="pools_per_block",
                    help="touch sparsity: max distinct pools per block")
+    p.add_argument("--stableswap-fraction", type=float, default=0.0,
+                   dest="stableswap_fraction", metavar="FRAC",
+                   help="fraction of synthetic pools built as stableswap "
+                   "pools (default 0)")
     p.add_argument("--length", type=int, default=3)
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--backend", choices=("inline", "process"), default="inline")
@@ -443,7 +460,9 @@ def _cmd_calibrate(args) -> None:
 
 
 def _cmd_detect(args) -> None:
-    snapshot = paper_market(seed=args.seed)
+    snapshot = paper_market(
+        seed=args.seed, stableswap_fraction=args.stableswap_fraction
+    )
     from .service.book import opportunity_sort_key
     from .strategies.maxmax import MaxMaxStrategy
 
@@ -674,6 +693,7 @@ def _cmd_replay(args) -> None:
         "--pools": args.pools,
         "--blocks": args.blocks,
         "--events-per-block": args.events_per_block,
+        "--stableswap-fraction": args.stableswap_fraction,
     }
     if args.events:
         extras = [flag for flag, value in synthetic_given.items() if value is not None]
@@ -691,6 +711,11 @@ def _cmd_replay(args) -> None:
             n_pools=args.pools if args.pools is not None else 30,
             seed=seed,
             price_noise=0.015,
+            stableswap_fraction=(
+                args.stableswap_fraction
+                if args.stableswap_fraction is not None
+                else 0.0
+            ),
         ).generate()
         log = generate_event_stream(
             market,
@@ -850,6 +875,7 @@ def _cmd_serve(args) -> None:
         market = SyntheticMarketGenerator(
             n_tokens=args.tokens, n_pools=args.pools, seed=args.seed,
             price_noise=0.015,
+            stableswap_fraction=args.stableswap_fraction,
         ).generate()
         if args.simulate is not None:
             from .simulation import SimulationEngine
@@ -986,6 +1012,7 @@ def _cmd_loadgen(args) -> None:
     market, log = loadgen.make_workload(
         args.tokens, args.pools, args.blocks, args.events_per_block, args.seed,
         pools_per_block=args.pools_per_block,
+        stableswap_fraction=args.stableswap_fraction,
     )
     from .strategies.maxmax import MaxMaxStrategy
 

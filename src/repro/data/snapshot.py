@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
+from ..amm.families import FAMILY_G3M, FAMILY_STABLESWAP, pool_family
 from ..amm.pool import Pool
 from ..amm.registry import PoolRegistry
 from ..core.errors import SnapshotFormatError
@@ -94,10 +95,14 @@ class MarketSnapshot:
             "reserve1": pool.reserve_of(pool.token1),
             "fee": pool.fee,
         }
-        if not getattr(pool, "is_constant_product", True):
+        family = pool_family(pool)
+        if family == FAMILY_G3M:
             spec["type"] = "weighted"
             spec["weight0"] = pool.weight_of(pool.token0)
             spec["weight1"] = pool.weight_of(pool.token1)
+        elif family == FAMILY_STABLESWAP:
+            spec["type"] = "stableswap"
+            spec["amplification"] = pool.amplification
         return spec
 
     @classmethod
@@ -122,7 +127,8 @@ class MarketSnapshot:
             )
             registry = PoolRegistry()
             for spec in data["pools"]:
-                if spec.get("type") == "weighted":
+                pool_type = spec.get("type")
+                if pool_type == "weighted":
                     from ..amm.weighted import WeightedPool
 
                     registry.add(
@@ -136,6 +142,25 @@ class MarketSnapshot:
                             fee=float(spec["fee"]),
                             pool_id=spec["pool_id"],
                         )
+                    )
+                elif pool_type == "stableswap":
+                    from ..amm.stableswap import StableSwapPool
+
+                    registry.add(
+                        StableSwapPool(
+                            tokens[spec["token0"]],
+                            tokens[spec["token1"]],
+                            float(spec["reserve0"]),
+                            float(spec["reserve1"]),
+                            amplification=float(spec["amplification"]),
+                            fee=float(spec["fee"]),
+                            pool_id=spec["pool_id"],
+                        )
+                    )
+                elif pool_type is not None:
+                    raise SnapshotFormatError(
+                        f"unknown pool type {pool_type!r} in "
+                        f"{spec.get('pool_id', '<no id>')!r}"
                     )
                 else:
                     registry.add(

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..amm.pool import DEFAULT_FEE
 from ..amm.registry import PoolRegistry
+from ..amm.stableswap import DEFAULT_AMPLIFICATION, StableSwapPool
 from ..cex.static import REFERENCE_PRICES_2023_09
 from ..core.types import PriceMap, Token
 from ..graph.filters import PAPER_MIN_RESERVE, PAPER_MIN_TVL_USD
@@ -65,6 +66,18 @@ class SyntheticMarketGenerator:
         Lognormal sigma of pool TVL.
     price_sigma:
         Lognormal sigma of generated token prices (tail tokens).
+    stableswap_fraction:
+        Fraction of pools built as amplified-invariant
+        :class:`~repro.amm.stableswap.StableSwapPool` instances instead
+        of constant-product pools.  A stableswap pool models a pegged
+        pair, so its reserves are drawn near-balanced in *token* terms
+        (the mispricing noise supplies the imbalance); pairing tokens
+        whose CEX prices differ therefore injects arbitrage, exactly
+        like a depegged pool does on mainnet.  The default 0 draws no
+        extra RNG values at all, so snapshots generated before this
+        knob existed are reproduced byte-identically per seed.
+    stableswap_amplification:
+        Amplification coefficient A for generated stableswap pools.
     """
 
     n_tokens: int = 51
@@ -76,6 +89,8 @@ class SyntheticMarketGenerator:
     median_tvl: float = 250_000.0
     tvl_sigma: float = 1.0
     price_sigma: float = 2.0
+    stableswap_fraction: float = 0.0
+    stableswap_amplification: float = DEFAULT_AMPLIFICATION
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -87,6 +102,16 @@ class SyntheticMarketGenerator:
             )
         if self.price_noise < 0:
             raise ValueError(f"price_noise must be >= 0, got {self.price_noise}")
+        if not 0.0 <= self.stableswap_fraction <= 1.0:
+            raise ValueError(
+                "stableswap_fraction must be in [0, 1], "
+                f"got {self.stableswap_fraction}"
+            )
+        if self.stableswap_fraction > 0 and self.stableswap_amplification <= 0:
+            raise ValueError(
+                "stableswap_amplification must be > 0, "
+                f"got {self.stableswap_amplification}"
+            )
 
     # ------------------------------------------------------------------
 
@@ -96,18 +121,24 @@ class SyntheticMarketGenerator:
         tokens = self._make_tokens()
         prices = self._make_prices(tokens)
         registry = self._make_pools(tokens, prices)
+        metadata = {
+            "generator": "SyntheticMarketGenerator",
+            "n_tokens": self.n_tokens,
+            "n_pools": self.n_pools,
+            "seed": self.seed,
+            "price_noise": self.price_noise,
+            "fee": self.fee,
+        }
+        if self.stableswap_fraction > 0:
+            # key added only when active so pre-knob snapshots (and
+            # their checked-in JSON) stay byte-identical per seed
+            metadata["stableswap_fraction"] = self.stableswap_fraction
+            metadata["stableswap_amplification"] = self.stableswap_amplification
         return MarketSnapshot(
             registry=registry,
             prices=prices,
             label=f"synthetic-{self.seed}",
-            metadata={
-                "generator": "SyntheticMarketGenerator",
-                "n_tokens": self.n_tokens,
-                "n_pools": self.n_pools,
-                "seed": self.seed,
-                "price_noise": self.price_noise,
-                "fee": self.fee,
-            },
+            metadata=metadata,
         )
 
     # ------------------------------------------------------------------
@@ -224,17 +255,55 @@ class SyntheticMarketGenerator:
                 scale = PAPER_MIN_TVL_USD * 1.05 / tvl_now
                 reserve_a *= scale
                 reserve_b *= scale
+            pool_id = f"syn-{index:04d}"
+            if (
+                self.stableswap_fraction > 0
+                and float(self._rng.random()) < self.stableswap_fraction
+            ):
+                # Pegged pair: a stableswap pool quotes near 1:1 in
+                # token terms, so its reserves are near-balanced with
+                # the already-drawn mispricing noise as the imbalance.
+                # The gate above is the only extra RNG draw this branch
+                # makes, and it is skipped entirely at fraction 0.
+                ss_a = reserve_a
+                ss_b = reserve_a / noise
+                floor_scale = max(
+                    1.0,
+                    PAPER_MIN_RESERVE * 1.5 / min(ss_a, ss_b),
+                    PAPER_MIN_TVL_USD * 1.05
+                    / (prices[a] * ss_a + prices[b] * ss_b),
+                )
+                registry.add(
+                    StableSwapPool(
+                        a,
+                        b,
+                        ss_a * floor_scale,
+                        ss_b * floor_scale,
+                        amplification=self.stableswap_amplification,
+                        fee=self.fee,
+                        pool_id=pool_id,
+                    )
+                )
+                continue
             registry.create(
                 a,
                 b,
                 reserve_a,
                 reserve_b,
                 fee=self.fee,
-                pool_id=f"syn-{index:04d}",
+                pool_id=pool_id,
             )
         return registry
 
 
-def paper_market(seed: int = 20230901, price_noise: float = 0.012) -> MarketSnapshot:
+def paper_market(
+    seed: int = 20230901,
+    price_noise: float = 0.012,
+    stableswap_fraction: float = 0.0,
+) -> MarketSnapshot:
     """The default §VI-scale market: 51 tokens, 208 pools."""
-    return SyntheticMarketGenerator(seed=seed, price_noise=price_noise).generate()
+    return SyntheticMarketGenerator(
+        seed=seed,
+        price_noise=price_noise,
+        stableswap_fraction=stableswap_fraction,
+    ).generate()

@@ -4,23 +4,29 @@ The :mod:`repro.market` layer sits between the object-level AMM model
 (:mod:`repro.amm`) and the consumers that evaluate many loops per
 step (:mod:`repro.engine`, :mod:`repro.replay`, :mod:`repro.service`):
 
-* :class:`MarketArrays` — structure-of-arrays reserves/fees/weights
-  with pool and token index maps, built from and round-trippable to a
+* :class:`MarketArrays` — structure-of-arrays reserves/fees/weights/
+  amplifications with pool and token index maps and a per-row family
+  code, built from and round-trippable to a
   :class:`~repro.amm.registry.PoolRegistry`, with in-place (and, for
-  distinct-pool batches, vectorized) event application for both pool
-  families;
+  distinct-pool batches, vectorized) event application for every pool
+  family;
+* :func:`family_descriptor` / :class:`FamilyDescriptor`
+  (:mod:`repro.market.families`) — the per-family dispatch registry
+  (scalar swap mirror, chain-kernel lanes, bound rule, object
+  factory) every market-layer consumer routes through;
 * :func:`compile_loops` / :class:`CompiledLoopGroup` — loops × hops
   pool-index and orientation matrices over a fixed arrays instance,
-  grouped by (length, weighted);
+  grouped by (length, mixed);
 * :func:`batch_quotes` — the closed-form kernel: optimal input, hop
   amounts, and single-token profit for one rotation of every compiled
   constant-product loop in a single vectorized pass, bit-identical to
   the scalar path;
-* :func:`weighted_quotes` / the ``cp_*`` iterative kernels — the same
-  contract for weighted-hop loops and the bisection/golden solver
-  methods, built on the batched lockstep solvers of
-  :mod:`repro.market.solvers` (weighted parity documented at
-  :data:`WEIGHTED_PARITY_RTOL`);
+* :func:`chain_quotes` / the ``cp_*`` iterative kernels — the same
+  contract for loops crossing non-closed-form hops (G3M, stableswap,
+  any mix) and the bisection/golden solver methods, built on the
+  batched lockstep solvers of :mod:`repro.market.solvers` (parity
+  documented at :data:`WEIGHTED_PARITY_RTOL` /
+  :data:`STABLESWAP_PARITY_RTOL`);
 * :class:`BatchEvaluator` — strategy dispatch (traditional / MaxPrice
   / MaxMax on any of the three solvers) with built-in scalar fallback
   only for non-batchable strategies, foreign pools, and tiny dirty
@@ -45,6 +51,12 @@ from .bounds import (
     rotation_profit_bounds,
 )
 from .compile import CompiledLoopGroup, compile_loops
+from .families import (
+    FAMILY_DESCRIPTORS,
+    FamilyDescriptor,
+    family_descriptor,
+    needs_chain_kernel,
+)
 from .integer_kernel import (
     WAD,
     IntegerBatchQuotes,
@@ -64,15 +76,24 @@ from .oracle import (
 )
 from .shm import (
     PoolHandle,
+    SegmentLayoutError,
     SharedMarketArrays,
     SharedMarketView,
     pool_handles,
 )
-from .solvers import batched_golden_section, batched_maximize_by_derivative
+from .solvers import (
+    batched_golden_section,
+    batched_maximize_by_derivative,
+    batched_stableswap_d,
+    batched_stableswap_y,
+)
 from .weighted_kernel import (
+    STABLESWAP_PARITY_RTOL,
     WEIGHTED_PARITY_RTOL,
+    chain_quotes,
     cp_bisection_quotes,
     cp_golden_quotes,
+    stableswap_quotes,
     weighted_quotes,
 )
 
@@ -82,7 +103,9 @@ __all__ = [
     "BatchQuotes",
     "CompiledLoopGroup",
     "EvaluatorStats",
+    "FAMILY_DESCRIPTORS",
     "FEE_PPM_DENOMINATOR",
+    "FamilyDescriptor",
     "IntegerBatchQuotes",
     "MarketArrays",
     "ORACLE_DPS",
@@ -90,6 +113,8 @@ __all__ = [
     "PoolHandle",
     "SharedMarketArrays",
     "SharedMarketView",
+    "STABLESWAP_PARITY_RTOL",
+    "SegmentLayoutError",
     "WAD",
     "WEIGHTED_PARITY_RTOL",
     "base_units",
@@ -97,16 +122,21 @@ __all__ = [
     "batch_quotes",
     "batched_golden_section",
     "batched_maximize_by_derivative",
+    "batched_stableswap_d",
+    "batched_stableswap_y",
     "below_threshold",
+    "chain_quotes",
     "compile_loops",
     "cp_bisection_quotes",
     "cp_golden_quotes",
     "exact_loop_quote",
+    "family_descriptor",
     "have_mpmath",
     "integer_batch_quotes",
     "integer_hops",
     "monetize_quotes",
     "monetized_bounds",
+    "needs_chain_kernel",
     "oracle_monetized",
     "oracle_quote",
     "oriented_reserves",
@@ -115,5 +145,6 @@ __all__ = [
     "quantize_fee",
     "rel_error",
     "rotation_profit_bounds",
+    "stableswap_quotes",
     "weighted_quotes",
 ]

@@ -20,16 +20,18 @@ operation, so array-applied reserves are *bit-identical* to the same
 events applied through :class:`~repro.amm.pool.Pool` — the property
 the hypothesis round-trip suite pins down.
 
-Weighted (G3M) pools are first-class columns too: ``weight0`` /
-``weight1`` sit alongside the reserves (1.0 for constant-product rows,
-where only the ratio would matter anyway) and ``constant_product``
-flags the family per row so both the event mirror and the kernels
-(:mod:`repro.market.kernel` closed-form for CPMM rows,
-:mod:`repro.market.weighted_kernel` for weighted-containing loops)
-dispatch the right arithmetic.  Weighted swap events apply the G3M
-exact-in formula through the same :func:`~repro.amm.weighted.pinned_pow`
-the object path uses, so the columnar mirror never drifts from the
-pools it shadows — the weighted replay regression suite pins that.
+Pool families are first-class columns: ``family`` holds each row's
+integer family code (:data:`~repro.amm.families.FAMILY_CPMM` /
+``FAMILY_G3M`` / ``FAMILY_STABLESWAP``) next to the per-family
+parameter columns — ``weight0`` / ``weight1`` (1.0 outside G3M, where
+only the ratio would matter anyway) and ``amp`` (0.0 outside
+stableswap).  Both the event mirror and the kernels dispatch through
+the per-family descriptor registry (:mod:`repro.market.families`):
+each family's swap events apply that family's exact-in formula
+op-for-op with its pool class (G3M through the same
+:func:`~repro.amm.weighted.pinned_pow`, stableswap through the same
+Newton iterations), so the columnar mirror never drifts from the pools
+it shadows — the replay regression suites pin that per family.
 """
 
 from __future__ import annotations
@@ -46,15 +48,15 @@ from ..amm.events import (
     PriceTickEvent,
     SwapEvent,
 )
-from ..amm.pool import Pool
+from ..amm.families import FAMILY_CPMM, FAMILY_NAMES, pool_family
 from ..amm.registry import PoolRegistry
-from ..amm.weighted import pinned_pow
 from ..core.errors import (
     InvalidReserveError,
     UnknownPoolError,
     UnknownTokenError,
 )
 from ..core.types import Token
+from .families import family_descriptor
 
 __all__ = ["FEE_PPM_DENOMINATOR", "MarketArrays", "quantize_fee"]
 
@@ -103,9 +105,10 @@ class MarketArrays:
         "fee_num",
         "weight0",
         "weight1",
+        "amp",
         "token0_idx",
         "token1_idx",
-        "constant_product",
+        "family",
     )
 
     def __init__(self, pools: Iterable):
@@ -132,20 +135,24 @@ class MarketArrays:
         self.fee_num = np.empty(n, dtype=np.int64)
         self.weight0 = np.ones(n, dtype=np.float64)
         self.weight1 = np.ones(n, dtype=np.float64)
+        self.amp = np.zeros(n, dtype=np.float64)
         self.token0_idx = np.empty(n, dtype=np.intp)
         self.token1_idx = np.empty(n, dtype=np.intp)
-        self.constant_product = np.empty(n, dtype=bool)
+        self.family = np.empty(n, dtype=np.int8)
         for i, pool in enumerate(pool_list):
             self.reserve0[i] = pool.reserve_of(pool.token0)
             self.reserve1[i] = pool.reserve_of(pool.token1)
             self._write_fee(i, pool.fee)
             self.token0_idx[i] = tokens[pool.token0]
             self.token1_idx[i] = tokens[pool.token1]
-            is_cp = bool(getattr(pool, "is_constant_product", True))
-            self.constant_product[i] = is_cp
-            if not is_cp:
-                self.weight0[i] = pool.weight_of(pool.token0)
-                self.weight1[i] = pool.weight_of(pool.token1)
+            code = pool_family(pool)
+            family_descriptor(code)  # unknown families fail loudly here
+            self.family[i] = code
+            weight_of = getattr(pool, "weight_of", None)
+            if weight_of is not None:
+                self.weight0[i] = weight_of(pool.token0)
+                self.weight1[i] = weight_of(pool.token1)
+            self.amp[i] = getattr(pool, "amplification", 0.0)
 
     @classmethod
     def from_registry(cls, registry: PoolRegistry) -> "MarketArrays":
@@ -161,7 +168,7 @@ class MarketArrays:
 
     @property
     def nbytes(self) -> int:
-        """Total payload bytes of the nine columns.
+        """Total payload bytes of the ten columns.
 
         The index maps (``pool_index`` / ``token_index``) are excluded
         on purpose: this is the number the memory reports compare
@@ -175,19 +182,23 @@ class MarketArrays:
             + self.fee_num.nbytes
             + self.weight0.nbytes
             + self.weight1.nbytes
+            + self.amp.nbytes
             + self.token0_idx.nbytes
             + self.token1_idx.nbytes
-            + self.constant_product.nbytes
+            + self.family.nbytes
         )
 
     def __contains__(self, pool_id: str) -> bool:
         return pool_id in self.pool_index
 
     def __repr__(self) -> str:
-        weighted = int((~self.constant_product).sum())
+        parts = []
+        for code in np.unique(self.family):
+            count = int((self.family == code).sum())
+            parts.append(f"{count} {FAMILY_NAMES.get(int(code), f'family{code}')}")
         return (
             f"MarketArrays({len(self)} pools, {len(self.tokens)} tokens, "
-            f"{weighted} weighted)"
+            f"{' / '.join(parts) if parts else 'empty'})"
         )
 
     def reserves(self, pool_id: str) -> tuple[float, float]:
@@ -231,37 +242,14 @@ class MarketArrays:
     # ------------------------------------------------------------------
 
     def to_registry(self) -> PoolRegistry:
-        """Materialize the current array state as fresh pool objects."""
+        """Materialize the current array state as fresh pool objects,
+        through each row's family descriptor."""
         registry = PoolRegistry()
-        for i, pool_id in enumerate(self.pool_ids):
+        for i in range(len(self.pool_ids)):
             token0 = self.tokens[self.token0_idx[i]]
             token1 = self.tokens[self.token1_idx[i]]
-            if self.constant_product[i]:
-                registry.add(
-                    Pool(
-                        token0,
-                        token1,
-                        float(self.reserve0[i]),
-                        float(self.reserve1[i]),
-                        fee=float(self.fee[i]),
-                        pool_id=pool_id,
-                    )
-                )
-            else:
-                from ..amm.weighted import WeightedPool
-
-                registry.add(
-                    WeightedPool(
-                        token0,
-                        token1,
-                        float(self.reserve0[i]),
-                        float(self.reserve1[i]),
-                        float(self.weight0[i]),
-                        float(self.weight1[i]),
-                        fee=float(self.fee[i]),
-                        pool_id=pool_id,
-                    )
-                )
+            descriptor = family_descriptor(self.family[i])
+            registry.add(descriptor.to_pool(self, i, token0, token1))
         return registry
 
     def pull(
@@ -340,16 +328,6 @@ class MarketArrays:
             f"{token_in} is not in pool {self.pool_ids[i]!r}"
         )
 
-    def _weighted_out(self, i: int, is0: bool, x: float, y: float,
-                      gamma: float, dx: float) -> float:
-        """G3M exact-in output, op-for-op :meth:`WeightedPool.quote_out`
-        (after its validation): ``dy = y*(1 - (x/(x+γ·dx))^(w_in/w_out))``."""
-        w_in = float(self.weight0[i]) if is0 else float(self.weight1[i])
-        w_out = float(self.weight1[i]) if is0 else float(self.weight0[i])
-        ratio = w_in / w_out
-        base = x / (x + gamma * dx)
-        return y * (1.0 - pinned_pow(base, ratio))
-
     def _apply_one(self, event: MarketEvent, i: int) -> None:
         r0 = float(self.reserve0[i])
         r1 = float(self.reserve1[i])
@@ -364,17 +342,14 @@ class MarketArrays:
             if dx == 0.0:
                 return
             gamma = 1.0 - float(self.fee[i])
-            if self.constant_product[i]:
-                eff = gamma * dx
-                dy = y * eff / (x + eff)
-            else:
-                dy = self._weighted_out(i, is0, x, y, gamma, dx)
+            descriptor = family_descriptor(self.family[i])
+            dy = descriptor.scalar_out(self, i, is0, x, y, gamma, dx)
             new_x = x + dx
             new_y = y - dy
-            # weighted rows skip the depletion check: the G3M formula
-            # cannot emit a full reserve, and WeightedPool.swap has no
-            # such check to mirror
-            if self.constant_product[i] and new_y <= 0:
+            # only CPMM rows mirror an object-path depletion check: the
+            # G3M / stableswap formulas cannot emit a full reserve, and
+            # their pool.swap methods have no such check to mirror
+            if descriptor.depletion_check and new_y <= 0:
                 raise InvalidReserveError(
                     f"reserve of {event.token_out} would become {new_y}"
                 )
@@ -416,9 +391,9 @@ class MarketArrays:
         event is valid*, so swaps and burns become one gather / compute
         / scatter each, with the same IEEE-754 sequence per element as
         :meth:`_apply_one` (mints stay scalar — rare, per-event ratio
-        validation; weighted swap outputs are likewise recomputed
-        per-row through the scalar G3M mirror, so their ``pinned_pow``
-        call sequence is identical to the object path's).  Everything
+        validation; non-CPMM swap outputs are likewise recomputed
+        per-row through each family's scalar mirror, so their call
+        sequence is identical to the object path's).  Everything
         is validated against the (disjoint) pre-states before anything
         is written; a batch containing any invalid event is re-run
         sequentially instead, so the exception raised — and the partial
@@ -456,13 +431,14 @@ class MarketArrays:
             gamma = 1.0 - self.fee[idx]
             eff = gamma * dx
             dy = y * eff / (x + eff)
-            cp = self.constant_product[idx]
+            fam = self.family[idx]
+            cp = fam == FAMILY_CPMM
             if not cp.all():
-                # weighted rows: overwrite the CPMM output with the
-                # scalar G3M mirror (per row, like _apply_one)
+                # non-CPMM rows: overwrite the CPMM output with the
+                # row's scalar family mirror (per row, like _apply_one)
                 for k in np.nonzero(~cp)[0]:
-                    dy[k] = self._weighted_out(
-                        int(idx[k]), bool(is0[k]), float(x[k]),
+                    dy[k] = family_descriptor(fam[k]).scalar_out(
+                        self, int(idx[k]), bool(is0[k]), float(x[k]),
                         float(y[k]), float(gamma[k]), float(dx[k]),
                     )
             new_x = np.where(dx == 0.0, x, x + dx)

@@ -57,10 +57,12 @@ from ..strategies.traditional import (
     quote_profit_vector,
     result_from_quote,
 )
+from ..amm.families import pool_family
 from .arrays import MarketArrays
 from .bounds import below_threshold
 from .bounds import monetized_bounds as _group_monetized_bounds
 from .compile import CompiledLoopGroup, compile_loops
+from .families import family_descriptor
 from .integer_kernel import (
     WAD,
     base_units,
@@ -69,9 +71,9 @@ from .integer_kernel import (
 )
 from .kernel import BatchQuotes, batch_quotes, monetize_quotes
 from .weighted_kernel import (
+    chain_quotes,
     cp_bisection_quotes,
     cp_golden_quotes,
-    weighted_quotes,
 )
 
 __all__ = [
@@ -118,8 +120,8 @@ def batch_kind(strategy: Strategy) -> str | None:
 def _quote_fn(group: CompiledLoopGroup, method: str) -> QuoteFn:
     """The kernel quoting ``group`` under solver ``method`` (see module
     docstring for the dispatch table)."""
-    if group.weighted:
-        return weighted_quotes
+    if group.mixed:
+        return chain_quotes
     if method == "closed_form":
         return batch_quotes
     if method == "bisection":
@@ -445,11 +447,11 @@ class BatchEvaluator:
         for position, result in results.items():
             if result.amount_in is None or result.start_token is None:
                 continue
-            # weighted (G3M) hops have no on-chain floor-arithmetic
-            # twin — fractional pow is not integer math — so weighted
-            # loops keep the float quote with the oracle error bar
+            # families without an integer-arithmetic twin (G3M's
+            # fractional pow, stableswap's float Newton solve) keep
+            # the float quote with the oracle error bar
             if any(
-                not getattr(pool, "is_constant_product", True)
+                not family_descriptor(pool_family(pool)).integer_exact
                 for pool in result.loop.pools
             ):
                 continue

@@ -11,14 +11,17 @@ book entry) but is free to be loose — it exists so the evaluator can
 skip the expensive kernel/solver pass for loops that provably cannot
 beat a threshold.
 
-Derivation.  Every hop map ``f_j`` (CPMM or G3M) is increasing,
-concave on ``[0, inf)``, and ``f_j(0) = 0``, so the composed
-round-trip output satisfies two global inequalities:
+Derivation.  Every hop map ``f_j`` (CPMM, G3M, or stableswap) is
+increasing, concave on ``[0, inf)``, and ``f_j(0) = 0``, so the
+composed round-trip output satisfies two global inequalities:
 
-* ``out(t) <= R * t`` where ``R = prod_j f_j'(0)
-  = prod_j gamma_j * r_j * y_j / x_j`` (``r_j = w_in/w_out``, 1 for
-  CPMM) — concavity puts every chord under the tangent at 0, and the
-  slope at 0 composes multiplicatively;
+* ``out(t) <= R * t`` where ``R = prod_j f_j'(0)`` — concavity puts
+  every chord under the tangent at 0, and the slope at 0 composes
+  multiplicatively.  The slope at 0 is per-family
+  (``gamma * y/x`` for CPMM, scaled by ``w_in/w_out`` for G3M,
+  ``gamma`` times the invariant-curve slope for stableswap); each
+  family's rule is its descriptor's ``bound_factor`` hook in
+  :mod:`repro.market.families`;
 * ``out(t) < y_last`` — no hop can emit more than its out-side
   reserve.
 
@@ -66,6 +69,7 @@ import numpy as np
 from ..core.types import PriceMap
 from .arrays import MarketArrays
 from .compile import CompiledLoopGroup
+from .families import family_descriptor
 from .kernel import oriented_reserves
 
 __all__ = [
@@ -102,29 +106,35 @@ def group_rate_bound(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-loop spot-rate product and out-side reserve gathers.
 
-    Returns ``(rate, y_out)`` where ``rate[k] = prod_j gamma_j * r_j *
-    y_j / x_j`` over the base rotation's hops (a rotation invariant)
-    and ``y_out[k, j]`` is the oriented out-side reserve of base hop
-    ``j`` — the reserve capping the token that rotation ``j+1`` starts
-    from.
+    Returns ``(rate, y_out)`` where ``rate[k] = prod_j f_j'(0)`` over
+    the base rotation's hops (a rotation invariant) and ``y_out[k, j]``
+    is the oriented out-side reserve of base hop ``j`` — the reserve
+    capping the token that rotation ``j+1`` starts from.
+
+    The CPMM spot slope ``gamma * y/x`` is the vectorized base case;
+    each non-CPMM family present in a hop column adjusts its own lanes
+    through its descriptor's ``bound_factor`` hook (in family-code
+    order, like the chain kernel's lanes).
     """
     count = len(group)
     n = group.length
     rate = np.ones(count, dtype=np.float64)
     y_out = np.empty((count, n), dtype=np.float64)
-    w0, w1 = arrays.weight0, arrays.weight1
     with np.errstate(**_SILENT):
         for j in range(n):
             pool_col = group.pool_idx[:, j]
             orient_col = group.orient[:, j]
             x, y, gamma = oriented_reserves(arrays, pool_col, orient_col)
             hop = gamma * y / x
-            if group.weighted:
-                # constant-product rows carry weights 1.0/1.0, so the
-                # ratio is an exact no-op for them
-                w_in = np.where(orient_col, w0[pool_col], w1[pool_col])
-                w_out = np.where(orient_col, w1[pool_col], w0[pool_col])
-                hop = hop * (w_in / w_out)
+            if group.mixed:
+                fam = arrays.family[pool_col]
+                for code in sorted(int(c) for c in np.unique(fam)):
+                    bound_factor = family_descriptor(code).bound_factor
+                    if bound_factor is not None:
+                        hop = bound_factor(
+                            arrays, fam == code, pool_col, orient_col,
+                            x, y, gamma, hop,
+                        )
             rate = rate * hop
             y_out[:, j] = y
     return rate, y_out
@@ -143,7 +153,7 @@ def rotation_profit_bounds(
     rate, y_out = group_rate_bound(arrays, group)
     with np.errstate(**_SILENT):
         r_eff = rate * (1.0 + BOUND_RATE_MARGIN)
-        if group.weighted:
+        if group.mixed:
             # generic chord bound: y * (R - 1) / R
             factor = (r_eff - 1.0) / r_eff
         else:

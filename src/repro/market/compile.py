@@ -9,13 +9,17 @@ any rotation of every loop with pure gathers — no object traversal.
 
 Loops are *eligible* for compilation when every hop's pool is present
 in the arrays; only loops crossing foreign pools land in the fallback
-set and keep the scalar path.  Grouping is by ``(length, weighted)``:
+set and keep the scalar path.  Grouping is by ``(length, mixed)``
+where ``mixed`` asks the family registry whether any hop's family
+lacks a closed form (:func:`repro.market.families.needs_chain_kernel`):
 purely constant-product loops keep the closed-form kernel
 (:mod:`repro.market.kernel`, bit-exact by construction), while loops
-containing at least one weighted (G3M) hop — including weighted pools
+containing at least one non-CPMM hop — G3M (including weighted pools
 whose weights happen to be equal, which the scalar path also treats
-as G3M — are grouped separately for the iterative weighted kernel
-(:mod:`repro.market.weighted_kernel`).  Grouping by loop length keeps
+as G3M) or stableswap, in any combination — are grouped for the
+iterative chain kernel (:mod:`repro.market.weighted_kernel`), which
+dispatches per-hop lanes by family.  Mixed-family loops therefore
+never fall back to the scalar path.  Grouping by loop length keeps
 each matrix rectangular.
 """
 
@@ -26,9 +30,11 @@ from typing import Sequence
 
 import numpy as np
 
+from ..amm.families import pool_family
 from ..core.loop import ArbitrageLoop
 from ..core.types import Token
 from .arrays import MarketArrays
+from .families import family_descriptor, needs_chain_kernel
 
 __all__ = ["CompiledLoopGroup", "compile_loops"]
 
@@ -46,10 +52,9 @@ class CompiledLoopGroup:
         The loop objects, aligned with the matrix rows.
     length:
         Hop count ``n`` shared by every loop in the group.
-    weighted:
-        True when the group's loops contain at least one weighted
-        (G3M) hop; such groups are quoted by the iterative weighted
-        kernel, never the closed form.
+    families:
+        The set of family codes present across the group's hops
+        (:data:`repro.amm.families.FAMILY_CPMM` and friends).
     pool_idx:
         ``(L, n)`` array: arrays-row of the pool serving hop ``j`` of
         the base rotation (start = ``loop.tokens[0]``).
@@ -71,12 +76,24 @@ class CompiledLoopGroup:
     positions: np.ndarray
     loops: tuple[ArbitrageLoop, ...]
     length: int
-    weighted: bool
+    families: frozenset[int]
     pool_idx: np.ndarray
     orient: np.ndarray
     token_idx: np.ndarray
     symbol_rank: np.ndarray
     token_offset: tuple[dict[Token, int], ...]
+
+    @property
+    def mixed(self) -> bool:
+        """True when any hop's family lacks a closed form, so the
+        group is quoted by the iterative chain kernel."""
+        return needs_chain_kernel(self.families)
+
+    @property
+    def weighted(self) -> bool:
+        """Historical alias of :attr:`mixed` (the chain kernel grew
+        out of the G3M/weighted kernel)."""
+        return self.mixed
 
     def __len__(self) -> int:
         return len(self.loops)
@@ -88,7 +105,7 @@ class CompiledLoopGroup:
             positions=self.positions[rows],
             loops=tuple(self.loops[k] for k in sel),
             length=self.length,
-            weighted=self.weighted,
+            families=self.families,
             pool_idx=self.pool_idx[rows],
             orient=self.orient[rows],
             token_idx=self.token_idx[rows],
@@ -97,16 +114,20 @@ class CompiledLoopGroup:
         )
 
 
-def _loop_kind(loop: ArbitrageLoop, arrays: MarketArrays) -> bool | None:
-    """``False``/``True`` for compilable CPMM-only/weighted-containing
-    loops, ``None`` when a hop's pool is not in the arrays."""
-    weighted = False
+def _loop_families(
+    loop: ArbitrageLoop, arrays: MarketArrays
+) -> frozenset[int] | None:
+    """Family codes of a compilable loop's hops, ``None`` when a hop's
+    pool is not in the arrays.  Unknown families fail loudly here (the
+    descriptor lookup raises) rather than miscompiling to CPMM."""
+    families = set()
     for pool in loop.pools:
         if pool.pool_id not in arrays.pool_index:
             return None
-        if not getattr(pool, "is_constant_product", True):
-            weighted = True
-    return weighted
+        code = pool_family(pool)
+        family_descriptor(code)
+        families.add(code)
+    return frozenset(families)
 
 
 def compile_loops(
@@ -115,21 +136,24 @@ def compile_loops(
     """Split ``loops`` into compiled groups plus scalar-fallback positions.
 
     Returns ``(groups, fallback)`` where each group covers the eligible
-    loops of one ``(length, weighted)`` combination (in input order)
+    loops of one ``(length, mixed)`` combination (in input order)
     and ``fallback`` lists the positions of loops that must stay on the
     object path (a hop's pool missing from the arrays).
     """
     by_kind: dict[tuple[int, bool], list[int]] = {}
+    kind_families: dict[tuple[int, bool], set[int]] = {}
     fallback: list[int] = []
     for position, loop in enumerate(loops):
-        weighted = _loop_kind(loop, arrays)
-        if weighted is None:
+        families = _loop_families(loop, arrays)
+        if families is None:
             fallback.append(position)
         else:
-            by_kind.setdefault((len(loop), weighted), []).append(position)
+            key = (len(loop), needs_chain_kernel(families))
+            by_kind.setdefault(key, []).append(position)
+            kind_families.setdefault(key, set()).update(families)
 
     groups: list[CompiledLoopGroup] = []
-    for (length, weighted), positions in sorted(by_kind.items()):
+    for (length, _mixed), positions in sorted(by_kind.items()):
         count = len(positions)
         pool_idx = np.empty((count, length), dtype=np.intp)
         orient = np.empty((count, length), dtype=bool)
@@ -157,7 +181,7 @@ def compile_loops(
                 positions=np.asarray(positions, dtype=np.intp),
                 loops=tuple(group_loops),
                 length=length,
-                weighted=weighted,
+                families=frozenset(kind_families[(length, _mixed)]),
                 pool_idx=pool_idx,
                 orient=orient,
                 token_idx=token_idx,

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..amm.families import FAMILY_CPMM, FAMILY_G3M, FAMILY_STABLESWAP, pool_family
 from ..core.errors import StrategyError
 from ..core.loop import ArbitrageLoop, Rotation
 from ..core.types import PriceMap, Token
@@ -88,49 +89,99 @@ def require_mpmath() -> None:
 # ----------------------------------------------------------------------
 
 
+def _stable_d(x, y, amp):
+    """Stableswap invariant ``D`` for reserves ``(x, y)`` in mpf:
+    Newton on ``f(D) = D³/(4xy) + (ann-1)·D - ann·(x+y)`` (``ann =
+    4·amp``), which is convex increasing for ``D > 0`` so Newton from
+    ``D = x + y`` converges monotonically."""
+    ann = 4 * mpf(amp)
+    s = x + y
+    if s == 0:
+        return mpf(0)
+    d = s
+    tol = mpf(10) ** _OPT_TOL_EXP
+    for _ in range(500):
+        f = d**3 / (4 * x * y) + (ann - 1) * d - ann * s
+        fp = 3 * d**2 / (4 * x * y) + (ann - 1)
+        step = f / fp
+        d = d - step
+        if abs(step) <= tol * max(mpf(1), d):
+            return d
+    raise ArithmeticError(  # pragma: no cover - convex Newton converges
+        "oracle stableswap D iteration did not converge"
+    )
+
+
+def _stable_y(x, d, amp):
+    """Out-side reserve on the stableswap curve, exactly: ``Y`` is the
+    positive root of ``y² + (b - D)·y - c = 0`` with ``b = x + D/ann``
+    and ``c = D³/(4·x·ann)``, so the mpf quadratic formula replaces
+    the float paths' Newton iterations."""
+    ann = 4 * mpf(amp)
+    c = d**3 / (4 * x * ann)
+    b = x + d / ann
+    return ((d - b) + mp.sqrt((b - d) ** 2 + 4 * c)) / 2
+
+
 def _hop_params(rotation: Rotation) -> list[tuple]:
-    """Per hop: ``(x, y, gamma, ratio)`` as exact mpf conversions of
-    the pool's floats; ``ratio`` is ``w_in/w_out`` for weighted (G3M)
-    hops and ``None`` for constant-product ones.  ``mpf(float)`` is
-    exact (binary to binary), so the oracle evaluates the *same*
-    market the float paths see — only the arithmetic differs."""
+    """Per hop: ``(x, y, gamma, family, extra)`` as exact mpf
+    conversions of the pool's floats; ``extra`` is ``w_in/w_out`` for
+    weighted (G3M) hops, ``(amp, D)`` for stableswap hops (``D``
+    solved once — it depends only on the fixed reserves), and ``None``
+    for constant-product ones.  ``mpf(float)`` is exact (binary to
+    binary), so the oracle evaluates the *same* market the float paths
+    see — only the arithmetic differs."""
     params = []
     for token_in, token_out, pool in rotation.hops():
         x = mpf(pool.reserve_of(token_in))
         y = mpf(pool.reserve_of(token_out))
         gamma = 1 - mpf(pool.fee)
-        if getattr(pool, "is_constant_product", True):
-            ratio = None
+        family = pool_family(pool)
+        if family == FAMILY_G3M:
+            extra = mpf(pool.weight_of(token_in)) / mpf(pool.weight_of(token_out))
+        elif family == FAMILY_STABLESWAP:
+            amp = mpf(pool.amplification)
+            extra = (amp, _stable_d(x, y, amp))
         else:
-            ratio = mpf(pool.weight_of(token_in)) / mpf(pool.weight_of(token_out))
-        params.append((x, y, gamma, ratio))
+            extra = None
+        params.append((x, y, gamma, family, extra))
     return params
 
 
-def oracle_amount_out(x, y, fee, amount_in, ratio=None):
-    """One hop's exact-in output in mpf: the CPMM formula when
-    ``ratio`` is None, the G3M formula for ``ratio = w_in/w_out``.
-    Scalars may be floats (converted exactly) or mpf."""
+def oracle_amount_out(x, y, fee, amount_in, ratio=None, amp=None):
+    """One hop's exact-in output in mpf: the CPMM formula by default,
+    the G3M formula for ``ratio = w_in/w_out``, the stableswap curve
+    for ``amp`` (amplification).  Scalars may be floats (converted
+    exactly) or mpf."""
     require_mpmath()
     with mp.workdps(ORACLE_DPS):
         x, y = mpf(x), mpf(y)
         gamma = 1 - mpf(fee)
         t = mpf(amount_in)
+        if amp is not None:
+            d = _stable_d(x, y, mpf(amp))
+            return y - _stable_y(x + gamma * t, d, mpf(amp))
         if ratio is None:
             eff = gamma * t
             return y * eff / (x + eff)
         return y * (1 - (x / (x + gamma * t)) ** mpf(ratio))
 
 
+def _hop_out(x, y, eff, family, extra):
+    """One hop's output at effective input ``eff = gamma*t``, mpf."""
+    if family == FAMILY_G3M:
+        return y * (1 - (x / (x + eff)) ** extra)
+    if family == FAMILY_STABLESWAP:
+        amp, d = extra
+        return y - _stable_y(x + eff, d, amp)
+    return y * eff / (x + eff)
+
+
 def _simulate(params: Sequence[tuple], t):
     amounts = [t]
     current = t
-    for x, y, gamma, ratio in params:
-        eff = gamma * current
-        if ratio is None:
-            current = y * eff / (x + eff)
-        else:
-            current = y * (1 - (x / (x + eff)) ** ratio)
+    for x, y, gamma, family, extra in params:
+        current = _hop_out(x, y, gamma * current, family, extra)
         amounts.append(current)
     return amounts
 
@@ -141,14 +192,21 @@ def _rate(params: Sequence[tuple], t):
     :func:`repro.optimize.chain.chain_rate` in mpf."""
     rate = mpf(1)
     current = t
-    for x, y, gamma, ratio in params:
+    for x, y, gamma, family, extra in params:
         eff = gamma * current
-        if ratio is None:
-            rate *= y * gamma * x / (x + eff) ** 2
-            current = y * eff / (x + eff)
-        else:
+        if family == FAMILY_G3M:
+            ratio = extra
             rate *= y * ratio * gamma * x**ratio / (x + eff) ** (ratio + 1)
-            current = y * (1 - (x / (x + eff)) ** ratio)
+        elif family == FAMILY_STABLESWAP:
+            amp, d = extra
+            ann = 4 * amp
+            x_c = x + eff
+            y_c = _stable_y(x_c, d, amp)
+            term = d**3 / (4 * x_c * y_c)
+            rate *= gamma * (ann + term / x_c) / (ann + term / y_c)
+        else:
+            rate *= y * gamma * x / (x + eff) ** 2
+        current = _hop_out(x, y, eff, family, extra)
     return rate
 
 
@@ -170,7 +228,7 @@ def _closed_form_input(params: Sequence[tuple]):
     compose ``t -> a*t/(b + c*t)`` over the hops, then
     ``t* = (sqrt(a*b) - b)/c`` iff ``a > b``."""
     a, b, c = mpf(1), mpf(1), mpf(0)
-    for x, y, gamma, _ratio in params:
+    for x, y, gamma, _family, _extra in params:
         c = x * c + gamma * a
         a = a * (y * gamma)
         b = b * x
@@ -212,7 +270,7 @@ def oracle_optimal_input(rotation: Rotation):
     require_mpmath()
     with mp.workdps(ORACLE_DPS):
         params = _hop_params(rotation)
-        if all(ratio is None for _x, _y, _g, ratio in params):
+        if all(family == FAMILY_CPMM for _x, _y, _g, family, _e in params):
             return _closed_form_input(params)
         hint = params[0][0] * mpf("1e-3")
         return _bisect_input(params, hint)
@@ -239,7 +297,7 @@ def oracle_quote(rotation: Rotation) -> OracleQuote:
     require_mpmath()
     with mp.workdps(ORACLE_DPS):
         params = _hop_params(rotation)
-        if all(ratio is None for _x, _y, _g, ratio in params):
+        if all(family == FAMILY_CPMM for _x, _y, _g, family, _e in params):
             t = _closed_form_input(params)
         else:
             t = _bisect_input(params, params[0][0] * mpf("1e-3"))

@@ -66,11 +66,13 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from ..amm.families import FAMILY_CPMM, pool_family
 from ..core.types import Token
 from .arrays import MarketArrays
 
 __all__ = [
     "PoolHandle",
+    "SegmentLayoutError",
     "SharedMarketArrays",
     "SharedMarketView",
     "pool_handles",
@@ -81,7 +83,12 @@ __all__ = [
 SEGMENT_PREFIX = "repro_mkt_"
 
 _MAGIC = 0x5250524F_53484D31  # "RPRO" "SHM1"
-_LAYOUT_VERSION = 1
+#: Version 2: the ``constant_product`` bool column became the ``family``
+#: int8 code plus the ``amp`` (stableswap amplification) float column.
+#: Bumped whenever the column set, dtypes, or order change — an attach
+#: across versions raises :class:`SegmentLayoutError` instead of
+#: misreading reserves at wrong offsets.
+_LAYOUT_VERSION = 2
 #: int64 header slots: magic, layout version, n_pools, n_tokens, epoch.
 _N_HEADER = 5
 _EPOCH_SLOT = 4
@@ -100,10 +107,21 @@ _MUTABLE_COLUMNS = (
 _STATIC_COLUMNS = (
     ("weight0", np.float64),
     ("weight1", np.float64),
+    ("amp", np.float64),
     ("token0_idx", np.int64),
     ("token1_idx", np.int64),
-    ("constant_product", np.bool_),
+    ("family", np.int8),
 )
+
+
+class SegmentLayoutError(ValueError):
+    """A shared-market segment's header does not match this build's
+    layout — wrong magic (not a shared market at all) or a different
+    layout version (created by an older/newer build, so the column
+    offsets and dtypes this reader would map are wrong).  The segment
+    must be recreated by the same build that attaches it; reserves are
+    never read at mismatched offsets.
+    """
 
 #: Reader spin discipline: pure yields first, then a short sleep so a
 #: lagging writer never busy-burns a whole core.
@@ -152,23 +170,25 @@ class PoolHandle:
     """Loop-topology stand-in for a pool: identity and pool family.
 
     Exactly enough for loop validation (``token in pool``), kernel
-    compilation (``pool_id`` / ``token0`` / ``is_constant_product``
-    drive row and kernel-group selection), and result assembly — and
-    nothing else.  Reserves, fees, and weights live in the shared
+    compilation (``pool_id`` / ``token0`` / ``family`` drive row and
+    kernel-group selection), and result assembly — and nothing else.
+    Reserves, fees, weights, and amplifications live in the shared
     columns alone: a shared-memory shard that accidentally routes a
     loop onto the scalar (object-reading) path fails loudly with
     ``AttributeError`` instead of silently quoting stale state.
     """
 
-    __slots__ = ("pool_id", "token0", "token1", "is_constant_product")
+    __slots__ = ("pool_id", "token0", "token1", "family")
 
     def __init__(self, pool):
         self.pool_id = pool.pool_id
         self.token0 = pool.token0
         self.token1 = pool.token1
-        self.is_constant_product = bool(
-            getattr(pool, "is_constant_product", True)
-        )
+        self.family = pool_family(pool)
+
+    @property
+    def is_constant_product(self) -> bool:
+        return self.family == FAMILY_CPMM
 
     @property
     def tokens(self) -> tuple[Token, Token]:
@@ -210,7 +230,7 @@ def _cleanup_owned() -> None:  # pragma: no cover - exit path
 class SharedMarketArrays(MarketArrays):
     """The single-writer end of a shared-memory market.
 
-    A :class:`MarketArrays` whose nine columns are numpy views into a
+    A :class:`MarketArrays` whose ten columns are numpy views into a
     named ``SharedMemory`` segment, plus the seqlock epoch counter in
     the segment header.  Only one process may ever mutate it (the
     service's ingest stage); every shard maps a
@@ -371,10 +391,20 @@ class SharedMarketView:
         self._shm = _attach_segment(self.segment_name)
         self._closed = False
         header = np.ndarray((_N_HEADER,), dtype=np.int64, buffer=self._shm.buf)
-        if int(header[0]) != _MAGIC or int(header[1]) != _LAYOUT_VERSION:
-            raise ValueError(
+        if int(header[0]) != _MAGIC:
+            raise SegmentLayoutError(
                 f"segment {self.segment_name!r} is not a shared market "
-                f"(magic/version mismatch)"
+                f"segment (magic 0x{int(header[0]) & (2**64 - 1):016x}, "
+                f"expected 0x{_MAGIC:016x})"
+            )
+        if int(header[1]) != _LAYOUT_VERSION:
+            raise SegmentLayoutError(
+                f"segment {self.segment_name!r} uses shared-market layout "
+                f"version {int(header[1])}, but this build reads version "
+                f"{_LAYOUT_VERSION}; the column set changed between "
+                "versions, so attaching would map reserves at wrong "
+                "offsets — recreate the segment with the build that "
+                "attaches it"
             )
         n = int(header[2])
         if int(header[3]) != len(self.tokens):

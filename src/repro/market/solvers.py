@@ -36,11 +36,17 @@ from typing import Callable
 
 import numpy as np
 
+from ..amm.stableswap import STABLESWAP_MAX_ITER, STABLESWAP_TOL
 from ..core.errors import SolverConvergenceError
 from ..optimize.bisection import DEFAULT_MAX_ITER, DEFAULT_TOL
 from ..telemetry import trace
 
-__all__ = ["batched_maximize_by_derivative", "batched_golden_section"]
+__all__ = [
+    "batched_golden_section",
+    "batched_maximize_by_derivative",
+    "batched_stableswap_d",
+    "batched_stableswap_y",
+]
 
 logger = logging.getLogger("repro.market.solvers")
 
@@ -230,3 +236,99 @@ def _golden_solve(
             f"golden-section search did not converge in {max_iter} iterations"
         )
     return x, iterations
+
+
+# ----------------------------------------------------------------------
+# stableswap invariant solvers — lockstep twins of the scalar Newton
+# iterations in repro.amm.stableswap
+# ----------------------------------------------------------------------
+
+# numpy would *warn* on the inf/NaN intermediates degenerate-magnitude
+# reserves produce (and the test suite escalates RuntimeWarnings);
+# python-float scalar iteration is silent on the same inputs, so the
+# batched twins silence elementwise noise and report non-convergence
+# through the same SolverConvergenceError the scalar functions raise.
+_STABLE_SILENCE = {"over": "ignore", "invalid": "ignore", "divide": "ignore"}
+
+
+def _stableswap_finish(values, active, what, raise_on_fail):
+    """Shared non-convergence handling for the stableswap iterations."""
+    if not active.any():
+        return values
+    logger.warning(
+        "batched stableswap %s iteration hit the %d-iteration budget "
+        "with %d rows unconverged",
+        what,
+        STABLESWAP_MAX_ITER,
+        int(active.sum()),
+    )
+    if raise_on_fail:
+        raise SolverConvergenceError(
+            f"stableswap {what} iteration did not converge in "
+            f"{STABLESWAP_MAX_ITER} iterations"
+        )
+    return np.where(active, np.nan, values)
+
+
+def batched_stableswap_d(
+    x: np.ndarray,
+    y: np.ndarray,
+    amp: np.ndarray,
+    *,
+    raise_on_fail: bool = True,
+) -> np.ndarray:
+    """Row-wise stableswap invariant ``D`` — lockstep twin of
+    :func:`repro.amm.stableswap.calculate_d`.
+
+    Every row replays the scalar fixed-point iteration's exact
+    operation sequence (``+ - * /`` only, so the agreement is
+    bit-for-bit, not merely close), with the converged mask freezing
+    finished rows.  ``raise_on_fail=False`` returns NaN for rows that
+    fail to converge (degenerate-magnitude reserves) instead of
+    raising — the bound pass uses it, where NaN already means
+    "unprunable", while the kernel path keeps the scalar contract of
+    failing loudly.
+    """
+    s = x + y
+    ann = 4.0 * amp
+    d = np.array(s, dtype=np.float64, copy=True)
+    active = s != 0.0  # the scalar guard: D(0, 0) = 0 without iterating
+    with np.errstate(**_STABLE_SILENCE):
+        for _ in range(STABLESWAP_MAX_ITER):
+            if not active.any():
+                return d
+            d_new = d * d / (2.0 * x) * d / (2.0 * y)  # D_P
+            d_new = (ann * s + 2.0 * d_new) * d / ((ann - 1.0) * d + 3.0 * d_new)
+            done = np.abs(d_new - d) <= STABLESWAP_TOL * np.maximum(1.0, d_new)
+            d = np.where(active, d_new, d)
+            active &= ~done
+    return _stableswap_finish(d, active, "D", raise_on_fail)
+
+
+def batched_stableswap_y(
+    x: np.ndarray,
+    d: np.ndarray,
+    amp: np.ndarray,
+    *,
+    raise_on_fail: bool = True,
+) -> np.ndarray:
+    """Row-wise out-side reserve on the invariant — lockstep twin of
+    :func:`repro.amm.stableswap.calculate_y`.
+
+    Same per-row bit-parity and failure contract as
+    :func:`batched_stableswap_d`.
+    """
+    ann = 4.0 * amp
+    c = d * d / (2.0 * x) * d / (2.0 * ann)
+    b = x + d / ann
+    y = np.array(d, dtype=np.float64, copy=True)
+    active = np.ones(y.shape, dtype=bool)
+    with np.errstate(**_STABLE_SILENCE):
+        for _ in range(STABLESWAP_MAX_ITER):
+            y_new = (y * y + c) / (2.0 * y + b - d)
+            done = np.abs(y_new - y) <= STABLESWAP_TOL * np.maximum(1.0, y_new)
+            y = np.where(active, y_new, y)
+            active &= ~done
+            if not active.any():
+                return y
+    return _stableswap_finish(y, active, "Y", raise_on_fail)

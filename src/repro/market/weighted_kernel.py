@@ -3,20 +3,25 @@
 Two scalar-fallback seams used to quarantine loops on the per-loop
 object path; both are closed here:
 
-* **Weighted hops.**  The G3M hop map
-  ``out = y * (1 - (x / (x + γ·t))^(w_in/w_out))`` has no
-  linear-fractional composition, so a loop containing one weighted
-  pool has no closed-form optimum.  :func:`weighted_quotes` evaluates
-  such loops array-wide with the chain rule — the composed marginal
-  rate at input ``t`` is the product of per-hop marginal rates along
-  the simulated path — and finds each loop's optimum with the batched
-  bracketing + bisection solver
+* **Non-closed-form hops.**  Neither the G3M hop map
+  ``out = y * (1 - (x / (x + γ·t))^(w_in/w_out))`` nor the stableswap
+  map ``out = y - Y(x + γ·t)`` composes linear-fractionally, so a loop
+  containing one such pool has no closed-form optimum.
+  :func:`chain_quotes` evaluates such loops array-wide with the chain
+  rule — the composed marginal rate at input ``t`` is the product of
+  per-hop marginal rates along the simulated path — and finds each
+  loop's optimum with the batched bracketing + bisection solver
   (:func:`~repro.market.solvers.batched_maximize_by_derivative`),
   iterating on the whole loop array at once with a converged mask.
   This is the same algorithm (same hint, same brackets, same
   tolerance) as the scalar chain optimizer
   (:func:`repro.optimize.chain.optimize_rotation_chain`), in lockstep
-  per row.
+  per row.  Per-hop the kernel computes the CPMM rate/out as its
+  vectorized base case and then folds in one *lane state* per
+  non-CPMM family present in the hop column, obtained from the family
+  registry (:mod:`repro.market.families`) — so mixed loops crossing
+  any combination of families stay on this kernel and never force a
+  scalar fallback.
 
 * **Iterative strategy methods.**  ``method="bisection"`` /
   ``"golden"`` on constant-product loops previously forced the scalar
@@ -25,15 +30,23 @@ object path; both are closed here:
   :func:`cp_golden_quotes` run the same iterative searches over the
   composed linear-fractional coefficients array-wide.
 
-Parity policy: constant-product arithmetic here is IEEE-pinned and
+Parity policy (per family; the registry module docstring carries the
+same table): constant-product arithmetic here is IEEE-pinned and
 bit-exact against the scalar path by construction.  Weighted hops go
 through ``np.power`` — the very ufunc the scalar
 :class:`~repro.amm.weighted.WeightedPool` quotes route through
-(:func:`~repro.amm.weighted.pinned_pow`) — so batch and scalar agree
-bit-for-bit *on any one platform*; across platforms/libms ``pow`` is
-not correctly rounded, and the documented contract is relative
-agreement within ``WEIGHTED_PARITY_RTOL`` (the hypothesis suite in
-``tests/property/test_weighted_kernel_parity.py`` pins it).
+(:func:`~repro.amm.weighted.pinned_pow`) — but ``pow`` is not
+correctly rounded, and NumPy's SIMD inner loops may round packed
+vector lanes and the scalar/tail path independently, so the array and
+0-d calls can differ by an ulp even on one build.  The documented
+contract is relative agreement within ``WEIGHTED_PARITY_RTOL`` (the
+hypothesis suite in ``tests/property/test_weighted_kernel_parity.py``
+pins it).
+Stableswap hops use only ``+ - * /`` (correctly rounded under
+IEEE-754) in lockstep operation order with the scalar pool, so batch
+and scalar agree bit-for-bit on compliant float64 hardware; the
+portable documented contract is ``STABLESWAP_PARITY_RTOL``
+(``tests/property/test_stableswap_parity.py``).
 
 Failure parity at degenerate magnitudes: inf/NaN *propagation* is as
 silent here as Python-float arithmetic is on the scalar path
@@ -55,8 +68,10 @@ from typing import Callable
 
 import numpy as np
 
+from ..amm.families import FAMILY_CPMM
 from .arrays import MarketArrays
 from .compile import CompiledLoopGroup
+from .families import _SCALAR_SILENCE, _pow, family_descriptor
 from .kernel import (
     BatchQuotes,
     compose_group,
@@ -67,102 +82,78 @@ from .kernel import (
 from .solvers import batched_golden_section, batched_maximize_by_derivative
 
 __all__ = [
+    "STABLESWAP_PARITY_RTOL",
     "WEIGHTED_PARITY_RTOL",
+    "chain_quotes",
     "cp_bisection_quotes",
     "cp_golden_quotes",
+    "stableswap_quotes",
     "weighted_quotes",
 ]
 
 logger = logging.getLogger("repro.market.weighted_kernel")
 
 #: Documented batch-vs-scalar tolerance for quotes crossing a weighted
-#: hop.  On one platform the two paths share every operation (including
-#: the ``pow`` ufunc) and agree exactly; this bound is the contract for
-#: environments whose array and scalar ``pow`` code paths differ by an
-#: ulp per hop (~1e-16 relative per pow, amplified through at most a
-#: few hundred bisection steps on well-conditioned monotone rates).
+#: hop.  Both paths share every operation (including the ``pow``
+#: ufunc), but ``pow`` is not correctly rounded and its SIMD lane and
+#: scalar/tail code paths may round independently, so array and 0-d
+#: calls can differ by an ulp per hop (~1e-16 relative per pow,
+#: amplified through at most a few hundred bisection steps on
+#: well-conditioned monotone rates).  This bound is the contract; do
+#: not assert bit-identity across the two paths.
 WEIGHTED_PARITY_RTOL = 1e-9
 
-#: Kernel arithmetic mirrors *Python-float* semantics, which are silent
-#: on inf/NaN propagation (``1e308 * 10`` is ``inf``, not a warning);
-#: numpy would emit RuntimeWarnings for the identical operations, so
-#: expressions the scalar twin also computes run under this state.
-#: Loudness lives exactly where the scalar path is loud: :func:`_pow`
-#: raises ``OverflowError`` like ``pinned_pow``, and the batched
-#: solvers raise ``SolverConvergenceError`` like their scalar twins.
-_SCALAR_SILENCE = {"over": "ignore", "invalid": "ignore"}
-
-
-def _pow(
-    base: np.ndarray, exponent: np.ndarray, loud: np.ndarray | None = None
-) -> np.ndarray:
-    """Array twin of :func:`repro.amm.weighted.pinned_pow`: the same
-    ``np.power`` ufunc with the same loud-overflow contract — a
-    non-finite result from finite operands raises ``OverflowError``
-    instead of seeding silent NaN quotes.
-
-    ``loud`` restricts the overflow check to the rows whose *scalar*
-    twin is the loud ``pinned_pow`` — in a mixed hop column the
-    constant-product rows' twin is plain Python-float arithmetic
-    (``denom * denom`` overflowing silently to inf), so their lanes
-    must stay silent here too for exception parity.
-    """
-    out = np.power(base, exponent)
-    bad = ~np.isfinite(out)
-    if loud is not None:
-        bad &= loud
-    if bad.any():
-        bad &= np.isfinite(base) & np.isfinite(np.asarray(exponent))
-        if bad.any():
-            k = int(np.argmax(bad))
-            logger.warning(
-                "weighted-kernel pow overflowed in %d of %d lanes "
-                "(first at row %d); degenerate-magnitude reserves fail "
-                "loudly instead of seeding NaN quotes",
-                int(bad.sum()),
-                bad.size,
-                k,
-            )
-            raise OverflowError(
-                f"pow({float(np.ravel(base)[k])!r}, "
-                f"{float(np.ravel(np.broadcast_to(exponent, out.shape))[k])!r}) "
-                "overflows a float64"
-            )
-    return out
+#: Documented batch-vs-scalar tolerance for quotes crossing a
+#: stableswap hop.  The hop map and both Newton solvers use only
+#: ``+ - * /`` in lockstep operation order with the scalar pool, so on
+#: IEEE-754-compliant float64 the two paths agree bit-for-bit; this
+#: bound is the portable contract for environments with non-default
+#: rounding/FMA contraction in the array loops.
+STABLESWAP_PARITY_RTOL = 1e-9
 
 
 class _ChainHops:
     """Per-hop gathers of a (possibly mixed) rotation, with the
-    loop-invariant pieces of the chain-rule rate precomputed."""
+    loop-invariant pieces of the chain-rule rate precomputed.
+
+    Each hop column stores the full-width oriented gathers plus one
+    *lane state* per non-CPMM family present (built by the family's
+    :attr:`~repro.market.families.FamilyDescriptor.chain_lanes` hook,
+    applied in family-code order).  The CPMM rate/out is the kernel's
+    vectorized base case; lanes fold their family's formula into those
+    hop temporaries on their own rows.
+    """
 
     def __init__(
         self,
         arrays: MarketArrays,
         group: CompiledLoopGroup,
         offsets: int | np.ndarray,
+        rows: np.ndarray | None = None,
     ):
         pool_g, orient_g = gather_hops(group, offsets)
-        w0, w1 = arrays.weight0, arrays.weight1
-        cp_rows = arrays.constant_product
+        if rows is not None:
+            # compressed view over a row subset: gathering before the
+            # elementwise lane math is bit-transparent for the IEEE-pinned
+            # families, so per-row results and iteration counts are the
+            # ones the full-width evaluation would produce
+            pool_g = pool_g[rows]
+            orient_g = orient_g[rows]
+        fam_rows = arrays.family
         self.hops = []
         for j in range(group.length):
             pool_col = pool_g[:, j]
             orient_col = orient_g[:, j]
             x, y, gamma = oriented_reserves(arrays, pool_col, orient_col)
-            cp = cp_rows[pool_col]
-            mixed = not cp.all()
-            if mixed:
-                w_in = np.where(orient_col, w0[pool_col], w1[pool_col])
-                w_out = np.where(orient_col, w1[pool_col], w0[pool_col])
-                ratio = w_in / w_out  # one division, like weight_ratio
-                # loop-invariant factors of the G3M marginal rate
-                # y*r*γ*x^r / (x+γt)^(r+1): numerator and exponent
-                with np.errstate(**_SCALAR_SILENCE):
-                    w_num = y * ratio * gamma * _pow(x, ratio, loud=~cp)
-                w_exp = ratio + 1.0
-            else:
-                ratio = w_num = w_exp = None
-            self.hops.append((x, y, gamma, cp, mixed, ratio, w_num, w_exp))
+            fam = fam_rows[pool_col]
+            lanes = tuple(
+                family_descriptor(code).chain_lanes(
+                    arrays, fam == code, pool_col, orient_col, x, y, gamma
+                )
+                for code in sorted(int(c) for c in np.unique(fam))
+                if code != FAMILY_CPMM
+            )
+            self.hops.append((x, y, gamma, lanes))
         self.x0 = self.hops[0][0]  # input-side reserve of hop 0
 
     def rate(self, t: np.ndarray) -> np.ndarray:
@@ -172,20 +163,15 @@ class _ChainHops:
         rate = np.ones(t.shape[0], dtype=np.float64)
         current = t
         with np.errstate(**_SCALAR_SILENCE):
-            for x, y, gamma, cp, mixed, ratio, w_num, w_exp in self.hops:
+            for x, y, gamma, lanes in self.hops:
                 eff = gamma * current
                 denom = x + eff
-                cp_rate = x * y * gamma / (denom * denom)
-                cp_out = y * eff / denom
-                if mixed:
-                    w_rate = w_num / _pow(denom, w_exp, loud=~cp)
-                    # x/denom <= 1, so this pow can only underflow
-                    w_out = y * (1.0 - np.power(x / denom, ratio))
-                    rate = rate * np.where(cp, cp_rate, w_rate)
-                    current = np.where(cp, cp_out, w_out)
-                else:
-                    rate = rate * cp_rate
-                    current = cp_out
+                hop_rate = x * y * gamma / (denom * denom)
+                hop_out = y * eff / denom
+                for lane in lanes:
+                    hop_rate, hop_out = lane.rate_out(hop_rate, hop_out, current)
+                rate = rate * hop_rate
+                current = hop_out
         return rate
 
     def simulate(self, t: np.ndarray) -> np.ndarray:
@@ -194,36 +180,59 @@ class _ChainHops:
         amounts[:, 0] = t
         current = t
         with np.errstate(**_SCALAR_SILENCE):
-            for j, (x, y, gamma, cp, mixed, ratio, _w_num, _w_exp) in enumerate(
-                self.hops
-            ):
+            for j, (x, y, gamma, lanes) in enumerate(self.hops):
                 eff = gamma * current
                 denom = x + eff
-                cp_out = y * eff / denom
-                if mixed:
-                    w_out = y * (1.0 - np.power(x / denom, ratio))
-                    current = np.where(cp, cp_out, w_out)
-                else:
-                    current = cp_out
+                hop_out = y * eff / denom
+                for lane in lanes:
+                    hop_out = lane.out_only(hop_out, current)
+                current = hop_out
                 amounts[:, j + 1] = current
         return amounts
 
 
-def weighted_quotes(
+def chain_quotes(
     arrays: MarketArrays,
     group: CompiledLoopGroup,
     offsets: int | np.ndarray,
 ) -> BatchQuotes:
-    """Quote one rotation of every weighted-containing loop at once.
+    """Quote one rotation of every non-closed-form loop at once —
+    any mix of CPMM, G3M, and stableswap hops.
 
     The scalar twin is ``optimize_rotation_chain`` + ``simulate``:
     bracket from the same reserve-scaled hint, bisect the chain rate to
     the same tolerance, re-simulate the hop amounts — all rows in
     lockstep.
+
+    Rows failing the scalar path's no-arbitrage guard
+    (``rate(0) <= 1``) resolve to 0.0 without entering the search; the
+    solver then runs on a *compressed* view of the surviving rows.  In
+    realistic near-efficient markets most rotations fail the guard, so
+    this keeps the per-probe cost proportional to the arbitrageable
+    subset instead of the whole loop array — the scalar path gets the
+    same effect for free by early-returning per loop.  Per-row results
+    and iteration counts are unchanged: the solver masks are per-row,
+    and gathering rows before elementwise arithmetic does not perturb
+    rounding.
     """
     hops = _ChainHops(arrays, group, offsets)
+    count = hops.x0.shape[0]
     hint = np.maximum(hops.x0 * 1e-3, 1e-9)
-    t, iterations = batched_maximize_by_derivative(hops.rate, hint)
+    # the scalar guard is `if rate(0.0) <= 1.0: return 0` — NaN rates
+    # (degenerate-magnitude reserves) fall through to the search, so
+    # keep them active here too (lockstep with the solver's own guard)
+    active = ~(hops.rate(np.zeros(count, dtype=np.float64)) <= 1.0)
+    if active.all():
+        t, iterations = batched_maximize_by_derivative(hops.rate, hint)
+    else:
+        t = np.zeros(count, dtype=np.float64)
+        iterations = np.zeros(count, dtype=np.intp)
+        idx = np.nonzero(active)[0]
+        if idx.size:
+            sub = _ChainHops(arrays, group, offsets, rows=idx)
+            t[idx], iterations[idx] = batched_maximize_by_derivative(
+                sub.rate, hint[idx]
+            )
     amounts = hops.simulate(t)
     profit = amounts[:, group.length] - amounts[:, 0]
     return BatchQuotes(
@@ -233,6 +242,13 @@ def weighted_quotes(
         amounts=amounts,
         iterations=iterations,
     )
+
+
+#: Historical name (the chain kernel grew out of the G3M/weighted
+#: kernel) and the per-family alias — one code path, asserted identical
+#: by the stableswap parity suite.
+weighted_quotes = chain_quotes
+stableswap_quotes = chain_quotes
 
 
 def _cp_iterative(

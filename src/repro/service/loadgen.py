@@ -101,10 +101,15 @@ def make_workload(
     *,
     pools_per_block: int | None = None,
     price_ticks_per_block: int = 1,
+    stableswap_fraction: float = 0.0,
 ) -> tuple[MarketSnapshot, MarketEventLog]:
     """Seeded synthetic market + stream (the loadgen's event supply)."""
     market = SyntheticMarketGenerator(
-        n_tokens=n_tokens, n_pools=n_pools, seed=seed, price_noise=0.02
+        n_tokens=n_tokens,
+        n_pools=n_pools,
+        seed=seed,
+        price_noise=0.02,
+        stableswap_fraction=stableswap_fraction,
     ).generate()
     log = generate_event_stream(
         market,

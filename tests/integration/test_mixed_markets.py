@@ -108,3 +108,101 @@ class TestEngineWithAllAgentTypes:
         for pool in result.market.registry:
             for token in pool.tokens:
                 assert pool.reserve_of(token) > 0
+
+
+class TestThreeFamilyBatching:
+    """PR-10 acceptance: loops crossing all three pool families route
+    through the batch chain kernel with zero forced scalar fallbacks,
+    and shared-memory serving over such a market is bit-identical to
+    the private-copy model."""
+
+    @pytest.fixture
+    def three_family_snapshot(self):
+        from repro.amm.stableswap import StableSwapPool
+
+        registry = PoolRegistry()
+        # a triangle with one hop from each family ...
+        registry.add(Pool(A, B, 1_000.0, 2_040.0, pool_id="3f-ab"))
+        registry.add(
+            WeightedPool(
+                B, C, 2_000.0, 1_000.0, weight0=0.6, weight1=0.4,
+                pool_id="3f-bc",
+            )
+        )
+        registry.add(
+            StableSwapPool(
+                C, A, 1_000.0, 1_030.0, amplification=90.0, pool_id="3f-ca"
+            )
+        )
+        # ... plus parallel edges so several loops share the compiled
+        # group and every family pairing occurs in some loop
+        registry.add(Pool(C, A, 990.0, 1_020.0, pool_id="3f-ca2"))
+        registry.add(
+            StableSwapPool(
+                A, B, 1_500.0, 1_480.0, amplification=40.0, pool_id="3f-ab2"
+            )
+        )
+        prices = PriceMap({A: 2.0, B: 1.0, C: 2.1})
+        return MarketSnapshot(registry=registry, prices=prices, label="3fam")
+
+    def test_mixed_loops_never_fall_back_to_scalar(self, three_family_snapshot):
+        from repro.amm.families import FAMILY_CPMM, FAMILY_G3M, FAMILY_STABLESWAP
+        from repro.market import BatchEvaluator, MarketArrays
+
+        graph = build_token_graph(three_family_snapshot.registry)
+        loops = find_arbitrage_loops(graph, 3)
+        three_family = [
+            loop
+            for loop in loops
+            if {type(p).__name__ for p in loop.pools}
+            >= {"Pool", "WeightedPool", "StableSwapPool"}
+        ]
+        assert three_family, "fixture must yield a loop crossing all families"
+        arrays = MarketArrays.from_registry(three_family_snapshot.registry)
+        assert set(arrays.family) == {FAMILY_CPMM, FAMILY_G3M, FAMILY_STABLESWAP}
+        evaluator = BatchEvaluator(loops, arrays=arrays, min_batch=1)
+        # every loop compiles into a batch group — no foreign-pool fallback
+        assert evaluator.fallback_positions == []
+        results = evaluator.evaluate_many(MaxMaxStrategy(), three_family_snapshot.prices)
+        assert len(results) == len(loops)
+        # the acceptance criterion: zero loops took the scalar path
+        assert evaluator.stats.scalar_loops == 0
+        assert evaluator.stats.kernel_loops == len(loops)
+        # and the kernel numbers match the scalar strategy path
+        strategy = MaxMaxStrategy()
+        for result, loop in zip(results, loops):
+            ref = strategy.evaluate_cached(loop, three_family_snapshot.prices, None)
+            assert result.monetized_profit == pytest.approx(
+                ref.monetized_profit, rel=1e-9, abs=1e-9
+            )
+
+    def test_shared_serving_bit_identical_to_private(self, three_family_snapshot):
+        import asyncio
+
+        from repro.replay import generate_event_stream
+        from repro.service import OpportunityService, log_source
+
+        log = generate_event_stream(
+            three_family_snapshot, n_blocks=6, events_per_block=5, seed=31
+        )
+
+        def run(shared: bool, backend: str):
+            service = OpportunityService(
+                three_family_snapshot, n_shards=2, backend=backend, shared=shared
+            )
+            try:
+                return asyncio.run(service.run(log_source(log)))
+            finally:
+                service.close()
+
+        def book(report):
+            return [
+                (o.loop_id, o.profit_usd, o.amount_in, o.block)
+                for o in report.book.entries
+            ]
+
+        private = run(shared=False, backend="process")
+        shared = run(shared=True, backend="process")
+        assert book(shared) == book(private)
+        assert shared.events_ingested == len(log)
+        assert shared.events_dropped == 0

@@ -3,11 +3,12 @@ never changes the top-K book.
 
 Two halves of the same contract:
 
-* **bound soundness** — on random mixed CPMM/weighted loops, for every
-  strategy × solver method, :meth:`BatchEvaluator.monetized_bounds` is
-  never below the exact kernel profit, and a bound of exactly ``0.0``
-  proves the exact profit is non-positive.  This is what makes every
-  prune decision safe by construction.
+* **bound soundness** — on random loops mixing CPMM, weighted, and
+  stableswap hops, for every strategy × solver method,
+  :meth:`BatchEvaluator.monetized_bounds` is never below the exact
+  kernel profit, and a bound of exactly ``0.0`` proves the exact
+  profit is non-positive.  This is what makes every prune decision
+  safe by construction.
 * **pruned ≡ unpruned** — on random event streams, the service run
   with ``prune_top_k`` publishes a top-K book bit-identical to the
   exhaustive (``--no-prune``) run, and the work accounting closes:
@@ -26,6 +27,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.amm import Pool, PoolRegistry
+from repro.amm.stableswap import StableSwapPool
 from repro.amm.weighted import WeightedPool
 from repro.core import ArbitrageLoop, PriceMap, Token
 from repro.data import SyntheticMarketGenerator
@@ -42,6 +44,7 @@ TOKENS = tuple(Token(s) for s in ("A", "B", "C", "D"))
 
 reserve = st.floats(min_value=50.0, max_value=1e6)
 weight = st.floats(min_value=0.1, max_value=0.9)
+amplification = st.floats(min_value=1.0, max_value=300.0)
 fee = st.floats(min_value=0.0, max_value=0.05)
 price = st.floats(min_value=0.01, max_value=1e4)
 length = st.integers(min_value=2, max_value=4)
@@ -50,21 +53,32 @@ method = st.sampled_from(["closed_form", "bisection", "golden"])
 
 @st.composite
 def mixed_market(draw):
-    """A single loop of random length mixing CPMM and G3M hops (either
-    pure-CPMM or with weighted legs), plus prices for every token."""
+    """A single loop of random length mixing CPMM, G3M, and stableswap
+    hops in any combination (pure-CPMM included), plus prices for every
+    token."""
     n = draw(length)
     tokens = list(TOKENS[:n])
     registry = PoolRegistry()
     pools = []
-    weighted_slots = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    slots = draw(
+        st.lists(
+            st.sampled_from(["cpmm", "g3m", "stableswap"]),
+            min_size=n, max_size=n,
+        )
+    )
     for j in range(n):
         a, b = tokens[j], tokens[(j + 1) % n]
         ra, rb = draw(reserve), draw(reserve)
         f = draw(fee)
-        if weighted_slots[j]:
+        if slots[j] == "g3m":
             pool = WeightedPool(
                 a, b, ra, rb, draw(weight), draw(weight),
                 fee=f, pool_id=f"w{j}",
+            )
+        elif slots[j] == "stableswap":
+            pool = StableSwapPool(
+                a, b, ra, rb, amplification=draw(amplification),
+                fee=f, pool_id=f"s{j}",
             )
         else:
             pool = Pool(a, b, ra, rb, fee=f, pool_id=f"p{j}")

@@ -1,25 +1,32 @@
 """Hypothesis: batched weighted quotes ↔ the scalar G3M optimizer.
 
-The weighted kernel's contract has two tiers:
+The weighted kernel's G3M contract is the **documented tolerance**:
+across random weights, fees, reserves, and loop lengths, the batched
+chain-rule solver (:func:`repro.market.weighted_quotes`) agrees with
+the scalar optimizer that :mod:`repro.amm.weighted` loops actually use
+(:func:`repro.optimize.chain.optimize_rotation_chain`, reached via
+``rotation_quote``) within :data:`repro.market.WEIGHTED_PARITY_RTOL`
+relative.
 
-* **documented tolerance** — across random weights, fees, reserves,
-  and loop lengths, the batched chain-rule solver
-  (:func:`repro.market.weighted_quotes`) agrees with the scalar
-  optimizer that :mod:`repro.amm.weighted` loops actually use
-  (:func:`repro.optimize.chain.optimize_rotation_chain`, reached via
-  ``rotation_quote``) within :data:`repro.market.WEIGHTED_PARITY_RTOL`
-  relative.  This is the *portable* contract: ``pow`` is not
-  IEEE-pinned, so the bound is what survives a platform whose array
-  and scalar pow paths differ by an ulp.
+An earlier revision of this suite additionally asserted bit-for-bit
+"lockstep" equality between the two paths, on the theory that both
+route every fractional power through the same ``np.power`` ufunc.
+That assertion flaked on random draws with ulp-level diffs: NumPy does
+not pin ``pow`` rounding, and its SIMD inner loops round the packed
+vector lanes and the scalar/tail path independently, so the *same*
+``(base, exponent)`` pair may differ by an ulp between the kernel's
+array call and the scalar optimizer's 0-d call depending on the build,
+the ISA level, and the element's position in the batch.  Bit-identity
+across the two paths is therefore not a property NumPy offers; the
+suite now asserts only the documented contract (see the pinned
+regression case at the bottom).  IEEE-pinned families are different:
+CPMM and stableswap hops use ``+ - * /`` only, and their scalar↔kernel
+bit-identity is asserted in ``test_stableswap_parity.py``.
 
-* **per-platform lockstep** — on any one platform both paths route
-  every fractional power through the same ``np.power`` ufunc
-  (:func:`repro.amm.weighted.pinned_pow`) and iterate in lockstep, so
-  they agree *exactly*.  The suite asserts this stronger property too
-  (it is what the replay incremental-vs-full and service parity tests
-  rely on); if a future platform ever breaks it, this is the test
-  that should fail first — loosen it to the documented tolerance only
-  together with those parity suites.
+Same-path determinism (replay incremental-vs-full, shared-vs-private
+books) is unaffected: those suites compare one code path against
+itself on identical shapes, which *is* deterministic, and they keep
+their bit-identity asserts.
 """
 
 from __future__ import annotations
@@ -82,6 +89,42 @@ def weighted_market(draw):
     return registry, loop, prices
 
 
+def _assert_hops_match(got_hops, ref_hops) -> None:
+    """Per-hop amounts within the documented tolerance (same shape)."""
+    assert len(got_hops) == len(ref_hops)
+    for got_hop, ref_hop in zip(got_hops, ref_hops):
+        assert got_hop == pytest.approx(
+            ref_hop, rel=WEIGHTED_PARITY_RTOL, abs=1e-12
+        )
+
+
+def _assert_results_match(got, ref) -> None:
+    """Kernel vs scalar strategy results, documented-tolerance tier.
+
+    ``pow`` rounding may differ by an ulp between the array and scalar
+    paths (module docstring), which can also shift an iterative
+    solver's bracket — and with it the iteration count — by one, so
+    ``details`` is compared with slack on ``iterations`` only.
+    """
+    assert got.amount_in == pytest.approx(
+        ref.amount_in, rel=WEIGHTED_PARITY_RTOL, abs=1e-12
+    )
+    assert got.monetized_profit == pytest.approx(
+        ref.monetized_profit, rel=WEIGHTED_PARITY_RTOL, abs=1e-9
+    )
+    _assert_hops_match(got.hop_amounts, ref.hop_amounts)
+    assert set(got.details) == set(ref.details)
+    for key, ref_value in ref.details.items():
+        if key == "iterations":
+            assert abs(got.details[key] - ref_value) <= 1
+        elif isinstance(ref_value, float):
+            assert got.details[key] == pytest.approx(
+                ref_value, rel=WEIGHTED_PARITY_RTOL, abs=1e-9
+            )
+        else:
+            assert got.details[key] == ref_value
+
+
 @settings(max_examples=60, deadline=None)
 @given(market=weighted_market(), m=method)
 def test_weighted_quotes_match_scalar_optimizer(market, m):
@@ -98,19 +141,7 @@ def test_weighted_quotes_match_scalar_optimizer(market, m):
     ):
         got = evaluator.evaluate_many(strategy, prices)[0]
         ref = strategy.evaluate_cached(loop, prices, None)
-        # portable contract: documented relative tolerance
-        assert got.amount_in == pytest.approx(
-            ref.amount_in, rel=WEIGHTED_PARITY_RTOL, abs=1e-12
-        )
-        assert got.monetized_profit == pytest.approx(
-            ref.monetized_profit, rel=WEIGHTED_PARITY_RTOL, abs=1e-9
-        )
-        # per-platform lockstep: same ufunc, same iteration sequence,
-        # same bits (see module docstring before weakening this)
-        assert got.amount_in == ref.amount_in
-        assert got.hop_amounts == ref.hop_amounts
-        assert got.monetized_profit == ref.monetized_profit
-        assert got.details == ref.details
+        _assert_results_match(got, ref)
     assert evaluator.stats.scalar_loops == 0
 
 
@@ -134,4 +165,51 @@ def test_every_rotation_quote_matches_chain_optimizer(market):
         assert got.amount_in == pytest.approx(
             ref.amount_in, rel=WEIGHTED_PARITY_RTOL, abs=1e-12
         )
-        assert got == ref  # lockstep tier (iterations included)
+        assert got.profit == pytest.approx(
+            ref.profit, rel=WEIGHTED_PARITY_RTOL, abs=1e-12
+        )
+        _assert_hops_match(got.hop_amounts, ref.hop_amounts)
+        assert abs(got.iterations - ref.iterations) <= 1
+
+
+# ----------------------------------------------------------------------
+# pinned regression: the flake's failure shape, deterministically
+# ----------------------------------------------------------------------
+
+
+def test_weighted_parity_regression_boundary_market():
+    """Pinned boundary-value market for the former lockstep flake.
+
+    The hypothesis suite used to assert bit-identical kernel-vs-scalar
+    results and flaked with ulp diffs on draws like this one — the
+    strategies' boundary values (reserve 50 / 1e6, weight 0.1 / 0.9,
+    fee 0.05) maximize ``pow`` rounding sensitivity.  This case pins
+    the market and asserts the *documented* contract over every
+    strategy, method, and rotation, so the widened assertion itself is
+    covered by a test that cannot rot with hypothesis's RNG.
+    """
+    a, b, c = TOKENS[:3]
+    registry = PoolRegistry()
+    pools = [
+        WeightedPool(a, b, 50.0, 1e6, 0.1, 0.9, fee=0.05, pool_id="w0"),
+        WeightedPool(b, c, 1e6, 50.0, 0.9, 0.1, fee=0.0, pool_id="w1"),
+        Pool(c, a, 1e6, 1e6, fee=0.05, pool_id="p2"),
+    ]
+    for pool in pools:
+        registry.add(pool)
+    loop = ArbitrageLoop([a, b, c], pools)
+    prices = PriceMap({a: 1e4, b: 0.01, c: 1.0})
+    evaluator = BatchEvaluator(
+        [loop], arrays=MarketArrays.from_registry(registry), min_batch=1
+    )
+    assert evaluator.fallback_positions == []
+    for m in ("closed_form", "bisection", "golden"):
+        for strategy in (
+            TraditionalStrategy(method=m),
+            MaxPriceStrategy(method=m),
+            MaxMaxStrategy(method=m),
+        ):
+            got = evaluator.evaluate_many(strategy, prices)[0]
+            ref = strategy.evaluate_cached(loop, prices, None)
+            _assert_results_match(got, ref)
+    assert evaluator.stats.scalar_loops == 0

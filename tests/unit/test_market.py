@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.amm import Pool, PoolRegistry
+from repro.amm import FAMILY_CPMM, FAMILY_G3M, Pool, PoolRegistry
 from repro.amm.events import BlockEvent, BurnEvent, MintEvent, PriceTickEvent, SwapEvent
 from repro.amm.weighted import WeightedPool
 from repro.core import (
@@ -68,7 +68,7 @@ class TestMarketArrays:
         assert len(arrays) == 4
         assert arrays.reserves("xy") == (1_000.0, 2_000.0)
         assert set(arrays.tokens) == {X, Y, Z, W}
-        assert arrays.constant_product.all()
+        assert (arrays.family == FAMILY_CPMM).all()
 
     def test_duplicate_pool_ids_rejected(self):
         pools = [
@@ -94,7 +94,7 @@ class TestMarketArrays:
         registry.add(original)
         arrays = MarketArrays.from_registry(registry)
         i = arrays.pool_index["wp"]
-        assert not arrays.constant_product[i]
+        assert arrays.family[i] == FAMILY_G3M
         clone = arrays.to_registry()["wp"]
         assert isinstance(clone, WeightedPool)
         assert clone.weight_of(Y) == original.weight_of(Y) == 0.8

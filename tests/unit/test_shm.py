@@ -19,7 +19,13 @@ from repro.amm import PoolRegistry
 from repro.amm.weighted import WeightedPool
 from repro.core import Token
 from repro.market import MarketArrays, SharedMarketArrays, pool_handles
-from repro.market.shm import SEGMENT_PREFIX, PoolHandle, SharedMarketView
+from repro.market.shm import (
+    _LAYOUT_VERSION,
+    SEGMENT_PREFIX,
+    PoolHandle,
+    SegmentLayoutError,
+    SharedMarketView,
+)
 from repro.service import SharedBlockWork
 
 X, Y, Z = Token("X"), Token("Y"), Token("Z")
@@ -104,6 +110,34 @@ class TestLifecycle:
         # a view built for the wrong token universe must fail loudly
         with pytest.raises(ValueError, match="tokens"):
             SharedMarketView(shared.segment_name, (X, Y))
+
+    def test_attach_rejects_stale_layout_version(self, shared):
+        # a segment written by a build with a different column layout
+        # must raise the typed error naming both versions, not map
+        # reserves at wrong offsets
+        header = np.ndarray((5,), dtype=np.int64, buffer=shared._shm.buf)
+        header[1] = _LAYOUT_VERSION - 1  # pretend an old build wrote it
+        try:
+            with pytest.raises(SegmentLayoutError) as excinfo:
+                SharedMarketView(shared.segment_name, shared.tokens)
+            message = str(excinfo.value)
+            assert f"version {_LAYOUT_VERSION - 1}" in message
+            assert f"version {_LAYOUT_VERSION}" in message
+            assert "recreate" in message
+            # the typed error is still a ValueError for old handlers
+            assert isinstance(excinfo.value, ValueError)
+        finally:
+            header[1] = _LAYOUT_VERSION
+
+    def test_attach_rejects_bad_magic(self, shared):
+        header = np.ndarray((5,), dtype=np.int64, buffer=shared._shm.buf)
+        original = int(header[0])
+        header[0] = 0x1234
+        try:
+            with pytest.raises(SegmentLayoutError, match="magic"):
+                SharedMarketView(shared.segment_name, shared.tokens)
+        finally:
+            header[0] = original
 
     def test_view_pickle_reattaches(self, shared):
         view = shared.view()
